@@ -1,0 +1,33 @@
+//! Criterion: COLUMN-SELECTION vs the SELECT-ALL / SELECT-BEST baselines —
+//! the per-query retrieval cost behind Fig. 7's CS bars.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_index::{build_index, IndexConfig};
+use ver_qbe::ExampleQuery;
+use ver_select::baselines::{select_all, select_best};
+use ver_select::{column_selection, SelectionConfig};
+
+fn bench_column_selection(c: &mut Criterion) {
+    let cat = generate_wdc(&WdcConfig { n_tables: 200, ..Default::default() }).unwrap();
+    let idx = build_index(&cat, IndexConfig { threads: 4, ..Default::default() }).unwrap();
+    let query = ExampleQuery::from_rows(&[
+        vec!["Indiana", "Georgia"],
+        vec!["Virginia", "Illinois"],
+        vec!["Texas", "Ohio"],
+    ])
+    .unwrap();
+
+    let mut group = c.benchmark_group("column_selection");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("column_selection", |b| {
+        b.iter(|| column_selection(&idx, &query, &SelectionConfig::default()))
+    });
+    group.bench_function("select_all", |b| b.iter(|| select_all(&idx, &query)));
+    group.bench_function("select_best", |b| b.iter(|| select_best(&idx, &query)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_column_selection);
+criterion_main!(benches);

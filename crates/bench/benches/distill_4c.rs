@@ -1,0 +1,44 @@
+//! Criterion: 4C distillation scaling in the number of candidate views —
+//! the measurement behind Fig. 3's "4C Runtime" series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ver_common::ids::ViewId;
+use ver_common::value::Value;
+use ver_distill::{distill, DistillConfig};
+use ver_engine::view::{Provenance, View};
+use ver_store::table::TableBuilder;
+
+/// Synthesise `n` views over a shared schema with controlled overlap:
+/// compatibles (i % 7 == 1 duplicates its predecessor), containments and
+/// contradictions mixed in.
+fn views(n: usize, rows: usize) -> Vec<View> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut b = TableBuilder::new("v", &["k", "x"]);
+        let base = if i % 7 == 1 { i - 1 } else { i };
+        for r in 0..rows {
+            let key = (base * 3 + r) % (rows * 2);
+            // every 5th view disagrees on the value for shared keys
+            let val = if i % 5 == 0 { key * 10 } else { key * 10 + 1 };
+            b.push_row(vec![Value::Int(key as i64), Value::Int(val as i64)]).unwrap();
+        }
+        out.push(View::new(ViewId(i as u32), b.build(), Provenance::default()));
+    }
+    out
+}
+
+fn bench_distill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distill_4c");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for n in [50usize, 200, 500] {
+        let vs = views(n, 40);
+        group.bench_with_input(BenchmarkId::new("views", n), &n, |b, _| {
+            b.iter(|| distill(&vs, &DistillConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distill);
+criterion_main!(benches);

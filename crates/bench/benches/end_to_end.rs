@@ -1,0 +1,60 @@
+//! Criterion: the full online pipeline (CS → JGS → M → 4C) per query, over
+//! ChEMBL-like and WDC-like corpora — the end-to-end numbers of Fig. 4(b)
+//! and Fig. 7, measured with statistical rigour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ver_core::{Ver, VerConfig};
+use ver_datagen::chembl::{generate_chembl, ChemblConfig};
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_qbe::{ExampleQuery, ViewSpec};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    let chembl = generate_chembl(&ChemblConfig {
+        n_compounds: 100,
+        n_tables: 30,
+        seed: 5,
+    })
+    .unwrap();
+    let ver = Ver::build(chembl, VerConfig::fast()).unwrap();
+    let name0 = ver
+        .catalog()
+        .table_by_name("compounds")
+        .unwrap()
+        .cell(0, 1)
+        .unwrap()
+        .to_string();
+    let name1 = ver
+        .catalog()
+        .table_by_name("compounds")
+        .unwrap()
+        .cell(1, 1)
+        .unwrap()
+        .to_string();
+    let spec = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[vec![name0.as_str()], vec![name1.as_str()]]).unwrap(),
+    );
+    group.bench_function("chembl_compound_query", |b| {
+        b.iter(|| ver.run(&spec).unwrap())
+    });
+
+    let wdc = generate_wdc(&WdcConfig { n_tables: 120, ..Default::default() }).unwrap();
+    let ver_wdc = Ver::build(wdc, VerConfig::fast()).unwrap();
+    let spec_wdc = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[
+            vec!["Philippines", "2644000"],
+            vec!["Vietnam", "3055000"],
+        ])
+        .unwrap(),
+    );
+    group.bench_function("wdc_population_query", |b| {
+        b.iter(|| ver_wdc.run(&spec_wdc).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

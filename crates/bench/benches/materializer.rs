@@ -1,0 +1,45 @@
+//! Criterion: the MATERIALIZER (hash join + projection + dedup) — the
+//! dominant cost of Fig. 4(b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ver_common::value::Value;
+use ver_engine::dedup::dedup_rows;
+use ver_engine::join::hash_join;
+use ver_engine::rowhash::table_hash_set;
+use ver_store::table::{Table, TableBuilder};
+
+fn table(name: &str, rows: usize, key_mod: usize) -> Table {
+    let mut b = TableBuilder::new(name, &["k", "v"]);
+    for i in 0..rows {
+        b.push_row(vec![
+            Value::Int((i % key_mod) as i64),
+            Value::text(format!("val{i}")),
+        ])
+        .unwrap();
+    }
+    b.build()
+}
+
+fn bench_materializer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materializer");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for rows in [1_000usize, 10_000] {
+        let left = table("l", rows, rows / 2);
+        let right = table("r", rows, rows / 2);
+        group.bench_with_input(BenchmarkId::new("hash_join", rows), &rows, |b, _| {
+            b.iter(|| hash_join(&left, 0, &right, 0).unwrap())
+        });
+        let joined = hash_join(&left, 0, &right, 0).unwrap();
+        group.bench_with_input(BenchmarkId::new("dedup", rows), &rows, |b, _| {
+            b.iter(|| dedup_rows(&joined))
+        });
+        group.bench_with_input(BenchmarkId::new("rowhash_set", rows), &rows, |b, _| {
+            b.iter(|| table_hash_set(&joined))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_materializer);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion: per-question latency of VIEW-PRESENTATION — the paper
+//! reports < 0.5 ms per question (interactive requirement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ver_common::ids::ViewId;
+use ver_common::value::Value;
+use ver_distill::{distill, DistillConfig};
+use ver_engine::view::{Provenance, View};
+use ver_present::{OracleUser, PresentationConfig, PresentationSession};
+use ver_qbe::ExampleQuery;
+use ver_store::table::TableBuilder;
+
+fn views(n: usize) -> Vec<View> {
+    (0..n)
+        .map(|i| {
+            let mut b = TableBuilder::new("v", &["state", "pop"]);
+            for r in 0..20 {
+                b.push_row(vec![
+                    Value::text(format!("s{}", (i + r) % 40)),
+                    Value::Int((i * 100 + r) as i64),
+                ])
+                .unwrap();
+            }
+            View::new(ViewId(i as u32), b.build(), Provenance::default())
+        })
+        .collect()
+}
+
+fn bench_presentation(c: &mut Criterion) {
+    let vs = views(100);
+    let d = distill(&vs, &DistillConfig::default());
+    let query = ExampleQuery::from_rows(&[vec!["s1", "100"]]).unwrap();
+
+    let mut group = c.benchmark_group("presentation");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("full_session_oracle", |b| {
+        b.iter(|| {
+            let mut session = PresentationSession::new(
+                &vs,
+                &d,
+                &query,
+                PresentationConfig::default(),
+            );
+            let mut user = OracleUser::new(ViewId(42));
+            session.run(&mut user)
+        })
+    });
+    group.bench_function("fasttopk_rank_100_views", |b| {
+        b.iter(|| ver_present::fasttopk_rank(&vs, &query))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_presentation);
+criterion_main!(benches);

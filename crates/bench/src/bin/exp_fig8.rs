@@ -1,0 +1,151 @@
+//! Fig. 8 — microbenchmarks (Appendix C).
+//!
+//! (a) Join-graph counts under different index containment thresholds
+//!     t ∈ {0.8, 0.7, 0.6, 0.5} — lower thresholds admit more (noisier)
+//!     joinable pairs → more join graphs.
+//! (b) Search-space size vs number of example rows (2..10) — the paper's
+//!     counter-intuitive result: more rows do *not* monotonically shrink
+//!     the space in pathless collections.
+//! (c) Column-selection internals vs example rows: total columns,
+//!     clusters, clusters selected, columns selected.
+//! (§C-3) Search-space vs number of query columns (2..4) — more columns ⇒
+//!     more join graphs and views.
+
+use ver_bench::{eval_search_config, print_table, run_strategy, Strategy};
+use ver_core::{Ver, VerConfig};
+use ver_datagen::chembl::{generate_chembl, ChemblConfig};
+use ver_datagen::workload::chembl_ground_truths;
+use ver_index::IndexConfig;
+use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_qbe::query::{ExampleQuery, QueryColumn};
+use ver_select::{column_selection, SelectionConfig};
+
+fn build_ver(threshold: f64) -> Ver {
+    let cat = generate_chembl(&ChemblConfig {
+        n_compounds: 150,
+        n_tables: 70,
+        seed: 0xC4EB,
+    })
+    .expect("chembl generation");
+    let config = VerConfig {
+        index: IndexConfig {
+            threads: 4,
+            verify_exact: true,
+            containment_threshold: threshold,
+            ..Default::default()
+        },
+        ..VerConfig::default()
+    };
+    Ver::build(cat, config).expect("index build")
+}
+
+fn main() {
+    let search = eval_search_config();
+
+    // ── (a) threshold sweep ──────────────────────────────────────────────
+    let mut rows = Vec::new();
+    for t in [0.8, 0.7, 0.6, 0.5] {
+        let ver = build_ver(t);
+        let gts = chembl_ground_truths(ver.catalog()).expect("gt");
+        let mut cells = vec![format!("t={t}"), ver.index().joinable_pairs().to_string()];
+        let mut total_graphs = 0usize;
+        for gt in &gts {
+            let q = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 0xF168)
+                .expect("query");
+            let out = run_strategy(&ver, &q, Strategy::ColumnSelection, &search);
+            total_graphs += out.stats.join_graphs;
+        }
+        cells.push(total_graphs.to_string());
+        rows.push(cells);
+    }
+    print_table(
+        "Fig. 8(a): joinable pairs & join graphs vs containment threshold",
+        &["Threshold", "Joinable pairs", "Σ join graphs (Q1-Q5)"],
+        &rows,
+    );
+
+    // ── (b) + (c): example-row sweep ────────────────────────────────────
+    // Uses the WDC corpus: its state/city/country homonyms are what make
+    // extra example rows pull in (or rule out) whole clusters, the paper's
+    // non-monotone effect.
+    let wdc = ver_bench::setup_wdc();
+    let wdc_gt = &wdc.gts[0]; // airports (state, iata)
+    let mut rows_b = Vec::new();
+    let mut rows_c = Vec::new();
+    for rows_n in [2usize, 4, 6, 8, 10] {
+        let q = generate_noisy_query(wdc.ver.catalog(), wdc_gt, NoiseLevel::Zero, rows_n, 0xF169)
+            .expect("query");
+        let sel = column_selection(wdc.ver.index(), &q, &SelectionConfig::default());
+        let out = run_strategy(&wdc.ver, &q, Strategy::ColumnSelection, &search);
+        rows_b.push(vec![
+            rows_n.to_string(),
+            out.stats.joinable_groups.to_string(),
+            out.stats.join_graphs.to_string(),
+            out.stats.views.to_string(),
+        ]);
+        let total_cols: usize = sel.per_attribute.iter().map(|a| a.total_columns).sum();
+        let clusters: usize = sel.per_attribute.iter().map(|a| a.num_clusters).sum();
+        let selected: usize = sel.per_attribute.iter().map(|a| a.clusters_selected).sum();
+        rows_c.push(vec![
+            rows_n.to_string(),
+            total_cols.to_string(),
+            clusters.to_string(),
+            selected.to_string(),
+            sel.total_selected().to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 8(b): search space vs #example rows",
+        &["Rows", "JoinableGroups", "JoinGraphs", "Views"],
+        &rows_b,
+    );
+    print_table(
+        "Fig. 8(c): column selection vs #example rows",
+        &["Rows", "TotalColumns", "Clusters", "ClustersSelected", "ColumnsSelected"],
+        &rows_c,
+    );
+
+    // ── (§C-3) query-column sweep ────────────────────────────────────────
+    let ver = build_ver(0.8);
+    let gts = chembl_ground_truths(ver.catalog()).expect("gt");
+    let gt = &gts[1]; // compound_name × standard_value
+    let search = ver_search::SearchConfig {
+        k: 3_000,
+        max_combinations: 3_000,
+        ..ver_search::SearchConfig::default()
+    };
+    let mut rows_d = Vec::new();
+    for arity in [2usize, 3, 4] {
+        // Extend Q2 with additional attributes drawn from joined tables.
+        let base = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 0xF16A)
+            .expect("query");
+        let mut columns: Vec<QueryColumn> = base.columns.clone();
+        let extras = [("compounds", "mw", 2usize), ("activities", "assay_id", 2usize)];
+        for (t, c, ord) in extras.iter().take(arity - 2) {
+            let table = ver.catalog().table_by_name(t).expect("table");
+            let col = table.column(*ord).expect("column");
+            let _ = c;
+            let vals: Vec<ver_common::value::Value> =
+                col.non_null().take(3).cloned().collect();
+            columns.push(QueryColumn::of_values(vals));
+        }
+        let q = ExampleQuery::new(columns).expect("valid query");
+        let out = run_strategy(&ver, &q, Strategy::ColumnSelection, &search);
+        rows_d.push(vec![
+            arity.to_string(),
+            out.stats.joinable_groups.to_string(),
+            out.stats.join_graphs.to_string(),
+            out.stats.views.to_string(),
+        ]);
+    }
+    print_table(
+        "Appendix C-3: search space vs #query columns",
+        &["Columns", "JoinableGroups", "JoinGraphs", "Views"],
+        &rows_d,
+    );
+    println!(
+        "\npaper shape checks: (a) lower threshold ⇒ more pairs & graphs; \
+         (b) non-monotone in #rows; (c) clusters selected shrinks as rows \
+         grow; (C-3) more columns ⇒ larger space."
+    );
+}

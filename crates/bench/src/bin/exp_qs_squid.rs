@@ -1,0 +1,32 @@
+//! §VI-D — qualitative study: why SQuID-style abduction does not scale to
+//! pathless collections. SQuID precomputes an abduction-ready database
+//! (αDB); the paper observes a 5.9M-row table yields an 8.1M-row αDB.
+//! We report the modelled αDB blow-up for each corpus next to the raw data.
+
+use ver_bench::{print_table, setup_chembl, setup_opendata, setup_wdc};
+use ver_select::baselines::squid_alpha_db_rows;
+
+fn main() {
+    let mut rows = Vec::new();
+    for setup in [setup_chembl(), setup_wdc(), setup_opendata(1.0)] {
+        let cat = setup.ver.catalog();
+        let raw = cat.total_rows();
+        let alpha = squid_alpha_db_rows(cat);
+        rows.push(vec![
+            setup.label.to_string(),
+            raw.to_string(),
+            alpha.to_string(),
+            format!("{:.2}x", alpha as f64 / raw.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "§VI-D: modelled SQuID αDB blow-up",
+        &["Dataset", "Raw rows", "αDB rows", "Blow-up"],
+        &rows,
+    );
+    println!(
+        "\npaper shape check: αDB ≥ raw data on every corpus (paper: \
+         5.9M → 8.1M on one ChEMBL table), making precomputation \
+         impractical without human-curated key/attribute pairs."
+    );
+}

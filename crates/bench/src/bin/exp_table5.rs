@@ -1,0 +1,71 @@
+//! Table V — Ground Truth Hit Ratio over the 150-query noisy workload,
+//! split by noise level, for SELECT-ALL (SA), SELECT-BEST (SB) and
+//! COLUMN-SELECTION (CS).
+//!
+//! Paper shape: all ≈ 1.0 at zero noise; SB collapses to ≈ 0 under
+//! medium/high noise; SA and CS stay ≈ 1.0.
+
+use ver_bench::{eval_search_config, print_table, run_strategy, EvalSetup, Strategy};
+use ver_common::fxhash::FxHashMap;
+use ver_datagen::workload::{find_ground_truth_view, generate_workload, materialize_ground_truth};
+use ver_qbe::noise::NoiseLevel;
+
+fn main() {
+    let search = eval_search_config();
+    // hits[(strategy, level)] = (hits, total)
+    let mut tally: FxHashMap<(&'static str, &'static str), (usize, usize)> =
+        FxHashMap::default();
+
+    for setup in [ver_bench::setup_chembl(), ver_bench::setup_wdc()] {
+        let EvalSetup { label, ver, gts } = &setup;
+        let workload = generate_workload(ver.catalog(), gts, 5, 3, 0x150)
+            .expect("workload generation");
+        eprintln!("[{label}] running {} workload queries…", workload.len());
+        for wq in &workload {
+            let gt_view = match materialize_ground_truth(ver.catalog(), ver.index(), &wq.gt, 2)
+            {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            for strat in Strategy::all() {
+                let out = run_strategy(ver, &wq.query, strat, &search);
+                let hit = find_ground_truth_view(&out.views, &gt_view).is_some();
+                let cell = tally.entry((strat.label(), wq.level.label())).or_insert((0, 0));
+                cell.0 += usize::from(hit);
+                cell.1 += 1;
+            }
+        }
+    }
+
+    let ratio = |s: &str, l: &str| {
+        let (h, t) = tally.get(&(s_label(s), l_label(l))).copied().unwrap_or((0, 0));
+        if t == 0 { "-".to_string() } else { format!("{:.2}", h as f64 / t as f64) }
+    };
+    fn s_label(s: &str) -> &'static str {
+        match s { "SA" => "SA", "SB" => "SB", _ => "CS" }
+    }
+    fn l_label(l: &str) -> &'static str {
+        match l { "Zero" => "Zero", "Med" => "Med", _ => "High" }
+    }
+
+    let rows: Vec<Vec<String>> = NoiseLevel::all()
+        .iter()
+        .map(|lvl| {
+            vec![
+                lvl.label().to_string(),
+                ratio("SA", lvl.label()),
+                ratio("SB", lvl.label()),
+                ratio("CS", lvl.label()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table V: Ground Truth Hit Ratio (150 noisy queries)",
+        &["Noise", "SA", "SB", "CS"],
+        &rows,
+    );
+    println!(
+        "\npaper shape check: row 'Zero' ≈ 1.0 everywhere; \
+         SB crumbles at Med/High (paper: 0.08 / 0.02) while SA and CS stay ≈ 1.0."
+    );
+}

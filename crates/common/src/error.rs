@@ -1,0 +1,83 @@
+//! Error type shared across the Ver workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, VerError>;
+
+/// Unified error for all Ver components.
+///
+/// The variants map to the stages of the reference architecture so callers
+/// can tell *where* in the funnel a failure happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerError {
+    /// A table / column / view id did not resolve in the catalog.
+    NotFound(String),
+    /// Malformed input data (CSV parse failure, ragged rows, ...).
+    InvalidData(String),
+    /// A query was malformed (zero columns, ragged example rows, ...).
+    InvalidQuery(String),
+    /// The discovery index is missing information required by a component.
+    IndexError(String),
+    /// A join could not be executed (incompatible key columns, ...).
+    JoinError(String),
+    /// Configuration error (bad threshold, zero interfaces, ...).
+    Config(String),
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io(String),
+    /// (De)serialisation failure for persisted indexes.
+    Serde(String),
+}
+
+impl fmt::Display for VerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerError::NotFound(m) => write!(f, "not found: {m}"),
+            VerError::InvalidData(m) => write!(f, "invalid data: {m}"),
+            VerError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            VerError::IndexError(m) => write!(f, "index error: {m}"),
+            VerError::JoinError(m) => write!(f, "join error: {m}"),
+            VerError::Config(m) => write!(f, "configuration error: {m}"),
+            VerError::Io(m) => write!(f, "io error: {m}"),
+            VerError::Serde(m) => write!(f, "serialisation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerError {}
+
+impl From<std::io::Error> for VerError {
+    fn from(e: std::io::Error) -> Self {
+        VerError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_message() {
+        let e = VerError::JoinError("no shared key".into());
+        assert_eq!(e.to_string(), "join error: no shared key");
+        let e = VerError::NotFound("table t7".into());
+        assert!(e.to_string().contains("table t7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: VerError = io.into();
+        assert!(matches!(e, VerError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            VerError::Config("x".into()),
+            VerError::Config("x".into())
+        );
+        assert_ne!(VerError::Config("x".into()), VerError::Io("x".into()));
+    }
+}

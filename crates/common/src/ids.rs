@@ -1,0 +1,118 @@
+//! Newtype identifiers for catalog objects.
+//!
+//! Using `u32` keeps hot structures (join-graph edges, hypergraph adjacency)
+//! small, per the type-size guidance in the Rust performance guide.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a table inside a [`TableCatalog`](https://docs.rs/ver-store).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column, unique across the whole catalog (not per-table).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ColumnId(pub u32);
+
+/// Identifier of a materialized candidate PJ-view.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ViewId(pub u32);
+
+/// A fully qualified column reference: which table, and which column ordinal
+/// inside that table. `ColumnId` is the global id; `ordinal` the position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Position of the column within the table schema.
+    pub ordinal: u16,
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.ordinal)
+    }
+}
+
+impl TableId {
+    /// Index form for `Vec`-backed lookup tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ColumnId {
+    /// Index form for `Vec`-backed lookup tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ViewId {
+    /// Index form for `Vec`-backed lookup tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TableId(3).to_string(), "T3");
+        assert_eq!(ColumnId(7).to_string(), "C7");
+        assert_eq!(ViewId(0).to_string(), "V0");
+        let r = ColumnRef { table: TableId(3), ordinal: 2 };
+        assert_eq!(r.to_string(), "T3.2");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(TableId(1) < TableId(2));
+        assert!(ColumnRef { table: TableId(1), ordinal: 9 }
+            < ColumnRef { table: TableId(2), ordinal: 0 });
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(TableId(42).idx(), 42);
+        assert_eq!(ColumnId(7).idx(), 7);
+        assert_eq!(ViewId(9).idx(), 9);
+    }
+
+    #[test]
+    fn compact_layout() {
+        // Keep hot edge structures small (perf-book: type sizes matter).
+        assert_eq!(std::mem::size_of::<ColumnRef>(), 8);
+        assert_eq!(std::mem::size_of::<TableId>(), 4);
+    }
+}

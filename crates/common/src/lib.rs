@@ -1,0 +1,31 @@
+//! Shared foundations for the Ver view-discovery system.
+//!
+//! This crate hosts the pieces every other Ver crate needs:
+//!
+//! * [`Value`][value::Value] — the dynamically typed cell value used by the
+//!   noisy table model (Definition 1 of the paper allows missing headers and
+//!   missing cell values, so `Value::Null` is a first-class citizen).
+//! * [`FxHashMap`][fxhash::FxHashMap] / [`FxHasher`][fxhash::FxHasher] — a
+//!   fast, DoS-insensitive hash used on hot paths (row hashing, MinHash,
+//!   inverted indexes). Re-implemented locally to keep the dependency
+//!   footprint at the approved set.
+//! * [`text`] — Levenshtein distance (fuzzy keyword search), tokenisation and
+//!   n-gram similarity (question prioritisation distances).
+//! * [`ids`] — newtype identifiers for tables, columns and views.
+//! * [`stats`] — tiny summary-statistics helpers used by the experiment
+//!   harness (median / percentiles for boxplot-style reporting).
+//! * [`timer`] — phase timers used to reproduce the paper's runtime
+//!   breakdowns (Fig. 3 and Fig. 4).
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod stats;
+pub mod text;
+pub mod timer;
+pub mod value;
+
+pub use error::{Result, VerError};
+pub use fxhash::{fx_hash_bytes, fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{ColumnId, ColumnRef, TableId, ViewId};
+pub use value::{DataType, Value};

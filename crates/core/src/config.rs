@@ -1,0 +1,94 @@
+//! End-to-end configuration: one knob bundle per pipeline stage.
+
+use ver_distill::DistillConfig;
+use ver_index::IndexConfig;
+use ver_present::PresentationConfig;
+use ver_search::SearchConfig;
+use ver_select::SelectionConfig;
+
+/// Automatic vs interactive operation (Algorithm 1's MODE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Return a ranked list (Algorithm 1 line 13: rank by overlap score).
+    Automatic,
+    /// Engage VIEW-PRESENTATION's question loop (lines 10-11).
+    Interactive,
+}
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone)]
+pub struct VerConfig {
+    /// Offline index construction.
+    pub index: IndexConfig,
+    /// COLUMN-SELECTION (θ, fuzziness, clustering threshold).
+    pub selection: SelectionConfig,
+    /// JOIN-GRAPH-SEARCH (ρ, k, combination cap).
+    pub search: SearchConfig,
+    /// VIEW-DISTILLATION (key discovery).
+    pub distill: DistillConfig,
+    /// VIEW-PRESENTATION (bandit, iteration budget).
+    pub presentation: PresentationConfig,
+    /// Operation mode.
+    pub mode: Mode,
+    /// Round-trip materialized views through CSV files in a temp directory
+    /// before distillation, reproducing the paper's "time to read views
+    /// from disk" (the VD-IO bar of Fig. 3/4). Off by default.
+    pub simulate_view_io: bool,
+}
+
+impl Default for VerConfig {
+    fn default() -> Self {
+        VerConfig {
+            index: IndexConfig::default(),
+            selection: SelectionConfig::default(),
+            search: SearchConfig::default(),
+            distill: DistillConfig::default(),
+            presentation: PresentationConfig::default(),
+            mode: Mode::Automatic,
+            simulate_view_io: false,
+        }
+    }
+}
+
+impl VerConfig {
+    /// Configuration tuned for small corpora and unit tests: exact
+    /// containment verification (no estimation error), single-threaded
+    /// index build.
+    pub fn fast() -> Self {
+        VerConfig {
+            index: IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..IndexConfig::default()
+            },
+            ..VerConfig::default()
+        }
+    }
+
+    /// Paper-default evaluation settings: θ = 1, ρ = 2, k = ∞ (materialise
+    /// every join graph), clustering threshold = containment threshold.
+    pub fn paper() -> Self {
+        VerConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_vi() {
+        let c = VerConfig::paper();
+        assert_eq!(c.search.rho, 2, "ρ = 2");
+        assert_eq!(c.selection.theta, 1, "θ = 1");
+        assert_eq!(c.search.k, usize::MAX, "materialise all join graphs");
+        assert!((c.index.containment_threshold - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_config_verifies_exactly() {
+        let c = VerConfig::fast();
+        assert!(c.index.verify_exact);
+        assert_eq!(c.index.threads, 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! The Ver pipeline (Algorithm 1) with per-stage timing.
+//!
+//! Stage labels match Fig. 4(b): `cs` (COLUMN-SELECTION), `jgs`
+//! (JOIN-GRAPH-SEARCH), `materialize` (MATERIALIZER), `vd_io` (reading
+//! views into the distiller) and `4c` (4C categorisation).
+
+use crate::config::{Mode, VerConfig};
+use crate::spec_select::select_for_spec;
+use ver_common::error::{Result, VerError};
+use ver_common::ids::ViewId;
+use ver_common::timer::PhaseTimer;
+use ver_distill::{distill, DistillOutput};
+use ver_engine::view::View;
+use ver_index::{build_index, DiscoveryIndex};
+use ver_present::{
+    fasttopk_rank, PresentationSession, SessionOutcome, SimulatedUser,
+};
+use ver_qbe::{ExampleQuery, ViewSpec};
+use ver_search::join_graph_search;
+use ver_select::SelectionResult;
+use ver_store::catalog::TableCatalog;
+
+/// The assembled system: a catalog plus its discovery index.
+pub struct Ver {
+    catalog: TableCatalog,
+    index: DiscoveryIndex,
+    config: VerConfig,
+}
+
+/// Everything a query run produces.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Materialised candidate PJ-views (pre-distillation), id order.
+    pub views: Vec<View>,
+    /// Column-selection details (Fig. 8c statistics).
+    pub selection: SelectionResult,
+    /// Search statistics (joinable groups / join graphs / views).
+    pub search_stats: ver_search::SearchStats,
+    /// Full distillation output (4C graph, survivors, contradictions).
+    pub distill: DistillOutput,
+    /// Overlap-ranked distilled views (Algorithm 1 line 13) — only the
+    /// C2 survivors are ranked.
+    pub ranked: Vec<(ViewId, usize)>,
+    /// Per-stage wall times (`cs`, `jgs`, `materialize`, `vd_io`, `4c`).
+    pub timer: PhaseTimer,
+}
+
+impl QueryResult {
+    /// Views surviving distillation, in ranked order.
+    pub fn distilled_views(&self) -> Vec<&View> {
+        self.ranked
+            .iter()
+            .filter_map(|&(id, _)| self.views.iter().find(|v| v.id == id))
+            .collect()
+    }
+}
+
+impl Ver {
+    /// Offline stage: profile the catalog and build the discovery index.
+    pub fn build(catalog: TableCatalog, config: VerConfig) -> Result<Ver> {
+        let index = build_index(&catalog, config.index.clone())?;
+        Ok(Ver { catalog, index, config })
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &TableCatalog {
+        &self.catalog
+    }
+
+    /// The discovery index.
+    pub fn index(&self) -> &DiscoveryIndex {
+        &self.index
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VerConfig {
+        &self.config
+    }
+
+    /// Run the automatic pipeline (Algorithm 1 lines 1-9 and 13) for any
+    /// view specification.
+    pub fn run(&self, spec: &ViewSpec) -> Result<QueryResult> {
+        let mut timer = PhaseTimer::new();
+
+        // COLUMN-SELECTION (lines 3-7).
+        let selection =
+            timer.time("cs", || select_for_spec(&self.index, spec, &self.config.selection));
+
+        // JOIN-GRAPH-SEARCH + MATERIALIZER (line 8).
+        let search_out =
+            join_graph_search(&self.catalog, &self.index, &selection, &self.config.search)?;
+        timer.add("jgs", search_out.timer.get("jgs"));
+        timer.add("materialize", search_out.timer.get("materialize"));
+        let mut views = search_out.views;
+
+        // VD-IO: optionally round-trip the views through CSV on disk, the
+        // cost the paper identifies as the distillation bottleneck.
+        if self.config.simulate_view_io {
+            views = timer.time("vd_io", || roundtrip_views(&views))?;
+        } else {
+            timer.add("vd_io", std::time::Duration::ZERO);
+        }
+
+        // VIEW-DISTILLATION (line 9).
+        let distill_out = distill(&views, &self.config.distill);
+        timer.add("4c", distill_out.timer.total());
+
+        // Automatic mode ranking (line 13): overlap score over survivors.
+        let ranked = rank_survivors(&views, &distill_out, spec);
+
+        Ok(QueryResult {
+            views,
+            selection,
+            search_stats: search_out.stats,
+            distill: distill_out,
+            ranked,
+            timer,
+        })
+    }
+
+    /// Run interactively (Algorithm 1 lines 10-11): execute the pipeline,
+    /// then drive VIEW-PRESENTATION's question loop with `user`.
+    pub fn run_interactive(
+        &self,
+        spec: &ViewSpec,
+        user: &mut dyn SimulatedUser,
+    ) -> Result<(QueryResult, SessionOutcome)> {
+        let result = self.run(spec)?;
+        let query = query_of(spec);
+        let mut session = PresentationSession::new(
+            &result.views,
+            &result.distill,
+            &query,
+            self.config.presentation.clone(),
+        );
+        let outcome = session.run(user);
+        Ok((result, outcome))
+    }
+
+    /// Operation mode configured for this instance.
+    pub fn mode(&self) -> Mode {
+        self.config.mode
+    }
+}
+
+/// Round-trip views through CSV files in a temp dir (VD-IO simulation).
+fn roundtrip_views(views: &[View]) -> Result<Vec<View>> {
+    let dir = std::env::temp_dir().join(format!("ver_views_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let mut out = Vec::with_capacity(views.len());
+    for v in views {
+        let path = dir.join(format!("view_{}.csv", v.id.0));
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        ver_store::csv::write_csv(&v.table, &mut file)?;
+        drop(file);
+        let file = std::fs::File::open(&path)?;
+        let mut table = ver_store::csv::read_csv(v.table.name(), file, true)?;
+        table.infer_types();
+        out.push(View::new(v.id, table, v.provenance.clone()));
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir(&dir).ok();
+    Ok(out)
+}
+
+/// Overlap-ranked survivors (only meaningful for QBE specs; keyword and
+/// attribute specs rank by join score).
+fn rank_survivors(
+    views: &[View],
+    distill_out: &DistillOutput,
+    spec: &ViewSpec,
+) -> Vec<(ViewId, usize)> {
+    let survivors: Vec<&View> = views
+        .iter()
+        .filter(|v| distill_out.survivors_c2.contains(&v.id))
+        .collect();
+    match spec {
+        ViewSpec::Qbe(query) => {
+            let owned: Vec<View> = survivors.iter().map(|v| (*v).clone()).collect();
+            fasttopk_rank(&owned, query)
+        }
+        _ => {
+            let mut ranked: Vec<(ViewId, usize)> = survivors
+                .iter()
+                .map(|v| (v.id, (v.provenance.join_score * 1000.0) as usize))
+                .collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            ranked
+        }
+    }
+}
+
+/// The example query driving presentation distances; non-QBE specs get a
+/// synthetic one from their terms.
+fn query_of(spec: &ViewSpec) -> ExampleQuery {
+    match spec {
+        ViewSpec::Qbe(q) => q.clone(),
+        ViewSpec::Keyword(terms) | ViewSpec::Attribute(terms) => {
+            let rows: Vec<Vec<&str>> = vec![terms.iter().map(String::as_str).collect()];
+            ExampleQuery::from_rows(&rows).unwrap_or_else(|_| {
+                ExampleQuery::from_rows(&[vec!["query"]]).expect("static query is valid")
+            })
+        }
+    }
+}
+
+/// Convenience: assert the pipeline found a non-empty result (used by
+/// examples; returns a descriptive error instead of panicking).
+pub fn expect_views(result: &QueryResult) -> Result<()> {
+    if result.views.is_empty() {
+        return Err(VerError::NotFound(
+            "no candidate views were materialised for this query".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_store::table::TableBuilder;
+
+    /// airports ⋈ states ⋈ regions plus a conflicting states table.
+    fn catalog() -> TableCatalog {
+        let mut cat = TableCatalog::new();
+        let states: Vec<String> = (0..40).map(|i| format!("st{i}")).collect();
+
+        let mut b = TableBuilder::new("airports", &["iata", "state"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(format!("AP{i}")), Value::text(s.clone())]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+
+        let mut b = TableBuilder::new("state_pop", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+
+        let mut b = TableBuilder::new("state_pop_old", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(900 + i as i64)]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        cat
+    }
+
+    fn qbe(rows: &[Vec<&str>]) -> ViewSpec {
+        ViewSpec::Qbe(ExampleQuery::from_rows(rows).unwrap())
+    }
+
+    #[test]
+    fn end_to_end_automatic_run() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let result = ver.run(&spec).unwrap();
+        assert!(result.search_stats.views >= 1);
+        assert!(!result.ranked.is_empty());
+        // Phase timer covers the Fig. 4b stages.
+        for phase in ["cs", "jgs", "materialize", "vd_io", "4c"] {
+            assert!(
+                result.timer.phases().any(|(p, _)| p == phase),
+                "missing phase {phase}"
+            );
+        }
+    }
+
+    #[test]
+    fn distillation_prunes_duplicate_pop_views() {
+        // Two pop tables produce contradictory (not duplicate) views; both
+        // survive distillation but are mutually contradictory.
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let result = ver.run(&spec).unwrap();
+        assert!(result.distill.survivors_c2.len() <= result.views.len());
+    }
+
+    #[test]
+    fn interactive_run_reaches_target() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let result = ver.run(&spec).unwrap();
+        // Oracle targets the top-ranked view.
+        let target = result.ranked[0].0;
+        let mut user = ver_present::OracleUser::new(target);
+        let (_, outcome) = ver.run_interactive(&spec, &mut user).unwrap();
+        assert_eq!(outcome.found_view(), Some(target));
+    }
+
+    #[test]
+    fn keyword_and_attribute_specs_run() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let kw = ver.run(&ViewSpec::Keyword(vec!["st5".into()])).unwrap();
+        assert!(kw.search_stats.views >= 1);
+        let attr = ver.run(&ViewSpec::Attribute(vec!["pop".into()])).unwrap();
+        assert!(attr.search_stats.views >= 1);
+    }
+
+    #[test]
+    fn view_io_roundtrip_preserves_row_sets() {
+        let mut config = VerConfig::fast();
+        config.simulate_view_io = true;
+        let ver = Ver::build(catalog(), config).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let with_io = ver.run(&spec).unwrap();
+
+        let ver2 = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let without_io = ver2.run(&spec).unwrap();
+        assert_eq!(with_io.views.len(), without_io.views.len());
+        for (a, b) in with_io.views.iter().zip(&without_io.views) {
+            assert_eq!(a.hash_set(), b.hash_set(), "IO roundtrip changed rows");
+        }
+    }
+
+    #[test]
+    fn empty_query_result_is_graceful() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["does-not-exist"]]);
+        let result = ver.run(&spec).unwrap();
+        assert_eq!(result.views.len(), 0);
+        assert!(expect_views(&result).is_err());
+    }
+
+    #[test]
+    fn distilled_views_follow_ranking() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let result = ver.run(&spec).unwrap();
+        let distilled = result.distilled_views();
+        assert_eq!(distilled.len(), result.ranked.len());
+        if distilled.len() >= 2 {
+            assert_eq!(distilled[0].id, result.ranked[0].0);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Candidate-column retrieval for each VIEW-SPECIFICATION interface.
+//!
+//! QBE specs run the full COLUMN-SELECTION (Algorithm 4). Keyword and
+//! attribute specs retrieve one candidate set per term directly from the
+//! keyword index (the paper's §VI-C1 alternative implementations), which is
+//! why those interfaces "contain a large number of columns as compared to
+//! QBE" — no overlap scoring narrows them.
+
+use ver_common::ids::ColumnId;
+use ver_index::{DiscoveryIndex, SearchTarget};
+use ver_qbe::ViewSpec;
+use ver_select::{
+    column_selection, AttributeCandidates, CandidateColumn, SelectionConfig, SelectionResult,
+};
+
+/// Retrieve per-attribute candidate columns for any specification.
+pub fn select_for_spec(
+    index: &DiscoveryIndex,
+    spec: &ViewSpec,
+    config: &SelectionConfig,
+) -> SelectionResult {
+    match spec {
+        ViewSpec::Qbe(query) => column_selection(index, query, config),
+        ViewSpec::Keyword(terms) => {
+            terms_selection(index, terms, SearchTarget::Values, config)
+        }
+        ViewSpec::Attribute(terms) => {
+            terms_selection(index, terms, SearchTarget::Attributes, config)
+        }
+    }
+}
+
+fn terms_selection(
+    index: &DiscoveryIndex,
+    terms: &[String],
+    target: SearchTarget,
+    config: &SelectionConfig,
+) -> SelectionResult {
+    let per_attribute = terms
+        .iter()
+        .map(|term| {
+            let hits: Vec<ColumnId> = index.search_keyword(term, target, config.fuzzy);
+            let candidates: Vec<CandidateColumn> = hits
+                .iter()
+                .map(|&id| CandidateColumn { id, overlap: 1 })
+                .collect();
+            let n = candidates.len();
+            AttributeCandidates {
+                candidates,
+                total_columns: n,
+                num_clusters: n,
+                clusters_selected: n,
+            }
+        })
+        .collect();
+    SelectionResult { per_attribute }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_index::{build_index, IndexConfig};
+    use ver_qbe::ExampleQuery;
+    use ver_store::catalog::TableCatalog;
+    use ver_store::table::TableBuilder;
+
+    fn index() -> DiscoveryIndex {
+        let mut cat = TableCatalog::new();
+        let mut b = TableBuilder::new("states", &["state", "population"]);
+        for i in 0..30 {
+            b.push_row(vec![
+                Value::text(format!("state{i}")),
+                Value::Int(1000 + i),
+            ])
+            .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        build_index(
+            &cat,
+            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn qbe_goes_through_column_selection() {
+        let idx = index();
+        let spec = ViewSpec::Qbe(ExampleQuery::from_rows(&[vec!["state1"]]).unwrap());
+        let res = select_for_spec(&idx, &spec, &SelectionConfig::default());
+        assert_eq!(res.per_attribute.len(), 1);
+        assert_eq!(res.per_attribute[0].candidates.len(), 1);
+    }
+
+    #[test]
+    fn keyword_spec_matches_values() {
+        let idx = index();
+        let spec = ViewSpec::Keyword(vec!["state7".into()]);
+        let res = select_for_spec(&idx, &spec, &SelectionConfig::default());
+        assert_eq!(res.per_attribute[0].candidates.len(), 1);
+        assert_eq!(res.per_attribute[0].candidates[0].id, ColumnId(0));
+    }
+
+    #[test]
+    fn attribute_spec_matches_headers_not_values() {
+        let idx = index();
+        let spec = ViewSpec::Attribute(vec!["population".into()]);
+        let res = select_for_spec(&idx, &spec, &SelectionConfig::default());
+        assert_eq!(res.per_attribute[0].candidates[0].id, ColumnId(1));
+        // A value string finds nothing via the attribute interface.
+        let spec = ViewSpec::Attribute(vec!["state7".into()]);
+        let res = select_for_spec(&idx, &spec, &SelectionConfig::default());
+        assert!(res.per_attribute[0].candidates.is_empty());
+    }
+}

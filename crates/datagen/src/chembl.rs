@@ -1,0 +1,293 @@
+//! ChEMBL-like corpus: few tables, relational shape, FK-like join columns.
+//!
+//! Reproduces the structural causes behind the paper's ChEMBL insights:
+//!
+//! * **Compatible views** (Q3 insight): `assays` carries *both*
+//!   `cell_name` and `cell_description`, which map one-to-one in
+//!   `cell_dictionary`; join graphs through either key materialise
+//!   identical views.
+//! * **Contradictions from wrong join paths** (Q4 insight):
+//!   `component_sequences.description` draws from the same value pool as
+//!   `target_dictionary.pref_name` (containment ≥ 0.8), creating a spurious
+//!   inclusion dependency next to the legitimate
+//!   `target_components` bridge; the two paths disagree on
+//!   `(organism, pref_name)`.
+//! * **Noise columns** for the §VI-B noisy-query generator:
+//!   `compound_synonyms.synonym` and `cell_aliases.alias_name` have ≥ 0.8
+//!   containment w.r.t. their ground-truth columns plus genuinely novel
+//!   values.
+//!
+//! Satellite tables pad the corpus to the paper's 70 tables while adding
+//! realistic-but-benign join edges.
+
+use crate::vocab::{synth_words, ORGANISMS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ver_common::error::Result;
+use ver_common::value::Value;
+use ver_store::catalog::TableCatalog;
+use ver_store::table::TableBuilder;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct ChemblConfig {
+    /// Base entity row count (compounds; other tables scale off it).
+    pub n_compounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Total tables to emit (core + satellites), paper: 70.
+    pub n_tables: usize,
+}
+
+impl Default for ChemblConfig {
+    fn default() -> Self {
+        ChemblConfig { n_compounds: 300, seed: 0xC4EB, n_tables: 70 }
+    }
+}
+
+/// Generate the ChEMBL-like catalog.
+pub fn generate_chembl(config: &ChemblConfig) -> Result<TableCatalog> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cat = TableCatalog::new();
+
+    let n_comp = config.n_compounds.max(50);
+    let n_assay = n_comp;
+    let n_cell = n_comp / 3;
+    let n_target = n_comp / 2;
+    let n_activities = n_comp * 2;
+
+    let compound_names = synth_words("cmp", n_comp);
+    let cell_names = synth_words("cell", n_cell);
+    let cell_descriptions: Vec<String> =
+        cell_names.iter().map(|n| format!("line {n}")).collect();
+    // Shared pool: target names and component descriptions overlap heavily
+    // (the wrong-join-path cause).
+    let target_pool = synth_words("tgt", n_target + n_target / 4);
+
+    // ── compounds ────────────────────────────────────────────────────────
+    let mut b = TableBuilder::new("compounds", &["molregno", "compound_name", "mw"]);
+    for i in 0..n_comp {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::text(compound_names[i].clone()),
+            Value::Int(150 + rng.gen_range(0..500)),
+        ])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── compound_properties (molregno FK, full coverage) ────────────────
+    let mut b = TableBuilder::new("compound_properties", &["molregno", "alogp", "psa"]);
+    for i in 0..n_comp {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(rng.gen_range(-3..8)),
+            Value::Int(rng.gen_range(10..140)),
+        ])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── compound_synonyms: the noise column for compound_name ───────────
+    // 80% existing names + 20% novel synonyms → containment 0.8.
+    let mut b = TableBuilder::new("compound_synonyms", &["synonym", "syn_type"]);
+    let n_syn = n_comp;
+    for i in 0..n_syn {
+        let name = if i < n_syn * 4 / 5 {
+            compound_names[i].clone()
+        } else {
+            format!("{}-alt", compound_names[i % n_comp])
+        };
+        b.push_row(vec![Value::text(name), Value::text(if i % 2 == 0 { "trade" } else { "inn" })])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── cell_dictionary: 1:1 cell_name ↔ cell_description ────────────────
+    let mut b = TableBuilder::new("cell_dictionary", &["cell_id", "cell_name", "cell_description"]);
+    for i in 0..n_cell {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::text(cell_names[i].clone()),
+            Value::text(cell_descriptions[i].clone()),
+        ])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── cell_aliases: noise column for cell_name ─────────────────────────
+    let mut b = TableBuilder::new("cell_aliases", &["alias_name", "source"]);
+    for i in 0..n_cell {
+        let name = if i < n_cell * 4 / 5 {
+            cell_names[i].clone()
+        } else {
+            format!("{}-v2", cell_names[i % n_cell])
+        };
+        b.push_row(vec![Value::text(name), Value::text("atlas")])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── assays: carries BOTH cell_name and cell_description ─────────────
+    let mut b = TableBuilder::new(
+        "assays",
+        &["assay_id", "cell_name", "cell_description", "assay_type"],
+    );
+    for i in 0..n_assay {
+        let cell = rng.gen_range(0..n_cell);
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::text(cell_names[cell].clone()),
+            Value::text(cell_descriptions[cell].clone()),
+            Value::text(["B", "F", "A"][i % 3]),
+        ])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── target_dictionary ────────────────────────────────────────────────
+    let mut b = TableBuilder::new("target_dictionary", &["tid", "pref_name", "organism"]);
+    for i in 0..n_target {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::text(target_pool[i].clone()),
+            Value::text(ORGANISMS[i % ORGANISMS.len()]),
+        ])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── component_sequences: description overlaps pref_name pool ────────
+    // organism assignment deliberately *disagrees* with target_dictionary
+    // so the wrong join path contradicts the right one.
+    let mut b = TableBuilder::new(
+        "component_sequences",
+        &["component_id", "description", "organism"],
+    );
+    for i in 0..n_target {
+        let desc_idx = if i < n_target * 9 / 10 { i } else { n_target + (i % (n_target / 4)) };
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::text(target_pool[desc_idx].clone()),
+            Value::text(ORGANISMS[(i + 7) % ORGANISMS.len()]),
+        ])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── target_components bridge ─────────────────────────────────────────
+    let mut b = TableBuilder::new("target_components", &["tid", "component_id"]);
+    for i in 0..n_target {
+        b.push_row(vec![Value::Int(i as i64), Value::Int(i as i64)])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── activities ───────────────────────────────────────────────────────
+    let mut b = TableBuilder::new(
+        "activities",
+        &["activity_id", "molregno", "assay_id", "standard_value"],
+    );
+    for i in 0..n_activities {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(rng.gen_range(0..n_comp) as i64),
+            Value::Int(rng.gen_range(0..n_assay) as i64),
+            Value::Int(rng.gen_range(1..10_000)),
+        ])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── satellites to reach n_tables ─────────────────────────────────────
+    // Each satellite references one entity key with fresh payload columns;
+    // payload values are namespaced per table so satellites do not create
+    // new text join edges among themselves.
+    let entity_specs: [(&str, usize); 5] = [
+        ("molregno", n_comp),
+        ("assay_id", n_assay),
+        ("tid", n_target),
+        ("component_id", n_target),
+        ("cell_id", n_cell),
+    ];
+    let core = cat.table_count();
+    let mut sat = 0usize;
+    while cat.table_count() < config.n_tables.max(core) {
+        let (key_name, key_span) = entity_specs[sat % entity_specs.len()];
+        let name = format!("satellite_{sat}_{key_name}");
+        let payload = format!("attr_{sat}");
+        let mut b = TableBuilder::new(name.as_str(), &[key_name, &payload, "recorded"]);
+        let rows = key_span / 2 + rng.gen_range(0..key_span / 2).max(1);
+        for r in 0..rows {
+            b.push_row(vec![
+                Value::Int(rng.gen_range(0..key_span) as i64),
+                Value::text(format!("{name}_v{r}")),
+                // Namespaced numeric payload: satellites join the spine via
+                // their key column only (keeps joinable-pair counts in the
+                // paper's few-hundred range for ~70 tables).
+                Value::Int((sat as i64) * 1_000_000 + rng.gen_range(0..10_000)),
+            ])?;
+        }
+        cat.add_table(b.build())?;
+        sat += 1;
+    }
+
+    Ok(cat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_requested_table_count() {
+        let cat = generate_chembl(&ChemblConfig::default()).unwrap();
+        assert_eq!(cat.table_count(), 70);
+        assert!(cat.total_rows() > 1_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ChemblConfig { n_compounds: 60, n_tables: 12, seed: 9 };
+        let a = generate_chembl(&cfg).unwrap();
+        let b = generate_chembl(&cfg).unwrap();
+        assert_eq!(a.total_rows(), b.total_rows());
+        let ta = a.table_by_name("assays").unwrap();
+        let tb = b.table_by_name("assays").unwrap();
+        assert_eq!(ta.cell(5, 1), tb.cell(5, 1));
+    }
+
+    #[test]
+    fn cell_name_description_is_one_to_one() {
+        let cat = generate_chembl(&ChemblConfig::default()).unwrap();
+        let cd = cat.table_by_name("cell_dictionary").unwrap();
+        let names = cd.column(1).unwrap();
+        let descs = cd.column(2).unwrap();
+        assert_eq!(names.distinct_count(), descs.distinct_count());
+        assert_eq!(names.distinct_count(), cd.row_count());
+    }
+
+    #[test]
+    fn synonym_noise_column_has_high_containment_and_novel_values() {
+        let cat = generate_chembl(&ChemblConfig::default()).unwrap();
+        let compounds = cat.table_by_name("compounds").unwrap();
+        let syn = cat.table_by_name("compound_synonyms").unwrap();
+        let c = ver_index::minhash::exact_containment(
+            syn.column(0).unwrap(),
+            compounds.column(1).unwrap(),
+        );
+        assert!(c >= 0.75 && c < 1.0, "containment {c} should be ≈ 0.8");
+    }
+
+    #[test]
+    fn component_description_overlaps_target_names() {
+        let cat = generate_chembl(&ChemblConfig::default()).unwrap();
+        let td = cat.table_by_name("target_dictionary").unwrap();
+        let cs = cat.table_by_name("component_sequences").unwrap();
+        let c = ver_index::minhash::exact_containment(
+            cs.column(1).unwrap(),
+            td.column(1).unwrap(),
+        );
+        assert!(c >= 0.8, "wrong-join-path containment {c} must pass threshold");
+        // And the organisms disagree on shared names (contradiction fuel).
+        assert_ne!(td.cell(0, 2), cs.cell(0, 2));
+    }
+
+    #[test]
+    fn assays_carry_both_cell_keys() {
+        let cat = generate_chembl(&ChemblConfig::default()).unwrap();
+        let assays = cat.table_by_name("assays").unwrap();
+        assert_eq!(assays.schema.ordinal_of("cell_name"), Some(1));
+        assert_eq!(assays.schema.ordinal_of("cell_description"), Some(2));
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic vocabularies for the synthetic corpora.
+//!
+//! Real-world-flavoured word pools (US states, cities, countries) plus
+//! synthesised pools (IATA codes, organisms, compound names) so generated
+//! tables read like the paper's examples ("Find views containing IATA code
+//! of airports in any of these states…").
+
+/// The 50 US states.
+pub const STATES: [&str; 50] = [
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming",
+];
+
+/// 60 city names.
+pub const CITIES: [&str; 60] = [
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+    "Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
+    "Austin", "Jacksonville", "Fort Worth", "Columbus", "Charlotte",
+    "San Francisco", "Indianapolis", "Seattle", "Denver", "Boston",
+    "El Paso", "Nashville", "Detroit", "Oklahoma City", "Portland",
+    "Las Vegas", "Memphis", "Louisville", "Baltimore", "Milwaukee",
+    "Albuquerque", "Tucson", "Fresno", "Sacramento", "Kansas City",
+    "Mesa", "Atlanta", "Omaha", "Colorado Springs", "Raleigh",
+    "Miami", "Virginia Beach", "Oakland", "Minneapolis", "Tulsa",
+    "Arlington", "Tampa", "New Orleans", "Wichita", "Cleveland",
+    "Bakersfield", "Aurora", "Anaheim", "Honolulu", "Santa Ana",
+    "Riverside", "Corpus Christi", "Lexington", "Indiana", "Virginia",
+];
+
+/// 60 country names.
+pub const COUNTRIES: [&str; 60] = [
+    "China", "India", "United States", "Indonesia", "Pakistan", "Brazil",
+    "Nigeria", "Bangladesh", "Russia", "Mexico", "Japan", "Ethiopia",
+    "Philippines", "Egypt", "Vietnam", "Congo", "Turkey", "Iran",
+    "Germany", "Thailand", "France", "United Kingdom", "Italy",
+    "South Africa", "Tanzania", "Myanmar", "Kenya", "South Korea",
+    "Colombia", "Spain", "Uganda", "Argentina", "Algeria", "Sudan",
+    "Ukraine", "Iraq", "Afghanistan", "Poland", "Canada", "Morocco",
+    "Saudi Arabia", "Uzbekistan", "Peru", "Angola", "Malaysia",
+    "Mozambique", "Ghana", "Yemen", "Nepal", "Venezuela", "Madagascar",
+    "Cameroon", "Ivory Coast", "North Korea", "Australia", "Niger",
+    "Taiwan", "Sri Lanka", "Georgia", "Mali",
+];
+
+/// Organism names for the ChEMBL-like corpus.
+pub const ORGANISMS: [&str; 20] = [
+    "Homo sapiens", "Mus musculus", "Rattus norvegicus", "Bos taurus",
+    "Canis familiaris", "Gallus gallus", "Danio rerio", "Sus scrofa",
+    "Macaca mulatta", "Oryctolagus cuniculus", "Cavia porcellus",
+    "Escherichia coli", "Saccharomyces cerevisiae", "Plasmodium falciparum",
+    "Mycobacterium tuberculosis", "Trypanosoma brucei", "Candida albicans",
+    "Staphylococcus aureus", "Drosophila melanogaster", "Xenopus laevis",
+];
+
+/// Deterministically synthesise a pool of `n` pseudo-words from syllables
+/// (used for compound names, church names, etc.). Stable across runs.
+pub fn synth_words(prefix: &str, n: usize) -> Vec<String> {
+    const SYLLABLES: [&str; 16] = [
+        "ba", "cor", "dex", "fen", "gly", "hex", "lin", "mab", "nol", "pra",
+        "quin", "rol", "sta", "tix", "vor", "zan",
+    ];
+    (0..n)
+        .map(|i| {
+            let a = SYLLABLES[i % 16];
+            let b = SYLLABLES[(i / 16) % 16];
+            let c = SYLLABLES[(i / 256) % 16];
+            format!("{prefix}{a}{b}{c}{}", i / 4096)
+        })
+        .collect()
+}
+
+/// Synthesised 3-letter IATA-like codes, unique for `n ≤ 17576`.
+pub fn iata_codes(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let a = (b'A' + (i / 676) as u8 % 26) as char;
+            let b = (b'A' + (i / 26) as u8 % 26) as char;
+            let c = (b'A' + (i % 26) as u8) as char;
+            format!("{a}{b}{c}")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn static_pools_have_no_duplicates() {
+        assert_eq!(STATES.iter().collect::<HashSet<_>>().len(), 50);
+        assert_eq!(CITIES.iter().collect::<HashSet<_>>().len(), 60);
+        assert_eq!(COUNTRIES.iter().collect::<HashSet<_>>().len(), 60);
+        assert_eq!(ORGANISMS.iter().collect::<HashSet<_>>().len(), 20);
+    }
+
+    #[test]
+    fn synth_words_are_unique_and_stable() {
+        let a = synth_words("cmp_", 5000);
+        let b = synth_words("cmp_", 5000);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().collect::<HashSet<_>>().len(), 5000);
+        assert!(a[0].starts_with("cmp_"));
+    }
+
+    #[test]
+    fn iata_codes_unique_up_to_limit() {
+        let codes = iata_codes(2000);
+        assert_eq!(codes.iter().collect::<HashSet<_>>().len(), 2000);
+        assert!(codes.iter().all(|c| c.len() == 3));
+    }
+}

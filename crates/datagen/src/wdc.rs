@@ -1,0 +1,276 @@
+//! WDC-like corpus: thousands of tiny web tables over shared vocabularies.
+//!
+//! Structural properties preserved from the paper's WDC sample:
+//!
+//! * tables are tiny (≈ 4 columns × ≈ 14 rows on average in the real WDC);
+//! * enormous joinable-pair count relative to table count (everything draws
+//!   from the same state/city/country pools);
+//! * **complementary unions** (Q2 insight): one shared `newspapers` table
+//!   `(newspaper_title, state)` joins many `state_subset_*` tables with
+//!   *different coverage* of states, so candidate `(state, newspaper_title)`
+//!   views are pairwise complementary under the `state` key;
+//! * **discriminative contradictions** (Q3 insight / Fig. 2): population
+//!   tables come from two "camps" of sources that agree within a camp and
+//!   disagree across camps for the same countries, so one contradiction
+//!   signal covers many views at once.
+
+use crate::vocab::{iata_codes, synth_words, CITIES, COUNTRIES, STATES};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ver_common::error::Result;
+use ver_common::value::Value;
+use ver_store::catalog::TableCatalog;
+use ver_store::table::TableBuilder;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WdcConfig {
+    /// Total tables (the real sample has 10 000; tests use fewer).
+    pub n_tables: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of state-subset coverage tables (complementary fuel).
+    pub n_state_subsets: usize,
+    /// Number of population sources per camp (contradiction fuel).
+    pub n_population_sources: usize,
+}
+
+impl Default for WdcConfig {
+    fn default() -> Self {
+        WdcConfig {
+            n_tables: 800,
+            seed: 0x3DC,
+            n_state_subsets: 8,
+            n_population_sources: 4,
+        }
+    }
+}
+
+/// Generate the WDC-like catalog.
+pub fn generate_wdc(config: &WdcConfig) -> Result<TableCatalog> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cat = TableCatalog::new();
+
+    let codes = iata_codes(STATES.len() * 3);
+    let churches = synth_words("st_", 120);
+    let papers = synth_words("gazette_", 80);
+
+    // ── airports: (state, iata, city) — user-study Q1 ground truth ──────
+    let mut b = TableBuilder::new("airports", &["state", "iata", "city"]);
+    for (i, s) in STATES.iter().enumerate() {
+        for j in 0..3 {
+            b.push_row(vec![
+                Value::text(*s),
+                Value::text(codes[i * 3 + j].clone()),
+                Value::text(CITIES[(i * 3 + j) % CITIES.len()]),
+            ])?;
+        }
+    }
+    cat.add_table(b.build())?;
+
+    // ── churches: (state, church_name) — Q2-study ground truth ──────────
+    let mut b = TableBuilder::new("churches", &["state", "church_name"]);
+    for (i, c) in churches.iter().enumerate() {
+        b.push_row(vec![Value::text(STATES[i % STATES.len()]), Value::text(c.clone())])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── newspapers: (newspaper_title, state) — shared side of Q2 ────────
+    let mut b = TableBuilder::new("newspapers", &["newspaper_title", "state"]);
+    for (i, p) in papers.iter().enumerate() {
+        b.push_row(vec![Value::text(p.clone()), Value::text(STATES[i % STATES.len()])])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── state_subset_k: varying coverage of states (complementary) ──────
+    for k in 0..config.n_state_subsets {
+        let mut states: Vec<&str> = STATES.to_vec();
+        states.shuffle(&mut rng);
+        let coverage = 20 + rng.gen_range(0..25);
+        let mut b = TableBuilder::new(
+            format!("state_subset_{k}"),
+            &["state", &format!("rank_{k}")],
+        );
+        for (i, s) in states.into_iter().take(coverage).enumerate() {
+            b.push_row(vec![Value::text(s), Value::Int(i as i64 + 1)])?;
+        }
+        cat.add_table(b.build())?;
+    }
+
+    // ── population camps: (country, population) — contradictions ────────
+    // Camp values are deterministic per (country, camp) so tables inside a
+    // camp agree and camps disagree. Each source covers a *rotating window*
+    // of countries: within-camp views overlap without being identical or
+    // nested (so C1/C2 cannot collapse them), which makes each
+    // contradiction signal cover many views — the paper's WDC Q3 insight.
+    const POP_COUNTRIES: usize = 40;
+    const WINDOW: usize = 30;
+    for camp in 0..2 {
+        for src in 0..config.n_population_sources {
+            let mut b = TableBuilder::new(
+                format!("population_camp{camp}_src{src}"),
+                &["country", "population"],
+            );
+            let start = src * 5;
+            for w in 0..WINDOW {
+                let i = (start + w) % POP_COUNTRIES;
+                // Camps agree on 80% of countries (real sources agree on
+                // most entries). The ~0.8 containment between camp pop
+                // columns puts both camps in one selection cluster, so
+                // queries retrieve views from both camps — which then
+                // contradict on the 20% of disagreeing countries.
+                let disagree = i64::from(i % 5 == 4);
+                let pop =
+                    1_000_000 + (i as i64) * 137_000 + (camp as i64) * 911_333 * disagree;
+                b.push_row(vec![Value::text(COUNTRIES[i]), Value::Int(pop)])?;
+            }
+            cat.add_table(b.build())?;
+        }
+    }
+
+    // ── births per 1000: (country, births) — Q5-study ground truth ──────
+    let mut b = TableBuilder::new("births_rates", &["country", "births_per_1000"]);
+    for (i, c) in COUNTRIES.iter().take(40).enumerate() {
+        b.push_row(vec![Value::text(*c), Value::Int(8 + (i as i64) % 30)])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── country list (noise column for country: ~82% real + novel) ──────
+    // Covers countries inside src0's window so containment w.r.t. the
+    // ground-truth population column stays ≥ 0.8.
+    let mut b = TableBuilder::new("country_codes", &["country", "code"]);
+    for (i, c) in COUNTRIES.iter().take(28).enumerate() {
+        b.push_row(vec![Value::text(*c), Value::Int(i as i64)])?;
+    }
+    for i in 0..6 {
+        b.push_row(vec![Value::text(format!("Terra Nova {i}")), Value::Int(100 + i)])?;
+    }
+    cat.add_table(b.build())?;
+
+    // ── filler web tables: small, vocab-mixed, heavily joinable ─────────
+    // Every other filler table is a *complete* entity list (full state /
+    // city / country column) — web crawls are full of them, and complete
+    // lists are what make the real WDC's joinable-pair count dwarf its
+    // table count (every partial column is contained in every full list).
+    let mut filler = 0usize;
+    while cat.table_count() < config.n_tables {
+        let rows = 6 + rng.gen_range(0..18);
+        let complete = filler % 2 == 0;
+        let kind = (filler / 2) % 3;
+        let name = format!("webtable_{filler}");
+        let (col, pool): (&str, &[&str]) = match kind {
+            0 => ("state", &STATES),
+            1 => ("city", &CITIES),
+            _ => ("country", &COUNTRIES),
+        };
+        let metric = ["value", "metric", "score"][kind];
+        let mut b = TableBuilder::new(name.as_str(), &[col, metric]);
+        if complete {
+            for (i, v) in pool.iter().enumerate() {
+                b.push_row(vec![
+                    Value::text(*v),
+                    Value::Int((filler * 1000 + i) as i64),
+                ])?;
+            }
+        } else {
+            for _ in 0..rows {
+                b.push_row(vec![
+                    Value::text(*pool.choose(&mut rng).expect("non-empty")),
+                    Value::Int(rng.gen_range(0..1000)),
+                ])?;
+            }
+        }
+        cat.add_table(b.build())?;
+        filler += 1;
+    }
+
+    Ok(cat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WdcConfig {
+        WdcConfig { n_tables: 60, ..Default::default() }
+    }
+
+    #[test]
+    fn reaches_requested_table_count_with_small_tables() {
+        let cat = generate_wdc(&small()).unwrap();
+        assert_eq!(cat.table_count(), 60);
+        let avg_rows = cat.total_rows() as f64 / cat.table_count() as f64;
+        assert!(avg_rows < 60.0, "web tables are small, avg = {avg_rows}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_wdc(&small()).unwrap();
+        let b = generate_wdc(&small()).unwrap();
+        assert_eq!(a.total_rows(), b.total_rows());
+    }
+
+    #[test]
+    fn population_camps_conflict_across_but_agree_within() {
+        let cat = generate_wdc(&small()).unwrap();
+        let a0 = cat.table_by_name("population_camp0_src0").unwrap();
+        let a1 = cat.table_by_name("population_camp0_src1").unwrap();
+        let b0 = cat.table_by_name("population_camp1_src0").unwrap();
+        // Look up a disagreeing country by value (index 9, 9 % 5 == 4;
+        // sources cover rotated windows so search by value, not position).
+        let country = a0.cell(9, 0).unwrap().clone();
+        let find = |t: &ver_store::table::Table| -> Option<ver_common::value::Value> {
+            (0..t.row_count())
+                .find(|&r| t.cell(r, 0) == Some(&country))
+                .and_then(|r| t.cell(r, 1).cloned())
+        };
+        let in_a0 = find(a0).expect("country in a0");
+        let in_a1 = find(a1).expect("rotating windows share most countries");
+        let in_b0 = find(b0).expect("camps cover the same windows");
+        assert_eq!(in_a0, in_a1, "within-camp agreement");
+        assert_ne!(in_a0, in_b0, "across-camp conflict");
+    }
+
+    #[test]
+    fn within_camp_sources_are_not_nested() {
+        let cat = generate_wdc(&small()).unwrap();
+        let a0 = cat.table_by_name("population_camp0_src0").unwrap();
+        let a1 = cat.table_by_name("population_camp0_src1").unwrap();
+        let c01 = ver_index::minhash::exact_containment(
+            a0.column(0).unwrap(),
+            a1.column(0).unwrap(),
+        );
+        assert!(c01 < 1.0, "src0 not contained in src1 ({c01})");
+        assert!(c01 > 0.5, "but they overlap substantially ({c01})");
+    }
+
+    #[test]
+    fn state_subsets_have_varying_coverage() {
+        let cat = generate_wdc(&small()).unwrap();
+        let c0 = cat.table_by_name("state_subset_0").unwrap().row_count();
+        let c1 = cat.table_by_name("state_subset_1").unwrap().row_count();
+        assert!(c0 >= 20 && c0 < 50);
+        assert!(c1 >= 20 && c1 < 50);
+    }
+
+    #[test]
+    fn country_noise_column_has_high_containment() {
+        let cat = generate_wdc(&small()).unwrap();
+        let pop = cat.table_by_name("population_camp0_src0").unwrap();
+        let codes = cat.table_by_name("country_codes").unwrap();
+        let c = ver_index::minhash::exact_containment(
+            codes.column(0).unwrap(),
+            pop.column(0).unwrap(),
+        );
+        assert!(c >= 0.8 && c < 1.0, "containment {c}");
+    }
+
+    #[test]
+    fn study_ground_truth_tables_exist() {
+        let cat = generate_wdc(&small()).unwrap();
+        for t in ["airports", "churches", "newspapers", "births_rates"] {
+            assert!(cat.table_by_name(t).is_some(), "{t} missing");
+        }
+    }
+}

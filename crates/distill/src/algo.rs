@@ -1,0 +1,449 @@
+//! Algorithm 3: two-phase 4C categorisation with per-phase timing.
+//!
+//! Phase timings use the labels of Fig. 4a: `schema_partition`
+//! (SCHEMA-BASED-BLOCKS), `hash_c1` (row hashing + compatible detection),
+//! `c2` (containment), `c3_c4` (key discovery, complementary marking,
+//! inverted key index, contradiction grouping).
+
+use crate::blocks::schema_blocks;
+use crate::categories::{Category, ViewGraph};
+use crate::hashes::{HashCache, SetRelation};
+use crate::keys::{find_candidate_keys, key_value_hash, Key};
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::{fx_hash_u64, FxHashMap, FxHashSet};
+use ver_common::ids::ViewId;
+use ver_common::timer::PhaseTimer;
+use ver_engine::rowhash::hash_table_row;
+use ver_engine::view::View;
+
+/// Tunables for distillation.
+#[derive(Debug, Clone)]
+pub struct DistillConfig {
+    /// Key-uniqueness slack (0.0 = exact keys).
+    pub key_epsilon: f64,
+    /// Maximum candidate-key width.
+    pub max_key_width: usize,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig { key_epsilon: 0.0, max_key_width: 2 }
+    }
+}
+
+/// One contradiction signal: under `key`, the views split into `groups`
+/// that disagree about at least one key value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contradiction {
+    /// The candidate key the contradiction is relative to.
+    pub key: Key,
+    /// Disagreeing groups (each sorted; ≥ 2 groups).
+    pub groups: Vec<Vec<ViewId>>,
+}
+
+impl Contradiction {
+    /// Total views involved.
+    pub fn view_count(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Degree of discrimination: the number of views that agree with one
+    /// side (the largest group) — Fig. 2 sorts contradictions by this,
+    /// descending.
+    pub fn discrimination(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Output of Algorithm 3.
+#[derive(Debug)]
+pub struct DistillOutput {
+    /// The labelled graph `G`.
+    pub graph: ViewGraph,
+    /// Candidate keys per view (only for C2 survivors; earlier views are
+    /// represented by their compatible/containment representative).
+    pub view_keys: FxHashMap<ViewId, Vec<Key>>,
+    /// Compatible groups of size ≥ 2 (first member is the representative).
+    pub compatible_groups: Vec<Vec<ViewId>>,
+    /// Views remaining after compatible dedup (C1).
+    pub survivors_c1: Vec<ViewId>,
+    /// Views remaining after containment pruning (C2).
+    pub survivors_c2: Vec<ViewId>,
+    /// Contradiction signals among C2 survivors.
+    pub contradictions: Vec<Contradiction>,
+    /// Complementary pairs with the shared keys that make them so.
+    pub complementary_pairs: Vec<(ViewId, ViewId, Vec<Key>)>,
+    /// Per-phase wall times (Fig. 4a).
+    pub timer: PhaseTimer,
+}
+
+impl DistillOutput {
+    /// Number of original views distilled.
+    pub fn original_count(&self) -> usize {
+        self.graph.nodes().len()
+    }
+}
+
+/// Run Algorithm 3 over `views`.
+pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
+    let mut timer = PhaseTimer::new();
+    let mut graph = ViewGraph::new(views.iter().map(|v| v.id).collect());
+    let mut cache = HashCache::new();
+
+    // Phase SP: schema blocks.
+    let blocks = timer.time("schema_partition", || schema_blocks(views));
+
+    // Phase Hash + C1: compatible groups via hash sets & transitivity.
+    let mut compatible_groups: Vec<Vec<ViewId>> = Vec::new();
+    let mut survivors_c1: Vec<usize> = Vec::new(); // indices into `views`
+    timer.time("hash_c1", || {
+        for block in &blocks {
+            // representatives of this block with their hash-set sizes
+            let mut reps: Vec<usize> = Vec::new();
+            let mut groups: FxHashMap<usize, Vec<ViewId>> = FxHashMap::default();
+            for &vi in &block.members {
+                let mut matched = None;
+                for &rep in &reps {
+                    if cache.relation(&views[rep], &views[vi]) == SetRelation::Equal {
+                        matched = Some(rep);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(rep) => {
+                        graph.label(views[rep].id, views[vi].id, Category::Compatible);
+                        groups.entry(rep).or_default().push(views[vi].id);
+                    }
+                    None => reps.push(vi),
+                }
+            }
+            for rep in &reps {
+                if let Some(members) = groups.remove(rep) {
+                    let mut g = vec![views[*rep].id];
+                    g.extend(members);
+                    compatible_groups.push(g);
+                }
+            }
+            survivors_c1.extend(reps);
+        }
+    });
+
+    // Phase C2: containment among C1 survivors, per block.
+    let mut survivors_c2: Vec<usize> = Vec::new();
+    timer.time("c2", || {
+        for block in &blocks {
+            let mut members: Vec<usize> = block
+                .members
+                .iter()
+                .copied()
+                .filter(|i| survivors_c1.contains(i))
+                .collect();
+            // Largest first: a view can only be contained in a larger one.
+            members.sort_by_key(|&i| std::cmp::Reverse(cache.get(&views[i]).len()));
+            let mut kept: Vec<usize> = Vec::new();
+            'next_view: for vi in members {
+                for &big in &kept {
+                    if cache.relation(&views[big], &views[vi]) == SetRelation::RightInLeft {
+                        graph.label(views[big].id, views[vi].id, Category::Contained);
+                        continue 'next_view;
+                    }
+                }
+                kept.push(vi);
+            }
+            survivors_c2.extend(kept);
+        }
+        survivors_c2.sort_unstable();
+    });
+
+    // Phase C3 + C4: keys, complementary marking, contradictions.
+    let mut view_keys: FxHashMap<ViewId, Vec<Key>> = FxHashMap::default();
+    let mut complementary_pairs: Vec<(ViewId, ViewId, Vec<Key>)> = Vec::new();
+    let mut contradictions: Vec<Contradiction> = Vec::new();
+    timer.time("c3_c4", || {
+        for &vi in &survivors_c2 {
+            let keys =
+                find_candidate_keys(&views[vi].table, config.key_epsilon, config.max_key_width);
+            view_keys.insert(views[vi].id, keys);
+        }
+
+        for block in &blocks {
+            let members: Vec<usize> = block
+                .members
+                .iter()
+                .copied()
+                .filter(|i| survivors_c2.contains(i))
+                .collect();
+            if members.len() < 2 {
+                continue;
+            }
+
+            // Keys shared by at least two members of the block.
+            let mut key_owners: FxHashMap<Key, Vec<usize>> = FxHashMap::default();
+            for &vi in &members {
+                for k in &view_keys[&views[vi].id] {
+                    key_owners.entry(k.clone()).or_default().push(vi);
+                }
+            }
+            let mut shared_keys: Vec<(Key, Vec<usize>)> = key_owners
+                .into_iter()
+                .filter(|(_, owners)| owners.len() >= 2)
+                .collect();
+            shared_keys.sort_by(|a, b| a.0.cmp(&b.0));
+
+            // Complementary marking: overlapping pairs sharing ≥ 1 key.
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    let shared: Vec<Key> = view_keys[&views[a].id]
+                        .iter()
+                        .filter(|k| view_keys[&views[b].id].contains(k))
+                        .cloned()
+                        .collect();
+                    if shared.is_empty() {
+                        continue;
+                    }
+                    if cache.relation(&views[a], &views[b]) == SetRelation::Overlap {
+                        graph.label(views[a].id, views[b].id, Category::Complementary);
+                        complementary_pairs.push((views[a].id, views[b].id, shared));
+                    }
+                }
+            }
+
+            // Contradictions: inverted index per shared key.
+            for (key, owners) in &shared_keys {
+                // key value hash → view → row-set hash under that key value.
+                let mut index: FxHashMap<u64, Vec<(ViewId, u64)>> = FxHashMap::default();
+                for &vi in owners {
+                    let view = &views[vi];
+                    // key value → set of full-row hashes (sorted → stable hash)
+                    let mut per_value: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+                    for r in 0..view.table.row_count() {
+                        let kv = key_value_hash(&view.table, r, key);
+                        per_value.entry(kv).or_default().push(hash_table_row(&view.table, r));
+                    }
+                    for (kv, mut rows) in per_value {
+                        rows.sort_unstable();
+                        rows.dedup();
+                        index.entry(kv).or_default().push((view.id, fx_hash_u64(&rows)));
+                    }
+                }
+                // Group views per key value by their row-set hash.
+                let mut signals: FxHashSet<Vec<Vec<ViewId>>> = FxHashSet::default();
+                for entries in index.values() {
+                    if entries.len() < 2 {
+                        continue;
+                    }
+                    let mut groups: FxHashMap<u64, Vec<ViewId>> = FxHashMap::default();
+                    for &(vid, rh) in entries {
+                        groups.entry(rh).or_default().push(vid);
+                    }
+                    if groups.len() < 2 {
+                        continue;
+                    }
+                    let mut gs: Vec<Vec<ViewId>> = groups.into_values().collect();
+                    for g in &mut gs {
+                        g.sort_unstable();
+                        g.dedup();
+                    }
+                    gs.sort();
+                    // Label all cross-group pairs contradictory.
+                    for (gi, ga) in gs.iter().enumerate() {
+                        for gb in &gs[gi + 1..] {
+                            for &a in ga {
+                                for &b in gb {
+                                    graph.label(a, b, Category::Contradictory);
+                                }
+                            }
+                        }
+                    }
+                    // Merge identical group structures into one signal.
+                    if signals.insert(gs.clone()) {
+                        contradictions.push(Contradiction { key: key.clone(), groups: gs });
+                    }
+                }
+            }
+        }
+        // Deterministic order: most discriminative first (Fig. 2 order).
+        contradictions.sort_by(|a, b| {
+            b.discrimination()
+                .cmp(&a.discrimination())
+                .then_with(|| a.key.cmp(&b.key))
+                .then_with(|| a.groups.cmp(&b.groups))
+        });
+        complementary_pairs.sort_by_key(|&(a, b, _)| (a, b));
+    });
+
+    DistillOutput {
+        graph,
+        view_keys,
+        compatible_groups,
+        survivors_c1: survivors_c1.iter().map(|&i| views[i].id).collect::<Vec<_>>().sorted(),
+        survivors_c2: survivors_c2.iter().map(|&i| views[i].id).collect::<Vec<_>>().sorted(),
+        contradictions,
+        complementary_pairs,
+        timer,
+    }
+}
+
+/// Tiny helper: sort-and-return for readability above.
+trait Sorted {
+    fn sorted(self) -> Self;
+}
+
+impl Sorted for Vec<ViewId> {
+    fn sorted(mut self) -> Self {
+        self.sort_unstable();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_engine::view::Provenance;
+    use ver_store::table::TableBuilder;
+
+    /// Build a (state, pop) view from rows.
+    fn view(id: u32, rows: &[(&str, i64)]) -> View {
+        let mut b = TableBuilder::new("v", &["state", "pop"]);
+        for (s, p) in rows {
+            b.push_row(vec![Value::text(*s), Value::Int(*p)]).unwrap();
+        }
+        View::new(ViewId(id), b.build(), Provenance::default())
+    }
+
+    #[test]
+    fn compatible_views_dedupe_to_one() {
+        let views = vec![
+            view(0, &[("IN", 1), ("GA", 2)]),
+            view(1, &[("GA", 2), ("IN", 1)]), // same rows, different order
+            view(2, &[("TX", 3)]),
+        ];
+        let out = distill(&views, &DistillConfig::default());
+        assert_eq!(out.graph.get(ViewId(0), ViewId(1)), Some(Category::Compatible));
+        assert_eq!(out.compatible_groups, vec![vec![ViewId(0), ViewId(1)]]);
+        assert_eq!(out.survivors_c1, vec![ViewId(0), ViewId(2)]);
+    }
+
+    #[test]
+    fn contained_views_keep_the_larger() {
+        let views = vec![
+            view(0, &[("IN", 1)]),
+            view(1, &[("IN", 1), ("GA", 2), ("TX", 3)]),
+        ];
+        let out = distill(&views, &DistillConfig::default());
+        assert_eq!(out.graph.get(ViewId(0), ViewId(1)), Some(Category::Contained));
+        assert_eq!(out.survivors_c2, vec![ViewId(1)]);
+    }
+
+    #[test]
+    fn containment_chain_keeps_only_largest() {
+        let views = vec![
+            view(0, &[("IN", 1)]),
+            view(1, &[("IN", 1), ("GA", 2)]),
+            view(2, &[("IN", 1), ("GA", 2), ("TX", 3)]),
+        ];
+        let out = distill(&views, &DistillConfig::default());
+        assert_eq!(out.survivors_c2, vec![ViewId(2)]);
+    }
+
+    #[test]
+    fn complementary_views_marked_with_shared_key() {
+        let views = vec![
+            view(0, &[("IN", 1), ("GA", 2)]),
+            view(1, &[("GA", 2), ("TX", 3)]), // overlap on GA row, no conflict
+        ];
+        let out = distill(&views, &DistillConfig::default());
+        assert_eq!(
+            out.graph.get(ViewId(0), ViewId(1)),
+            Some(Category::Complementary)
+        );
+        assert_eq!(out.complementary_pairs.len(), 1);
+        assert!(out.complementary_pairs[0].2.contains(&Key::single(0)));
+        assert!(out.contradictions.is_empty());
+    }
+
+    #[test]
+    fn contradictory_views_detected_and_upgraded() {
+        // Same state key "IN" maps to different pops.
+        let views = vec![
+            view(0, &[("IN", 1), ("GA", 2)]),
+            view(1, &[("IN", 999), ("GA", 2)]),
+        ];
+        let out = distill(&views, &DistillConfig::default());
+        assert_eq!(
+            out.graph.get(ViewId(0), ViewId(1)),
+            Some(Category::Contradictory)
+        );
+        assert_eq!(out.contradictions.len(), 1);
+        let c = &out.contradictions[0];
+        assert_eq!(c.key, Key::single(0));
+        assert_eq!(c.view_count(), 2);
+        assert_eq!(c.discrimination(), 1);
+    }
+
+    #[test]
+    fn contradiction_groups_cluster_agreeing_views() {
+        // Three views agree (IN,1); one dissents (IN,7).
+        let views = vec![
+            view(0, &[("IN", 1), ("GA", 2)]),
+            view(1, &[("IN", 1), ("TX", 3)]),
+            view(2, &[("IN", 1), ("CA", 4)]),
+            view(3, &[("IN", 7), ("FL", 5)]),
+        ];
+        let out = distill(&views, &DistillConfig::default());
+        let c = out
+            .contradictions
+            .iter()
+            .find(|c| c.view_count() == 4)
+            .expect("4-view contradiction on IN");
+        assert_eq!(c.discrimination(), 3);
+        assert_eq!(c.groups.len(), 2);
+        // All cross pairs are contradictory in G.
+        assert_eq!(out.graph.get(ViewId(0), ViewId(3)), Some(Category::Contradictory));
+        assert_eq!(out.graph.get(ViewId(2), ViewId(3)), Some(Category::Contradictory));
+    }
+
+    #[test]
+    fn different_schemas_never_compare() {
+        let a = view(0, &[("IN", 1)]);
+        let mut b = TableBuilder::new("v", &["city", "pop"]);
+        b.push_row(vec![Value::text("IN"), Value::Int(1)]).unwrap();
+        let b = View::new(ViewId(1), b.build(), Provenance::default());
+        let out = distill(&[a, b], &DistillConfig::default());
+        assert_eq!(out.graph.get(ViewId(0), ViewId(1)), None);
+        assert_eq!(out.survivors_c2.len(), 2);
+    }
+
+    #[test]
+    fn no_shared_key_means_no_complementary() {
+        // Views where no column is a key (all values repeat).
+        let mk = |id: u32, rows: &[(&str, i64)]| view(id, rows);
+        let views = vec![
+            mk(0, &[("A", 1), ("A", 2), ("B", 1)]),
+            mk(1, &[("A", 1), ("B", 3), ("B", 1)]),
+        ];
+        let out = distill(&views, &DistillConfig::default());
+        // (state) not unique, (pop) not unique, (state,pop) is unique → both
+        // views DO share the composite key; overlap on ("A",1)/("B",1) rows.
+        // Under the composite key no key value can disagree (key = whole
+        // row), so pairs can be complementary but never contradictory.
+        assert!(out.contradictions.is_empty());
+    }
+
+    #[test]
+    fn timer_records_all_phases() {
+        let views = vec![view(0, &[("IN", 1)]), view(1, &[("GA", 2)])];
+        let out = distill(&views, &DistillConfig::default());
+        let phases: Vec<&str> = out.timer.phases().map(|(p, _)| p).collect();
+        assert_eq!(phases, vec!["schema_partition", "hash_c1", "c2", "c3_c4"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = distill(&[], &DistillConfig::default());
+        assert_eq!(out.original_count(), 0);
+        assert!(out.survivors_c2.is_empty());
+        assert!(out.contradictions.is_empty());
+    }
+}

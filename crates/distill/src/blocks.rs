@@ -1,0 +1,89 @@
+//! SCHEMA-BASED-BLOCKS (Algorithm 3 line 2).
+//!
+//! Views are compared under 4C only when they share a schema signature;
+//! blocking by signature turns the quadratic comparison into
+//! `O(n + α·Γ²)` where α is the number of distinct schemas and Γ the
+//! largest block (the paper's complexity analysis).
+
+use ver_common::fxhash::FxHashMap;
+use ver_engine::view::View;
+
+/// One block: indices (into the input slice) of views sharing a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaBlock {
+    /// The shared schema signature.
+    pub signature: String,
+    /// Indices into the view slice, ascending.
+    pub members: Vec<usize>,
+}
+
+/// Partition `views` into schema blocks, ordered by first appearance.
+pub fn schema_blocks(views: &[View]) -> Vec<SchemaBlock> {
+    let mut order: Vec<String> = Vec::new();
+    let mut map: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+    for (i, v) in views.iter().enumerate() {
+        let sig = v.schema_signature();
+        if !map.contains_key(&sig) {
+            order.push(sig.clone());
+        }
+        map.entry(sig).or_default().push(i);
+    }
+    order
+        .into_iter()
+        .map(|signature| {
+            let members = map.remove(&signature).expect("inserted above");
+            SchemaBlock { signature, members }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::ids::ViewId;
+    use ver_common::value::Value;
+    use ver_engine::view::Provenance;
+    use ver_store::table::TableBuilder;
+
+    fn view(id: u32, cols: &[&str]) -> View {
+        let mut b = TableBuilder::new("v", cols);
+        b.push_row(vec![Value::Int(1); cols.len()]).unwrap();
+        View::new(ViewId(id), b.build(), Provenance::default())
+    }
+
+    #[test]
+    fn blocks_group_same_signature() {
+        let views = vec![
+            view(0, &["state", "pop"]),
+            view(1, &["city", "pop"]),
+            view(2, &["state", "pop"]),
+        ];
+        let blocks = schema_blocks(&views);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].members, vec![0, 2]);
+        assert_eq!(blocks[1].members, vec![1]);
+    }
+
+    #[test]
+    fn signature_is_order_sensitive() {
+        let views = vec![view(0, &["a", "b"]), view(1, &["b", "a"])];
+        assert_eq!(schema_blocks(&views).len(), 2);
+    }
+
+    #[test]
+    fn empty_input_no_blocks() {
+        assert!(schema_blocks(&[]).is_empty());
+    }
+
+    #[test]
+    fn blocks_preserve_first_appearance_order() {
+        let views = vec![
+            view(0, &["z"]),
+            view(1, &["a"]),
+            view(2, &["z"]),
+        ];
+        let blocks = schema_blocks(&views);
+        assert_eq!(blocks[0].signature, views[0].schema_signature());
+        assert_eq!(blocks[1].signature, views[1].schema_signature());
+    }
+}

@@ -1,0 +1,148 @@
+//! Row-hash sets per view, with the cache Algorithm 3 calls out
+//! ("we employ a cache to not hash any view multiple times").
+
+use ver_common::fxhash::{FxHashMap, FxHashSet};
+use ver_common::ids::ViewId;
+use ver_engine::rowhash::table_hash_set;
+use ver_engine::view::View;
+
+/// Cache of `H(V)` keyed by view id.
+#[derive(Debug, Default)]
+pub struct HashCache {
+    sets: FxHashMap<ViewId, FxHashSet<u64>>,
+}
+
+/// Set relationship between two row-hash sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetRelation {
+    /// Identical sets.
+    Equal,
+    /// Left strictly inside right.
+    LeftInRight,
+    /// Right strictly inside left.
+    RightInLeft,
+    /// Non-empty intersection, neither contained.
+    Overlap,
+    /// Empty intersection.
+    Disjoint,
+}
+
+impl HashCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or compute) `H(V)`.
+    pub fn get(&mut self, view: &View) -> &FxHashSet<u64> {
+        self.sets
+            .entry(view.id)
+            .or_insert_with(|| table_hash_set(&view.table))
+    }
+
+    /// Number of cached views.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Relation between two views' row sets (computes/caches both).
+    pub fn relation(&mut self, a: &View, b: &View) -> SetRelation {
+        // Borrowck: materialise `a`'s set before borrowing `b`'s.
+        self.get(a);
+        self.get(b);
+        let sa = &self.sets[&a.id];
+        let sb = &self.sets[&b.id];
+        relation_of(sa, sb)
+    }
+}
+
+/// Compute the [`SetRelation`] between two hash sets.
+pub fn relation_of(sa: &FxHashSet<u64>, sb: &FxHashSet<u64>) -> SetRelation {
+    if sa.len() == sb.len() {
+        if sa == sb {
+            return SetRelation::Equal;
+        }
+    }
+    let (small, large, small_is_left) = if sa.len() <= sb.len() {
+        (sa, sb, true)
+    } else {
+        (sb, sa, false)
+    };
+    let inter = small.iter().filter(|h| large.contains(*h)).count();
+    if inter == 0 {
+        return SetRelation::Disjoint;
+    }
+    if inter == small.len() && small.len() < large.len() {
+        return if small_is_left {
+            SetRelation::LeftInRight
+        } else {
+            SetRelation::RightInLeft
+        };
+    }
+    SetRelation::Overlap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_engine::view::{Provenance, View};
+    use ver_store::table::TableBuilder;
+
+    fn view(id: u32, values: &[i64]) -> View {
+        let mut b = TableBuilder::new("v", &["x"]);
+        for &v in values {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        View::new(ViewId(id), b.build(), Provenance::default())
+    }
+
+    #[test]
+    fn relations_cover_all_cases() {
+        let mut cache = HashCache::new();
+        let a = view(0, &[1, 2, 3]);
+        let b = view(1, &[3, 2, 1]);
+        let c = view(2, &[1, 2]);
+        let d = view(3, &[2, 3, 4]);
+        let e = view(4, &[9, 10]);
+        assert_eq!(cache.relation(&a, &b), SetRelation::Equal);
+        assert_eq!(cache.relation(&c, &a), SetRelation::LeftInRight);
+        assert_eq!(cache.relation(&a, &c), SetRelation::RightInLeft);
+        assert_eq!(cache.relation(&a, &d), SetRelation::Overlap);
+        assert_eq!(cache.relation(&a, &e), SetRelation::Disjoint);
+    }
+
+    #[test]
+    fn cache_computes_each_view_once() {
+        let mut cache = HashCache::new();
+        let a = view(0, &[1, 2, 3]);
+        let b = view(1, &[1, 2]);
+        cache.relation(&a, &b);
+        cache.relation(&a, &b);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn empty_views_are_disjoint_from_everything_nonempty() {
+        let mut cache = HashCache::new();
+        let a = view(0, &[]);
+        let b = view(1, &[1]);
+        assert_eq!(cache.relation(&a, &b), SetRelation::Disjoint);
+        // Two empty sets are equal.
+        let c = view(2, &[]);
+        assert_eq!(cache.relation(&a, &c), SetRelation::Equal);
+    }
+
+    #[test]
+    fn same_size_different_content_is_overlap_or_disjoint() {
+        let mut cache = HashCache::new();
+        let a = view(0, &[1, 2]);
+        let b = view(1, &[2, 3]);
+        assert_eq!(cache.relation(&a, &b), SetRelation::Overlap);
+    }
+}

@@ -1,0 +1,199 @@
+//! Hash equi-join between two tables.
+//!
+//! Builds a hash index over the smaller input's key column and probes with
+//! the larger (classic build/probe), then gathers output columns
+//! column-major to avoid per-row `Vec` allocations. Null keys never match
+//! (SQL semantics) — in pathless collections nulls are pervasive and joining
+//! on them would manufacture meaningless paths.
+
+use ver_common::error::{Result, VerError};
+use ver_common::fxhash::FxHashMap;
+use ver_common::value::Value;
+use ver_store::column::Column;
+use ver_store::schema::TableSchema;
+use ver_store::table::Table;
+
+/// Inner equi-join of `left` and `right` on `left_key` / `right_key`
+/// (column ordinals). Output schema = left columns followed by right
+/// columns; output name is `left⋈right`.
+pub fn hash_join(
+    left: &Table,
+    left_key: usize,
+    right: &Table,
+    right_key: usize,
+) -> Result<Table> {
+    let lcol = left.column(left_key).ok_or_else(|| {
+        VerError::JoinError(format!("left key ordinal {left_key} out of range"))
+    })?;
+    let rcol = right.column(right_key).ok_or_else(|| {
+        VerError::JoinError(format!("right key ordinal {right_key} out of range"))
+    })?;
+
+    // Build on the smaller side, probe with the larger.
+    let (matches_lr, swapped) = if left.row_count() <= right.row_count() {
+        (probe(lcol, rcol), false)
+    } else {
+        (probe(rcol, lcol), true)
+    };
+
+    // `pairs` is (left_row, right_row) regardless of build side.
+    let pairs: Vec<(u32, u32)> = if swapped {
+        matches_lr.into_iter().map(|(r, l)| (l, r)).collect()
+    } else {
+        matches_lr
+    };
+
+    let mut columns = Vec::with_capacity(left.column_count() + right.column_count());
+    for col in left.columns() {
+        columns.push(gather(col, pairs.iter().map(|&(l, _)| l)));
+    }
+    for col in right.columns() {
+        columns.push(gather(col, pairs.iter().map(|&(_, r)| r)));
+    }
+
+    let mut metas = left.schema.columns.clone();
+    metas.extend(right.schema.columns.iter().cloned());
+    let name = format!("{}⋈{}", left.name(), right.name());
+    Table::new(TableSchema::new(name, metas), columns)
+}
+
+/// Build a hash index over `build` values, probe with `probe_col`.
+/// Returns (build_row, probe_row) pairs.
+fn probe(build: &Column, probe_col: &Column) -> Vec<(u32, u32)> {
+    let mut index: FxHashMap<&Value, Vec<u32>> = FxHashMap::default();
+    for (i, v) in build.values().iter().enumerate() {
+        if !v.is_null() {
+            index.entry(v).or_default().push(i as u32);
+        }
+    }
+    let mut out = Vec::new();
+    for (j, v) in probe_col.values().iter().enumerate() {
+        if v.is_null() {
+            continue;
+        }
+        if let Some(rows) = index.get(v) {
+            for &i in rows {
+                out.push((i, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Gather `col[indices]` into a new column.
+fn gather(col: &Column, indices: impl Iterator<Item = u32>) -> Column {
+    let values = col.values();
+    indices
+        .map(|i| values[i as usize].clone())
+        .collect::<Column>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_store::table::TableBuilder;
+
+    fn airports() -> Table {
+        let mut b = TableBuilder::new("airports", &["iata", "state"]);
+        for (i, s) in [("IND", "Indiana"), ("ATL", "Georgia"), ("ORD", "Illinois")] {
+            b.push_row(vec![i.into(), s.into()]).unwrap();
+        }
+        b.build()
+    }
+
+    fn states() -> Table {
+        let mut b = TableBuilder::new("states", &["name", "pop"]);
+        for (s, p) in [("Indiana", 6_800_000i64), ("Georgia", 10_700_000), ("Texas", 29_000_000)] {
+            b.push_row(vec![s.into(), Value::Int(p)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn inner_join_matches_equal_keys() {
+        let j = hash_join(&airports(), 1, &states(), 0).unwrap();
+        assert_eq!(j.row_count(), 2); // ORD/Illinois and Texas unmatched
+        assert_eq!(j.column_count(), 4);
+        let row_states: Vec<String> = (0..j.row_count())
+            .map(|r| j.cell(r, 1).unwrap().to_string())
+            .collect();
+        assert!(row_states.contains(&"Indiana".to_string()));
+        assert!(row_states.contains(&"Georgia".to_string()));
+    }
+
+    #[test]
+    fn join_name_and_schema_concatenate() {
+        let j = hash_join(&airports(), 1, &states(), 0).unwrap();
+        assert_eq!(j.name(), "airports⋈states");
+        assert_eq!(j.schema.columns[0].display_name(0), "iata");
+        assert_eq!(j.schema.columns[3].display_name(3), "pop");
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut b = TableBuilder::new("l", &["k"]);
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        let l = b.build();
+        let mut b = TableBuilder::new("r", &["k"]);
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        let r = b.build();
+        let j = hash_join(&l, 0, &r, 0).unwrap();
+        assert_eq!(j.row_count(), 1);
+    }
+
+    #[test]
+    fn many_to_many_produces_cross_product_of_matches() {
+        let mut b = TableBuilder::new("l", &["k", "x"]);
+        b.push_row(vec![Value::Int(1), "a".into()]).unwrap();
+        b.push_row(vec![Value::Int(1), "b".into()]).unwrap();
+        let l = b.build();
+        let mut b = TableBuilder::new("r", &["k", "y"]);
+        b.push_row(vec![Value::Int(1), "p".into()]).unwrap();
+        b.push_row(vec![Value::Int(1), "q".into()]).unwrap();
+        b.push_row(vec![Value::Int(2), "z".into()]).unwrap();
+        let r = b.build();
+        let j = hash_join(&l, 0, &r, 0).unwrap();
+        assert_eq!(j.row_count(), 4);
+    }
+
+    #[test]
+    fn swapped_build_side_gives_same_result_set() {
+        // right smaller than left → build side swaps internally.
+        let big = states();
+        let mut b = TableBuilder::new("small", &["name"]);
+        b.push_row(vec!["Georgia".into()]).unwrap();
+        let small = b.build();
+        let j1 = hash_join(&big, 0, &small, 0).unwrap();
+        assert_eq!(j1.row_count(), 1);
+        assert_eq!(j1.cell(0, 0), Some(&Value::text("Georgia")));
+        assert_eq!(j1.cell(0, 2), Some(&Value::text("Georgia")));
+    }
+
+    #[test]
+    fn bad_ordinals_error() {
+        assert!(hash_join(&airports(), 9, &states(), 0).is_err());
+        assert!(hash_join(&airports(), 0, &states(), 9).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        let empty = TableBuilder::new("e", &["k"]).build();
+        let j = hash_join(&empty, 0, &states(), 0).unwrap();
+        assert_eq!(j.row_count(), 0);
+        assert_eq!(j.column_count(), 3);
+    }
+
+    #[test]
+    fn typed_keys_do_not_cross_match() {
+        // Int(1) must not join Text("1").
+        let mut b = TableBuilder::new("l", &["k"]);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        let l = b.build();
+        let mut b = TableBuilder::new("r", &["k"]);
+        b.push_row(vec![Value::text("1")]).unwrap();
+        let r = b.build();
+        assert_eq!(hash_join(&l, 0, &r, 0).unwrap().row_count(), 0);
+    }
+}

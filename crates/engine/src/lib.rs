@@ -1,0 +1,28 @@
+//! Relational materializer substrate for Ver.
+//!
+//! The paper's MATERIALIZER executes project-join (PJ) queries over noisy
+//! tables (the authors used pandas and note it "could be optimized by using
+//! a database"). This crate is that component, built from scratch:
+//!
+//! * [`join`] — hash equi-join between two tables.
+//! * [`project`] — column projection.
+//! * [`dedup`] — set-semantics row deduplication (candidate PJ-views are row
+//!   *sets*; 4C categorisation in the paper compares views as sets of rows).
+//! * [`union`] — schema-aligned union (used when distillation unions
+//!   complementary views).
+//! * [`rowhash`] — the row-wise hash function `H` of Algorithm 3.
+//! * [`plan`] / [`exec`] — PJ plans (a join tree linearised into steps plus a
+//!   projection list) and their executor, producing materialized [`View`]s.
+
+pub mod dedup;
+pub mod exec;
+pub mod join;
+pub mod plan;
+pub mod project;
+pub mod rowhash;
+pub mod union;
+pub mod view;
+
+pub use exec::execute_plan;
+pub use plan::{JoinStep, PjPlan};
+pub use view::{Provenance, View};

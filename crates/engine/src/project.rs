@@ -1,0 +1,66 @@
+//! Column projection.
+
+use ver_common::error::{Result, VerError};
+use ver_store::schema::TableSchema;
+use ver_store::table::Table;
+
+/// Project `table` onto the given column ordinals (in the requested order;
+/// repeats allowed). The output table is named after the input.
+pub fn project(table: &Table, ordinals: &[usize]) -> Result<Table> {
+    let mut metas = Vec::with_capacity(ordinals.len());
+    let mut columns = Vec::with_capacity(ordinals.len());
+    for &o in ordinals {
+        let col = table.column(o).ok_or_else(|| {
+            VerError::InvalidQuery(format!(
+                "projection ordinal {o} out of range for '{}' (arity {})",
+                table.name(),
+                table.column_count()
+            ))
+        })?;
+        metas.push(table.schema.columns[o].clone());
+        columns.push(col.clone());
+    }
+    Table::new(TableSchema::new(table.name().to_string(), metas), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_store::table::TableBuilder;
+
+    fn t3() -> Table {
+        let mut b = TableBuilder::new("t", &["a", "b", "c"]);
+        b.push_row(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
+        b.push_row(vec![Value::Int(4), Value::Int(5), Value::Int(6)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn selects_and_reorders() {
+        let p = project(&t3(), &[2, 0]).unwrap();
+        assert_eq!(p.column_count(), 2);
+        assert_eq!(p.schema.columns[0].display_name(0), "c");
+        assert_eq!(p.cell(0, 0), Some(&Value::Int(3)));
+        assert_eq!(p.cell(1, 1), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn duplicate_ordinals_allowed() {
+        let p = project(&t3(), &[1, 1]).unwrap();
+        assert_eq!(p.column_count(), 2);
+        assert_eq!(p.cell(0, 0), p.cell(0, 1));
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        assert!(project(&t3(), &[7]).is_err());
+    }
+
+    #[test]
+    fn empty_projection_gives_zero_columns() {
+        let p = project(&t3(), &[]).unwrap();
+        assert_eq!(p.column_count(), 0);
+        assert_eq!(p.row_count(), 0);
+    }
+}

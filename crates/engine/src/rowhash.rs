@@ -1,0 +1,132 @@
+//! Row-wise hashing — the hash function `H` of Algorithm 3.
+//!
+//! `H(V)` maps a view to a *set* of 64-bit values, one per distinct row.
+//! Compatible / contained / overlapping view pairs are detected by set
+//! equality / subset / intersection over these hash sets, exactly as the
+//! paper describes. The hash streams each value's type tag and payload, so
+//! `Int(1)` and `Text("1")` rows hash differently and field boundaries are
+//! unambiguous.
+
+use std::hash::{Hash, Hasher};
+use ver_common::fxhash::{FxHashSet, FxHasher};
+use ver_common::value::Value;
+use ver_store::table::Table;
+
+/// Hash a single row (slice of values).
+#[inline]
+pub fn hash_row(values: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hash row `row` of `table` without materialising the row.
+#[inline]
+pub fn hash_table_row(table: &Table, row: usize) -> u64 {
+    let mut h = FxHasher::default();
+    for col in table.columns() {
+        // Missing cells hash as Null to keep H total on ragged data.
+        match col.get(row) {
+            Some(v) => v.hash(&mut h),
+            None => Value::Null.hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+/// The set `H(V)` for an entire table: one hash per row, duplicates
+/// collapsed (views are row sets).
+pub fn table_hash_set(table: &Table) -> FxHashSet<u64> {
+    let mut set = FxHashSet::with_capacity_and_hasher(table.row_count(), Default::default());
+    for r in 0..table.row_count() {
+        set.insert(hash_table_row(table, r));
+    }
+    set
+}
+
+/// Order-insensitive fingerprint of the whole view: XOR-fold of the row-hash
+/// set. Two compatible views (same row set) have equal fingerprints
+/// regardless of row order; used as a cheap pre-filter before set
+/// comparison.
+pub fn table_fingerprint(table: &Table) -> u64 {
+    // XOR over the *set* (not the multiset) so duplicate rows do not cancel.
+    table_hash_set(table)
+        .iter()
+        .fold(0u64, |acc, h| acc ^ h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_store::table::TableBuilder;
+
+    fn t(rows: &[(&str, i64)]) -> Table {
+        let mut b = TableBuilder::new("t", &["a", "b"]);
+        for (s, i) in rows {
+            b.push_row(vec![Value::text(*s), Value::Int(*i)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn equal_rows_hash_equal() {
+        assert_eq!(
+            hash_row(&[Value::Int(1), Value::text("x")]),
+            hash_row(&[Value::Int(1), Value::text("x")])
+        );
+    }
+
+    #[test]
+    fn type_tag_distinguishes_int_from_text() {
+        assert_ne!(
+            hash_row(&[Value::Int(1)]),
+            hash_row(&[Value::text("1")])
+        );
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        assert_ne!(
+            hash_row(&[Value::text("ab"), Value::text("c")]),
+            hash_row(&[Value::text("a"), Value::text("bc")])
+        );
+    }
+
+    #[test]
+    fn table_row_hash_matches_slice_hash() {
+        let table = t(&[("x", 1), ("y", 2)]);
+        assert_eq!(
+            hash_table_row(&table, 0),
+            hash_row(&[Value::text("x"), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn hash_set_collapses_duplicates() {
+        let table = t(&[("x", 1), ("x", 1), ("y", 2)]);
+        assert_eq!(table_hash_set(&table).len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive() {
+        let a = t(&[("x", 1), ("y", 2)]);
+        let b = t(&[("y", 2), ("x", 1)]);
+        assert_eq!(table_fingerprint(&a), table_fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_ignores_duplicate_rows() {
+        let a = t(&[("x", 1), ("y", 2)]);
+        let b = t(&[("x", 1), ("x", 1), ("y", 2)]);
+        assert_eq!(table_fingerprint(&a), table_fingerprint(&b));
+    }
+
+    #[test]
+    fn different_content_different_fingerprint() {
+        let a = t(&[("x", 1)]);
+        let b = t(&[("x", 2)]);
+        assert_ne!(table_fingerprint(&a), table_fingerprint(&b));
+    }
+}

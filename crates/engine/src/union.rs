@@ -1,0 +1,112 @@
+//! Schema-aligned set union of tables.
+//!
+//! View distillation unions *complementary* views (same candidate key,
+//! overlapping rows, neither contained nor compatible — Definition 8) into a
+//! single larger view. The union requires identical schema signatures, which
+//! is guaranteed inside a schema block.
+
+use crate::dedup::dedup_rows;
+use ver_common::error::{Result, VerError};
+use ver_common::value::Value;
+use ver_store::column::Column;
+use ver_store::table::Table;
+
+/// Set union of two tables with the same schema signature.
+/// Output keeps `a`'s schema and name, rows deduplicated.
+pub fn union_tables(a: &Table, b: &Table) -> Result<Table> {
+    if a.schema.signature() != b.schema.signature() {
+        return Err(VerError::InvalidData(format!(
+            "cannot union '{}' with '{}': schema signatures differ",
+            a.name(),
+            b.name()
+        )));
+    }
+    let columns: Vec<Column> = (0..a.column_count())
+        .map(|c| {
+            let mut values =
+                Vec::with_capacity(a.row_count() + b.row_count());
+            values.extend(a.column(c).expect("arity checked").values().iter().cloned());
+            values.extend(b.column(c).expect("signature implies same arity").values().iter().cloned());
+            Column::from_values(values)
+        })
+        .collect();
+    let stacked = Table::new(a.schema.clone(), columns)?;
+    Ok(dedup_rows(&stacked))
+}
+
+/// Set union of many tables (same schema signature). Errors on empty input.
+pub fn union_all<'a>(tables: impl IntoIterator<Item = &'a Table>) -> Result<Table> {
+    let mut iter = tables.into_iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| VerError::InvalidData("union of zero tables".into()))?;
+    let mut columns: Vec<Vec<Value>> = first
+        .columns()
+        .iter()
+        .map(|c| c.values().to_vec())
+        .collect();
+    for t in iter {
+        if t.schema.signature() != first.schema.signature() {
+            return Err(VerError::InvalidData(format!(
+                "cannot union '{}' with '{}': schema signatures differ",
+                first.name(),
+                t.name()
+            )));
+        }
+        for (c, col) in columns.iter_mut().zip(t.columns()) {
+            c.extend(col.values().iter().cloned());
+        }
+    }
+    let stacked = Table::new(
+        first.schema.clone(),
+        columns.into_iter().map(Column::from_values).collect(),
+    )?;
+    Ok(dedup_rows(&stacked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_store::table::TableBuilder;
+
+    fn t(name: &str, rows: &[i64]) -> Table {
+        let mut b = TableBuilder::new(name, &["k", "v"]);
+        for &r in rows {
+            b.push_row(vec![Value::Int(r), Value::text(format!("v{r}"))]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        let u = union_tables(&t("a", &[1, 2]), &t("b", &[2, 3])).unwrap();
+        assert_eq!(u.row_count(), 3);
+        assert_eq!(u.name(), "a");
+    }
+
+    #[test]
+    fn union_requires_same_signature() {
+        let a = t("a", &[1]);
+        let mut b = TableBuilder::new("b", &["k", "other"]);
+        b.push_row(vec![Value::Int(1), "x".into()]).unwrap();
+        assert!(union_tables(&a, &b.build()).is_err());
+    }
+
+    #[test]
+    fn union_all_many() {
+        let u = union_all([&t("a", &[1]), &t("b", &[2]), &t("c", &[1, 3])]).unwrap();
+        assert_eq!(u.row_count(), 3);
+    }
+
+    #[test]
+    fn union_all_empty_errors() {
+        assert!(union_all(std::iter::empty::<&Table>()).is_err());
+    }
+
+    #[test]
+    fn union_with_self_is_idempotent() {
+        let a = t("a", &[1, 2, 3]);
+        let u = union_tables(&a, &a).unwrap();
+        assert_eq!(u.row_count(), 3);
+    }
+}

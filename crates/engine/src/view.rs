@@ -1,0 +1,127 @@
+//! Materialized candidate PJ-views with provenance.
+
+use crate::rowhash::table_hash_set;
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::FxHashSet;
+use ver_common::ids::{ColumnRef, TableId, ViewId};
+use ver_store::table::Table;
+
+/// How a view was produced: the join edges of its join graph, the source
+/// tables, the projected columns, and the discovery engine's join score.
+///
+/// Provenance powers the paper's "Insights" analyses (e.g. ChEMBL
+/// contradictions arise from views joined via different keys) and the
+/// dataset-pair question interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Provenance {
+    /// Join edges `(left column, right column)` in execution order.
+    pub join_edges: Vec<(ColumnRef, ColumnRef)>,
+    /// All source tables (base table first).
+    pub source_tables: Vec<TableId>,
+    /// Projected columns, qualified by their original tables.
+    pub projection: Vec<ColumnRef>,
+    /// Join-score assigned by the discovery engine (higher = better).
+    pub join_score: f64,
+}
+
+impl Provenance {
+    /// Number of join hops (edges) in the join graph.
+    pub fn hops(&self) -> usize {
+        self.join_edges.len()
+    }
+}
+
+/// A materialized candidate PJ-view: deduplicated rows plus provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct View {
+    /// Identifier assigned by the search stage.
+    pub id: ViewId,
+    /// The materialized, deduplicated data.
+    pub table: Table,
+    /// How the view was built.
+    pub provenance: Provenance,
+}
+
+impl View {
+    /// Wrap a table as a view.
+    pub fn new(id: ViewId, table: Table, provenance: Provenance) -> Self {
+        View { id, table, provenance }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.table.row_count()
+    }
+
+    /// Schema signature (used for SCHEMA-BASED-BLOCKS).
+    pub fn schema_signature(&self) -> String {
+        self.table.schema.signature()
+    }
+
+    /// Row-hash set `H(V)` (Algorithm 3).
+    pub fn hash_set(&self) -> FxHashSet<u64> {
+        table_hash_set(&self.table)
+    }
+
+    /// Display names of the view's attributes.
+    pub fn attribute_names(&self) -> Vec<String> {
+        self.table
+            .schema
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.display_name(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_store::table::TableBuilder;
+
+    fn view() -> View {
+        let mut b = TableBuilder::new("v", &["state", "pop"]);
+        b.push_row(vec!["Indiana".into(), Value::Int(1)]).unwrap();
+        b.push_row(vec!["Georgia".into(), Value::Int(2)]).unwrap();
+        View::new(
+            ViewId(7),
+            b.build(),
+            Provenance {
+                join_edges: vec![(
+                    ColumnRef { table: TableId(0), ordinal: 1 },
+                    ColumnRef { table: TableId(1), ordinal: 0 },
+                )],
+                source_tables: vec![TableId(0), TableId(1)],
+                projection: vec![
+                    ColumnRef { table: TableId(0), ordinal: 1 },
+                    ColumnRef { table: TableId(1), ordinal: 1 },
+                ],
+                join_score: 0.9,
+            },
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let v = view();
+        assert_eq!(v.id, ViewId(7));
+        assert_eq!(v.row_count(), 2);
+        assert_eq!(v.provenance.hops(), 1);
+        assert_eq!(v.attribute_names(), vec!["state", "pop"]);
+    }
+
+    #[test]
+    fn hash_set_matches_row_count_when_distinct() {
+        let v = view();
+        assert_eq!(v.hash_set().len(), 2);
+    }
+
+    #[test]
+    fn signature_matches_same_schema() {
+        let a = view();
+        let b = view();
+        assert_eq!(a.schema_signature(), b.schema_signature());
+    }
+}

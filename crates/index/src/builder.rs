@@ -1,0 +1,297 @@
+//! Offline discovery-index construction (the DISCOVERY ENGINE's build pass).
+//!
+//! Builds, over a [`TableCatalog`]:
+//! 1. per-column profiles (exact cardinalities),
+//! 2. MinHash signatures (parallelised across columns with crossbeam scoped
+//!    threads — index construction is the offline, embarrassingly parallel
+//!    stage),
+//! 3. keyword indexes over values / attribute names / table names,
+//! 4. the join hypergraph: LSH candidate pairs filtered by estimated (or
+//!    optionally exact) containment at `containment_threshold`.
+
+use crate::engine::DiscoveryIndex;
+use crate::hypergraph::JoinHypergraph;
+use crate::lsh::LshIndex;
+use crate::minhash::{exact_containment, estimated_containment, MinHasher, MinHashSignature};
+use crate::valueindex::KeywordIndex;
+use ver_common::error::Result;
+use ver_common::fxhash::FxHashSet;
+use ver_common::ids::ColumnId;
+use ver_common::value::DataType;
+use ver_store::catalog::TableCatalog;
+use ver_store::profile::{profile_catalog, ColumnProfile};
+
+/// Tunables for index construction.
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// MinHash functions per signature.
+    pub minhash_k: usize,
+    /// Containment threshold for hypergraph edges (paper/Aurum default 0.8;
+    /// Fig. 8a sweeps 0.8 → 0.5 by rebuilding).
+    pub containment_threshold: f64,
+    /// Verify LSH candidates with exact containment instead of the estimate.
+    /// Slower but eliminates estimation error (used by small corpora).
+    pub verify_exact: bool,
+    /// Distinct-value sample cap per column profile.
+    pub sample_cap: usize,
+    /// Threads for signature computation (1 = sequential).
+    pub threads: usize,
+    /// Seed for the MinHash family.
+    pub seed: u64,
+    /// Skip indexing values of columns with more distinct values than this
+    /// (guards the keyword index against enormous key columns).
+    pub value_index_cap: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            minhash_k: 128,
+            containment_threshold: 0.8,
+            verify_exact: false,
+            sample_cap: 64,
+            threads: 4,
+            seed: 0x5eed,
+            value_index_cap: 1_000_000,
+        }
+    }
+}
+
+/// Build the discovery index for `catalog`.
+pub fn build_index(catalog: &TableCatalog, config: IndexConfig) -> Result<DiscoveryIndex> {
+    let profiles = profile_catalog(catalog, config.sample_cap);
+    let hasher = MinHasher::new(config.minhash_k, config.seed);
+    let signatures = compute_signatures(catalog, &hasher, config.threads.max(1));
+    let keyword = build_keyword_index(catalog, &config);
+    let hypergraph = build_hypergraph(catalog, &profiles, &signatures, &config);
+    Ok(DiscoveryIndex::assemble(
+        config, profiles, hasher, signatures, keyword, hypergraph,
+    ))
+}
+
+/// Compute all column signatures, in parallel when `threads > 1`.
+fn compute_signatures(
+    catalog: &TableCatalog,
+    hasher: &MinHasher,
+    threads: usize,
+) -> Vec<MinHashSignature> {
+    let crefs: Vec<_> = catalog.all_columns().collect();
+    let n = crefs.len();
+    if threads <= 1 || n < 64 {
+        return crefs
+            .iter()
+            .map(|&(_, cref)| {
+                hasher.signature_of_column(catalog.column(cref).expect("valid ref"))
+            })
+            .collect();
+    }
+    let mut out: Vec<Option<MinHashSignature>> = vec![None; n];
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slice, refs) in out.chunks_mut(chunk).zip(crefs.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, &(_, cref)) in slice.iter_mut().zip(refs) {
+                    *slot = Some(
+                        hasher.signature_of_column(catalog.column(cref).expect("valid ref")),
+                    );
+                }
+            });
+        }
+    })
+    .expect("signature workers do not panic");
+    out.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+fn build_keyword_index(catalog: &TableCatalog, config: &IndexConfig) -> KeywordIndex {
+    let mut idx = KeywordIndex::new();
+    for table in catalog.tables() {
+        let cols: Vec<ColumnId> = (0..table.column_count())
+            .map(|o| {
+                catalog
+                    .column_id(ver_common::ids::ColumnRef {
+                        table: table.id,
+                        ordinal: o as u16,
+                    })
+                    .expect("registered column")
+            })
+            .collect();
+        idx.add_table(table.name(), table.id, cols.clone());
+        for (ordinal, cid) in cols.iter().enumerate() {
+            if let Some(name) = &table.schema.columns[ordinal].name {
+                idx.add_attribute(name, *cid);
+            }
+            let col = table.column(ordinal).expect("ordinal in range");
+            if col.distinct_count() > config.value_index_cap {
+                continue;
+            }
+            let mut seen: FxHashSet<String> = FxHashSet::default();
+            for v in col.non_null() {
+                let n = v.normalized();
+                if seen.insert(n.clone()) {
+                    idx.add_value(&n, *cid);
+                }
+            }
+        }
+    }
+    idx
+}
+
+fn build_hypergraph(
+    catalog: &TableCatalog,
+    profiles: &[ColumnProfile],
+    signatures: &[MinHashSignature],
+    config: &IndexConfig,
+) -> JoinHypergraph {
+    let col_table: Vec<_> = profiles.iter().map(|p| p.cref.table).collect();
+    let mut graph = JoinHypergraph::new(col_table);
+
+    // Containment-friendly banding: single-row bands (r = 1, b = k). A pair
+    // with Jaccard similarity s collides with probability 1 − (1 − s)^k,
+    // ≈ 1 for any s ≳ 3/k. High-containment pairs of asymmetric sizes have
+    // *low similarity* (A ⊂ B with |B| ≫ |A| gives J ≈ |A|/|B|), so banding
+    // tuned to the containment threshold would miss them — the problem LSH
+    // Ensemble/Lazo address. False candidates are discarded by the
+    // containment check below.
+    let mut lsh = LshIndex::new(config.minhash_k, 1);
+    for (i, sig) in signatures.iter().enumerate() {
+        lsh.insert(ColumnId(i as u32), sig);
+    }
+
+    let mut checked: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for group in lsh.collision_groups() {
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                let key = (a.0.min(b.0), a.0.max(b.0));
+                if !checked.insert(key) {
+                    continue;
+                }
+                if !compatible(&profiles[a.idx()], &profiles[b.idx()]) {
+                    continue;
+                }
+                let score = if config.verify_exact {
+                    let ca = catalog.column(profiles[a.idx()].cref).expect("valid");
+                    let cb = catalog.column(profiles[b.idx()].cref).expect("valid");
+                    exact_containment(ca, cb).max(exact_containment(cb, ca))
+                } else {
+                    let sa = &signatures[a.idx()];
+                    let sb = &signatures[b.idx()];
+                    estimated_containment(sa, sb).max(estimated_containment(sb, sa))
+                };
+                if score >= config.containment_threshold {
+                    graph.add_edge(a, b, score as f32);
+                }
+            }
+        }
+    }
+    graph.finalize();
+    graph
+}
+
+/// Edge admissibility: different tables, same broad type family, both
+/// non-empty. Joining text to numbers manufactures nonsense paths.
+fn compatible(a: &ColumnProfile, b: &ColumnProfile) -> bool {
+    if a.cref.table == b.cref.table || a.distinct == 0 || b.distinct == 0 {
+        return false;
+    }
+    type_family(a.dtype) == type_family(b.dtype)
+}
+
+fn type_family(t: DataType) -> u8 {
+    match t {
+        DataType::Int | DataType::Float => 0,
+        DataType::Text => 1,
+        DataType::Unknown => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_store::table::TableBuilder;
+
+    /// Catalog where airports.state ⊆ states.name exactly, and a numeric
+    /// column pair that should never link to text.
+    fn catalog() -> TableCatalog {
+        let mut cat = TableCatalog::new();
+        let states: Vec<String> = (0..60).map(|i| format!("state_{i}")).collect();
+
+        let mut b = TableBuilder::new("airports", &["iata", "state"]);
+        for (i, s) in states.iter().take(50).enumerate() {
+            b.push_row(vec![Value::text(format!("A{i:03}")), Value::text(s.clone())])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+
+        let mut b = TableBuilder::new("states", &["name", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        cat
+    }
+
+    fn config() -> IndexConfig {
+        IndexConfig { threads: 1, verify_exact: true, ..Default::default() }
+    }
+
+    #[test]
+    fn builds_expected_join_edge() {
+        let cat = catalog();
+        let idx = build_index(&cat, config()).unwrap();
+        // airports.state (C1) ⊆ states.name (C2), containment 1.0.
+        let n = idx.hypergraph().neighbors(ColumnId(1), 0.8);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].0, ColumnId(2));
+        assert!(n[0].1 > 0.99);
+    }
+
+    #[test]
+    fn estimated_mode_finds_the_same_edge() {
+        let cat = catalog();
+        let idx = build_index(&cat, IndexConfig { threads: 1, ..Default::default() }).unwrap();
+        let n = idx.hypergraph().neighbors(ColumnId(1), 0.8);
+        assert!(n.iter().any(|(c, _)| *c == ColumnId(2)));
+    }
+
+    #[test]
+    fn no_cross_type_edges() {
+        let cat = catalog();
+        let idx = build_index(&cat, config()).unwrap();
+        for e in idx.hypergraph().edges() {
+            let ta = idx.profile(e.a).dtype;
+            let tb = idx.profile(e.b).dtype;
+            assert_eq!(type_family(ta), type_family(tb));
+        }
+    }
+
+    #[test]
+    fn no_intra_table_edges() {
+        let cat = catalog();
+        let idx = build_index(&cat, config()).unwrap();
+        for e in idx.hypergraph().edges() {
+            assert_ne!(idx.profile(e.a).cref.table, idx.profile(e.b).cref.table);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_signatures_agree() {
+        let cat = catalog();
+        let h = MinHasher::new(64, 1);
+        let seq = compute_signatures(&cat, &h, 1);
+        let par = compute_signatures(&cat, &h, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn keyword_index_covers_values_and_attributes() {
+        let cat = catalog();
+        let idx = build_index(&cat, config()).unwrap();
+        use crate::valueindex::{Fuzziness, SearchTarget};
+        let hits = idx.search_keyword("state_7", SearchTarget::Values, Fuzziness::Exact);
+        assert_eq!(hits.len(), 2, "value occurs in airports.state and states.name");
+        let hits = idx.search_keyword("iata", SearchTarget::Attributes, Fuzziness::Exact);
+        assert_eq!(hits, vec![ColumnId(0)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The online Discovery Engine API.
+//!
+//! [`DiscoveryIndex`] bundles everything the offline pass built and exposes
+//! the three functions the paper's Appendix A specifies (SEARCH-KEYWORD,
+//! NEIGHBORS, GENERATE-JOIN-GRAPHS) plus the lookups downstream components
+//! need (profiles, column↔table resolution, Table-I statistics).
+
+use crate::builder::IndexConfig;
+use crate::hypergraph::JoinHypergraph;
+use crate::joinpath::{generate_join_graphs, unjoinable, JoinGraph, JoinGraphOptions};
+use crate::minhash::{MinHasher, MinHashSignature};
+use crate::valueindex::{Fuzziness, KeywordIndex, SearchTarget};
+use ver_common::ids::{ColumnId, TableId};
+use ver_store::profile::ColumnProfile;
+
+/// The assembled discovery index (Aurum substitute).
+#[derive(Debug, Clone)]
+pub struct DiscoveryIndex {
+    config: IndexConfig,
+    profiles: Vec<ColumnProfile>,
+    hasher: MinHasher,
+    signatures: Vec<MinHashSignature>,
+    keyword: KeywordIndex,
+    hypergraph: JoinHypergraph,
+}
+
+impl DiscoveryIndex {
+    /// Assemble from parts (used by the builder).
+    pub(crate) fn assemble(
+        config: IndexConfig,
+        profiles: Vec<ColumnProfile>,
+        hasher: MinHasher,
+        signatures: Vec<MinHashSignature>,
+        keyword: KeywordIndex,
+        hypergraph: JoinHypergraph,
+    ) -> Self {
+        DiscoveryIndex { config, profiles, hasher, signatures, keyword, hypergraph }
+    }
+
+    /// Build configuration used.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Profile of a column.
+    pub fn profile(&self, c: ColumnId) -> &ColumnProfile {
+        &self.profiles[c.idx()]
+    }
+
+    /// All profiles (ColumnId order).
+    pub fn profiles(&self) -> &[ColumnProfile] {
+        &self.profiles
+    }
+
+    /// MinHash signature of a column.
+    pub fn signature(&self, c: ColumnId) -> &MinHashSignature {
+        &self.signatures[c.idx()]
+    }
+
+    /// The MinHash family (for sketching query-side value sets).
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// The join hypergraph.
+    pub fn hypergraph(&self) -> &JoinHypergraph {
+        &self.hypergraph
+    }
+
+    /// Owning table of a column.
+    pub fn table_of(&self, c: ColumnId) -> TableId {
+        self.hypergraph.table_of(c)
+    }
+
+    /// SEARCH-KEYWORD (Appendix A).
+    pub fn search_keyword(
+        &self,
+        keyword: &str,
+        target: SearchTarget,
+        fuzzy: Fuzziness,
+    ) -> Vec<ColumnId> {
+        self.keyword.search_keyword(keyword, target, fuzzy)
+    }
+
+    /// NEIGHBORS (Appendix A): joinable columns at containment ≥ threshold.
+    pub fn neighbors(&self, c: ColumnId, threshold: f64) -> Vec<(ColumnId, f32)> {
+        self.hypergraph.neighbors(c, threshold)
+    }
+
+    /// GENERATE-JOIN-GRAPHS (Appendix A): join graphs connecting `tables`
+    /// with per-connection hop limit `rho`.
+    pub fn generate_join_graphs(&self, tables: &[TableId], rho: usize) -> Vec<JoinGraph> {
+        generate_join_graphs(&self.hypergraph, tables, self.join_graph_options(rho))
+    }
+
+    /// True when two tables provably cannot be connected under `rho` hops —
+    /// feeds Algorithm 5's non-joinable cache.
+    pub fn unjoinable(&self, a: TableId, b: TableId, rho: usize) -> bool {
+        unjoinable(&self.hypergraph, a, b, self.join_graph_options(rho))
+    }
+
+    fn join_graph_options(&self, rho: usize) -> JoinGraphOptions {
+        JoinGraphOptions {
+            max_hops: rho,
+            threshold: self.config.containment_threshold,
+            max_graphs: 10_000,
+        }
+    }
+
+    /// Number of undirected joinable column pairs (Table I).
+    pub fn joinable_pairs(&self) -> usize {
+        self.hypergraph.joinable_pairs()
+    }
+
+    /// Number of distinct indexed values (index-size reporting).
+    pub fn distinct_indexed_values(&self) -> usize {
+        self.keyword.distinct_values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_index;
+    use ver_common::value::Value;
+    use ver_store::catalog::TableCatalog;
+    use ver_store::table::TableBuilder;
+
+    fn setup() -> DiscoveryIndex {
+        let mut cat = TableCatalog::new();
+        let keys: Vec<String> = (0..80).map(|i| format!("k{i}")).collect();
+        let mut b = TableBuilder::new("left", &["key", "a"]);
+        for (i, k) in keys.iter().enumerate() {
+            b.push_row(vec![Value::text(k.clone()), Value::Int(i as i64)]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        let mut b = TableBuilder::new("right", &["key", "b"]);
+        for (i, k) in keys.iter().enumerate() {
+            b.push_row(vec![Value::text(k.clone()), Value::Int(-(i as i64))]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        build_index(
+            &cat,
+            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn api_surface_works_end_to_end() {
+        let idx = setup();
+        // keyword → column
+        let hits = idx.search_keyword("k5", SearchTarget::Values, Fuzziness::Exact);
+        assert_eq!(hits.len(), 2);
+        // neighbors
+        let n = idx.neighbors(ColumnId(0), 0.8);
+        assert_eq!(n.len(), 1);
+        assert_eq!(idx.table_of(n[0].0), TableId(1));
+        // join graphs
+        let jgs = idx.generate_join_graphs(&[TableId(0), TableId(1)], 2);
+        assert_eq!(jgs.len(), 1);
+        assert_eq!(jgs[0].hops(), 1);
+        assert!(!idx.unjoinable(TableId(0), TableId(1), 2));
+        // stats
+        assert_eq!(idx.joinable_pairs(), 1);
+        assert!(idx.distinct_indexed_values() >= 80);
+    }
+
+    #[test]
+    fn profiles_align_with_columns() {
+        let idx = setup();
+        assert_eq!(idx.profiles().len(), 4);
+        assert_eq!(idx.profile(ColumnId(0)).distinct, 80);
+        assert_eq!(idx.signature(ColumnId(0)).cardinality, 80);
+    }
+}

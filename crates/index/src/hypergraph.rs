@@ -1,0 +1,227 @@
+//! The column-level join hypergraph.
+//!
+//! Nodes are columns; an (undirected) edge links two columns whose estimated
+//! Jaccard containment exceeds the build threshold — the inclusion
+//! dependencies that stand in for join paths in pathless collections
+//! (Challenge 2). The hypergraph answers the Aurum API's
+//! `NEIGHBORS(threshold)` and provides the table-level adjacency that
+//! join-graph enumeration walks.
+
+use serde::{Deserialize, Serialize};
+use ver_common::ids::{ColumnId, TableId};
+
+/// An undirected join edge between two columns with its containment score
+/// (the max of the two directional containments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinableEdge {
+    /// One endpoint.
+    pub a: ColumnId,
+    /// Other endpoint.
+    pub b: ColumnId,
+    /// Containment score in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Column-level join graph with a table-level projection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JoinHypergraph {
+    /// Column → owning table (indexed by `ColumnId`).
+    col_table: Vec<TableId>,
+    /// Column → sorted neighbor list.
+    adj: Vec<Vec<(ColumnId, f32)>>,
+    /// Total undirected edges.
+    edge_count: usize,
+}
+
+impl JoinHypergraph {
+    /// Create a graph over `col_table.len()` columns; `col_table[i]` is the
+    /// owning table of `ColumnId(i)`.
+    pub fn new(col_table: Vec<TableId>) -> Self {
+        let n = col_table.len();
+        JoinHypergraph { col_table, adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of columns (nodes).
+    pub fn column_count(&self) -> usize {
+        self.col_table.len()
+    }
+
+    /// Number of undirected joinable column pairs (Table I's
+    /// "# Joinable Columns").
+    pub fn joinable_pairs(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Owning table of a column.
+    pub fn table_of(&self, c: ColumnId) -> TableId {
+        self.col_table[c.idx()]
+    }
+
+    /// Add an undirected edge. Duplicate edges update the score to the max.
+    pub fn add_edge(&mut self, a: ColumnId, b: ColumnId, score: f32) {
+        assert!(a != b, "self-edges are meaningless");
+        if let Some(slot) = self.adj[a.idx()].iter_mut().find(|(n, _)| *n == b) {
+            slot.1 = slot.1.max(score);
+            if let Some(slot) = self.adj[b.idx()].iter_mut().find(|(n, _)| *n == a) {
+                slot.1 = slot.1.max(score);
+            }
+            return;
+        }
+        self.adj[a.idx()].push((b, score));
+        self.adj[b.idx()].push((a, score));
+        self.edge_count += 1;
+    }
+
+    /// Finish construction: sort adjacency lists for determinism.
+    pub fn finalize(&mut self) {
+        for list in &mut self.adj {
+            list.sort_unstable_by_key(|(n, _)| *n);
+        }
+    }
+
+    /// NEIGHBORS: columns joinable with `c` at containment ≥ `threshold`.
+    pub fn neighbors(&self, c: ColumnId, threshold: f64) -> Vec<(ColumnId, f32)> {
+        self.adj
+            .get(c.idx())
+            .map(|list| {
+                list.iter()
+                    .filter(|(_, s)| *s as f64 >= threshold)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All column edges between tables `ta` and `tb` at ≥ `threshold`,
+    /// as `(column in ta, column in tb, score)`.
+    pub fn edges_between(
+        &self,
+        ta: TableId,
+        tb: TableId,
+        threshold: f64,
+    ) -> Vec<(ColumnId, ColumnId, f32)> {
+        let mut out = Vec::new();
+        for (i, list) in self.adj.iter().enumerate() {
+            if self.col_table[i] != ta {
+                continue;
+            }
+            let ca = ColumnId(i as u32);
+            for &(cb, s) in list {
+                if self.col_table[cb.idx()] == tb && s as f64 >= threshold {
+                    out.push((ca, cb, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct neighbor tables of table `t` at ≥ `threshold` (sorted).
+    pub fn table_neighbors(&self, t: TableId, threshold: f64) -> Vec<TableId> {
+        let mut out: Vec<TableId> = Vec::new();
+        for (i, list) in self.adj.iter().enumerate() {
+            if self.col_table[i] != t {
+                continue;
+            }
+            for &(n, s) in list {
+                if s as f64 >= threshold {
+                    let tn = self.col_table[n.idx()];
+                    if tn != t {
+                        out.push(tn);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Iterate all undirected edges once (`a < b`).
+    pub fn edges(&self) -> impl Iterator<Item = JoinableEdge> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(i, list)| {
+            let a = ColumnId(i as u32);
+            list.iter()
+                .filter(move |(b, _)| a < *b)
+                .map(move |&(b, score)| JoinableEdge { a, b, score })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 tables × 2 columns: T0{C0,C1} T1{C2,C3} T2{C4,C5}.
+    fn graph() -> JoinHypergraph {
+        let col_table = vec![
+            TableId(0),
+            TableId(0),
+            TableId(1),
+            TableId(1),
+            TableId(2),
+            TableId(2),
+        ];
+        let mut g = JoinHypergraph::new(col_table);
+        g.add_edge(ColumnId(1), ColumnId(2), 0.95);
+        g.add_edge(ColumnId(3), ColumnId(4), 0.85);
+        g.add_edge(ColumnId(0), ColumnId(5), 0.6);
+        g.finalize();
+        g
+    }
+
+    #[test]
+    fn neighbors_filter_by_threshold() {
+        let g = graph();
+        assert_eq!(g.neighbors(ColumnId(1), 0.9), vec![(ColumnId(2), 0.95)]);
+        assert!(g.neighbors(ColumnId(0), 0.8).is_empty());
+        assert_eq!(g.neighbors(ColumnId(0), 0.5).len(), 1);
+    }
+
+    #[test]
+    fn edges_between_tables() {
+        let g = graph();
+        let e = g.edges_between(TableId(0), TableId(1), 0.8);
+        assert_eq!(e, vec![(ColumnId(1), ColumnId(2), 0.95)]);
+        // direction matters for which side is reported first
+        let e = g.edges_between(TableId(1), TableId(0), 0.8);
+        assert_eq!(e, vec![(ColumnId(2), ColumnId(1), 0.95)]);
+        assert!(g.edges_between(TableId(0), TableId(2), 0.8).is_empty());
+    }
+
+    #[test]
+    fn table_neighbors_respect_threshold() {
+        let g = graph();
+        assert_eq!(g.table_neighbors(TableId(0), 0.8), vec![TableId(1)]);
+        assert_eq!(
+            g.table_neighbors(TableId(0), 0.5),
+            vec![TableId(1), TableId(2)]
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_keep_max_score() {
+        let mut g = graph();
+        let before = g.joinable_pairs();
+        g.add_edge(ColumnId(2), ColumnId(1), 0.7); // lower score, reversed
+        assert_eq!(g.joinable_pairs(), before);
+        assert_eq!(g.neighbors(ColumnId(1), 0.9), vec![(ColumnId(2), 0.95)]);
+        g.add_edge(ColumnId(1), ColumnId(2), 0.99);
+        assert_eq!(g.neighbors(ColumnId(1), 0.99), vec![(ColumnId(2), 0.99)]);
+    }
+
+    #[test]
+    fn edge_iteration_visits_each_pair_once() {
+        let g = graph();
+        let edges: Vec<JoinableEdge> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges.len(), g.joinable_pairs());
+        assert!(edges.iter().all(|e| e.a < e.b));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edges")]
+    fn self_edges_panic() {
+        let mut g = graph();
+        g.add_edge(ColumnId(0), ColumnId(0), 1.0);
+    }
+}

@@ -1,0 +1,469 @@
+//! Join-graph enumeration: the Aurum API's `GENERATE-JOIN-GRAPHS(tables, ρ)`.
+//!
+//! A *join graph* is a tree over tables whose edges are joinable column
+//! pairs from the hypergraph; materialising it (and projecting) yields a
+//! candidate PJ-view. Given the set of tables holding a candidate-column
+//! combination, this module enumerates every join graph connecting them
+//! where each required-pair connection uses at most `ρ` hops (possibly
+//! through intermediate tables), exactly the setting of the paper's
+//! evaluation (`ρ = 2`).
+//!
+//! Enumeration strategy: (1) enumerate column-edge *paths* of length ≤ ρ
+//! between every required pair (DFS, no repeated tables); (2) enumerate
+//! spanning trees over the required tables (Prüfer sequences — required sets
+//! are small, ≤ 4 in the paper's workloads); (3) take the Cartesian product
+//! of path choices per tree edge, rejecting combinations whose union is not
+//! a tree; (4) canonicalise + dedupe. A `max_graphs` cap bounds worst-case
+//! blowup on dense corpora.
+
+use crate::hypergraph::JoinHypergraph;
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::FxHashSet;
+use ver_common::ids::{ColumnId, TableId};
+
+/// One edge of a join graph: join `left`'s column to `right`'s column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinGraphEdge {
+    /// Column on one side.
+    pub left: ColumnId,
+    /// Column on the other side.
+    pub right: ColumnId,
+    /// Containment score of the inclusion dependency.
+    pub score: f32,
+}
+
+/// A tree of join edges over tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JoinGraph {
+    /// Edges (order not significant; canonicalised on construction).
+    pub edges: Vec<JoinGraphEdge>,
+}
+
+impl JoinGraph {
+    /// Number of join hops.
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Mean containment score of the edges (1.0 for the empty graph).
+    /// Used with size for ranking: the discovery engine "ranks views
+    /// according to how well join graphs approximate PK/FK, and according to
+    /// the size of the join graph; smaller graphs rank higher".
+    pub fn mean_score(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 1.0;
+        }
+        self.edges.iter().map(|e| e.score as f64).sum::<f64>() / self.edges.len() as f64
+    }
+
+    /// All tables touched, given the hypergraph for column→table resolution.
+    pub fn tables(&self, g: &JoinHypergraph) -> Vec<TableId> {
+        let mut out: Vec<TableId> = self
+            .edges
+            .iter()
+            .flat_map(|e| [g.table_of(e.left), g.table_of(e.right)])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Canonical form for deduplication: sorted (min, max) column-id pairs.
+    fn canon(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| {
+                let (a, b) = (e.left.0, e.right.0);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A path between two required tables: a sequence of column edges.
+type Path = Vec<JoinGraphEdge>;
+
+/// Enumerate column-edge paths of ≤ `max_hops` between `from` and `to`,
+/// never revisiting a table.
+fn paths_between(
+    g: &JoinHypergraph,
+    from: TableId,
+    to: TableId,
+    max_hops: usize,
+    threshold: f64,
+    cap: usize,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut stack: Vec<JoinGraphEdge> = Vec::new();
+    let mut visited: Vec<TableId> = vec![from];
+    dfs(g, from, to, max_hops, threshold, cap, &mut stack, &mut visited, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &JoinHypergraph,
+    cur: TableId,
+    to: TableId,
+    hops_left: usize,
+    threshold: f64,
+    cap: usize,
+    stack: &mut Vec<JoinGraphEdge>,
+    visited: &mut Vec<TableId>,
+    out: &mut Vec<Path>,
+) {
+    if out.len() >= cap || hops_left == 0 {
+        return;
+    }
+    // Direct edges first (shorter paths enumerate earlier).
+    for next in g.table_neighbors(cur, threshold) {
+        if next == to {
+            for (ca, cb, s) in g.edges_between(cur, to, threshold) {
+                stack.push(JoinGraphEdge { left: ca, right: cb, score: s });
+                out.push(stack.clone());
+                stack.pop();
+                if out.len() >= cap {
+                    return;
+                }
+            }
+        }
+    }
+    if hops_left == 1 {
+        return;
+    }
+    for next in g.table_neighbors(cur, threshold) {
+        if next == to || visited.contains(&next) {
+            continue;
+        }
+        for (ca, cb, s) in g.edges_between(cur, next, threshold) {
+            stack.push(JoinGraphEdge { left: ca, right: cb, score: s });
+            visited.push(next);
+            dfs(g, next, to, hops_left - 1, threshold, cap, stack, visited, out);
+            visited.pop();
+            stack.pop();
+            if out.len() >= cap {
+                return;
+            }
+        }
+    }
+}
+
+/// Enumerate all labelled trees on `n` nodes via Prüfer sequences.
+/// Returns edge lists of node *indices*. `n` is at most the query arity
+/// (≤ 4 in the paper's workloads), so `n^(n-2)` stays tiny.
+fn labelled_trees(n: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(n >= 1);
+    if n == 1 {
+        return vec![vec![]];
+    }
+    if n == 2 {
+        return vec![vec![(0, 1)]];
+    }
+    let seq_len = n - 2;
+    let total = n.pow(seq_len as u32);
+    let mut trees = Vec::with_capacity(total);
+    for code in 0..total {
+        // Decode the Prüfer sequence.
+        let mut seq = Vec::with_capacity(seq_len);
+        let mut c = code;
+        for _ in 0..seq_len {
+            seq.push(c % n);
+            c /= n;
+        }
+        // Standard Prüfer decoding.
+        let mut degree = vec![1usize; n];
+        for &s in &seq {
+            degree[s] += 1;
+        }
+        let mut edges = Vec::with_capacity(n - 1);
+        let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| degree[i] == 1)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut deg = degree;
+        for &s in &seq {
+            let std::cmp::Reverse(leaf) = leaf_heap.pop().expect("tree has a leaf");
+            edges.push((leaf.min(s), leaf.max(s)));
+            deg[s] -= 1;
+            if deg[s] == 1 {
+                leaf_heap.push(std::cmp::Reverse(s));
+            }
+        }
+        let std::cmp::Reverse(u) = leaf_heap.pop().expect("two nodes left");
+        let std::cmp::Reverse(v) = leaf_heap.pop().expect("two nodes left");
+        edges.push((u.min(v), u.max(v)));
+        trees.push(edges);
+    }
+    trees
+}
+
+/// Options for join-graph enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinGraphOptions {
+    /// Maximum hops per required-pair connection (paper default: 2).
+    pub max_hops: usize,
+    /// Containment threshold applied when walking the hypergraph.
+    pub threshold: f64,
+    /// Upper bound on returned join graphs.
+    pub max_graphs: usize,
+}
+
+impl Default for JoinGraphOptions {
+    fn default() -> Self {
+        JoinGraphOptions { max_hops: 2, threshold: 0.8, max_graphs: 10_000 }
+    }
+}
+
+/// `GENERATE-JOIN-GRAPHS(tables, ρ)`: all join graphs connecting `tables`.
+///
+/// Returns the empty-graph singleton when all required columns live in one
+/// table, and an empty vec when some pair of tables cannot be connected.
+pub fn generate_join_graphs(
+    g: &JoinHypergraph,
+    tables: &[TableId],
+    opts: JoinGraphOptions,
+) -> Vec<JoinGraph> {
+    let mut required: Vec<TableId> = tables.to_vec();
+    required.sort_unstable();
+    required.dedup();
+    let n = required.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![JoinGraph::default()];
+    }
+
+    // Pairwise path sets.
+    let mut pair_paths: Vec<Vec<Vec<Path>>> = vec![vec![Vec::new(); n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = paths_between(
+                g,
+                required[i],
+                required[j],
+                opts.max_hops,
+                opts.threshold,
+                opts.max_graphs,
+            );
+            pair_paths[i][j] = p;
+        }
+    }
+
+    let mut out: Vec<JoinGraph> = Vec::new();
+    let mut seen: FxHashSet<Vec<(u32, u32)>> = FxHashSet::default();
+
+    for tree in labelled_trees(n) {
+        // Every tree edge needs at least one path.
+        if tree
+            .iter()
+            .any(|&(i, j)| pair_paths[i][j].is_empty())
+        {
+            continue;
+        }
+        // Cartesian product over path choices per tree edge.
+        let mut choice = vec![0usize; tree.len()];
+        'product: loop {
+            // Assemble candidate graph.
+            let mut edges: Vec<JoinGraphEdge> = Vec::new();
+            for (e, &(i, j)) in tree.iter().enumerate() {
+                edges.extend(pair_paths[i][j][choice[e]].iter().copied());
+            }
+            let candidate = JoinGraph { edges };
+            if is_tree(g, &candidate) {
+                let canon = candidate.canon();
+                if seen.insert(canon) {
+                    out.push(candidate);
+                    if out.len() >= opts.max_graphs {
+                        return out;
+                    }
+                }
+            }
+            // Advance the mixed-radix counter.
+            for e in 0..tree.len() {
+                choice[e] += 1;
+                if choice[e] < pair_paths[tree[e].0][tree[e].1].len() {
+                    continue 'product;
+                }
+                choice[e] = 0;
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// A join graph is valid iff its edges form a tree over its tables:
+/// `#tables == #edges + 1` and connected.
+fn is_tree(g: &JoinHypergraph, jg: &JoinGraph) -> bool {
+    let tables = jg.tables(g);
+    if tables.is_empty() {
+        return jg.edges.is_empty();
+    }
+    if tables.len() != jg.edges.len() + 1 {
+        return false;
+    }
+    // Union-find connectivity.
+    let mut parent: Vec<usize> = (0..tables.len()).collect();
+    fn find(p: &mut Vec<usize>, x: usize) -> usize {
+        if p[x] != x {
+            let r = find(p, p[x]);
+            p[x] = r;
+        }
+        p[x]
+    }
+    let idx_of = |t: TableId| tables.binary_search(&t).expect("table in list");
+    let mut merges = 0;
+    for e in &jg.edges {
+        let (a, b) = (idx_of(g.table_of(e.left)), idx_of(g.table_of(e.right)));
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra == rb {
+            return false; // cycle
+        }
+        parent[ra] = rb;
+        merges += 1;
+    }
+    merges == tables.len() - 1
+}
+
+/// True when two specific tables have no connection within the options —
+/// used by Algorithm 5's non-joinable cache.
+pub fn unjoinable(g: &JoinHypergraph, a: TableId, b: TableId, opts: JoinGraphOptions) -> bool {
+    if a == b {
+        return false;
+    }
+    paths_between(g, a, b, opts.max_hops, opts.threshold, 1).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// T0{C0,C1} T1{C2,C3} T2{C4,C5} T3{C6}:
+    /// C1-C2 (T0-T1), C3-C4 (T1-T2), C0-C5 (T0-T2), C6 isolated in T3.
+    fn graph() -> JoinHypergraph {
+        let col_table = vec![
+            TableId(0),
+            TableId(0),
+            TableId(1),
+            TableId(1),
+            TableId(2),
+            TableId(2),
+            TableId(3),
+        ];
+        let mut g = JoinHypergraph::new(col_table);
+        g.add_edge(ColumnId(1), ColumnId(2), 0.95);
+        g.add_edge(ColumnId(3), ColumnId(4), 0.9);
+        g.add_edge(ColumnId(0), ColumnId(5), 0.85);
+        g.finalize();
+        g
+    }
+
+    fn opts() -> JoinGraphOptions {
+        JoinGraphOptions { max_hops: 2, threshold: 0.8, max_graphs: 1000 }
+    }
+
+    #[test]
+    fn single_table_yields_empty_graph() {
+        let g = graph();
+        let jgs = generate_join_graphs(&g, &[TableId(0)], opts());
+        assert_eq!(jgs.len(), 1);
+        assert_eq!(jgs[0].hops(), 0);
+        assert_eq!(jgs[0].mean_score(), 1.0);
+    }
+
+    #[test]
+    fn pair_direct_and_via_intermediate() {
+        let g = graph();
+        // T0–T1: direct (C1-C2) and via T2 (C0-C5, C4-C3) = 2 hops.
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1)], opts());
+        assert_eq!(jgs.len(), 2);
+        let hops: Vec<usize> = jgs.iter().map(JoinGraph::hops).collect();
+        assert!(hops.contains(&1));
+        assert!(hops.contains(&2));
+    }
+
+    #[test]
+    fn hop_limit_prunes_long_paths() {
+        let g = graph();
+        let one_hop = JoinGraphOptions { max_hops: 1, ..opts() };
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1)], one_hop);
+        assert_eq!(jgs.len(), 1);
+        assert_eq!(jgs[0].hops(), 1);
+    }
+
+    #[test]
+    fn disconnected_tables_yield_nothing() {
+        let g = graph();
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(3)], opts());
+        assert!(jgs.is_empty());
+        assert!(unjoinable(&g, TableId(0), TableId(3), opts()));
+        assert!(!unjoinable(&g, TableId(0), TableId(1), opts()));
+    }
+
+    #[test]
+    fn three_required_tables_connect_in_multiple_shapes() {
+        let g = graph();
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1), TableId(2)], opts());
+        // Triangle graph: 3 spanning trees of the triangle, each with
+        // single-edge paths → path/chain shapes (no cycle is accepted).
+        assert_eq!(jgs.len(), 3);
+        for jg in &jgs {
+            assert_eq!(jg.hops(), 2);
+            assert_eq!(jg.tables(&g).len(), 3);
+        }
+    }
+
+    #[test]
+    fn graphs_are_deduplicated() {
+        let g = graph();
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1), TableId(2)], opts());
+        let mut canons: Vec<Vec<(u32, u32)>> = jgs.iter().map(|j| j.canon()).collect();
+        canons.sort();
+        canons.dedup();
+        assert_eq!(canons.len(), jgs.len());
+    }
+
+    #[test]
+    fn max_graphs_caps_output() {
+        let g = graph();
+        let capped = JoinGraphOptions { max_graphs: 1, ..opts() };
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1)], capped);
+        assert_eq!(jgs.len(), 1);
+    }
+
+    #[test]
+    fn threshold_filters_weak_edges() {
+        let g = graph();
+        let strict = JoinGraphOptions { threshold: 0.92, ..opts() };
+        // Only C1-C2 (0.95) survives; T0–T2 and T1–T2 (0.85/0.9) drop.
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(2)], strict);
+        assert!(jgs.is_empty());
+        let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1)], strict);
+        assert_eq!(jgs.len(), 1);
+    }
+
+    #[test]
+    fn labelled_trees_counts_follow_cayley() {
+        assert_eq!(labelled_trees(1).len(), 1);
+        assert_eq!(labelled_trees(2).len(), 1);
+        assert_eq!(labelled_trees(3).len(), 3);
+        assert_eq!(labelled_trees(4).len(), 16);
+        // Every tree on 4 nodes has exactly 3 edges.
+        assert!(labelled_trees(4).iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn mean_score_averages_edges() {
+        let jg = JoinGraph {
+            edges: vec![
+                JoinGraphEdge { left: ColumnId(0), right: ColumnId(1), score: 1.0 },
+                JoinGraphEdge { left: ColumnId(1), right: ColumnId(2), score: 0.5 },
+            ],
+        };
+        assert!((jg.mean_score() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! Discovery engine & index — Ver's Aurum/Lazo substrate, from scratch.
+//!
+//! The paper's DISCOVERY ENGINE builds indices over pathless table
+//! collections offline and serves them online through three API functions
+//! (Appendix A), all implemented here:
+//!
+//! * `SEARCH-KEYWORD(target, fuzzy)` → [`valueindex`] (exact and
+//!   Levenshtein-fuzzy lookup over values, attribute names, table names);
+//! * `NEIGHBORS(threshold)` → [`hypergraph`] (joinable columns by estimated
+//!   Jaccard containment);
+//! * `GENERATE-JOIN-GRAPHS(tables, ρ)` → [`joinpath`] (join-graph trees with
+//!   bounded hops).
+//!
+//! Containment is estimated Lazo-style from MinHash signatures
+//! ([`minhash`]), with LSH banding ([`lsh`]) keeping candidate generation
+//! sub-quadratic. [`builder`] runs the offline pass (parallelised with
+//! crossbeam) and [`engine`] is the online façade. [`persist`] serialises
+//! the hypergraph — the expensive offline product — to a compact binary
+//! format.
+
+pub mod builder;
+pub mod engine;
+pub mod hypergraph;
+pub mod joinpath;
+pub mod lsh;
+pub mod minhash;
+pub mod persist;
+pub mod valueindex;
+
+pub use builder::{build_index, IndexConfig};
+pub use engine::DiscoveryIndex;
+pub use hypergraph::JoinHypergraph;
+pub use joinpath::{JoinGraph, JoinGraphEdge, JoinGraphOptions};
+pub use minhash::{MinHasher, MinHashSignature};
+pub use valueindex::{Fuzziness, SearchTarget};

@@ -1,0 +1,199 @@
+//! LSH banding over MinHash signatures for sub-quadratic candidate
+//! generation.
+//!
+//! The hypergraph builder must avoid comparing all `O(|columns|²)` signature
+//! pairs (Open Data has millions of columns). Signatures are split into `b`
+//! bands of `r` rows (`b · r = k`); two columns land in the same bucket of a
+//! band iff that band's slice hashes identically, and any shared bucket
+//! makes them a *candidate pair*. The probability a pair with similarity `s`
+//! becomes a candidate is `1 − (1 − s^r)^b` — the classic S-curve.
+
+use crate::minhash::MinHashSignature;
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::{fx_hash_u64, FxHashMap, FxHashSet};
+use ver_common::ids::ColumnId;
+
+/// Banded LSH index over column signatures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshIndex {
+    bands: usize,
+    rows: usize,
+    /// One bucket map per band: band-hash → column ids.
+    buckets: Vec<FxHashMap<u64, Vec<ColumnId>>>,
+}
+
+impl LshIndex {
+    /// Create an index with `bands` bands of `rows` rows.
+    ///
+    /// `bands * rows` must equal the signature length used at insert time.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands > 0 && rows > 0, "bands and rows must be positive");
+        LshIndex {
+            bands,
+            rows,
+            buckets: (0..bands).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Pick a banding for signature length `k` targeting a similarity
+    /// threshold `t` (the band/row split whose S-curve threshold
+    /// `(1/b)^(1/r)` lands closest to `t`).
+    pub fn for_threshold(k: usize, t: f64) -> Self {
+        let mut best = (1usize, k.max(1));
+        let mut best_err = f64::INFINITY;
+        for rows in 1..=k.max(1) {
+            if k % rows != 0 {
+                continue;
+            }
+            let bands = k / rows;
+            let threshold = (1.0 / bands as f64).powf(1.0 / rows as f64);
+            let err = (threshold - t).abs();
+            if err < best_err {
+                best_err = err;
+                best = (bands, rows);
+            }
+        }
+        LshIndex::new(best.0, best.1)
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows per band.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn band_hash(&self, sig: &MinHashSignature, band: usize) -> u64 {
+        let start = band * self.rows;
+        fx_hash_u64(&sig.sig[start..start + self.rows])
+    }
+
+    /// Insert a column's signature. Empty signatures are skipped (empty
+    /// columns join nothing).
+    pub fn insert(&mut self, id: ColumnId, sig: &MinHashSignature) {
+        if sig.is_empty() {
+            return;
+        }
+        assert_eq!(
+            sig.sig.len(),
+            self.bands * self.rows,
+            "signature length does not match banding"
+        );
+        for band in 0..self.bands {
+            let h = self.band_hash(sig, band);
+            self.buckets[band].entry(h).or_default().push(id);
+        }
+    }
+
+    /// All candidate columns sharing at least one band bucket with `sig`
+    /// (excluding `exclude`, typically the query column itself).
+    pub fn candidates(&self, sig: &MinHashSignature, exclude: Option<ColumnId>) -> Vec<ColumnId> {
+        if sig.is_empty() {
+            return Vec::new();
+        }
+        let mut out: FxHashSet<ColumnId> = FxHashSet::default();
+        for band in 0..self.bands {
+            let h = self.band_hash(sig, band);
+            if let Some(ids) = self.buckets[band].get(&h) {
+                out.extend(ids.iter().copied());
+            }
+        }
+        if let Some(ex) = exclude {
+            out.remove(&ex);
+        }
+        let mut v: Vec<ColumnId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate every bucket with ≥ 2 members — the candidate-pair source for
+    /// offline hypergraph construction.
+    pub fn collision_groups(&self) -> impl Iterator<Item = &[ColumnId]> + '_ {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.values())
+            .filter(|v| v.len() >= 2)
+            .map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+    use ver_common::value::Value;
+    use ver_store::column::Column;
+
+    fn col(range: std::ops::Range<i64>) -> Column {
+        range.map(Value::Int).collect()
+    }
+
+    #[test]
+    fn near_duplicates_collide_disjoint_do_not() {
+        let h = MinHasher::new(128, 11);
+        let mut idx = LshIndex::for_threshold(128, 0.8);
+        let a = h.signature_of_column(&col(0..1000));
+        let b = h.signature_of_column(&col(0..990)); // ~0.99 similar
+        let c = h.signature_of_column(&col(50_000..51_000)); // disjoint
+        idx.insert(ColumnId(0), &a);
+        idx.insert(ColumnId(1), &b);
+        idx.insert(ColumnId(2), &c);
+        let cands = idx.candidates(&a, Some(ColumnId(0)));
+        assert!(cands.contains(&ColumnId(1)), "near-duplicate must be candidate");
+        assert!(!cands.contains(&ColumnId(2)), "disjoint column must not be candidate");
+    }
+
+    #[test]
+    fn for_threshold_respects_k() {
+        let idx = LshIndex::for_threshold(128, 0.8);
+        assert_eq!(idx.bands() * idx.rows(), 128);
+        // Threshold of the chosen banding is near the target.
+        let t = (1.0 / idx.bands() as f64).powf(1.0 / idx.rows() as f64);
+        assert!((t - 0.8).abs() < 0.2, "banding threshold {t}");
+    }
+
+    #[test]
+    fn empty_signatures_are_ignored() {
+        let h = MinHasher::new(16, 1);
+        let mut idx = LshIndex::new(4, 4);
+        let e = h.signature_of_column(&Column::new());
+        idx.insert(ColumnId(0), &e);
+        assert!(idx.candidates(&e, None).is_empty());
+        assert_eq!(idx.collision_groups().count(), 0);
+    }
+
+    #[test]
+    fn collision_groups_surface_pairs() {
+        let h = MinHasher::new(32, 5);
+        let mut idx = LshIndex::new(8, 4);
+        let a = h.signature_of_column(&col(0..100));
+        idx.insert(ColumnId(0), &a);
+        idx.insert(ColumnId(1), &a);
+        let groups: Vec<&[ColumnId]> = idx.collision_groups().collect();
+        assert!(!groups.is_empty());
+        assert!(groups.iter().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length")]
+    fn mismatched_signature_length_panics() {
+        let h = MinHasher::new(16, 5);
+        let mut idx = LshIndex::new(4, 8); // expects 32
+        let a = h.signature_of_column(&col(0..10));
+        idx.insert(ColumnId(0), &a);
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deduped() {
+        let h = MinHasher::new(32, 5);
+        let mut idx = LshIndex::new(8, 4);
+        let a = h.signature_of_column(&col(0..100));
+        idx.insert(ColumnId(5), &a);
+        idx.insert(ColumnId(3), &a);
+        let cands = idx.candidates(&a, None);
+        assert_eq!(cands, vec![ColumnId(3), ColumnId(5)]);
+    }
+}

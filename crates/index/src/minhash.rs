@@ -1,0 +1,248 @@
+//! MinHash signatures and Lazo-style containment estimation.
+//!
+//! Pathless collections have no PK/FK metadata, so join paths are
+//! approximated by *inclusion dependencies* (Challenge 2). Computing exact
+//! containment between all column pairs is quadratic in both columns and
+//! values; Aurum/Lazo instead sketch each column with a k-MinHash signature
+//! and estimate Jaccard *similarity* from signature agreement. Lazo's
+//! insight (cited as [13] in the paper) is that with exact cardinalities
+//! stored per column, similarity converts to an *intersection* estimate
+//!
+//! ```text
+//! |X ∩ Y| ≈ J/(1+J) · (|X| + |Y|)
+//! ```
+//!
+//! and thence to containment `C(X ⊆ Y) = |X ∩ Y| / |X|` — the quantity the
+//! join-path hypergraph thresholds on.
+
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::{fx_hash_u64, mix64};
+use ver_store::column::Column;
+
+/// Number of hash functions used when none is configured.
+pub const DEFAULT_K: usize = 128;
+
+/// A k-MinHash signature plus the column's exact distinct cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSignature {
+    /// Per-hash-function minima. `u64::MAX` slots mean "no values seen".
+    pub sig: Vec<u64>,
+    /// Exact distinct count of the sketched set (Lazo needs this).
+    pub cardinality: usize,
+}
+
+impl MinHashSignature {
+    /// `true` when the sketched set was empty.
+    pub fn is_empty(&self) -> bool {
+        self.cardinality == 0
+    }
+}
+
+/// Factory for signatures sharing one family of k hash functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl MinHasher {
+    /// A family of `k` hash functions derived from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "minhash needs at least one hash function");
+        MinHasher {
+            seeds: (0..k as u64)
+                .map(|i| mix64(seed ^ i.wrapping_mul(GOLDEN)))
+                .collect(),
+        }
+    }
+
+    /// Number of hash functions (`k`).
+    pub fn k(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Sketch an iterator of pre-hashed set elements.
+    ///
+    /// `cardinality` must be the exact distinct count of the underlying set
+    /// (duplicated elements in the iterator are harmless for the minima).
+    pub fn signature_of_hashes(
+        &self,
+        hashes: impl Iterator<Item = u64>,
+        cardinality: usize,
+    ) -> MinHashSignature {
+        let mut sig = vec![u64::MAX; self.seeds.len()];
+        for h in hashes {
+            for (slot, &seed) in sig.iter_mut().zip(&self.seeds) {
+                let v = mix64(h ^ seed);
+                if v < *slot {
+                    *slot = v;
+                }
+            }
+        }
+        MinHashSignature { sig, cardinality }
+    }
+
+    /// Sketch a column's distinct non-null value set.
+    pub fn signature_of_column(&self, col: &Column) -> MinHashSignature {
+        let distinct = col.distinct_values();
+        let n = distinct.len();
+        self.signature_of_hashes(distinct.iter().map(fx_hash_u64), n)
+    }
+}
+
+/// Estimated Jaccard similarity from two signatures (same family, same k).
+pub fn estimated_jaccard(a: &MinHashSignature, b: &MinHashSignature) -> f64 {
+    debug_assert_eq!(a.sig.len(), b.sig.len(), "signatures from different families");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let matches = a
+        .sig
+        .iter()
+        .zip(&b.sig)
+        .filter(|(x, y)| x == y)
+        .count();
+    matches as f64 / a.sig.len() as f64
+}
+
+/// Lazo estimate of `|A ∩ B|` from the similarity estimate and exact
+/// cardinalities.
+pub fn estimated_intersection(a: &MinHashSignature, b: &MinHashSignature) -> f64 {
+    let j = estimated_jaccard(a, b);
+    let est = j / (1.0 + j) * (a.cardinality + b.cardinality) as f64;
+    // Intersection cannot exceed either set.
+    est.min(a.cardinality as f64).min(b.cardinality as f64)
+}
+
+/// Estimated containment `C(A ⊆ B) = |A ∩ B| / |A|` in `[0, 1]`.
+pub fn estimated_containment(a: &MinHashSignature, b: &MinHashSignature) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    (estimated_intersection(a, b) / a.cardinality as f64).clamp(0.0, 1.0)
+}
+
+/// Exact Jaccard containment `|A ∩ B| / |A|` between two columns' distinct
+/// value sets. Used to (optionally) verify LSH candidates and by tests.
+pub fn exact_containment(a: &Column, b: &Column) -> f64 {
+    let da = a.distinct_values();
+    if da.is_empty() {
+        return 0.0;
+    }
+    let db = b.distinct_values();
+    let inter = da.iter().filter(|v| db.contains(*v)).count();
+    inter as f64 / da.len() as f64
+}
+
+/// Exact Jaccard similarity between two columns' distinct value sets.
+pub fn exact_jaccard(a: &Column, b: &Column) -> f64 {
+    let da = a.distinct_values();
+    let db = b.distinct_values();
+    if da.is_empty() && db.is_empty() {
+        return 1.0;
+    }
+    let inter = da.iter().filter(|v| db.contains(*v)).count();
+    let union = da.len() + db.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+
+    fn col(range: std::ops::Range<i64>) -> Column {
+        range.map(Value::Int).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let h = MinHasher::new(64, 7);
+        let a = h.signature_of_column(&col(0..100));
+        let b = h.signature_of_column(&col(0..100));
+        assert_eq!(estimated_jaccard(&a, &b), 1.0);
+        assert!((estimated_containment(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let h = MinHasher::new(128, 7);
+        let a = h.signature_of_column(&col(0..200));
+        let b = h.signature_of_column(&col(10_000..10_200));
+        assert!(estimated_jaccard(&a, &b) < 0.05);
+        assert!(estimated_containment(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn half_overlap_estimates_track_truth() {
+        // |A|=200, |B|=200, |A∩B|=100 → J = 100/300 ≈ 0.333, C(A⊆B)=0.5.
+        let h = MinHasher::new(256, 42);
+        let a = h.signature_of_column(&col(0..200));
+        let b = h.signature_of_column(&col(100..300));
+        let j = estimated_jaccard(&a, &b);
+        assert!((j - 1.0 / 3.0).abs() < 0.12, "jaccard estimate {j}");
+        let c = estimated_containment(&a, &b);
+        assert!((c - 0.5).abs() < 0.15, "containment estimate {c}");
+    }
+
+    #[test]
+    fn subset_containment_is_high() {
+        // A ⊂ B with |A|=50, |B|=500 → C(A⊆B)=1.0, J≈0.1.
+        let h = MinHasher::new(256, 3);
+        let a = h.signature_of_column(&col(0..50));
+        let b = h.signature_of_column(&col(0..500));
+        let c = estimated_containment(&a, &b);
+        assert!(c > 0.75, "containment of subset should be near 1, got {c}");
+        // Asymmetry: B is mostly not inside A.
+        let c_rev = estimated_containment(&b, &a);
+        assert!(c_rev < 0.35, "reverse containment should be ~0.1, got {c_rev}");
+    }
+
+    #[test]
+    fn empty_columns_behave() {
+        let h = MinHasher::new(32, 1);
+        let e = h.signature_of_column(&Column::new());
+        let a = h.signature_of_column(&col(0..10));
+        assert!(e.is_empty());
+        assert_eq!(estimated_jaccard(&e, &e), 1.0);
+        assert_eq!(estimated_jaccard(&e, &a), 0.0);
+        assert_eq!(estimated_containment(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn exact_measures_ground_truth() {
+        let a = col(0..100);
+        let b = col(50..150);
+        assert!((exact_containment(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((exact_jaccard(&a, &b) - 50.0 / 150.0).abs() < 1e-12);
+        assert_eq!(exact_containment(&Column::new(), &a), 0.0);
+        assert_eq!(exact_jaccard(&Column::new(), &Column::new()), 1.0);
+    }
+
+    #[test]
+    fn signature_ignores_duplicates_and_nulls() {
+        let h = MinHasher::new(64, 9);
+        let with_dups = Column::from_values(vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Null,
+            Value::Int(2),
+        ]);
+        let clean = Column::from_values(vec![Value::Int(1), Value::Int(2)]);
+        let a = h.signature_of_column(&with_dups);
+        let b = h.signature_of_column(&clean);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        let h1 = MinHasher::new(16, 1);
+        let h2 = MinHasher::new(16, 2);
+        let c = col(0..50);
+        assert_ne!(h1.signature_of_column(&c).sig, h2.signature_of_column(&c).sig);
+    }
+}

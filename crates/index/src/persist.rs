@@ -1,0 +1,159 @@
+//! Binary persistence of the join hypergraph.
+//!
+//! The hypergraph is the expensive product of the offline pass (signature
+//! computation + LSH + containment checks over millions of column pairs);
+//! persisting it lets a deployment reuse the index across sessions — Aurum
+//! likewise serialises its model. The format is a small hand-rolled binary
+//! layout built on the `bytes` crate:
+//!
+//! ```text
+//! magic  "VERIDX\x01"            8 bytes
+//! ncols  u32 LE                  column count
+//! tabs   u32 LE × ncols          col→table mapping
+//! nedges u64 LE                  undirected edge count
+//! edges  (u32, u32, f32) LE ×    a, b, score
+//! ```
+
+use crate::hypergraph::JoinHypergraph;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ver_common::error::{Result, VerError};
+use ver_common::ids::{ColumnId, TableId};
+
+const MAGIC: &[u8; 8] = b"VERIDX\x01\x00";
+
+/// Serialise a hypergraph to bytes.
+pub fn hypergraph_to_bytes(g: &JoinHypergraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.column_count() * 4 + g.joinable_pairs() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(g.column_count() as u32);
+    for i in 0..g.column_count() {
+        buf.put_u32_le(g.table_of(ColumnId(i as u32)).0);
+    }
+    buf.put_u64_le(g.joinable_pairs() as u64);
+    for e in g.edges() {
+        buf.put_u32_le(e.a.0);
+        buf.put_u32_le(e.b.0);
+        buf.put_f32_le(e.score);
+    }
+    buf.freeze()
+}
+
+/// Deserialise a hypergraph from bytes produced by [`hypergraph_to_bytes`].
+pub fn hypergraph_from_bytes(mut data: &[u8]) -> Result<JoinHypergraph> {
+    if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+        return Err(VerError::Serde("bad magic header".into()));
+    }
+    data.advance(MAGIC.len());
+    let ncols = data.get_u32_le() as usize;
+    if data.remaining() < ncols * 4 + 8 {
+        return Err(VerError::Serde("truncated column table".into()));
+    }
+    let mut col_table = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        col_table.push(TableId(data.get_u32_le()));
+    }
+    let nedges = data.get_u64_le() as usize;
+    if data.remaining() < nedges * 12 {
+        return Err(VerError::Serde("truncated edge list".into()));
+    }
+    let mut g = JoinHypergraph::new(col_table);
+    for _ in 0..nedges {
+        let a = ColumnId(data.get_u32_le());
+        let b = ColumnId(data.get_u32_le());
+        let score = data.get_f32_le();
+        if a.idx() >= ncols || b.idx() >= ncols || a == b {
+            return Err(VerError::Serde(format!("invalid edge {a:?}-{b:?}")));
+        }
+        g.add_edge(a, b, score);
+    }
+    g.finalize();
+    Ok(g)
+}
+
+/// Persist a hypergraph to a file.
+pub fn save_hypergraph(g: &JoinHypergraph, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, hypergraph_to_bytes(g))?;
+    Ok(())
+}
+
+/// Load a hypergraph from a file.
+pub fn load_hypergraph(path: &std::path::Path) -> Result<JoinHypergraph> {
+    let data = std::fs::read(path)?;
+    hypergraph_from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> JoinHypergraph {
+        let col_table = vec![TableId(0), TableId(0), TableId(1), TableId(2)];
+        let mut g = JoinHypergraph::new(col_table);
+        g.add_edge(ColumnId(0), ColumnId(2), 0.9);
+        g.add_edge(ColumnId(1), ColumnId(3), 0.85);
+        g.finalize();
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = graph();
+        let bytes = hypergraph_to_bytes(&g);
+        let g2 = hypergraph_from_bytes(&bytes).unwrap();
+        assert_eq!(g2.column_count(), g.column_count());
+        assert_eq!(g2.joinable_pairs(), g.joinable_pairs());
+        assert_eq!(
+            g2.neighbors(ColumnId(0), 0.0),
+            g.neighbors(ColumnId(0), 0.0)
+        );
+        assert_eq!(g2.table_of(ColumnId(3)), TableId(2));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = hypergraph_to_bytes(&graph()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            hypergraph_from_bytes(&bytes),
+            Err(VerError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = hypergraph_to_bytes(&graph());
+        for cut in [4usize, 12, bytes.len() - 3] {
+            assert!(hypergraph_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_edge_ids_rejected() {
+        let g = graph();
+        let mut bytes = hypergraph_to_bytes(&g).to_vec();
+        // First edge starts after magic(8) + ncols(4) + tabs(16) + nedges(8).
+        let edge_off = 8 + 4 + 16 + 8;
+        bytes[edge_off..edge_off + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(hypergraph_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ver_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hypergraph.bin");
+        let g = graph();
+        save_hypergraph(&g, &path).unwrap();
+        let g2 = load_hypergraph(&path).unwrap();
+        assert_eq!(g2.joinable_pairs(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = JoinHypergraph::new(vec![]);
+        let g2 = hypergraph_from_bytes(&hypergraph_to_bytes(&g)).unwrap();
+        assert_eq!(g2.column_count(), 0);
+        assert_eq!(g2.joinable_pairs(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Keyword retrieval indexes: values, attribute names and table names.
+//!
+//! Implements the Aurum API function the paper's Appendix A specifies:
+//!
+//! ```text
+//! SEARCH-KEYWORD(target, fuzzy) — given an input string, return columns
+//! that contain the string in either the attribute name or the values, as
+//! specified by target; exact or fuzzy matching (maximum Levenshtein
+//! distance).
+//! ```
+//!
+//! Values are indexed by their normalized form (lower-cased, trimmed,
+//! numeric forms unified) so the noisy-query setting tolerates case and
+//! formatting mismatches out of the box.
+
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::{FxHashMap, FxHashSet};
+use ver_common::ids::{ColumnId, TableId};
+use ver_common::text::levenshtein_capped;
+
+/// What a keyword should be matched against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchTarget {
+    /// Match against cell values.
+    Values,
+    /// Match against attribute (column header) names.
+    Attributes,
+    /// Match against table names.
+    TableNames,
+    /// Match against everything.
+    All,
+}
+
+/// Exact or fuzzy matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fuzziness {
+    /// Exact match on the normalized form.
+    Exact,
+    /// Accept matches within this Levenshtein distance.
+    MaxEdits(usize),
+}
+
+/// Inverted indexes for keyword search.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KeywordIndex {
+    /// normalized value → columns containing it.
+    values: FxHashMap<String, Vec<ColumnId>>,
+    /// normalized attribute name → columns bearing it.
+    attributes: FxHashMap<String, Vec<ColumnId>>,
+    /// normalized table name → table id.
+    table_names: FxHashMap<String, TableId>,
+    /// columns of each table (for TableNames target resolution).
+    table_columns: FxHashMap<TableId, Vec<ColumnId>>,
+}
+
+fn normalize(s: &str) -> String {
+    s.trim().to_lowercase()
+}
+
+impl KeywordIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a cell value occurrence.
+    pub fn add_value(&mut self, normalized_value: &str, column: ColumnId) {
+        if normalized_value.is_empty() {
+            return;
+        }
+        let entry = self.values.entry(normalized_value.to_string()).or_default();
+        if entry.last() != Some(&column) {
+            entry.push(column);
+        }
+    }
+
+    /// Register an attribute (column header) name.
+    pub fn add_attribute(&mut self, name: &str, column: ColumnId) {
+        let n = normalize(name);
+        if n.is_empty() {
+            return;
+        }
+        let entry = self.attributes.entry(n).or_default();
+        if !entry.contains(&column) {
+            entry.push(column);
+        }
+    }
+
+    /// Register a table name and its columns.
+    pub fn add_table(&mut self, name: &str, table: TableId, columns: Vec<ColumnId>) {
+        self.table_names.insert(normalize(name), table);
+        self.table_columns.insert(table, columns);
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// SEARCH-KEYWORD: columns matching `keyword` under `target`/`fuzzy`.
+    /// Results are sorted and deduplicated for determinism.
+    pub fn search_keyword(
+        &self,
+        keyword: &str,
+        target: SearchTarget,
+        fuzzy: Fuzziness,
+    ) -> Vec<ColumnId> {
+        let needle = normalize(keyword);
+        let mut out: FxHashSet<ColumnId> = FxHashSet::default();
+        let matches = |key: &str| -> bool {
+            match fuzzy {
+                Fuzziness::Exact => key == needle,
+                Fuzziness::MaxEdits(d) => levenshtein_capped(key, &needle, d) <= d,
+            }
+        };
+
+        if matches!(target, SearchTarget::Values | SearchTarget::All) {
+            match fuzzy {
+                Fuzziness::Exact => {
+                    if let Some(cols) = self.values.get(&needle) {
+                        out.extend(cols.iter().copied());
+                    }
+                }
+                Fuzziness::MaxEdits(_) => {
+                    for (key, cols) in &self.values {
+                        if matches(key) {
+                            out.extend(cols.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+        if matches!(target, SearchTarget::Attributes | SearchTarget::All) {
+            for (key, cols) in &self.attributes {
+                if matches(key) {
+                    out.extend(cols.iter().copied());
+                }
+            }
+        }
+        if matches!(target, SearchTarget::TableNames | SearchTarget::All) {
+            for (key, table) in &self.table_names {
+                if matches(key) {
+                    if let Some(cols) = self.table_columns.get(table) {
+                        out.extend(cols.iter().copied());
+                    }
+                }
+            }
+        }
+
+        let mut v: Vec<ColumnId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Tables whose name matches `keyword`.
+    pub fn search_table(&self, keyword: &str, fuzzy: Fuzziness) -> Vec<TableId> {
+        let needle = normalize(keyword);
+        let mut out: Vec<TableId> = self
+            .table_names
+            .iter()
+            .filter(|(key, _)| match fuzzy {
+                Fuzziness::Exact => key.as_str() == needle,
+                Fuzziness::MaxEdits(d) => levenshtein_capped(key, &needle, d) <= d,
+            })
+            .map(|(_, &t)| t)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> KeywordIndex {
+        let mut idx = KeywordIndex::new();
+        idx.add_value("indiana", ColumnId(0));
+        idx.add_value("indiana", ColumnId(2));
+        idx.add_value("georgia", ColumnId(0));
+        idx.add_value("6800000", ColumnId(1));
+        idx.add_attribute("State", ColumnId(0));
+        idx.add_attribute("state_name", ColumnId(2));
+        idx.add_table("airports", TableId(0), vec![ColumnId(0), ColumnId(1)]);
+        idx
+    }
+
+    #[test]
+    fn exact_value_search() {
+        let idx = index();
+        assert_eq!(
+            idx.search_keyword("Indiana", SearchTarget::Values, Fuzziness::Exact),
+            vec![ColumnId(0), ColumnId(2)]
+        );
+        assert!(idx
+            .search_keyword("idaho", SearchTarget::Values, Fuzziness::Exact)
+            .is_empty());
+    }
+
+    #[test]
+    fn fuzzy_value_search_tolerates_typos() {
+        let idx = index();
+        // "indianna" is 1 edit from "indiana".
+        assert_eq!(
+            idx.search_keyword("indianna", SearchTarget::Values, Fuzziness::MaxEdits(1)),
+            vec![ColumnId(0), ColumnId(2)]
+        );
+        assert!(idx
+            .search_keyword("indianna", SearchTarget::Values, Fuzziness::Exact)
+            .is_empty());
+    }
+
+    #[test]
+    fn attribute_search_exact_and_fuzzy() {
+        let idx = index();
+        assert_eq!(
+            idx.search_keyword("state", SearchTarget::Attributes, Fuzziness::Exact),
+            vec![ColumnId(0)]
+        );
+        // "state_name" is within 5 edits of "state".
+        assert_eq!(
+            idx.search_keyword("state", SearchTarget::Attributes, Fuzziness::MaxEdits(5)),
+            vec![ColumnId(0), ColumnId(2)]
+        );
+    }
+
+    #[test]
+    fn table_name_target_returns_member_columns() {
+        let idx = index();
+        assert_eq!(
+            idx.search_keyword("airports", SearchTarget::TableNames, Fuzziness::Exact),
+            vec![ColumnId(0), ColumnId(1)]
+        );
+        assert_eq!(
+            idx.search_table("airport", Fuzziness::MaxEdits(1)),
+            vec![TableId(0)]
+        );
+    }
+
+    #[test]
+    fn all_target_unions_everything() {
+        let mut idx = index();
+        idx.add_value("state", ColumnId(9)); // a *value* equal to an attribute name
+        let hits = idx.search_keyword("state", SearchTarget::All, Fuzziness::Exact);
+        assert_eq!(hits, vec![ColumnId(0), ColumnId(9)]);
+    }
+
+    #[test]
+    fn numbers_search_as_normalized_strings() {
+        let idx = index();
+        assert_eq!(
+            idx.search_keyword("6800000", SearchTarget::Values, Fuzziness::Exact),
+            vec![ColumnId(1)]
+        );
+    }
+
+    #[test]
+    fn empty_values_are_not_indexed() {
+        let mut idx = KeywordIndex::new();
+        idx.add_value("", ColumnId(0));
+        idx.add_attribute("  ", ColumnId(0));
+        assert_eq!(idx.distinct_values(), 0);
+        assert!(idx
+            .search_keyword("", SearchTarget::All, Fuzziness::Exact)
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_value_postings_are_compacted() {
+        let mut idx = KeywordIndex::new();
+        idx.add_value("x", ColumnId(1));
+        idx.add_value("x", ColumnId(1));
+        assert_eq!(
+            idx.search_keyword("x", SearchTarget::Values, Fuzziness::Exact),
+            vec![ColumnId(1)]
+        );
+    }
+}

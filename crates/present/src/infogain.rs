@@ -1,0 +1,75 @@
+//! Information gain χ of questions.
+//!
+//! The reward of a question is "its expected information gain, defined as
+//! the maximum number of irrelevant views that are pruned if the user
+//! answers q" (Section IV-A). For each interface we compute the gain of its
+//! best question against the current candidate set.
+
+use crate::interface::Question;
+
+/// Maximum number of views an answer to `q` can prune from a candidate set
+/// of size `n`.
+pub fn info_gain(q: &Question, n: usize) -> usize {
+    match q {
+        // Yes → every other view is pruned; No → one view pruned.
+        Question::Dataset { .. } => n.saturating_sub(1),
+        // Yes prunes views lacking the attribute; No prunes those with it.
+        Question::Attribute { with_attribute, .. } => {
+            let with = with_attribute.len();
+            with.max(n.saturating_sub(with))
+        }
+        // Picking a side prunes the other side's agreeing group.
+        Question::DatasetPair { agree_a, agree_b, .. } => agree_a.len().max(agree_b.len()),
+        // Yes prunes the complement; No prunes the group.
+        Question::Summary { group, .. } => group.len().max(n.saturating_sub(group.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::ids::ViewId;
+
+    fn v(i: u32) -> ViewId {
+        ViewId(i)
+    }
+
+    #[test]
+    fn dataset_gain_is_all_but_one() {
+        let q = Question::Dataset { view: v(0) };
+        assert_eq!(info_gain(&q, 10), 9);
+        assert_eq!(info_gain(&q, 1), 0);
+        assert_eq!(info_gain(&q, 0), 0);
+    }
+
+    #[test]
+    fn attribute_gain_is_larger_side() {
+        let q = Question::Attribute {
+            name: "pop".into(),
+            with_attribute: vec![v(0), v(1), v(2)],
+        };
+        assert_eq!(info_gain(&q, 10), 7);
+        assert_eq!(info_gain(&q, 4), 3);
+    }
+
+    #[test]
+    fn pair_gain_is_larger_agreeing_group() {
+        let q = Question::DatasetPair {
+            a: v(0),
+            b: v(1),
+            agree_a: vec![v(0), v(2), v(3)],
+            agree_b: vec![v(1)],
+        };
+        assert_eq!(info_gain(&q, 10), 3);
+    }
+
+    #[test]
+    fn summary_gain_is_larger_side() {
+        let q = Question::Summary {
+            terms: vec![],
+            group: vec![v(0), v(1)],
+        };
+        assert_eq!(info_gain(&q, 10), 8);
+        assert_eq!(info_gain(&q, 3), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Expected-utility view ranking (Section IV-B "Ranking Views").
+//!
+//! After a set of answered questions `Q`, each view `D` scores
+//!
+//! ```text
+//! score(D) = Σ_{Qi ∈ Q} s_Qi · P(D satisfies | Qi answered) · P(Qi answered)
+//! ```
+//!
+//! where `s_Qi` is +1 when `Qi`'s answer marked `D` satisfying, −1 when it
+//! marked `D` irrelevant, 0 otherwise; `P(D satisfies | Qi)` is inversely
+//! proportional to the number of views the question captures; and
+//! `P(Qi answered)` is the bandit's answer-rate estimate for the
+//! question's interface.
+
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::FxHashMap;
+use ver_common::ids::ViewId;
+
+/// The effect of one answered question, recorded for ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnsweredQuestion {
+    /// Views the answer marked satisfying (`s = +1`).
+    pub approved: Vec<ViewId>,
+    /// Views the answer marked irrelevant (`s = −1`).
+    pub rejected: Vec<ViewId>,
+    /// `P(Q answered)` at ask time (the interface's answer rate).
+    pub answer_prob: f64,
+}
+
+/// Cumulative utility scores over a set of answered questions.
+pub fn utility_scores(history: &[AnsweredQuestion]) -> FxHashMap<ViewId, f64> {
+    let mut scores: FxHashMap<ViewId, f64> = FxHashMap::default();
+    for q in history {
+        if !q.approved.is_empty() {
+            let p_sat = 1.0 / q.approved.len() as f64;
+            for &v in &q.approved {
+                *scores.entry(v).or_insert(0.0) += p_sat * q.answer_prob;
+            }
+        }
+        if !q.rejected.is_empty() {
+            let p_sat = 1.0 / q.rejected.len() as f64;
+            for &v in &q.rejected {
+                *scores.entry(v).or_insert(0.0) -= p_sat * q.answer_prob;
+            }
+        }
+    }
+    scores
+}
+
+/// Rank `alive` views by utility (descending), breaking ties by the
+/// supplied base score (e.g. join score), then by id for determinism.
+pub fn rank_views(
+    alive: &[ViewId],
+    history: &[AnsweredQuestion],
+    base_score: impl Fn(ViewId) -> f64,
+) -> Vec<(ViewId, f64)> {
+    let scores = utility_scores(history);
+    let mut out: Vec<(ViewId, f64)> = alive
+        .iter()
+        .map(|&v| (v, scores.get(&v).copied().unwrap_or(0.0)))
+        .collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then_with(|| {
+                base_score(b.0)
+                    .partial_cmp(&base_score(a.0))
+                    .expect("finite base scores")
+            })
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> ViewId {
+        ViewId(i)
+    }
+
+    #[test]
+    fn approvals_raise_rejections_lower() {
+        let history = vec![AnsweredQuestion {
+            approved: vec![v(0), v(1)],
+            rejected: vec![v(2)],
+            answer_prob: 1.0,
+        }];
+        let s = utility_scores(&history);
+        assert!(s[&v(0)] > 0.0);
+        assert!((s[&v(0)] - 0.5).abs() < 1e-9, "1/|approved| = 0.5");
+        assert!((s[&v(2)] + 1.0).abs() < 1e-9, "1/|rejected| = 1.0");
+    }
+
+    #[test]
+    fn capture_size_dilutes_signal() {
+        // A question approving 10 views says less about each than one
+        // approving 2.
+        let broad = AnsweredQuestion {
+            approved: (0..10).map(v).collect(),
+            rejected: vec![],
+            answer_prob: 1.0,
+        };
+        let narrow = AnsweredQuestion {
+            approved: vec![v(0), v(1)],
+            rejected: vec![],
+            answer_prob: 1.0,
+        };
+        let sb = utility_scores(&[broad]);
+        let sn = utility_scores(&[narrow]);
+        assert!(sn[&v(0)] > sb[&v(0)]);
+    }
+
+    #[test]
+    fn answer_probability_weights_questions() {
+        let confident = AnsweredQuestion {
+            approved: vec![v(0)],
+            rejected: vec![],
+            answer_prob: 0.9,
+        };
+        let shaky = AnsweredQuestion {
+            approved: vec![v(1)],
+            rejected: vec![],
+            answer_prob: 0.2,
+        };
+        let s = utility_scores(&[confident, shaky]);
+        assert!(s[&v(0)] > s[&v(1)]);
+    }
+
+    #[test]
+    fn rank_orders_and_breaks_ties_deterministically() {
+        let history = vec![AnsweredQuestion {
+            approved: vec![v(1)],
+            rejected: vec![v(2)],
+            answer_prob: 1.0,
+        }];
+        let ranked = rank_views(&[v(0), v(1), v(2), v(3)], &history, |id| {
+            if id == v(3) { 0.9 } else { 0.1 }
+        });
+        assert_eq!(ranked[0].0, v(1)); // approved
+        assert_eq!(ranked[1].0, v(3)); // neutral, higher base score
+        assert_eq!(ranked[2].0, v(0)); // neutral, lower base
+        assert_eq!(ranked[3].0, v(2)); // rejected
+    }
+
+    #[test]
+    fn scores_accumulate_across_questions() {
+        let q1 = AnsweredQuestion {
+            approved: vec![v(0)],
+            rejected: vec![],
+            answer_prob: 1.0,
+        };
+        let s = utility_scores(&[q1.clone(), q1]);
+        assert!((s[&v(0)] - 2.0).abs() < 1e-9);
+    }
+}

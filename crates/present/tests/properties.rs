@@ -1,0 +1,97 @@
+//! Property-based tests for the bandit and ranking maths.
+
+use proptest::prelude::*;
+use ver_common::ids::ViewId;
+use ver_present::bandit::{Bandit, BanditConfig};
+use ver_present::infogain::info_gain;
+use ver_present::interface::{InterfaceKind, Question};
+use ver_present::ranking::{rank_views, utility_scores, AnsweredQuestion};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn probabilities_are_a_distribution_with_floor(
+        gains in prop::collection::vec(0.0f64..100.0, 4),
+        gamma in 0.0f64..1.0,
+        answered in prop::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let mut bandit = Bandit::new(
+            InterfaceKind::all().to_vec(),
+            BanditConfig { gamma, bootstrap_per_arm: 0 },
+        );
+        for (i, &a) in answered.iter().enumerate() {
+            bandit.record(InterfaceKind::all()[i % 4], a);
+        }
+        let p = bandit.probabilities(&gains);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        for &pi in &p {
+            prop_assert!(pi >= gamma / 4.0 - 1e-12, "floor violated: {pi} < γ/4");
+            prop_assert!(pi <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn answer_rate_is_a_probability(
+        records in prop::collection::vec(any::<bool>(), 0..50),
+    ) {
+        let mut bandit = Bandit::new(
+            InterfaceKind::all().to_vec(),
+            BanditConfig::default(),
+        );
+        for &a in &records {
+            bandit.record(InterfaceKind::Dataset, a);
+        }
+        let r = bandit.answer_rate(InterfaceKind::Dataset);
+        prop_assert!(r > 0.0 && r < 1.0, "Laplace smoothing keeps r in (0,1): {r}");
+    }
+
+    #[test]
+    fn info_gain_is_bounded_by_candidate_count(
+        n in 0usize..100,
+        with in prop::collection::vec(0u32..100, 0..40),
+    ) {
+        let views: Vec<ViewId> = with.iter().map(|&i| ViewId(i)).collect();
+        let questions = [
+            Question::Dataset { view: ViewId(0) },
+            Question::Attribute { name: "a".into(), with_attribute: views.clone() },
+            Question::Summary { terms: vec![], group: views.clone() },
+        ];
+        for q in &questions {
+            let g = info_gain(q, n);
+            prop_assert!(g <= n.max(views.len()), "gain {g} exceeds candidates");
+        }
+    }
+
+    #[test]
+    fn utility_scores_are_bounded_by_history_weight(
+        approvals in prop::collection::vec(0u32..20, 1..10),
+        prob in 0.0f64..1.0,
+    ) {
+        let q = AnsweredQuestion {
+            approved: approvals.iter().map(|&i| ViewId(i)).collect(),
+            rejected: vec![],
+            answer_prob: prob,
+        };
+        let scores = utility_scores(std::slice::from_ref(&q));
+        for (_, s) in scores {
+            prop_assert!(s >= 0.0);
+            prop_assert!(s <= prob + 1e-9, "score {s} exceeds answer prob {prob}");
+        }
+    }
+
+    #[test]
+    fn ranking_is_a_permutation_of_alive(
+        alive in prop::collection::vec(0u32..50, 1..20),
+    ) {
+        let mut alive: Vec<ViewId> = alive.into_iter().map(ViewId).collect();
+        alive.sort_unstable();
+        alive.dedup();
+        let ranked = rank_views(&alive, &[], |_| 0.0);
+        prop_assert_eq!(ranked.len(), alive.len());
+        let mut ids: Vec<ViewId> = ranked.iter().map(|&(v, _)| v).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, alive);
+    }
+}

@@ -1,0 +1,77 @@
+//! Ground-truth bookkeeping for workload generation and evaluation.
+//!
+//! The paper's evaluation (§VI-B "Noisy Query Generation") starts from a
+//! *ground-truth PJ-query* whose result is the ground-truth PJ-view; its
+//! projected columns are the *ground-truth columns*. Noisy user queries are
+//! then sampled from those columns (and from designated *noise columns*).
+//! Evaluation asks whether the ground-truth view appears among a system's
+//! candidate views (Ground Truth Hit Ratio, Table V).
+
+use serde::{Deserialize, Serialize};
+use ver_common::ids::{ColumnRef, TableId};
+
+/// Ground truth for one evaluation query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Descriptive name (e.g. "ChEMBL-Q3").
+    pub name: String,
+    /// The ground-truth columns (the projection of the ground-truth view).
+    pub columns: Vec<ColumnRef>,
+    /// Per-attribute noise column, when one exists: a column with Jaccard
+    /// containment ≥ 0.8 w.r.t. the ground-truth column (§VI-B).
+    pub noise_columns: Vec<Option<ColumnRef>>,
+    /// Tables of the ground-truth join graph.
+    pub tables: Vec<TableId>,
+}
+
+impl GroundTruth {
+    /// Create ground truth with no noise columns assigned yet.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnRef>) -> Self {
+        let mut tables: Vec<TableId> = columns.iter().map(|c| c.table).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        let n = columns.len();
+        GroundTruth {
+            name: name.into(),
+            columns,
+            noise_columns: vec![None; n],
+            tables,
+        }
+    }
+
+    /// Attach a noise column for attribute `i`.
+    pub fn with_noise_column(mut self, i: usize, noise: ColumnRef) -> Self {
+        self.noise_columns[i] = Some(noise);
+        self
+    }
+
+    /// τ of the implied query.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cref(t: u32, o: u16) -> ColumnRef {
+        ColumnRef { table: TableId(t), ordinal: o }
+    }
+
+    #[test]
+    fn tables_are_deduped_and_sorted() {
+        let gt = GroundTruth::new("q", vec![cref(3, 0), cref(1, 2), cref(3, 1)]);
+        assert_eq!(gt.tables, vec![TableId(1), TableId(3)]);
+        assert_eq!(gt.arity(), 3);
+        assert_eq!(gt.noise_columns, vec![None, None, None]);
+    }
+
+    #[test]
+    fn noise_columns_attach_per_attribute() {
+        let gt = GroundTruth::new("q", vec![cref(0, 0), cref(1, 0)])
+            .with_noise_column(1, cref(2, 0));
+        assert_eq!(gt.noise_columns[0], None);
+        assert_eq!(gt.noise_columns[1], Some(cref(2, 0)));
+    }
+}

@@ -1,0 +1,160 @@
+//! The query-by-example table χ (Definition 3).
+//!
+//! A noisy query is `l` example tuples over `τ` attributes. Values may or
+//! may not exist in the collection — the user's best guess. Each query
+//! column may also carry an optional attribute-name hint (users sometimes
+//! know a header even without example values).
+
+use serde::{Deserialize, Serialize};
+use ver_common::error::{Result, VerError};
+use ver_common::value::Value;
+
+/// One attribute of the example table: optional name hint plus examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryColumn {
+    /// Optional attribute-name hint.
+    pub name_hint: Option<String>,
+    /// Example values the user expects in this output column.
+    pub examples: Vec<Value>,
+}
+
+impl QueryColumn {
+    /// Column from example values only.
+    pub fn of_values(examples: Vec<Value>) -> Self {
+        QueryColumn { name_hint: None, examples }
+    }
+
+    /// Column from string examples (parsed with CSV-style inference).
+    pub fn of_strs(examples: &[&str]) -> Self {
+        QueryColumn {
+            name_hint: None,
+            examples: examples.iter().map(|s| Value::parse(s)).collect(),
+        }
+    }
+
+    /// Attach a name hint.
+    pub fn named(mut self, hint: impl Into<String>) -> Self {
+        self.name_hint = Some(hint.into());
+        self
+    }
+
+    /// Non-null examples.
+    pub fn non_null(&self) -> impl Iterator<Item = &Value> {
+        self.examples.iter().filter(|v| !v.is_null())
+    }
+}
+
+/// The PJ-example-query χ: `τ` columns of example values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExampleQuery {
+    /// Query attributes, in output order.
+    pub columns: Vec<QueryColumn>,
+}
+
+impl ExampleQuery {
+    /// Build and validate a query.
+    pub fn new(columns: Vec<QueryColumn>) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(VerError::InvalidQuery("query must have at least one column".into()));
+        }
+        if columns.iter().any(|c| c.non_null().count() == 0 && c.name_hint.is_none()) {
+            return Err(VerError::InvalidQuery(
+                "every query column needs at least one example value or a name hint".into(),
+            ));
+        }
+        Ok(ExampleQuery { columns })
+    }
+
+    /// Build a query from rows of string examples (the spreadsheet-style
+    /// input of the paper's user study). `rows` are equal-length tuples.
+    pub fn from_rows(rows: &[Vec<&str>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(VerError::InvalidQuery("query needs at least one example row".into()));
+        }
+        let arity = rows[0].len();
+        if rows.iter().any(|r| r.len() != arity) {
+            return Err(VerError::InvalidQuery("ragged example rows".into()));
+        }
+        let columns = (0..arity)
+            .map(|c| QueryColumn::of_values(rows.iter().map(|r| Value::parse(r[c])).collect()))
+            .collect();
+        ExampleQuery::new(columns)
+    }
+
+    /// τ — number of query attributes.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// l — number of example tuples (max column length).
+    pub fn rows(&self) -> usize {
+        self.columns.iter().map(|c| c.examples.len()).max().unwrap_or(0)
+    }
+
+    /// All distinct non-null example values across columns (normalized).
+    pub fn all_example_strings(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .columns
+            .iter()
+            .flat_map(|c| c.non_null().map(Value::normalized))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_builds_columns() {
+        let q = ExampleQuery::from_rows(&[
+            vec!["Indiana", "IND"],
+            vec!["Georgia", "ATL"],
+            vec!["Illinois", "ORD"],
+        ])
+        .unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.rows(), 3);
+        assert_eq!(q.columns[0].examples[1], Value::text("Georgia"));
+        assert_eq!(q.columns[1].examples[2], Value::text("ORD"));
+    }
+
+    #[test]
+    fn numeric_examples_parse_as_numbers() {
+        let q = ExampleQuery::from_rows(&[vec!["China", "1400000000"]]).unwrap();
+        assert_eq!(q.columns[1].examples[0], Value::Int(1_400_000_000));
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(ExampleQuery::new(vec![]).is_err());
+        assert!(ExampleQuery::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(ExampleQuery::from_rows(&[vec!["a", "b"], vec!["c"]]).is_err());
+    }
+
+    #[test]
+    fn all_null_column_without_hint_rejected() {
+        let col = QueryColumn::of_values(vec![Value::Null, Value::Null]);
+        assert!(ExampleQuery::new(vec![col]).is_err());
+    }
+
+    #[test]
+    fn all_null_column_with_hint_allowed() {
+        let col = QueryColumn::of_values(vec![Value::Null]).named("population");
+        let q = ExampleQuery::new(vec![col]).unwrap();
+        assert_eq!(q.columns[0].name_hint.as_deref(), Some("population"));
+    }
+
+    #[test]
+    fn example_strings_are_sorted_distinct_normalized() {
+        let q = ExampleQuery::from_rows(&[vec!["B", "A"], vec!["b", "C"]]).unwrap();
+        assert_eq!(q.all_example_strings(), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,23 @@
+//! JOIN-GRAPH-SEARCH (Algorithm 5) and view materialization.
+//!
+//! Takes the candidate columns produced by COLUMN-SELECTION (or a baseline),
+//! enumerates combinations (one candidate per query attribute), finds the
+//! join graphs connecting each combination's tables through the discovery
+//! index (`ρ`-hop bounded), caches provably non-joinable table pairs to
+//! skip doomed combinations, ranks join graphs by the discovery engine's
+//! join score, and materialises the top-k into candidate PJ-views.
+//!
+//! * [`enumerate`] — combination & joinable-group enumeration with the
+//!   non-joinable cache (Algorithm 5 step 1);
+//! * [`rank`] — join-score ranking (PK/FK-ness × smaller-is-better);
+//! * [`materialize`] — join graph → [`PjPlan`](ver_engine::PjPlan) →
+//!   materialized [`View`](ver_engine::View) (Algorithm 5 step 2);
+//! * [`search`] — the end-to-end component with the statistics the paper's
+//!   figures report (joinable groups / join graphs / views).
+
+pub mod enumerate;
+pub mod materialize;
+pub mod rank;
+pub mod search;
+
+pub use search::{join_graph_search, SearchConfig, SearchOutput, SearchStats};

@@ -1,0 +1,138 @@
+//! Join-score ranking (Algorithm 5, step 2).
+//!
+//! "The discovery engine ranks views according to how well join graphs
+//! approximate PK/FK, and according to the size of the join graph; smaller
+//! graphs rank higher." PK/FK-ness of an edge = its containment score ×
+//! the key-ness (distinct ratio) of its stronger endpoint; the graph score
+//! averages its edges and discounts by size.
+
+use ver_index::{DiscoveryIndex, JoinGraph};
+
+/// Join score of a graph in `[0, 1]`; empty (single-table) graphs score 1.
+pub fn join_score(index: &DiscoveryIndex, graph: &JoinGraph) -> f64 {
+    if graph.edges.is_empty() {
+        return 1.0;
+    }
+    let mean_edge: f64 = graph
+        .edges
+        .iter()
+        .map(|e| {
+            let keyness = index
+                .profile(e.left)
+                .distinct_ratio()
+                .max(index.profile(e.right).distinct_ratio());
+            e.score as f64 * keyness
+        })
+        .sum::<f64>()
+        / graph.edges.len() as f64;
+    // Smaller graphs rank higher: hop discount.
+    mean_edge / (1.0 + 0.25 * graph.edges.len() as f64)
+}
+
+/// Sort `(graph, payload)` pairs by score descending, stable by payload
+/// order on ties.
+pub fn rank_join_graphs<T>(index: &DiscoveryIndex, graphs: &mut Vec<(JoinGraph, T)>) {
+    graphs.sort_by(|a, b| {
+        join_score(index, &b.0)
+            .partial_cmp(&join_score(index, &a.0))
+            .expect("scores are finite")
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_index::{build_index, IndexConfig, JoinGraphEdge};
+    use ver_store::catalog::TableCatalog;
+    use ver_store::table::TableBuilder;
+
+    /// key-to-key join (both unique) vs fk-to-fk join (low distinct ratio).
+    fn setup() -> DiscoveryIndex {
+        let mut cat = TableCatalog::new();
+        // T0: unique key; T1: same unique key; T2/T3: repeated category col.
+        let mut b = TableBuilder::new("t0", &["k"]);
+        for i in 0..40 {
+            b.push_row(vec![Value::text(format!("k{i}"))]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        let mut b = TableBuilder::new("t1", &["k"]);
+        for i in 0..40 {
+            b.push_row(vec![Value::text(format!("k{i}"))]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        for name in ["t2", "t3"] {
+            let mut b = TableBuilder::new(name, &["cat"]);
+            for i in 0..40 {
+                b.push_row(vec![Value::text(format!("c{}", i % 4))]).unwrap();
+            }
+            cat.add_table(b.build()).unwrap();
+        }
+        build_index(
+            &cat,
+            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn key_joins_outscore_category_joins() {
+        let idx = setup();
+        let key_edge = JoinGraph {
+            edges: vec![JoinGraphEdge {
+                left: ver_common::ids::ColumnId(0),
+                right: ver_common::ids::ColumnId(1),
+                score: 1.0,
+            }],
+        };
+        let cat_edge = JoinGraph {
+            edges: vec![JoinGraphEdge {
+                left: ver_common::ids::ColumnId(2),
+                right: ver_common::ids::ColumnId(3),
+                score: 1.0,
+            }],
+        };
+        assert!(join_score(&idx, &key_edge) > join_score(&idx, &cat_edge));
+    }
+
+    #[test]
+    fn single_table_scores_highest() {
+        let idx = setup();
+        let empty = JoinGraph::default();
+        assert_eq!(join_score(&idx, &empty), 1.0);
+    }
+
+    #[test]
+    fn more_hops_score_lower() {
+        let idx = setup();
+        let edge = JoinGraphEdge {
+            left: ver_common::ids::ColumnId(0),
+            right: ver_common::ids::ColumnId(1),
+            score: 1.0,
+        };
+        let one = JoinGraph { edges: vec![edge] };
+        let two = JoinGraph { edges: vec![edge, edge] };
+        assert!(join_score(&idx, &one) > join_score(&idx, &two));
+    }
+
+    #[test]
+    fn ranking_orders_by_score_desc() {
+        let idx = setup();
+        let key_edge = JoinGraphEdge {
+            left: ver_common::ids::ColumnId(0),
+            right: ver_common::ids::ColumnId(1),
+            score: 1.0,
+        };
+        let cat_edge = JoinGraphEdge {
+            left: ver_common::ids::ColumnId(2),
+            right: ver_common::ids::ColumnId(3),
+            score: 1.0,
+        };
+        let mut graphs = vec![
+            (JoinGraph { edges: vec![cat_edge] }, "cat"),
+            (JoinGraph { edges: vec![key_edge] }, "key"),
+        ];
+        rank_join_graphs(&idx, &mut graphs);
+        assert_eq!(graphs[0].1, "key");
+    }
+}

@@ -1,0 +1,287 @@
+//! The end-to-end JOIN-GRAPH-SEARCH component (Algorithm 5).
+
+use crate::enumerate::enumerate_combinations;
+use crate::materialize::materialize_join_graph;
+use crate::rank::join_score;
+use ver_common::error::Result;
+use ver_common::fxhash::FxHashSet;
+use ver_common::ids::{ColumnRef, ViewId};
+use ver_engine::view::View;
+use ver_index::DiscoveryIndex;
+use ver_select::SelectionResult;
+use ver_store::catalog::TableCatalog;
+
+/// Tunables for join-graph search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Hop bound ρ (paper default 2).
+    pub rho: usize,
+    /// Materialise the top-k ranked join candidates. The paper's evaluation
+    /// sets k = total join graphs (materialise everything).
+    pub k: usize,
+    /// Cap on enumerated column combinations.
+    pub max_combinations: usize,
+    /// Drop materialized views with zero rows (joins that match nothing
+    /// carry no information for the user).
+    pub drop_empty_views: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            rho: 2,
+            k: usize::MAX,
+            max_combinations: 100_000,
+            drop_empty_views: true,
+        }
+    }
+}
+
+/// Search-space statistics matching the paper's reporting
+/// (Figs. 5, 6, 8b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchStats {
+    /// Column combinations enumerated.
+    pub combinations: usize,
+    /// Combinations skipped by the non-joinable cache.
+    pub skipped_by_cache: usize,
+    /// Joinable table groups ("No. of Joinable Groups").
+    pub joinable_groups: usize,
+    /// Join graphs across groups ("No. of Join Graphs").
+    pub join_graphs: usize,
+    /// Materialised candidate PJ-views ("No. of Generated Views").
+    pub views: usize,
+}
+
+/// Result of join-graph search: materialized views plus statistics.
+#[derive(Debug)]
+pub struct SearchOutput {
+    /// Candidate PJ-views with assigned [`ViewId`]s, ranked by join score.
+    pub views: Vec<View>,
+    /// Search-space statistics.
+    pub stats: SearchStats,
+    /// Stage wall times: `jgs` (enumeration + ranking) and `materialize`
+    /// (plan execution) — the JGS/M split of Fig. 4b.
+    pub timer: ver_common::timer::PhaseTimer,
+}
+
+/// Run Algorithm 5: enumerate combinations, resolve join graphs, rank, and
+/// materialise the top-k candidate PJ-views.
+pub fn join_graph_search(
+    catalog: &TableCatalog,
+    index: &DiscoveryIndex,
+    selection: &SelectionResult,
+    config: &SearchConfig,
+) -> Result<SearchOutput> {
+    let mut timer = ver_common::timer::PhaseTimer::new();
+    let jgs_start = std::time::Instant::now();
+    let enumeration = enumerate_combinations(index, selection, config.rho, config.max_combinations);
+
+    let mut stats = SearchStats {
+        combinations: enumeration.total_combinations,
+        skipped_by_cache: enumeration.skipped_by_cache,
+        joinable_groups: enumeration.joinable_group_count(),
+        join_graphs: enumeration.join_graph_count(),
+        views: 0,
+    };
+
+    // Pair each combination with each of its group's join graphs; dedupe
+    // identical (graph, projection) pairs arising from different orders.
+    let mut candidates: Vec<(ver_index::JoinGraph, Vec<ColumnRef>)> = Vec::new();
+    let mut seen: FxHashSet<(Vec<(u32, u32)>, Vec<ColumnRef>)> = FxHashSet::default();
+    for (combo, gi) in &enumeration.combinations {
+        let projection: Vec<ColumnRef> = combo
+            .columns
+            .iter()
+            .map(|&c| catalog.column_ref(c))
+            .collect::<Result<_>>()?;
+        for graph in &enumeration.groups[*gi].1 {
+            let mut canon: Vec<(u32, u32)> = graph
+                .edges
+                .iter()
+                .map(|e| (e.left.0.min(e.right.0), e.left.0.max(e.right.0)))
+                .collect();
+            canon.sort_unstable();
+            if seen.insert((canon, projection.clone())) {
+                candidates.push((graph.clone(), projection.clone()));
+            }
+        }
+    }
+
+    // Rank by join score (desc); stable for determinism.
+    let mut scored: Vec<(f64, ver_index::JoinGraph, Vec<ColumnRef>)> = candidates
+        .into_iter()
+        .map(|(g, p)| (join_score(index, &g), g, p))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    scored.truncate(config.k);
+    timer.add("jgs", jgs_start.elapsed());
+
+    let mat_start = std::time::Instant::now();
+    let mut views = Vec::with_capacity(scored.len());
+    for (score, graph, projection) in &scored {
+        let mut view = materialize_join_graph(catalog, index, graph, projection, *score)?;
+        if config.drop_empty_views && view.row_count() == 0 {
+            continue;
+        }
+        view.id = ViewId(views.len() as u32);
+        views.push(view);
+    }
+    timer.add("materialize", mat_start.elapsed());
+    stats.views = views.len();
+    Ok(SearchOutput { views, stats, timer })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_index::{build_index, IndexConfig};
+    use ver_qbe::query::{ExampleQuery, QueryColumn};
+    use ver_select::{column_selection, SelectionConfig};
+    use ver_store::table::TableBuilder;
+
+    /// Two "state fact" tables joinable with a states dimension — a shape
+    /// that yields multiple candidate views for the same query.
+    fn setup() -> (TableCatalog, DiscoveryIndex) {
+        let mut cat = TableCatalog::new();
+        let states: Vec<String> = (0..30).map(|i| format!("st{i}")).collect();
+
+        let mut b = TableBuilder::new("airports", &["iata", "state"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(format!("A{i}")), Value::text(s.clone())]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+
+        let mut b = TableBuilder::new("pop1", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+
+        let mut b = TableBuilder::new("pop2", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate().take(25) {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(2000 + i as i64)]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+
+        let idx = build_index(
+            &cat,
+            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+        )
+        .unwrap();
+        (cat, idx)
+    }
+
+    fn run(
+        cat: &TableCatalog,
+        idx: &DiscoveryIndex,
+        q: &ExampleQuery,
+        config: &SearchConfig,
+    ) -> SearchOutput {
+        let sel = column_selection(idx, q, &SelectionConfig { theta: usize::MAX, ..Default::default() });
+        join_graph_search(cat, idx, &sel, config).unwrap()
+    }
+
+    #[test]
+    fn produces_ranked_views_with_stats() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["A1", "A2"]),
+            QueryColumn::of_strs(&["1001", "1002"]),
+        ])
+        .unwrap();
+        let out = run(&cat, &idx, &q, &SearchConfig::default());
+        assert!(out.stats.joinable_groups >= 1);
+        assert!(out.stats.views >= 1);
+        assert_eq!(out.views.len(), out.stats.views);
+        // Ranked: scores non-increasing.
+        let scores: Vec<f64> = out.views.iter().map(|v| v.provenance.join_score).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        // Ids assigned sequentially.
+        assert!(out
+            .views
+            .iter()
+            .enumerate()
+            .all(|(i, v)| v.id == ViewId(i as u32)));
+    }
+
+    #[test]
+    fn ambiguous_state_query_generates_multiple_views() {
+        let (cat, idx) = setup();
+        // "state" examples match 3 columns; pop examples match pop1 and pop2.
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let out = run(&cat, &idx, &q, &SearchConfig::default());
+        assert!(
+            out.stats.views >= 2,
+            "ambiguity should produce multiple candidate views, got {}",
+            out.stats.views
+        );
+    }
+
+    #[test]
+    fn top_k_truncates_materialisation() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let all = run(&cat, &idx, &q, &SearchConfig::default());
+        let one = run(&cat, &idx, &q, &SearchConfig { k: 1, ..Default::default() });
+        assert!(all.stats.views > 1);
+        assert_eq!(one.stats.views, 1);
+        // The kept view is the top-ranked one.
+        assert_eq!(
+            one.views[0].provenance.join_score,
+            all.views[0].provenance.join_score
+        );
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_output() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![QueryColumn::of_strs(&["missing-value"])]).unwrap();
+        let out = run(&cat, &idx, &q, &SearchConfig::default());
+        assert_eq!(out.stats.views, 0);
+        assert!(out.views.is_empty());
+    }
+
+    #[test]
+    fn single_table_query_materialises_projection_only_view() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["A1"]),
+            QueryColumn::of_strs(&["st1"]),
+        ])
+        .unwrap();
+        let out = run(&cat, &idx, &q, &SearchConfig::default());
+        assert!(out
+            .views
+            .iter()
+            .any(|v| v.provenance.hops() == 0 && v.attribute_names() == vec!["iata", "state"]));
+    }
+
+    #[test]
+    fn provenance_links_views_to_join_graphs() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "1002"]),
+        ])
+        .unwrap();
+        let out = run(&cat, &idx, &q, &SearchConfig::default());
+        for v in &out.views {
+            assert_eq!(v.provenance.projection.len(), 2);
+            assert_eq!(
+                v.provenance.source_tables.len(),
+                v.provenance.hops() + 1,
+                "tree: tables = edges + 1"
+            );
+        }
+    }
+}

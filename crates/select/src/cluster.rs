@@ -1,0 +1,119 @@
+//! Connected-component clustering of candidate columns over the join
+//! hypergraph (Algorithm 4 line 5).
+
+use ver_common::fxhash::FxHashMap;
+use ver_common::ids::ColumnId;
+use ver_index::DiscoveryIndex;
+
+/// Partition `columns` into connected components of the hypergraph
+/// restricted to `columns`, using NEIGHBORS at `threshold`.
+///
+/// Returns clusters as sorted column lists, ordered by their smallest
+/// member for determinism.
+pub fn connected_components(
+    index: &DiscoveryIndex,
+    columns: &[ColumnId],
+    threshold: f64,
+) -> Vec<Vec<ColumnId>> {
+    let member: FxHashMap<ColumnId, usize> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+    let mut parent: Vec<usize> = (0..columns.len()).collect();
+
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    for (i, &c) in columns.iter().enumerate() {
+        for (n, _) in index.neighbors(c, threshold) {
+            if let Some(&j) = member.get(&n) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    let mut groups: FxHashMap<usize, Vec<ColumnId>> = FxHashMap::default();
+    for (i, &c) in columns.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().push(c);
+    }
+    let mut clusters: Vec<Vec<ColumnId>> = groups.into_values().collect();
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_index::{build_index, IndexConfig};
+    use ver_store::catalog::TableCatalog;
+    use ver_store::table::TableBuilder;
+
+    /// Two joinable "state" columns + one disjoint "city" column.
+    fn index() -> DiscoveryIndex {
+        let mut cat = TableCatalog::new();
+        let states: Vec<String> = (0..50).map(|i| format!("state{i}")).collect();
+        for name in ["a", "b"] {
+            let mut b = TableBuilder::new(name, &["state"]);
+            for s in &states {
+                b.push_row(vec![Value::text(s.clone())]).unwrap();
+            }
+            cat.add_table(b.build()).unwrap();
+        }
+        let mut b = TableBuilder::new("c", &["city"]);
+        for i in 0..50 {
+            b.push_row(vec![Value::text(format!("city{i}"))]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        build_index(
+            &cat,
+            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn joinable_columns_cluster_together() {
+        let idx = index();
+        let cols = vec![ColumnId(0), ColumnId(1), ColumnId(2)];
+        let clusters = connected_components(&idx, &cols, 0.8);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![ColumnId(0), ColumnId(1)]);
+        assert_eq!(clusters[1], vec![ColumnId(2)]);
+    }
+
+    #[test]
+    fn restriction_to_input_set() {
+        // Clustering only {C0, C2} must not bring in C1.
+        let idx = index();
+        let clusters = connected_components(&idx, &[ColumnId(0), ColumnId(2)], 0.8);
+        assert_eq!(clusters.len(), 2);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        let idx = index();
+        assert!(connected_components(&idx, &[], 0.8).is_empty());
+    }
+
+    #[test]
+    fn threshold_above_scores_splits_clusters() {
+        let idx = index();
+        let cols = vec![ColumnId(0), ColumnId(1)];
+        let clusters = connected_components(&idx, &cols, 1.01);
+        assert_eq!(clusters.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! The pathless table collection itself (Definition 2).
+//!
+//! A [`TableCatalog`] owns the tables, assigns [`TableId`]s and global
+//! [`ColumnId`]s, and answers the lookups every downstream component needs
+//! (resolve a [`ColumnRef`], iterate all columns, find tables by name).
+//! No join-path information is stored here — that is the whole point of the
+//! pathless setting; join paths are *inferred* by `ver-index`.
+
+use crate::column::Column;
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use ver_common::error::{Result, VerError};
+use ver_common::fxhash::FxHashMap;
+use ver_common::ids::{ColumnId, ColumnRef, TableId};
+
+/// An owned collection of noisy tables with id/name lookup.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TableCatalog {
+    tables: Vec<Table>,
+    by_name: FxHashMap<String, TableId>,
+    /// Flat list mapping `ColumnId` → `ColumnRef` in registration order.
+    column_refs: Vec<ColumnRef>,
+    /// Reverse map `ColumnRef` → `ColumnId`.
+    ref_to_id: FxHashMap<ColumnRef, ColumnId>,
+}
+
+impl TableCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table; assigns and returns its [`TableId`].
+    ///
+    /// Table names must be unique (open-data portals key datasets by name).
+    pub fn add_table(&mut self, mut table: Table) -> Result<TableId> {
+        let name = table.name().to_string();
+        if self.by_name.contains_key(&name) {
+            return Err(VerError::InvalidData(format!(
+                "duplicate table name '{name}'"
+            )));
+        }
+        let id = TableId(self.tables.len() as u32);
+        table.id = id;
+        for ordinal in 0..table.column_count() {
+            let cref = ColumnRef { table: id, ordinal: ordinal as u16 };
+            let cid = ColumnId(self.column_refs.len() as u32);
+            self.column_refs.push(cref);
+            self.ref_to_id.insert(cref, cid);
+        }
+        self.tables.push(table);
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of columns across all tables.
+    pub fn column_count(&self) -> usize {
+        self.column_refs.len()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::row_count).sum()
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.idx())
+            .ok_or_else(|| VerError::NotFound(format!("table {id}")))
+    }
+
+    /// Table by name (exact, case-sensitive).
+    pub fn table_by_name(&self, name: &str) -> Option<&Table> {
+        self.by_name.get(name).map(|id| &self.tables[id.idx()])
+    }
+
+    /// All tables in id order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Resolve a [`ColumnRef`] to its column data.
+    pub fn column(&self, cref: ColumnRef) -> Result<&Column> {
+        let table = self.table(cref.table)?;
+        table.column(cref.ordinal as usize).ok_or_else(|| {
+            VerError::NotFound(format!("column {cref} (table has fewer columns)"))
+        })
+    }
+
+    /// Resolve a global [`ColumnId`] to its [`ColumnRef`].
+    pub fn column_ref(&self, id: ColumnId) -> Result<ColumnRef> {
+        self.column_refs
+            .get(id.idx())
+            .copied()
+            .ok_or_else(|| VerError::NotFound(format!("column id {id}")))
+    }
+
+    /// Global [`ColumnId`] of a [`ColumnRef`].
+    pub fn column_id(&self, cref: ColumnRef) -> Result<ColumnId> {
+        self.ref_to_id
+            .get(&cref)
+            .copied()
+            .ok_or_else(|| VerError::NotFound(format!("column ref {cref}")))
+    }
+
+    /// Iterate `(ColumnId, ColumnRef)` over every column in the catalog.
+    pub fn all_columns(&self) -> impl Iterator<Item = (ColumnId, ColumnRef)> + '_ {
+        self.column_refs
+            .iter()
+            .enumerate()
+            .map(|(i, &cref)| (ColumnId(i as u32), cref))
+    }
+
+    /// Display name (`table.column`) for a column reference.
+    pub fn qualified_name(&self, cref: ColumnRef) -> String {
+        match self.table(cref.table) {
+            Ok(t) => {
+                let col = t
+                    .schema
+                    .columns
+                    .get(cref.ordinal as usize)
+                    .map(|c| c.display_name(cref.ordinal as usize))
+                    .unwrap_or_else(|| format!("_col{}", cref.ordinal));
+                format!("{}.{}", t.name(), col)
+            }
+            Err(_) => cref.to_string(),
+        }
+    }
+
+    /// Approximate in-memory size in bytes (for Table I style reporting).
+    pub fn approx_bytes(&self) -> usize {
+        use ver_common::value::Value;
+        let mut total = 0usize;
+        for t in &self.tables {
+            for c in t.columns() {
+                total += c.values().len() * std::mem::size_of::<Value>();
+                for v in c.values() {
+                    if let Value::Text(s) = v {
+                        total += s.len();
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use ver_common::value::Value;
+
+    fn catalog() -> TableCatalog {
+        let mut cat = TableCatalog::new();
+        let mut a = TableBuilder::new("airports", &["iata", "state"]);
+        a.push_row(vec!["IND".into(), "Indiana".into()]).unwrap();
+        cat.add_table(a.build()).unwrap();
+        let mut s = TableBuilder::new("states", &["state", "pop"]);
+        s.push_row(vec!["Indiana".into(), Value::Int(6_800_000)]).unwrap();
+        s.push_row(vec!["Georgia".into(), Value::Int(10_700_000)]).unwrap();
+        cat.add_table(s.build()).unwrap();
+        cat
+    }
+
+    #[test]
+    fn ids_are_assigned_sequentially() {
+        let cat = catalog();
+        assert_eq!(cat.table_count(), 2);
+        assert_eq!(cat.column_count(), 4);
+        assert_eq!(cat.total_rows(), 3);
+        assert_eq!(cat.tables()[0].id, TableId(0));
+        assert_eq!(cat.tables()[1].id, TableId(1));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut cat = catalog();
+        let dup = TableBuilder::new("airports", &["x"]).build();
+        assert!(cat.add_table(dup).is_err());
+    }
+
+    #[test]
+    fn column_id_roundtrip() {
+        let cat = catalog();
+        for (cid, cref) in cat.all_columns() {
+            assert_eq!(cat.column_id(cref).unwrap(), cid);
+            assert_eq!(cat.column_ref(cid).unwrap(), cref);
+        }
+    }
+
+    #[test]
+    fn lookup_failures_are_notfound() {
+        let cat = catalog();
+        assert!(matches!(cat.table(TableId(99)), Err(VerError::NotFound(_))));
+        assert!(matches!(
+            cat.column(ColumnRef { table: TableId(0), ordinal: 9 }),
+            Err(VerError::NotFound(_))
+        ));
+        assert!(matches!(cat.column_ref(ColumnId(99)), Err(VerError::NotFound(_))));
+    }
+
+    #[test]
+    fn qualified_names() {
+        let cat = catalog();
+        let cref = ColumnRef { table: TableId(1), ordinal: 1 };
+        assert_eq!(cat.qualified_name(cref), "states.pop");
+    }
+
+    #[test]
+    fn table_by_name_finds_tables() {
+        let cat = catalog();
+        assert!(cat.table_by_name("states").is_some());
+        assert!(cat.table_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn approx_bytes_positive_for_nonempty() {
+        assert!(catalog().approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Minimal CSV reader/writer with pandas-style type inference.
+//!
+//! Open-data portals distribute CSVs (the paper's Open Data corpus comes from
+//! Open Data Portal Watch), so the store must round-trip them. Supports
+//! RFC-4180 quoting (`"` quotes, doubled-quote escapes, embedded commas and
+//! newlines). Headers may be absent (`has_header = false`) which produces
+//! anonymous columns — the noisy-schema case.
+
+use crate::schema::{ColumnMeta, TableSchema};
+use crate::table::{Table, TableBuilder};
+use std::io::{BufReader, Read, Write};
+use ver_common::error::{Result, VerError};
+use ver_common::value::{DataType, Value};
+
+/// Parse one CSV record from `input` starting at `pos`.
+/// Returns the fields and the position after the record's newline,
+/// or `None` at end of input.
+fn parse_record(input: &str, pos: usize) -> Option<(Vec<String>, usize)> {
+    let bytes = input.as_bytes();
+    if pos >= bytes.len() {
+        return None;
+    }
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut i = pos;
+    let mut in_quotes = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_quotes {
+            if c == b'"' {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                    field.push('"');
+                    i += 2;
+                } else {
+                    in_quotes = false;
+                    i += 1;
+                }
+            } else {
+                // Safe: we only push whole UTF-8 chars below for multibyte.
+                let ch_len = utf8_len(c);
+                field.push_str(&input[i..i + ch_len]);
+                i += ch_len;
+            }
+        } else {
+            match c {
+                b'"' if field.is_empty() => {
+                    in_quotes = true;
+                    i += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                b'\r' => {
+                    i += 1;
+                }
+                b'\n' => {
+                    i += 1;
+                    fields.push(field);
+                    return Some((fields, i));
+                }
+                _ => {
+                    let ch_len = utf8_len(c);
+                    field.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+    }
+    fields.push(field);
+    Some((fields, i))
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parse CSV text into a [`Table`] named `name`.
+///
+/// With `has_header = false` the columns are anonymous (`Ai = φ`).
+/// Ragged rows are tolerated: short rows are null-padded, long rows error.
+pub fn parse_csv(name: &str, text: &str, has_header: bool) -> Result<Table> {
+    let mut pos = 0usize;
+    let mut header: Option<Vec<String>> = None;
+    if has_header {
+        match parse_record(text, pos) {
+            Some((fields, next)) => {
+                header = Some(fields);
+                pos = next;
+            }
+            None => {
+                return Err(VerError::InvalidData(format!(
+                    "csv '{name}': empty input but has_header = true"
+                )))
+            }
+        }
+    }
+
+    // Peek arity from the header or the first data row.
+    let arity = match &header {
+        Some(h) => h.len(),
+        None => match parse_record(text, pos) {
+            Some((fields, _)) => fields.len(),
+            None => 0,
+        },
+    };
+
+    let metas: Vec<ColumnMeta> = match header {
+        Some(h) => h
+            .into_iter()
+            .map(|n| {
+                let trimmed = n.trim();
+                if trimmed.is_empty() {
+                    ColumnMeta::anonymous(DataType::Unknown)
+                } else {
+                    ColumnMeta::named(trimmed.to_string(), DataType::Unknown)
+                }
+            })
+            .collect(),
+        None => (0..arity).map(|_| ColumnMeta::anonymous(DataType::Unknown)).collect(),
+    };
+
+    let mut builder = TableBuilder::with_schema(TableSchema::new(name, metas));
+    while let Some((fields, next)) = parse_record(text, pos) {
+        pos = next;
+        // Skip completely blank records (trailing newline artefacts).
+        if fields.len() == 1 && fields[0].is_empty() {
+            continue;
+        }
+        let row: Vec<Value> = fields.iter().map(|f| Value::parse(f)).collect();
+        builder.push_row(row).map_err(|e| {
+            VerError::InvalidData(format!("csv '{name}': {e}"))
+        })?;
+    }
+    Ok(builder.build())
+}
+
+/// Read a CSV [`Table`] from any reader.
+pub fn read_csv<R: Read>(name: &str, reader: R, has_header: bool) -> Result<Table> {
+    let mut buf = String::new();
+    BufReader::new(reader).read_to_string(&mut buf)?;
+    parse_csv(name, &buf, has_header)
+}
+
+/// Quote a field if it contains a separator, quote or newline.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Write a table as CSV (header always written; anonymous columns get their
+/// positional display names).
+pub fn write_csv<W: Write>(table: &Table, mut out: W) -> Result<()> {
+    let header: Vec<String> = table
+        .schema
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| quote_field(&c.display_name(i)))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for r in 0..table.row_count() {
+        let row: Vec<String> = (0..table.column_count())
+            .map(|c| quote_field(&table.cell(r, c).map(ToString::to_string).unwrap_or_default()))
+            .collect();
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serialise a table to a CSV string.
+pub fn to_csv_string(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("csv output is valid utf-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_csv_with_types() {
+        let t = parse_csv("t", "city,pop\nBoston,650000\nSan Diego,1400000\n", true).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(0, 0), Some(&Value::text("Boston")));
+        assert_eq!(t.cell(1, 1), Some(&Value::Int(1_400_000)));
+        assert_eq!(t.schema.columns[1].dtype, DataType::Int);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let t = parse_csv("t", "name,motto\n\"Doe, Jane\",\"she said \"\"hi\"\"\"\n", true).unwrap();
+        assert_eq!(t.cell(0, 0), Some(&Value::text("Doe, Jane")));
+        assert_eq!(t.cell(0, 1), Some(&Value::text("she said \"hi\"")));
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let t = parse_csv("t", "a,b\n\"line1\nline2\",2\n", true).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.cell(0, 0), Some(&Value::text("line1\nline2")));
+    }
+
+    #[test]
+    fn headerless_csv_gives_anonymous_columns() {
+        let t = parse_csv("t", "1,2\n3,4\n", false).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert!(t.schema.columns[0].name.is_none());
+        assert_eq!(t.cell(1, 1), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn empty_and_na_cells_are_null() {
+        let t = parse_csv("t", "a,b\n,NA\n5,\n", true).unwrap();
+        assert_eq!(t.cell(0, 0), Some(&Value::Null));
+        assert_eq!(t.cell(0, 1), Some(&Value::Null));
+        assert_eq!(t.cell(1, 1), Some(&Value::Null));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse_csv("t", "a,b\r\n1,2\r\n", true).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.cell(0, 1), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn blank_header_cell_becomes_anonymous() {
+        let t = parse_csv("t", "a,,c\n1,2,3\n", true).unwrap();
+        assert!(t.schema.columns[1].name.is_none());
+        assert_eq!(t.schema.columns[1].display_name(1), "_col1");
+    }
+
+    #[test]
+    fn roundtrip_through_csv_string() {
+        let src = "state,pop\nIndiana,6800000\n\"Has, comma\",5\n";
+        let t = parse_csv("t", src, true).unwrap();
+        let out = to_csv_string(&t);
+        let t2 = parse_csv("t", &out, true).unwrap();
+        assert_eq!(t.row_count(), t2.row_count());
+        assert_eq!(t.cell(1, 0), t2.cell(1, 0));
+    }
+
+    #[test]
+    fn unicode_content_survives() {
+        let t = parse_csv("t", "name\nSão Paulo\n北京\n", true).unwrap();
+        assert_eq!(t.cell(0, 0), Some(&Value::text("São Paulo")));
+        assert_eq!(t.cell(1, 0), Some(&Value::text("北京")));
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let t = parse_csv("t", "a\n1", true).unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn empty_input_with_header_errors() {
+        assert!(parse_csv("t", "", true).is_err());
+        let t = parse_csv("t", "", false).unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.column_count(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Compact per-column profiles consumed by discovery-index construction.
+//!
+//! Profiling is the first pass of the offline DISCOVERY-ENGINE stage: for
+//! every column we record its inferred type, cardinalities and a bounded
+//! sample of normalized values. MinHash signatures are built from the full
+//! value stream separately (in `ver-index`); the profile carries the exact
+//! distinct cardinality that Lazo-style containment estimation requires.
+
+use crate::catalog::TableCatalog;
+use crate::column::Column;
+use serde::{Deserialize, Serialize};
+use ver_common::fxhash::FxHashSet;
+use ver_common::ids::{ColumnId, ColumnRef};
+use ver_common::value::DataType;
+
+/// Statistics and a bounded sample for one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    /// Global column id.
+    pub id: ColumnId,
+    /// Fully qualified reference.
+    pub cref: ColumnRef,
+    /// Inferred logical type.
+    pub dtype: DataType,
+    /// Total rows in the column.
+    pub rows: usize,
+    /// Null cells.
+    pub nulls: usize,
+    /// Exact distinct count of non-null values (needed by Lazo containment).
+    pub distinct: usize,
+    /// Up to `sample_cap` distinct normalized values.
+    pub sample: Vec<String>,
+}
+
+impl ColumnProfile {
+    /// Profile a single column.
+    pub fn of(id: ColumnId, cref: ColumnRef, col: &Column, sample_cap: usize) -> Self {
+        let mut seen: FxHashSet<String> = FxHashSet::default();
+        let mut sample = Vec::new();
+        for v in col.non_null() {
+            if sample.len() >= sample_cap {
+                break;
+            }
+            let n = v.normalized();
+            if seen.insert(n.clone()) {
+                sample.push(n);
+            }
+        }
+        ColumnProfile {
+            id,
+            cref,
+            dtype: col.inferred_type(),
+            rows: col.len(),
+            nulls: col.null_count(),
+            distinct: col.distinct_count(),
+            sample,
+        }
+    }
+
+    /// Distinct ratio (1.0 ⇒ candidate key).
+    pub fn distinct_ratio(&self) -> f64 {
+        let non_null = self.rows - self.nulls;
+        if non_null == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / non_null as f64
+        }
+    }
+}
+
+/// Profile every column of a catalog. Sample cap bounds memory on wide
+/// collections (Open Data has millions of columns).
+pub fn profile_catalog(catalog: &TableCatalog, sample_cap: usize) -> Vec<ColumnProfile> {
+    let mut out = Vec::with_capacity(catalog.column_count());
+    for (cid, cref) in catalog.all_columns() {
+        let col = catalog.column(cref).expect("catalog column refs are valid");
+        out.push(ColumnProfile::of(cid, cref, col, sample_cap));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use ver_common::ids::TableId;
+    use ver_common::value::Value;
+
+    fn profiled() -> Vec<ColumnProfile> {
+        let mut cat = TableCatalog::new();
+        let mut b = TableBuilder::new("t", &["k", "v"]);
+        for i in 0..10 {
+            b.push_row(vec![Value::Int(i), Value::text(format!("x{}", i % 3))])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        profile_catalog(&cat, 100)
+    }
+
+    #[test]
+    fn profiles_cover_all_columns() {
+        let ps = profiled();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].cref.table, TableId(0));
+        assert_eq!(ps[0].distinct, 10);
+        assert_eq!(ps[1].distinct, 3);
+    }
+
+    #[test]
+    fn key_detection_via_distinct_ratio() {
+        let ps = profiled();
+        assert_eq!(ps[0].distinct_ratio(), 1.0);
+        assert!(ps[1].distinct_ratio() < 1.0);
+    }
+
+    #[test]
+    fn sample_is_bounded_and_distinct() {
+        let mut cat = TableCatalog::new();
+        let mut b = TableBuilder::new("t", &["v"]);
+        for i in 0..100 {
+            b.push_row(vec![Value::Int(i % 7)]).unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        let ps = profile_catalog(&cat, 5);
+        assert_eq!(ps[0].sample.len(), 5);
+        assert_eq!(ps[0].distinct, 7);
+        let set: FxHashSet<&String> = ps[0].sample.iter().collect();
+        assert_eq!(set.len(), 5, "sample values are distinct");
+    }
+
+    #[test]
+    fn nulls_counted_not_sampled() {
+        let mut cat = TableCatalog::new();
+        let mut b = TableBuilder::new("t", &["v"]);
+        b.push_row(vec![Value::Null]).unwrap();
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        cat.add_table(b.build()).unwrap();
+        let ps = profile_catalog(&cat, 10);
+        assert_eq!(ps[0].nulls, 1);
+        assert_eq!(ps[0].sample, vec!["1".to_string()]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Table schemas for noisy data.
+//!
+//! Definition 1 (noisy structured data) allows `Ai = φ` — missing header
+//! values — so [`ColumnMeta::name`] is optional. Components that need a
+//! printable name use [`ColumnMeta::display_name`], which falls back to a
+//! positional placeholder.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use ver_common::value::DataType;
+
+/// Metadata of a single column in a (possibly noisy) schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Header name; `None` models the paper's missing header (`Ai = φ`).
+    pub name: Option<Arc<str>>,
+    /// Inferred logical type.
+    pub dtype: DataType,
+}
+
+impl ColumnMeta {
+    /// Named column of the given type.
+    pub fn named(name: impl Into<Arc<str>>, dtype: DataType) -> Self {
+        ColumnMeta { name: Some(name.into()), dtype }
+    }
+
+    /// Headerless column (`Ai = φ`).
+    pub fn anonymous(dtype: DataType) -> Self {
+        ColumnMeta { name: None, dtype }
+    }
+
+    /// Printable name: the header if present, otherwise `_col<ordinal>`.
+    pub fn display_name(&self, ordinal: usize) -> String {
+        match &self.name {
+            Some(n) => n.to_string(),
+            None => format!("_col{ordinal}"),
+        }
+    }
+}
+
+/// Schema of a table: its name plus per-column metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table (dataset/file) name.
+    pub name: Arc<str>,
+    /// Column metadata in ordinal order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl TableSchema {
+    /// Build a schema from a table name and column metadata.
+    pub fn new(name: impl Into<Arc<str>>, columns: Vec<ColumnMeta>) -> Self {
+        TableSchema { name: name.into(), columns }
+    }
+
+    /// Number of columns (`m` in the paper).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Ordinal of the first column whose header equals `name`
+    /// (case-insensitive); `None` if absent.
+    pub fn ordinal_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| {
+            c.name
+                .as_deref()
+                .is_some_and(|n| n.eq_ignore_ascii_case(name))
+        })
+    }
+
+    /// The *schema signature* used by SCHEMA-BASED-BLOCKS in view
+    /// distillation: the ordered list of display names, joined. Two views
+    /// compare under 4C only if their signatures match (Algorithm 3 line 2).
+    pub fn signature(&self) -> String {
+        let mut sig = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                sig.push('\u{1f}');
+            }
+            sig.push_str(&c.display_name(i).to_lowercase());
+        }
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "airports",
+            vec![
+                ColumnMeta::named("State", DataType::Text),
+                ColumnMeta::anonymous(DataType::Int),
+                ColumnMeta::named("IATA", DataType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn display_name_falls_back_for_missing_headers() {
+        let s = schema();
+        assert_eq!(s.columns[0].display_name(0), "State");
+        assert_eq!(s.columns[1].display_name(1), "_col1");
+    }
+
+    #[test]
+    fn ordinal_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.ordinal_of("state"), Some(0));
+        assert_eq!(s.ordinal_of("IATA"), Some(2));
+        assert_eq!(s.ordinal_of("missing"), None);
+        // Anonymous columns are not addressable by name.
+        assert_eq!(s.ordinal_of("_col1"), None);
+    }
+
+    #[test]
+    fn signature_depends_on_names_and_order() {
+        let a = schema();
+        let mut b = schema();
+        assert_eq!(a.signature(), b.signature());
+        b.columns.swap(0, 2);
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn signature_is_case_insensitive() {
+        let a = TableSchema::new("t", vec![ColumnMeta::named("STATE", DataType::Text)]);
+        let b = TableSchema::new("u", vec![ColumnMeta::named("state", DataType::Text)]);
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn arity_counts_columns() {
+        assert_eq!(schema().arity(), 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! The noisy table: a schema plus column-major values.
+
+use crate::column::Column;
+use crate::schema::{ColumnMeta, TableSchema};
+use serde::{Deserialize, Serialize};
+use ver_common::error::{Result, VerError};
+use ver_common::ids::TableId;
+use ver_common::value::{DataType, Value};
+
+/// A noisy table (Definition 1): schema with possibly-missing headers and
+/// column-major values with possibly-missing cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Catalog-assigned id ([`TableId::default`] before registration).
+    pub id: TableId,
+    /// Schema (name + column metadata).
+    pub schema: TableSchema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Construct a table from a schema and matching columns.
+    ///
+    /// Fails when column counts mismatch the schema or columns are ragged.
+    pub fn new(schema: TableSchema, columns: Vec<Column>) -> Result<Self> {
+        if schema.arity() != columns.len() {
+            return Err(VerError::InvalidData(format!(
+                "table '{}': schema has {} columns but {} provided",
+                schema.name,
+                schema.arity(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        if let Some(bad) = columns.iter().position(|c| c.len() != rows) {
+            return Err(VerError::InvalidData(format!(
+                "table '{}': ragged columns (column {} has {} rows, expected {})",
+                schema.name,
+                bad,
+                columns[bad].len(),
+                rows
+            )));
+        }
+        Ok(Table { id: TableId::default(), schema, columns, rows })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column at `ordinal`.
+    pub fn column(&self, ordinal: usize) -> Option<&Column> {
+        self.columns.get(ordinal)
+    }
+
+    /// All columns, ordinal order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Cell at (`row`, `col`).
+    pub fn cell(&self, row: usize, col: usize) -> Option<&Value> {
+        self.columns.get(col).and_then(|c| c.get(row))
+    }
+
+    /// Materialise row `row` as a vector of values.
+    pub fn row(&self, row: usize) -> Option<Vec<Value>> {
+        if row >= self.rows {
+            return None;
+        }
+        Some(
+            self.columns
+                .iter()
+                .map(|c| c.get(row).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    /// Iterate rows as value vectors (allocates per row; intended for tests
+    /// and small tables — hot paths work column-wise).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows).map(move |r| self.row(r).expect("row in range"))
+    }
+
+    /// Refresh schema `dtype`s from the actual column contents.
+    pub fn infer_types(&mut self) {
+        for (meta, col) in self.schema.columns.iter_mut().zip(&self.columns) {
+            meta.dtype = col.inferred_type();
+        }
+    }
+}
+
+/// Row-oriented builder for [`Table`].
+///
+/// Rows shorter than the arity are padded with nulls — the paper's "each
+/// tuple contains at most m values".
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: TableSchema,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Start a table with named columns (types inferred at build time).
+    pub fn new(name: impl Into<std::sync::Arc<str>>, column_names: &[&str]) -> Self {
+        let metas = column_names
+            .iter()
+            .map(|n| ColumnMeta::named(*n, DataType::Unknown))
+            .collect::<Vec<_>>();
+        let n = metas.len();
+        TableBuilder {
+            schema: TableSchema::new(name, metas),
+            columns: (0..n).map(|_| Column::new()).collect(),
+        }
+    }
+
+    /// Start a table from explicit column metadata (allows anonymous
+    /// columns for noisy-schema scenarios).
+    pub fn with_schema(schema: TableSchema) -> Self {
+        let n = schema.arity();
+        TableBuilder { schema, columns: (0..n).map(|_| Column::new()).collect() }
+    }
+
+    /// Append one row. Rows longer than the arity error; shorter rows are
+    /// null-padded.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<&mut Self> {
+        if row.len() > self.columns.len() {
+            return Err(VerError::InvalidData(format!(
+                "row has {} values but table '{}' has {} columns",
+                row.len(),
+                self.schema.name,
+                self.columns.len()
+            )));
+        }
+        let missing = self.columns.len() - row.len();
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        for col in self.columns.iter_mut().rev().take(missing) {
+            col.push(Value::Null);
+        }
+        Ok(self)
+    }
+
+    /// Finish: infer column types and produce the [`Table`].
+    pub fn build(self) -> Table {
+        let mut t = Table::new(self.schema, self.columns)
+            .expect("builder maintains arity and rectangularity");
+        t.infer_types();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states_table() -> Table {
+        let mut b = TableBuilder::new("states", &["state", "population"]);
+        b.push_row(vec!["Indiana".into(), Value::Int(6_800_000)]).unwrap();
+        b.push_row(vec!["Georgia".into(), Value::Int(10_700_000)]).unwrap();
+        b.push_row(vec!["Virginia".into(), Value::Int(8_600_000)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_rectangular_table() {
+        let t = states_table();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.cell(1, 0), Some(&Value::text("Georgia")));
+        assert_eq!(t.schema.columns[1].dtype, DataType::Int);
+    }
+
+    #[test]
+    fn short_rows_are_null_padded() {
+        let mut b = TableBuilder::new("t", &["a", "b", "c"]);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        let t = b.build();
+        assert_eq!(t.cell(0, 1), Some(&Value::Null));
+        assert_eq!(t.cell(0, 2), Some(&Value::Null));
+    }
+
+    #[test]
+    fn long_rows_are_rejected() {
+        let mut b = TableBuilder::new("t", &["a"]);
+        let err = b.push_row(vec![Value::Int(1), Value::Int(2)]).unwrap_err();
+        assert!(matches!(err, VerError::InvalidData(_)));
+    }
+
+    #[test]
+    fn ragged_columns_are_rejected() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnMeta::named("a", DataType::Int),
+                ColumnMeta::named("b", DataType::Int),
+            ],
+        );
+        let cols = vec![
+            Column::from_values(vec![Value::Int(1)]),
+            Column::from_values(vec![]),
+        ];
+        assert!(Table::new(schema, cols).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let schema = TableSchema::new("t", vec![ColumnMeta::named("a", DataType::Int)]);
+        assert!(Table::new(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn row_materialisation() {
+        let t = states_table();
+        assert_eq!(
+            t.row(0),
+            Some(vec![Value::text("Indiana"), Value::Int(6_800_000)])
+        );
+        assert_eq!(t.row(99), None);
+        assert_eq!(t.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn empty_table_is_valid() {
+        let t = TableBuilder::new("empty", &["x"]).build();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.schema.columns[0].dtype, DataType::Unknown);
+    }
+}

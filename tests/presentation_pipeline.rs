@@ -1,0 +1,135 @@
+//! Integration: the bandit presentation loop against real pipeline output,
+//! and the Ver-vs-FastTopK comparison the user study measures.
+
+use ver_core::{Ver, VerConfig};
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_present::{
+    fasttopk_rank, simulate_scan, OracleUser, PersonaUser, SessionOutcome,
+};
+use ver_qbe::{ExampleQuery, ViewSpec};
+
+fn setup() -> (Ver, ViewSpec) {
+    let cat = generate_wdc(&WdcConfig {
+        n_tables: 50,
+        n_state_subsets: 6,
+        n_population_sources: 3,
+        ..Default::default()
+    })
+    .unwrap();
+    let ver = Ver::build(cat, VerConfig::fast()).unwrap();
+    let spec = ViewSpec::Qbe(
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]]).unwrap(),
+    );
+    (ver, spec)
+}
+
+#[test]
+fn oracle_user_finds_every_surviving_view() {
+    let (ver, spec) = setup();
+    let result = ver.run(&spec).unwrap();
+    assert!(result.distill.survivors_c2.len() >= 2);
+    for &target in &result.distill.survivors_c2 {
+        let mut user = OracleUser::new(target);
+        let (_, outcome) = ver.run_interactive(&spec, &mut user).unwrap();
+        assert_eq!(
+            outcome.found_view(),
+            Some(target),
+            "oracle failed to reach {target:?}: {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn presentation_beats_blind_scanning_for_low_ranked_targets() {
+    let (ver, spec) = setup();
+    let result = ver.run(&spec).unwrap();
+    let query = match &spec {
+        ViewSpec::Qbe(q) => q.clone(),
+        _ => unreachable!(),
+    };
+    // Target the view FastTopK ranks *last* among survivors.
+    let survivors: Vec<ver_engine::view::View> = result
+        .views
+        .iter()
+        .filter(|v| result.distill.survivors_c2.contains(&v.id))
+        .cloned()
+        .collect();
+    let ranked = fasttopk_rank(&survivors, &query);
+    let target = ranked.last().unwrap().0;
+
+    let mut user = OracleUser::new(target);
+    let (_, outcome) = ver.run_interactive(&spec, &mut user).unwrap();
+    let ver_interactions = outcome.interactions();
+    assert_eq!(outcome.found_view(), Some(target));
+
+    let scan = simulate_scan(&ranked, target, ranked.len());
+    assert!(scan.found);
+    // Ver's questions should reach a bottom-ranked view in no more steps
+    // than scanning the whole list.
+    assert!(
+        ver_interactions <= scan.inspected + 2,
+        "ver {ver_interactions} vs scan {}",
+        scan.inspected
+    );
+}
+
+#[test]
+fn impatient_scanners_fail_where_interactive_users_succeed() {
+    // The user-study mechanism: FastTopK fails when the target is deep in
+    // the ranking and the user's patience budget is small.
+    let (ver, spec) = setup();
+    let result = ver.run(&spec).unwrap();
+    let query = match &spec {
+        ViewSpec::Qbe(q) => q.clone(),
+        _ => unreachable!(),
+    };
+    let survivors: Vec<ver_engine::view::View> = result
+        .views
+        .iter()
+        .filter(|v| result.distill.survivors_c2.contains(&v.id))
+        .cloned()
+        .collect();
+    if survivors.len() < 3 {
+        return; // not enough ambiguity in this corpus configuration
+    }
+    let ranked = fasttopk_rank(&survivors, &query);
+    let target = ranked.last().unwrap().0;
+    let budget = 2; // impatient user
+    let scan = simulate_scan(&ranked, target, budget);
+    assert!(!scan.found, "deep target must not be reachable in {budget} steps");
+
+    let mut user = OracleUser::new(target);
+    let (_, outcome) = ver.run_interactive(&spec, &mut user).unwrap();
+    assert_eq!(outcome.found_view(), Some(target));
+}
+
+#[test]
+fn skipping_personas_never_lose_candidates() {
+    let (ver, spec) = setup();
+    let mut user = PersonaUser::uniform(ver_common::ids::ViewId(0), 0.0, 0.0, 9);
+    let (result, outcome) = ver.run_interactive(&spec, &mut user).unwrap();
+    match outcome {
+        SessionOutcome::Exhausted { ranked, .. } => {
+            assert_eq!(
+                ranked.len(),
+                result.distill.survivors_c2.len(),
+                "skips must not prune candidates"
+            );
+        }
+        SessionOutcome::Found { .. } => {
+            // Only possible when a single survivor existed to begin with.
+            assert_eq!(result.distill.survivors_c2.len(), 1);
+        }
+    }
+}
+
+#[test]
+fn interactions_stay_within_iteration_budget() {
+    let (ver, spec) = setup();
+    let result = ver.run(&spec).unwrap();
+    for &target in result.distill.survivors_c2.iter().take(3) {
+        let mut user = PersonaUser::uniform(target, 0.7, 0.05, 13);
+        let (_, outcome) = ver.run_interactive(&spec, &mut user).unwrap();
+        assert!(outcome.interactions() <= ver.config().presentation.max_iterations);
+    }
+}
