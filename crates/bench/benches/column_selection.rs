@@ -9,8 +9,19 @@ use ver_select::baselines::{select_all, select_best};
 use ver_select::{column_selection, SelectionConfig};
 
 fn bench_column_selection(c: &mut Criterion) {
-    let cat = generate_wdc(&WdcConfig { n_tables: 200, ..Default::default() }).unwrap();
-    let idx = build_index(&cat, IndexConfig { threads: 4, ..Default::default() }).unwrap();
+    let cat = generate_wdc(&WdcConfig {
+        n_tables: 200,
+        ..Default::default()
+    })
+    .unwrap();
+    let idx = build_index(
+        &cat,
+        IndexConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let query = ExampleQuery::from_rows(&[
         vec!["Indiana", "Georgia"],
         vec!["Virginia", "Illinois"],

@@ -20,9 +20,14 @@ fn views(n: usize, rows: usize) -> Vec<View> {
             let key = (base * 3 + r) % (rows * 2);
             // every 5th view disagrees on the value for shared keys
             let val = if i % 5 == 0 { key * 10 } else { key * 10 + 1 };
-            b.push_row(vec![Value::Int(key as i64), Value::Int(val as i64)]).unwrap();
+            b.push_row(vec![Value::Int(key as i64), Value::Int(val as i64)])
+                .unwrap();
         }
-        out.push(View::new(ViewId(i as u32), b.build(), Provenance::default()));
+        out.push(View::new(
+            ViewId(i as u32),
+            b.build(),
+            Provenance::default(),
+        ));
     }
     out
 }

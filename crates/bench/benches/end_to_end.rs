@@ -41,14 +41,15 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| ver.run(&spec).unwrap())
     });
 
-    let wdc = generate_wdc(&WdcConfig { n_tables: 120, ..Default::default() }).unwrap();
+    let wdc = generate_wdc(&WdcConfig {
+        n_tables: 120,
+        ..Default::default()
+    })
+    .unwrap();
     let ver_wdc = Ver::build(wdc, VerConfig::fast()).unwrap();
     let spec_wdc = ViewSpec::Qbe(
-        ExampleQuery::from_rows(&[
-            vec!["Philippines", "2644000"],
-            vec!["Vietnam", "3055000"],
-        ])
-        .unwrap(),
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]])
+            .unwrap(),
     );
     group.bench_function("wdc_population_query", |b| {
         b.iter(|| ver_wdc.run(&spec_wdc).unwrap())

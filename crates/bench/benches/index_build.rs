@@ -22,23 +22,44 @@ fn bench_index_build(c: &mut Criterion) {
         b.iter(|| {
             build_index(
                 &chembl,
-                IndexConfig { threads: 1, ..Default::default() },
+                IndexConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
             )
             .unwrap()
         })
     });
 
-    let wdc = generate_wdc(&WdcConfig { n_tables: 150, ..Default::default() }).unwrap();
+    let wdc = generate_wdc(&WdcConfig {
+        n_tables: 150,
+        ..Default::default()
+    })
+    .unwrap();
     group.bench_function(BenchmarkId::new("wdc", "150t"), |b| {
         b.iter(|| {
-            build_index(&wdc, IndexConfig { threads: 1, ..Default::default() }).unwrap()
+            build_index(
+                &wdc,
+                IndexConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         })
     });
 
     // Parallel speed-up check.
     group.bench_function(BenchmarkId::new("wdc_parallel", "150t"), |b| {
         b.iter(|| {
-            build_index(&wdc, IndexConfig { threads: 4, ..Default::default() }).unwrap()
+            build_index(
+                &wdc,
+                IndexConfig {
+                    threads: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -10,13 +10,22 @@ use ver_search::enumerate::enumerate_combinations;
 use ver_select::{column_selection, SelectionConfig};
 
 fn bench_join_graph_search(c: &mut Criterion) {
-    let cat = generate_wdc(&WdcConfig { n_tables: 150, ..Default::default() }).unwrap();
-    let idx = build_index(&cat, IndexConfig { threads: 4, ..Default::default() }).unwrap();
-    let query = ExampleQuery::from_rows(&[
-        vec!["Philippines", "2644000"],
-        vec!["Vietnam", "3055000"],
-    ])
+    let cat = generate_wdc(&WdcConfig {
+        n_tables: 150,
+        ..Default::default()
+    })
     .unwrap();
+    let idx = build_index(
+        &cat,
+        IndexConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let query =
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]])
+            .unwrap();
     let selection = column_selection(&idx, &query, &SelectionConfig::default());
 
     let mut group = c.benchmark_group("join_graph_search");

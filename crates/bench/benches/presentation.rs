@@ -36,12 +36,8 @@ fn bench_presentation(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("full_session_oracle", |b| {
         b.iter(|| {
-            let mut session = PresentationSession::new(
-                &vs,
-                &d,
-                &query,
-                PresentationConfig::default(),
-            );
+            let mut session =
+                PresentationSession::new(&vs, &d, &query, PresentationConfig::default());
             let mut user = OracleUser::new(ViewId(42));
             session.run(&mut user)
         })

@@ -20,15 +20,14 @@ fn main() {
     let mut config = setup.ver.config().clone();
     config.search.k = 500;
     config.search.max_combinations = 2_000;
-    let ver = ver_core::Ver::build(setup.ver.catalog().clone(), config)
-        .expect("rebuild with caps");
+    let ver = ver_core::Ver::build(setup.ver.catalog().clone(), config).expect("rebuild with caps");
     let ver = &ver;
     let mut rows = Vec::new();
 
     for gt in setup.gts.iter().take(10) {
         // Build the three specs for this ground truth.
-        let qbe = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 0xE2E)
-            .expect("query");
+        let qbe =
+            generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 0xE2E).expect("query");
         let keywords: Vec<String> = qbe
             .columns
             .iter()
@@ -77,7 +76,13 @@ fn main() {
     }
     print_table(
         "§VI-C1: view-specification implementations, end to end",
-        &["Query", "Interface", "#Views", "Pipeline ms", "Questions to target"],
+        &[
+            "Query",
+            "Interface",
+            "#Views",
+            "Pipeline ms",
+            "Questions to target",
+        ],
         &rows,
     );
     println!(

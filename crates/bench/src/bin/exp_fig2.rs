@@ -16,10 +16,7 @@ fn main() {
     let search = eval_search_config();
     let chembl = setup_chembl();
     let wdc = setup_wdc();
-    let targets = [
-        (&chembl, 3usize, "ChEMBL Q4"),
-        (&wdc, 2usize, "WDC Q3"),
-    ];
+    let targets = [(&chembl, 3usize, "ChEMBL Q4"), (&wdc, 2usize, "WDC Q3")];
     let mut rows = Vec::new();
     for (setup, gt_idx, label) in targets {
         let gt = &setup.gts[gt_idx];
@@ -28,9 +25,7 @@ fn main() {
                 .expect("query generation");
             let out = run_strategy(&setup.ver, &query, Strategy::ColumnSelection, &search);
             let d = distill(&out.views, &DistillConfig::default());
-            for (case, case_label) in
-                [(CaseChoice::Worst, "worst"), (CaseChoice::Best, "best")]
-            {
+            for (case, case_label) in [(CaseChoice::Worst, "worst"), (CaseChoice::Best, "best")] {
                 let steps = contradiction_steps(&d, case, 10);
                 rows.push(vec![
                     label.to_string(),

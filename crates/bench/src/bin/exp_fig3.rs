@@ -34,8 +34,7 @@ fn main() {
         let queries = 20;
         for _ in 0..queries {
             let gt = &setup.gts[rng.gen_range(0..setup.gts.len())];
-            let q = match generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, rng.gen())
-            {
+            let q = match generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, rng.gen()) {
                 Ok(q) => q,
                 Err(_) => continue,
             };

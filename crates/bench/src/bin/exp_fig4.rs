@@ -28,15 +28,19 @@ fn main() {
     let queries = 20;
     for _ in 0..queries {
         let gt = &setup.gts[rng.gen_range(0..setup.gts.len())];
-        let Ok(q) = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, rng.gen())
-        else {
+        let Ok(q) = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, rng.gen()) else {
             continue;
         };
-        let Ok(result) = ver.run(&ViewSpec::Qbe(q)) else { continue };
+        let Ok(result) = ver.run(&ViewSpec::Qbe(q)) else {
+            continue;
+        };
         for (i, p) in phases.iter().enumerate() {
             samples[i].push(result.timer.get(p).as_secs_f64() * 1e3);
         }
-        for (i, p) in ["schema_partition", "hash_c1", "c2", "c3_c4"].iter().enumerate() {
+        for (i, p) in ["schema_partition", "hash_c1", "c2", "c3_c4"]
+            .iter()
+            .enumerate()
+        {
             fourc_phases[i].push(result.distill.timer.get(p).as_secs_f64() * 1e3);
         }
     }

@@ -7,14 +7,15 @@
 //! ground truth under noise — marked by hit=0); COLUMN-SELECTION sits in
 //! between while keeping hit=1.
 
-use ver_bench::{
-    eval_search_config, print_table, run_strategy, setup_chembl, EvalSetup, Strategy,
-};
+use ver_bench::{eval_search_config, print_table, run_strategy, setup_chembl, EvalSetup, Strategy};
 use ver_datagen::workload::{find_ground_truth_view, materialize_ground_truth};
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
 
 fn main() {
-    run_for(setup_chembl(), "Fig. 5: #joinable groups / join graphs / views on ChEMBL");
+    run_for(
+        setup_chembl(),
+        "Fig. 5: #joinable groups / join graphs / views on ChEMBL",
+    );
 }
 
 /// Shared between Fig. 5 (ChEMBL) and Fig. 6 (WDC).
@@ -25,11 +26,10 @@ pub fn run_for(setup: EvalSetup, title: &str) {
     for gt in gts {
         let gt_view = materialize_ground_truth(ver.catalog(), ver.index(), gt, 2).ok();
         for level in NoiseLevel::all() {
-            let query =
-                match generate_noisy_query(ver.catalog(), gt, level, 3, 0xF165) {
-                    Ok(q) => q,
-                    Err(_) => continue,
-                };
+            let query = match generate_noisy_query(ver.catalog(), gt, level, 3, 0xF165) {
+                Ok(q) => q,
+                Err(_) => continue,
+            };
             for strat in Strategy::all() {
                 let out = run_strategy(ver, &query, strat, &search);
                 let hit = gt_view
@@ -50,7 +50,15 @@ pub fn run_for(setup: EvalSetup, title: &str) {
     }
     print_table(
         title,
-        &["Query", "Noise", "Strategy", "JoinableGroups", "JoinGraphs", "Views", "GT hit"],
+        &[
+            "Query",
+            "Noise",
+            "Strategy",
+            "JoinableGroups",
+            "JoinGraphs",
+            "Views",
+            "GT hit",
+        ],
         &rows,
     );
     println!(

@@ -1,8 +1,6 @@
 //! Fig. 6 — search-space sizes on WDC (same layout as Fig. 5).
 
-use ver_bench::{
-    eval_search_config, print_table, run_strategy, setup_wdc, EvalSetup, Strategy,
-};
+use ver_bench::{eval_search_config, print_table, run_strategy, setup_wdc, EvalSetup, Strategy};
 use ver_datagen::workload::{find_ground_truth_view, materialize_ground_truth};
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
 
@@ -38,7 +36,15 @@ fn main() {
     }
     print_table(
         "Fig. 6: #joinable groups / join graphs / views on WDC",
-        &["Query", "Noise", "Strategy", "JoinableGroups", "JoinGraphs", "Views", "GT hit"],
+        &[
+            "Query",
+            "Noise",
+            "Strategy",
+            "JoinableGroups",
+            "JoinGraphs",
+            "Views",
+            "GT hit",
+        ],
         &rows,
     );
     println!(

@@ -6,9 +6,7 @@
 //! far fewer join graphs.
 
 use std::time::Instant;
-use ver_bench::{
-    eval_search_config, print_table, run_strategy, setup_chembl, setup_wdc, Strategy,
-};
+use ver_bench::{eval_search_config, print_table, run_strategy, setup_chembl, setup_wdc, Strategy};
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
 
 fn main() {
@@ -17,13 +15,7 @@ fn main() {
     for setup in [setup_chembl(), setup_wdc()] {
         for gt in &setup.gts {
             for level in NoiseLevel::all() {
-                let query = match generate_noisy_query(
-                    setup.ver.catalog(),
-                    gt,
-                    level,
-                    3,
-                    0xF167,
-                ) {
+                let query = match generate_noisy_query(setup.ver.catalog(), gt, level, 3, 0xF167) {
                     Ok(q) => q,
                     Err(_) => continue,
                 };

@@ -101,7 +101,13 @@ fn main() {
     );
     print_table(
         "Fig. 8(c): column selection vs #example rows",
-        &["Rows", "TotalColumns", "Clusters", "ClustersSelected", "ColumnsSelected"],
+        &[
+            "Rows",
+            "TotalColumns",
+            "Clusters",
+            "ClustersSelected",
+            "ColumnsSelected",
+        ],
         &rows_c,
     );
 
@@ -117,16 +123,18 @@ fn main() {
     let mut rows_d = Vec::new();
     for arity in [2usize, 3, 4] {
         // Extend Q2 with additional attributes drawn from joined tables.
-        let base = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 0xF16A)
-            .expect("query");
+        let base =
+            generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 0xF16A).expect("query");
         let mut columns: Vec<QueryColumn> = base.columns.clone();
-        let extras = [("compounds", "mw", 2usize), ("activities", "assay_id", 2usize)];
+        let extras = [
+            ("compounds", "mw", 2usize),
+            ("activities", "assay_id", 2usize),
+        ];
         for (t, c, ord) in extras.iter().take(arity - 2) {
             let table = ver.catalog().table_by_name(t).expect("table");
             let col = table.column(*ord).expect("column");
             let _ = c;
-            let vals: Vec<ver_common::value::Value> =
-                col.non_null().take(3).cloned().collect();
+            let vals: Vec<ver_common::value::Value> = col.non_null().take(3).cloned().collect();
             columns.push(QueryColumn::of_values(vals));
         }
         let q = ExampleQuery::new(columns).expect("valid query");

@@ -22,7 +22,14 @@ fn main() {
     }
     print_table(
         "Table I: Characteristics of Datasets",
-        &["Dataset", "#Tables", "#Columns", "#Joinable Pairs", "#Rows", "Size"],
+        &[
+            "Dataset",
+            "#Tables",
+            "#Columns",
+            "#Joinable Pairs",
+            "#Rows",
+            "Size",
+        ],
         &rows,
     );
     println!(

@@ -16,16 +16,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ver_bench::{eval_search_config, print_table, run_strategy, setup_wdc, Strategy};
 use ver_common::fxhash::FxHashMap;
-use ver_present::{
-    fasttopk_rank, simulate_scan, InterfaceKind, PersonaUser,
-};
+use ver_present::{fasttopk_rank, simulate_scan, InterfaceKind, PersonaUser};
 use ver_qbe::query::ExampleQuery;
 use ver_qbe::ViewSpec;
 
 fn main() {
     let setup = setup_wdc();
     let search = eval_search_config();
-    let tasks = vec![
+    let tasks = [
         ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]])
             .unwrap(),
         ExampleQuery::from_rows(&[vec!["Indiana"], vec!["Georgia"], vec!["Virginia"]]).unwrap(),
@@ -41,7 +39,10 @@ fn main() {
 
     for p in 0..participants {
         let task = &tasks[p % tasks.len()];
-        let result = setup.ver.run(&ViewSpec::Qbe(task.clone())).expect("pipeline");
+        let result = setup
+            .ver
+            .run(&ViewSpec::Qbe(task.clone()))
+            .expect("pipeline");
         if result.distill.survivors_c2.is_empty() {
             continue;
         }
@@ -73,7 +74,11 @@ fn main() {
         let ranked = fasttopk_rank(&ft.views, task);
         // Target equivalence: the FastTopK list contains different view ids;
         // match by row-set identity.
-        let target_view = result.views.iter().find(|v| v.id == target).expect("target");
+        let target_view = result
+            .views
+            .iter()
+            .find(|v| v.id == target)
+            .expect("target");
         let target_hashes = target_view.hash_set();
         let ft_target = ft.views.iter().find(|v| v.hash_set() == target_hashes);
         match ft_target {
@@ -101,7 +106,9 @@ fn main() {
         ],
     );
     let med = |v: &[f64]| {
-        ver_common::stats::median(v).map(|m| format!("{m:.0}")).unwrap_or_else(|| "-".into())
+        ver_common::stats::median(v)
+            .map(|m| format!("{m:.0}"))
+            .unwrap_or_else(|| "-".into())
     };
     print_table(
         "Median effort",

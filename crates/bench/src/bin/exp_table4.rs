@@ -42,7 +42,9 @@ fn main() {
     }
     print_table(
         "Table IV: Effect of view distillation (4C) on number of views",
-        &["Query", "Noise", "Original", "C1", "C2", "C3 worst", "C3 best"],
+        &[
+            "Query", "Noise", "Original", "C1", "C2", "C3 worst", "C3 best",
+        ],
         &rows,
     );
     println!(

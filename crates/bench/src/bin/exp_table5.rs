@@ -13,24 +13,24 @@ use ver_qbe::noise::NoiseLevel;
 fn main() {
     let search = eval_search_config();
     // hits[(strategy, level)] = (hits, total)
-    let mut tally: FxHashMap<(&'static str, &'static str), (usize, usize)> =
-        FxHashMap::default();
+    let mut tally: FxHashMap<(&'static str, &'static str), (usize, usize)> = FxHashMap::default();
 
     for setup in [ver_bench::setup_chembl(), ver_bench::setup_wdc()] {
         let EvalSetup { label, ver, gts } = &setup;
-        let workload = generate_workload(ver.catalog(), gts, 5, 3, 0x150)
-            .expect("workload generation");
+        let workload =
+            generate_workload(ver.catalog(), gts, 5, 3, 0x150).expect("workload generation");
         eprintln!("[{label}] running {} workload queries…", workload.len());
         for wq in &workload {
-            let gt_view = match materialize_ground_truth(ver.catalog(), ver.index(), &wq.gt, 2)
-            {
+            let gt_view = match materialize_ground_truth(ver.catalog(), ver.index(), &wq.gt, 2) {
                 Ok(v) => v,
                 Err(_) => continue,
             };
             for strat in Strategy::all() {
                 let out = run_strategy(ver, &wq.query, strat, &search);
                 let hit = find_ground_truth_view(&out.views, &gt_view).is_some();
-                let cell = tally.entry((strat.label(), wq.level.label())).or_insert((0, 0));
+                let cell = tally
+                    .entry((strat.label(), wq.level.label()))
+                    .or_insert((0, 0));
                 cell.0 += usize::from(hit);
                 cell.1 += 1;
             }
@@ -38,14 +38,29 @@ fn main() {
     }
 
     let ratio = |s: &str, l: &str| {
-        let (h, t) = tally.get(&(s_label(s), l_label(l))).copied().unwrap_or((0, 0));
-        if t == 0 { "-".to_string() } else { format!("{:.2}", h as f64 / t as f64) }
+        let (h, t) = tally
+            .get(&(s_label(s), l_label(l)))
+            .copied()
+            .unwrap_or((0, 0));
+        if t == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2}", h as f64 / t as f64)
+        }
     };
     fn s_label(s: &str) -> &'static str {
-        match s { "SA" => "SA", "SB" => "SB", _ => "CS" }
+        match s {
+            "SA" => "SA",
+            "SB" => "SB",
+            _ => "CS",
+        }
     }
     fn l_label(l: &str) -> &'static str {
-        match l { "Zero" => "Zero", "Med" => "Med", _ => "High" }
+        match l {
+            "Zero" => "Zero",
+            "Med" => "Med",
+            _ => "High",
+        }
     }
 
     let rows: Vec<Vec<String>> = NoiseLevel::all()

@@ -11,9 +11,7 @@ use ver_core::{Ver, VerConfig};
 use ver_datagen::chembl::{generate_chembl, ChemblConfig};
 use ver_datagen::opendata::{generate_opendata, OpenDataConfig};
 use ver_datagen::wdc::{generate_wdc, WdcConfig};
-use ver_datagen::workload::{
-    attach_noise_columns, chembl_ground_truths, wdc_ground_truths,
-};
+use ver_datagen::workload::{attach_noise_columns, chembl_ground_truths, wdc_ground_truths};
 use ver_index::DiscoveryIndex;
 use ver_qbe::groundtruth::GroundTruth;
 use ver_qbe::query::ExampleQuery;
@@ -41,7 +39,9 @@ pub fn setup_chembl() -> EvalSetup {
         seed: 0xC4EB,
     })
     .expect("chembl generation");
-    build_setup("ChEMBL", cat, |cat| chembl_ground_truths(cat).expect("gt resolve"))
+    build_setup("ChEMBL", cat, |cat| {
+        chembl_ground_truths(cat).expect("gt resolve")
+    })
 }
 
 /// Standard evaluation scale for the WDC-like corpus.
@@ -51,7 +51,9 @@ pub fn setup_wdc() -> EvalSetup {
         ..Default::default()
     })
     .expect("wdc generation");
-    build_setup("WDC", cat, |cat| wdc_ground_truths(cat).expect("gt resolve"))
+    build_setup("WDC", cat, |cat| {
+        wdc_ground_truths(cat).expect("gt resolve")
+    })
 }
 
 /// Open-data corpus at a sample portion (Fig. 3 / Fig. 4 setting).
@@ -67,8 +69,13 @@ pub fn setup_opendata(portion: f64) -> EvalSetup {
     // portions are prefixes).
     build_setup("OpenData", cat, |cat| {
         let mut gts = Vec::new();
-        for (i, t) in ["od_state_facts_0", "od_city_budget_1", "od_country_index_2",
-                       "od_state_facts_5", "od_city_budget_6"]
+        for (i, t) in [
+            "od_state_facts_0",
+            "od_city_budget_1",
+            "od_country_index_2",
+            "od_state_facts_5",
+            "od_city_budget_6",
+        ]
         .iter()
         .enumerate()
         {
@@ -76,8 +83,14 @@ pub fn setup_opendata(portion: f64) -> EvalSetup {
                 gts.push(GroundTruth::new(
                     format!("OD-Q{}", i + 1),
                     vec![
-                        ver_common::ids::ColumnRef { table: table.id, ordinal: 0 },
-                        ver_common::ids::ColumnRef { table: table.id, ordinal: 1 },
+                        ver_common::ids::ColumnRef {
+                            table: table.id,
+                            ordinal: 0,
+                        },
+                        ver_common::ids::ColumnRef {
+                            table: table.id,
+                            ordinal: 1,
+                        },
                     ],
                 ));
             }
@@ -125,7 +138,11 @@ pub enum Strategy {
 impl Strategy {
     /// All strategies in reporting order (SA, SB, CS — as in Table V).
     pub fn all() -> [Strategy; 3] {
-        [Strategy::SelectAll, Strategy::SelectBest, Strategy::ColumnSelection]
+        [
+            Strategy::SelectAll,
+            Strategy::SelectBest,
+            Strategy::ColumnSelection,
+        ]
     }
 
     /// Short label used in tables.
@@ -147,14 +164,11 @@ pub fn run_strategy(
 ) -> SearchOutput {
     let index: &DiscoveryIndex = ver.index();
     let selection = match strategy {
-        Strategy::ColumnSelection => {
-            column_selection(index, query, &SelectionConfig::default())
-        }
+        Strategy::ColumnSelection => column_selection(index, query, &SelectionConfig::default()),
         Strategy::SelectAll => select_all(index, query),
         Strategy::SelectBest => select_best(index, query),
     };
-    join_graph_search(ver.catalog(), index, &selection, search)
-        .expect("search succeeds")
+    join_graph_search(ver.catalog(), index, &selection, search).expect("search succeeds")
 }
 
 /// Search configuration used by the experiments (paper defaults with a
@@ -187,7 +201,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -209,14 +226,16 @@ mod tests {
         assert_eq!(s.ver.catalog().table_count(), 70);
         assert_eq!(s.gts.len(), 5);
         // At least Q2 has a noise column (compound_synonyms).
-        assert!(s.gts.iter().any(|g| g.noise_columns.iter().any(Option::is_some)));
+        assert!(s
+            .gts
+            .iter()
+            .any(|g| g.noise_columns.iter().any(Option::is_some)));
     }
 
     #[test]
     fn strategies_run_over_a_noisy_query() {
         let s = setup_chembl();
-        let q = generate_noisy_query(s.ver.catalog(), &s.gts[4], NoiseLevel::Zero, 3, 1)
-            .unwrap();
+        let q = generate_noisy_query(s.ver.catalog(), &s.gts[4], NoiseLevel::Zero, 3, 1).unwrap();
         for strat in Strategy::all() {
             let out = run_strategy(&s.ver, &q, strat, &eval_search_config());
             assert!(out.stats.views >= 1, "{} found nothing", strat.label());

@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            VerError::Config("x".into()),
-            VerError::Config("x".into())
-        );
+        assert_eq!(VerError::Config("x".into()), VerError::Config("x".into()));
         assert_ne!(VerError::Config("x".into()), VerError::Io("x".into()));
     }
 }

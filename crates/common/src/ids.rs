@@ -91,15 +91,25 @@ mod tests {
         assert_eq!(TableId(3).to_string(), "T3");
         assert_eq!(ColumnId(7).to_string(), "C7");
         assert_eq!(ViewId(0).to_string(), "V0");
-        let r = ColumnRef { table: TableId(3), ordinal: 2 };
+        let r = ColumnRef {
+            table: TableId(3),
+            ordinal: 2,
+        };
         assert_eq!(r.to_string(), "T3.2");
     }
 
     #[test]
     fn ids_order_by_value() {
         assert!(TableId(1) < TableId(2));
-        assert!(ColumnRef { table: TableId(1), ordinal: 9 }
-            < ColumnRef { table: TableId(2), ordinal: 0 });
+        assert!(
+            ColumnRef {
+                table: TableId(1),
+                ordinal: 9
+            } < ColumnRef {
+                table: TableId(2),
+                ordinal: 0
+            }
+        );
     }
 
     #[test]

@@ -105,7 +105,11 @@ pub fn trigram_cosine(a: &str, b: &str) -> f64 {
     let ca = trigram_counts(a);
     let cb = trigram_counts(b);
     if ca.is_empty() || cb.is_empty() {
-        return if a.to_lowercase() == b.to_lowercase() { 1.0 } else { 0.0 };
+        return if a.to_lowercase() == b.to_lowercase() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let mut dot = 0u64;
     for (g, &na) in &ca {
@@ -162,7 +166,10 @@ mod tests {
     #[test]
     fn tokenize_splits_on_non_alnum() {
         assert_eq!(tokenize("home_address"), vec!["home", "address"]);
-        assert_eq!(tokenize("IATA Code (airport)"), vec!["iata", "code", "airport"]);
+        assert_eq!(
+            tokenize("IATA Code (airport)"),
+            vec!["iata", "code", "airport"]
+        );
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("a1-b2"), vec!["a1", "b2"]);
     }
@@ -196,7 +203,11 @@ mod tests {
 
     #[test]
     fn distances_are_symmetric() {
-        for (a, b) in [("alpha", "beta"), ("home address", "work address"), ("", "x")] {
+        for (a, b) in [
+            ("alpha", "beta"),
+            ("home address", "work address"),
+            ("", "x"),
+        ] {
             assert_eq!(levenshtein(a, b), levenshtein(b, a));
             assert!((lexical_distance(a, b) - lexical_distance(b, a)).abs() < 1e-12);
         }

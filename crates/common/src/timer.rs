@@ -76,7 +76,10 @@ pub struct ScopedTimer<'a> {
 impl<'a> ScopedTimer<'a> {
     /// Start timing; the elapsed time is added to `slot` on drop.
     pub fn new(slot: &'a mut Duration) -> Self {
-        ScopedTimer { start: Instant::now(), slot }
+        ScopedTimer {
+            start: Instant::now(),
+            slot,
+        }
     }
 }
 

@@ -12,9 +12,7 @@ use ver_common::timer::PhaseTimer;
 use ver_distill::{distill, DistillOutput};
 use ver_engine::view::View;
 use ver_index::{build_index, DiscoveryIndex};
-use ver_present::{
-    fasttopk_rank, PresentationSession, SessionOutcome, SimulatedUser,
-};
+use ver_present::{fasttopk_rank, PresentationSession, SessionOutcome, SimulatedUser};
 use ver_qbe::{ExampleQuery, ViewSpec};
 use ver_search::join_graph_search;
 use ver_select::SelectionResult;
@@ -59,7 +57,11 @@ impl Ver {
     /// Offline stage: profile the catalog and build the discovery index.
     pub fn build(catalog: TableCatalog, config: VerConfig) -> Result<Ver> {
         let index = build_index(&catalog, config.index.clone())?;
-        Ok(Ver { catalog, index, config })
+        Ok(Ver {
+            catalog,
+            index,
+            config,
+        })
     }
 
     /// The underlying catalog.
@@ -83,8 +85,9 @@ impl Ver {
         let mut timer = PhaseTimer::new();
 
         // COLUMN-SELECTION (lines 3-7).
-        let selection =
-            timer.time("cs", || select_for_spec(&self.index, spec, &self.config.selection));
+        let selection = timer.time("cs", || {
+            select_for_spec(&self.index, spec, &self.config.selection)
+        });
 
         // JOIN-GRAPH-SEARCH + MATERIALIZER (line 8).
         let search_out =
@@ -228,19 +231,22 @@ mod tests {
 
         let mut b = TableBuilder::new("airports", &["iata", "state"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(format!("AP{i}")), Value::text(s.clone())]).unwrap();
+            b.push_row(vec![Value::text(format!("AP{i}")), Value::text(s.clone())])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
 
         let mut b = TableBuilder::new("state_pop", &["state", "pop"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)]).unwrap();
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
 
         let mut b = TableBuilder::new("state_pop_old", &["state", "pop"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(s.clone()), Value::Int(900 + i as i64)]).unwrap();
+            b.push_row(vec![Value::text(s.clone()), Value::Int(900 + i as i64)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         cat

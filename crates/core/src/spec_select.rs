@@ -21,9 +21,7 @@ pub fn select_for_spec(
 ) -> SelectionResult {
     match spec {
         ViewSpec::Qbe(query) => column_selection(index, query, config),
-        ViewSpec::Keyword(terms) => {
-            terms_selection(index, terms, SearchTarget::Values, config)
-        }
+        ViewSpec::Keyword(terms) => terms_selection(index, terms, SearchTarget::Values, config),
         ViewSpec::Attribute(terms) => {
             terms_selection(index, terms, SearchTarget::Attributes, config)
         }
@@ -69,16 +67,17 @@ mod tests {
         let mut cat = TableCatalog::new();
         let mut b = TableBuilder::new("states", &["state", "population"]);
         for i in 0..30 {
-            b.push_row(vec![
-                Value::text(format!("state{i}")),
-                Value::Int(1000 + i),
-            ])
-            .unwrap();
+            b.push_row(vec![Value::text(format!("state{i}")), Value::Int(1000 + i)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     }

@@ -41,7 +41,11 @@ pub struct ChemblConfig {
 
 impl Default for ChemblConfig {
     fn default() -> Self {
-        ChemblConfig { n_compounds: 300, seed: 0xC4EB, n_tables: 70 }
+        ChemblConfig {
+            n_compounds: 300,
+            seed: 0xC4EB,
+            n_tables: 70,
+        }
     }
 }
 
@@ -58,18 +62,17 @@ pub fn generate_chembl(config: &ChemblConfig) -> Result<TableCatalog> {
 
     let compound_names = synth_words("cmp", n_comp);
     let cell_names = synth_words("cell", n_cell);
-    let cell_descriptions: Vec<String> =
-        cell_names.iter().map(|n| format!("line {n}")).collect();
+    let cell_descriptions: Vec<String> = cell_names.iter().map(|n| format!("line {n}")).collect();
     // Shared pool: target names and component descriptions overlap heavily
     // (the wrong-join-path cause).
     let target_pool = synth_words("tgt", n_target + n_target / 4);
 
     // ── compounds ────────────────────────────────────────────────────────
     let mut b = TableBuilder::new("compounds", &["molregno", "compound_name", "mw"]);
-    for i in 0..n_comp {
+    for (i, name) in compound_names.iter().enumerate() {
         b.push_row(vec![
             Value::Int(i as i64),
-            Value::text(compound_names[i].clone()),
+            Value::text(name.clone()),
             Value::Int(150 + rng.gen_range(0..500)),
         ])?;
     }
@@ -96,12 +99,18 @@ pub fn generate_chembl(config: &ChemblConfig) -> Result<TableCatalog> {
         } else {
             format!("{}-alt", compound_names[i % n_comp])
         };
-        b.push_row(vec![Value::text(name), Value::text(if i % 2 == 0 { "trade" } else { "inn" })])?;
+        b.push_row(vec![
+            Value::text(name),
+            Value::text(if i % 2 == 0 { "trade" } else { "inn" }),
+        ])?;
     }
     cat.add_table(b.build())?;
 
     // ── cell_dictionary: 1:1 cell_name ↔ cell_description ────────────────
-    let mut b = TableBuilder::new("cell_dictionary", &["cell_id", "cell_name", "cell_description"]);
+    let mut b = TableBuilder::new(
+        "cell_dictionary",
+        &["cell_id", "cell_name", "cell_description"],
+    );
     for i in 0..n_cell {
         b.push_row(vec![
             Value::Int(i as i64),
@@ -158,7 +167,11 @@ pub fn generate_chembl(config: &ChemblConfig) -> Result<TableCatalog> {
         &["component_id", "description", "organism"],
     );
     for i in 0..n_target {
-        let desc_idx = if i < n_target * 9 / 10 { i } else { n_target + (i % (n_target / 4)) };
+        let desc_idx = if i < n_target * 9 / 10 {
+            i
+        } else {
+            n_target + (i % (n_target / 4))
+        };
         b.push_row(vec![
             Value::Int(i as i64),
             Value::text(target_pool[desc_idx].clone()),
@@ -238,7 +251,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = ChemblConfig { n_compounds: 60, n_tables: 12, seed: 9 };
+        let cfg = ChemblConfig {
+            n_compounds: 60,
+            n_tables: 12,
+            seed: 9,
+        };
         let a = generate_chembl(&cfg).unwrap();
         let b = generate_chembl(&cfg).unwrap();
         assert_eq!(a.total_rows(), b.total_rows());
@@ -266,7 +283,7 @@ mod tests {
             syn.column(0).unwrap(),
             compounds.column(1).unwrap(),
         );
-        assert!(c >= 0.75 && c < 1.0, "containment {c} should be ≈ 0.8");
+        assert!((0.75..1.0).contains(&c), "containment {c} should be ≈ 0.8");
     }
 
     #[test]
@@ -274,11 +291,11 @@ mod tests {
         let cat = generate_chembl(&ChemblConfig::default()).unwrap();
         let td = cat.table_by_name("target_dictionary").unwrap();
         let cs = cat.table_by_name("component_sequences").unwrap();
-        let c = ver_index::minhash::exact_containment(
-            cs.column(1).unwrap(),
-            td.column(1).unwrap(),
+        let c = ver_index::minhash::exact_containment(cs.column(1).unwrap(), td.column(1).unwrap());
+        assert!(
+            c >= 0.8,
+            "wrong-join-path containment {c} must pass threshold"
         );
-        assert!(c >= 0.8, "wrong-join-path containment {c} must pass threshold");
         // And the organisms disagree on shared names (contradiction fuel).
         assert_ne!(td.cell(0, 2), cs.cell(0, 2));
     }

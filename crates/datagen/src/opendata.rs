@@ -30,7 +30,11 @@ pub struct OpenDataConfig {
 
 impl Default for OpenDataConfig {
     fn default() -> Self {
-        OpenDataConfig { full_tables: 1200, portion: 1.0, seed: 0x0DA7A }
+        OpenDataConfig {
+            full_tables: 1200,
+            portion: 1.0,
+            seed: 0x0DA7A,
+        }
     }
 }
 
@@ -51,10 +55,8 @@ pub fn generate_opendata(config: &OpenDataConfig) -> Result<TableCatalog> {
         let rows = 10 + rng.gen_range(0..60);
         match t % 5 {
             0 => {
-                let mut b = TableBuilder::new(
-                    format!("od_state_facts_{t}"),
-                    &["state", "measure", "year"],
-                );
+                let mut b =
+                    TableBuilder::new(format!("od_state_facts_{t}"), &["state", "measure", "year"]);
                 for _ in 0..rows {
                     b.push_row(vec![
                         Value::text(*STATES.choose(&mut rng).expect("non-empty")),
@@ -82,10 +84,8 @@ pub fn generate_opendata(config: &OpenDataConfig) -> Result<TableCatalog> {
                 cat.add_table(b.build())?;
             }
             2 => {
-                let mut b = TableBuilder::new(
-                    format!("od_country_index_{t}"),
-                    &["country", "indicator"],
-                );
+                let mut b =
+                    TableBuilder::new(format!("od_country_index_{t}"), &["country", "indicator"]);
                 for _ in 0..rows {
                     b.push_row(vec![
                         Value::text(*COUNTRIES.choose(&mut rng).expect("non-empty")),
@@ -95,10 +95,8 @@ pub fn generate_opendata(config: &OpenDataConfig) -> Result<TableCatalog> {
                 cat.add_table(b.build())?;
             }
             3 => {
-                let mut b = TableBuilder::new(
-                    format!("od_entities_{t}"),
-                    &["entity", "category", "count"],
-                );
+                let mut b =
+                    TableBuilder::new(format!("od_entities_{t}"), &["entity", "category", "count"]);
                 for _ in 0..rows {
                     b.push_row(vec![
                         Value::text(entity_pool.choose(&mut rng).expect("non-empty").clone()),
@@ -141,20 +139,36 @@ mod tests {
 
     #[test]
     fn portions_scale_table_count() {
-        let full = OpenDataConfig { full_tables: 100, portion: 1.0, ..Default::default() };
-        let half = OpenDataConfig { portion: 0.5, ..full.clone() };
+        let full = OpenDataConfig {
+            full_tables: 100,
+            portion: 1.0,
+            ..Default::default()
+        };
+        let half = OpenDataConfig {
+            portion: 0.5,
+            ..full.clone()
+        };
         assert_eq!(generate_opendata(&full).unwrap().table_count(), 100);
         assert_eq!(generate_opendata(&half).unwrap().table_count(), 50);
     }
 
     #[test]
     fn smaller_portion_is_a_prefix_of_larger() {
-        let base = OpenDataConfig { full_tables: 80, portion: 1.0, ..Default::default() };
-        let quarter = OpenDataConfig { portion: 0.25, ..base.clone() };
+        let base = OpenDataConfig {
+            full_tables: 80,
+            portion: 1.0,
+            ..Default::default()
+        };
+        let quarter = OpenDataConfig {
+            portion: 0.25,
+            ..base.clone()
+        };
         let full = generate_opendata(&base).unwrap();
         let part = generate_opendata(&quarter).unwrap();
         for t in part.tables() {
-            let big = full.table_by_name(t.name()).expect("subset table exists in full");
+            let big = full
+                .table_by_name(t.name())
+                .expect("subset table exists in full");
             assert_eq!(big.row_count(), t.row_count());
             assert_eq!(big.cell(0, 0), t.cell(0, 0));
         }

@@ -7,65 +7,216 @@
 
 /// The 50 US states.
 pub const STATES: [&str; 50] = [
-    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
-    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
-    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
-    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
-    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
-    "New Hampshire", "New Jersey", "New Mexico", "New York",
-    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
-    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
-    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
-    "West Virginia", "Wisconsin", "Wyoming",
+    "Alabama",
+    "Alaska",
+    "Arizona",
+    "Arkansas",
+    "California",
+    "Colorado",
+    "Connecticut",
+    "Delaware",
+    "Florida",
+    "Georgia",
+    "Hawaii",
+    "Idaho",
+    "Illinois",
+    "Indiana",
+    "Iowa",
+    "Kansas",
+    "Kentucky",
+    "Louisiana",
+    "Maine",
+    "Maryland",
+    "Massachusetts",
+    "Michigan",
+    "Minnesota",
+    "Mississippi",
+    "Missouri",
+    "Montana",
+    "Nebraska",
+    "Nevada",
+    "New Hampshire",
+    "New Jersey",
+    "New Mexico",
+    "New York",
+    "North Carolina",
+    "North Dakota",
+    "Ohio",
+    "Oklahoma",
+    "Oregon",
+    "Pennsylvania",
+    "Rhode Island",
+    "South Carolina",
+    "South Dakota",
+    "Tennessee",
+    "Texas",
+    "Utah",
+    "Vermont",
+    "Virginia",
+    "Washington",
+    "West Virginia",
+    "Wisconsin",
+    "Wyoming",
 ];
 
 /// 60 city names.
 pub const CITIES: [&str; 60] = [
-    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
-    "Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
-    "Austin", "Jacksonville", "Fort Worth", "Columbus", "Charlotte",
-    "San Francisco", "Indianapolis", "Seattle", "Denver", "Boston",
-    "El Paso", "Nashville", "Detroit", "Oklahoma City", "Portland",
-    "Las Vegas", "Memphis", "Louisville", "Baltimore", "Milwaukee",
-    "Albuquerque", "Tucson", "Fresno", "Sacramento", "Kansas City",
-    "Mesa", "Atlanta", "Omaha", "Colorado Springs", "Raleigh",
-    "Miami", "Virginia Beach", "Oakland", "Minneapolis", "Tulsa",
-    "Arlington", "Tampa", "New Orleans", "Wichita", "Cleveland",
-    "Bakersfield", "Aurora", "Anaheim", "Honolulu", "Santa Ana",
-    "Riverside", "Corpus Christi", "Lexington", "Indiana", "Virginia",
+    "New York",
+    "Los Angeles",
+    "Chicago",
+    "Houston",
+    "Phoenix",
+    "Philadelphia",
+    "San Antonio",
+    "San Diego",
+    "Dallas",
+    "San Jose",
+    "Austin",
+    "Jacksonville",
+    "Fort Worth",
+    "Columbus",
+    "Charlotte",
+    "San Francisco",
+    "Indianapolis",
+    "Seattle",
+    "Denver",
+    "Boston",
+    "El Paso",
+    "Nashville",
+    "Detroit",
+    "Oklahoma City",
+    "Portland",
+    "Las Vegas",
+    "Memphis",
+    "Louisville",
+    "Baltimore",
+    "Milwaukee",
+    "Albuquerque",
+    "Tucson",
+    "Fresno",
+    "Sacramento",
+    "Kansas City",
+    "Mesa",
+    "Atlanta",
+    "Omaha",
+    "Colorado Springs",
+    "Raleigh",
+    "Miami",
+    "Virginia Beach",
+    "Oakland",
+    "Minneapolis",
+    "Tulsa",
+    "Arlington",
+    "Tampa",
+    "New Orleans",
+    "Wichita",
+    "Cleveland",
+    "Bakersfield",
+    "Aurora",
+    "Anaheim",
+    "Honolulu",
+    "Santa Ana",
+    "Riverside",
+    "Corpus Christi",
+    "Lexington",
+    "Indiana",
+    "Virginia",
 ];
 
 /// 60 country names.
 pub const COUNTRIES: [&str; 60] = [
-    "China", "India", "United States", "Indonesia", "Pakistan", "Brazil",
-    "Nigeria", "Bangladesh", "Russia", "Mexico", "Japan", "Ethiopia",
-    "Philippines", "Egypt", "Vietnam", "Congo", "Turkey", "Iran",
-    "Germany", "Thailand", "France", "United Kingdom", "Italy",
-    "South Africa", "Tanzania", "Myanmar", "Kenya", "South Korea",
-    "Colombia", "Spain", "Uganda", "Argentina", "Algeria", "Sudan",
-    "Ukraine", "Iraq", "Afghanistan", "Poland", "Canada", "Morocco",
-    "Saudi Arabia", "Uzbekistan", "Peru", "Angola", "Malaysia",
-    "Mozambique", "Ghana", "Yemen", "Nepal", "Venezuela", "Madagascar",
-    "Cameroon", "Ivory Coast", "North Korea", "Australia", "Niger",
-    "Taiwan", "Sri Lanka", "Georgia", "Mali",
+    "China",
+    "India",
+    "United States",
+    "Indonesia",
+    "Pakistan",
+    "Brazil",
+    "Nigeria",
+    "Bangladesh",
+    "Russia",
+    "Mexico",
+    "Japan",
+    "Ethiopia",
+    "Philippines",
+    "Egypt",
+    "Vietnam",
+    "Congo",
+    "Turkey",
+    "Iran",
+    "Germany",
+    "Thailand",
+    "France",
+    "United Kingdom",
+    "Italy",
+    "South Africa",
+    "Tanzania",
+    "Myanmar",
+    "Kenya",
+    "South Korea",
+    "Colombia",
+    "Spain",
+    "Uganda",
+    "Argentina",
+    "Algeria",
+    "Sudan",
+    "Ukraine",
+    "Iraq",
+    "Afghanistan",
+    "Poland",
+    "Canada",
+    "Morocco",
+    "Saudi Arabia",
+    "Uzbekistan",
+    "Peru",
+    "Angola",
+    "Malaysia",
+    "Mozambique",
+    "Ghana",
+    "Yemen",
+    "Nepal",
+    "Venezuela",
+    "Madagascar",
+    "Cameroon",
+    "Ivory Coast",
+    "North Korea",
+    "Australia",
+    "Niger",
+    "Taiwan",
+    "Sri Lanka",
+    "Georgia",
+    "Mali",
 ];
 
 /// Organism names for the ChEMBL-like corpus.
 pub const ORGANISMS: [&str; 20] = [
-    "Homo sapiens", "Mus musculus", "Rattus norvegicus", "Bos taurus",
-    "Canis familiaris", "Gallus gallus", "Danio rerio", "Sus scrofa",
-    "Macaca mulatta", "Oryctolagus cuniculus", "Cavia porcellus",
-    "Escherichia coli", "Saccharomyces cerevisiae", "Plasmodium falciparum",
-    "Mycobacterium tuberculosis", "Trypanosoma brucei", "Candida albicans",
-    "Staphylococcus aureus", "Drosophila melanogaster", "Xenopus laevis",
+    "Homo sapiens",
+    "Mus musculus",
+    "Rattus norvegicus",
+    "Bos taurus",
+    "Canis familiaris",
+    "Gallus gallus",
+    "Danio rerio",
+    "Sus scrofa",
+    "Macaca mulatta",
+    "Oryctolagus cuniculus",
+    "Cavia porcellus",
+    "Escherichia coli",
+    "Saccharomyces cerevisiae",
+    "Plasmodium falciparum",
+    "Mycobacterium tuberculosis",
+    "Trypanosoma brucei",
+    "Candida albicans",
+    "Staphylococcus aureus",
+    "Drosophila melanogaster",
+    "Xenopus laevis",
 ];
 
 /// Deterministically synthesise a pool of `n` pseudo-words from syllables
 /// (used for compound names, church names, etc.). Stable across runs.
 pub fn synth_words(prefix: &str, n: usize) -> Vec<String> {
     const SYLLABLES: [&str; 16] = [
-        "ba", "cor", "dex", "fen", "gly", "hex", "lin", "mab", "nol", "pra",
-        "quin", "rol", "sta", "tix", "vor", "zan",
+        "ba", "cor", "dex", "fen", "gly", "hex", "lin", "mab", "nol", "pra", "quin", "rol", "sta",
+        "tix", "vor", "zan",
     ];
     (0..n)
         .map(|i| {

@@ -72,14 +72,20 @@ pub fn generate_wdc(config: &WdcConfig) -> Result<TableCatalog> {
     // ── churches: (state, church_name) — Q2-study ground truth ──────────
     let mut b = TableBuilder::new("churches", &["state", "church_name"]);
     for (i, c) in churches.iter().enumerate() {
-        b.push_row(vec![Value::text(STATES[i % STATES.len()]), Value::text(c.clone())])?;
+        b.push_row(vec![
+            Value::text(STATES[i % STATES.len()]),
+            Value::text(c.clone()),
+        ])?;
     }
     cat.add_table(b.build())?;
 
     // ── newspapers: (newspaper_title, state) — shared side of Q2 ────────
     let mut b = TableBuilder::new("newspapers", &["newspaper_title", "state"]);
     for (i, p) in papers.iter().enumerate() {
-        b.push_row(vec![Value::text(p.clone()), Value::text(STATES[i % STATES.len()])])?;
+        b.push_row(vec![
+            Value::text(p.clone()),
+            Value::text(STATES[i % STATES.len()]),
+        ])?;
     }
     cat.add_table(b.build())?;
 
@@ -121,8 +127,7 @@ pub fn generate_wdc(config: &WdcConfig) -> Result<TableCatalog> {
                 // queries retrieve views from both camps — which then
                 // contradict on the 20% of disagreeing countries.
                 let disagree = i64::from(i % 5 == 4);
-                let pop =
-                    1_000_000 + (i as i64) * 137_000 + (camp as i64) * 911_333 * disagree;
+                let pop = 1_000_000 + (i as i64) * 137_000 + (camp as i64) * 911_333 * disagree;
                 b.push_row(vec![Value::text(COUNTRIES[i]), Value::Int(pop)])?;
             }
             cat.add_table(b.build())?;
@@ -144,7 +149,10 @@ pub fn generate_wdc(config: &WdcConfig) -> Result<TableCatalog> {
         b.push_row(vec![Value::text(*c), Value::Int(i as i64)])?;
     }
     for i in 0..6 {
-        b.push_row(vec![Value::text(format!("Terra Nova {i}")), Value::Int(100 + i)])?;
+        b.push_row(vec![
+            Value::text(format!("Terra Nova {i}")),
+            Value::Int(100 + i),
+        ])?;
     }
     cat.add_table(b.build())?;
 
@@ -156,7 +164,7 @@ pub fn generate_wdc(config: &WdcConfig) -> Result<TableCatalog> {
     let mut filler = 0usize;
     while cat.table_count() < config.n_tables {
         let rows = 6 + rng.gen_range(0..18);
-        let complete = filler % 2 == 0;
+        let complete = filler.is_multiple_of(2);
         let kind = (filler / 2) % 3;
         let name = format!("webtable_{filler}");
         let (col, pool): (&str, &[&str]) = match kind {
@@ -193,7 +201,10 @@ mod tests {
     use super::*;
 
     fn small() -> WdcConfig {
-        WdcConfig { n_tables: 60, ..Default::default() }
+        WdcConfig {
+            n_tables: 60,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -237,10 +248,8 @@ mod tests {
         let cat = generate_wdc(&small()).unwrap();
         let a0 = cat.table_by_name("population_camp0_src0").unwrap();
         let a1 = cat.table_by_name("population_camp0_src1").unwrap();
-        let c01 = ver_index::minhash::exact_containment(
-            a0.column(0).unwrap(),
-            a1.column(0).unwrap(),
-        );
+        let c01 =
+            ver_index::minhash::exact_containment(a0.column(0).unwrap(), a1.column(0).unwrap());
         assert!(c01 < 1.0, "src0 not contained in src1 ({c01})");
         assert!(c01 > 0.5, "but they overlap substantially ({c01})");
     }
@@ -250,8 +259,8 @@ mod tests {
         let cat = generate_wdc(&small()).unwrap();
         let c0 = cat.table_by_name("state_subset_0").unwrap().row_count();
         let c1 = cat.table_by_name("state_subset_1").unwrap().row_count();
-        assert!(c0 >= 20 && c0 < 50);
-        assert!(c1 >= 20 && c1 < 50);
+        assert!((20..50).contains(&c0));
+        assert!((20..50).contains(&c1));
     }
 
     #[test]
@@ -259,11 +268,9 @@ mod tests {
         let cat = generate_wdc(&small()).unwrap();
         let pop = cat.table_by_name("population_camp0_src0").unwrap();
         let codes = cat.table_by_name("country_codes").unwrap();
-        let c = ver_index::minhash::exact_containment(
-            codes.column(0).unwrap(),
-            pop.column(0).unwrap(),
-        );
-        assert!(c >= 0.8 && c < 1.0, "containment {c}");
+        let c =
+            ver_index::minhash::exact_containment(codes.column(0).unwrap(), pop.column(0).unwrap());
+        assert!((0.8..1.0).contains(&c), "containment {c}");
     }
 
     #[test]

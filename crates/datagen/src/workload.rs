@@ -40,7 +40,10 @@ pub fn resolve_column(catalog: &TableCatalog, table: &str, column: &str) -> Resu
         .schema
         .ordinal_of(column)
         .ok_or_else(|| VerError::NotFound(format!("column '{table}.{column}'")))?;
-    Ok(ColumnRef { table: t.id, ordinal: ordinal as u16 })
+    Ok(ColumnRef {
+        table: t.id,
+        ordinal: ordinal as u16,
+    })
 }
 
 /// The five ChEMBL ground-truth queries (2 attributes each, per §VI-B).
@@ -55,11 +58,32 @@ pub fn chembl_ground_truths(catalog: &TableCatalog) -> Result<Vec<GroundTruth>> 
         ))
     };
     Ok(vec![
-        gt("ChEMBL-Q1", [("assays", "cell_name"), ("assays", "assay_type")])?,
-        gt("ChEMBL-Q2", [("compounds", "compound_name"), ("activities", "standard_value")])?,
-        gt("ChEMBL-Q3", [("cell_dictionary", "cell_name"), ("assays", "assay_type")])?,
-        gt("ChEMBL-Q4", [("component_sequences", "organism"), ("target_dictionary", "pref_name")])?,
-        gt("ChEMBL-Q5", [("compounds", "compound_name"), ("compounds", "mw")])?,
+        gt(
+            "ChEMBL-Q1",
+            [("assays", "cell_name"), ("assays", "assay_type")],
+        )?,
+        gt(
+            "ChEMBL-Q2",
+            [
+                ("compounds", "compound_name"),
+                ("activities", "standard_value"),
+            ],
+        )?,
+        gt(
+            "ChEMBL-Q3",
+            [("cell_dictionary", "cell_name"), ("assays", "assay_type")],
+        )?,
+        gt(
+            "ChEMBL-Q4",
+            [
+                ("component_sequences", "organism"),
+                ("target_dictionary", "pref_name"),
+            ],
+        )?,
+        gt(
+            "ChEMBL-Q5",
+            [("compounds", "compound_name"), ("compounds", "mw")],
+        )?,
     ])
 }
 
@@ -76,10 +100,31 @@ pub fn wdc_ground_truths(catalog: &TableCatalog) -> Result<Vec<GroundTruth>> {
     };
     Ok(vec![
         gt("WDC-Q1", [("airports", "state"), ("airports", "iata")])?,
-        gt("WDC-Q2", [("state_subset_0", "state"), ("newspapers", "newspaper_title")])?,
-        gt("WDC-Q3", [("population_camp0_src0", "country"), ("population_camp0_src0", "population")])?,
-        gt("WDC-Q4", [("churches", "state"), ("churches", "church_name")])?,
-        gt("WDC-Q5", [("births_rates", "country"), ("births_rates", "births_per_1000")])?,
+        gt(
+            "WDC-Q2",
+            [
+                ("state_subset_0", "state"),
+                ("newspapers", "newspaper_title"),
+            ],
+        )?,
+        gt(
+            "WDC-Q3",
+            [
+                ("population_camp0_src0", "country"),
+                ("population_camp0_src0", "population"),
+            ],
+        )?,
+        gt(
+            "WDC-Q4",
+            [("churches", "state"), ("churches", "church_name")],
+        )?,
+        gt(
+            "WDC-Q5",
+            [
+                ("births_rates", "country"),
+                ("births_rates", "births_per_1000"),
+            ],
+        )?,
     ])
 }
 
@@ -95,13 +140,21 @@ pub fn attach_noise_columns(
     threshold: f64,
 ) -> GroundTruth {
     for (i, cref) in gt.columns.clone().iter().enumerate() {
-        let Ok(cid) = catalog.column_id(*cref) else { continue };
-        let Ok(gt_col) = catalog.column(*cref) else { continue };
+        let Ok(cid) = catalog.column_id(*cref) else {
+            continue;
+        };
+        let Ok(gt_col) = catalog.column(*cref) else {
+            continue;
+        };
         let gt_values = gt_col.distinct_values();
         let mut best: Option<(f32, ColumnRef)> = None;
         for (ncid, score) in index.neighbors(cid, threshold) {
-            let Ok(ncref) = catalog.column_ref(ncid) else { continue };
-            let Ok(ncol) = catalog.column(ncref) else { continue };
+            let Ok(ncref) = catalog.column_ref(ncid) else {
+                continue;
+            };
+            let Ok(ncol) = catalog.column(ncref) else {
+                continue;
+            };
             let has_novel = ncol.non_null().any(|v| !gt_values.contains(v));
             if !has_novel {
                 continue;
@@ -134,7 +187,10 @@ pub fn materialize_ground_truth(
             sa.partial_cmp(&sb).expect("finite")
         })
         .ok_or_else(|| {
-            VerError::JoinError(format!("ground truth '{}' tables are not joinable", gt.name))
+            VerError::JoinError(format!(
+                "ground truth '{}' tables are not joinable",
+                gt.name
+            ))
         })?;
     let plan = ver_search_plan(catalog, index, best, &gt.columns)?;
     ver_engine::exec::execute_plan(catalog, &plan, 1.0)
@@ -171,11 +227,19 @@ fn ver_search_plan(
             .position(|(a, b)| present.contains(&a.table) != present.contains(&b.table))
             .ok_or_else(|| VerError::JoinError("disconnected join graph".into()))?;
         let (a, b) = remaining.remove(pos);
-        let (left, right) = if present.contains(&a.table) { (a, b) } else { (b, a) };
+        let (left, right) = if present.contains(&a.table) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         joins.push(JoinStep { left, right });
         present.push(right.table);
     }
-    Ok(PjPlan { base, joins, projection: projection.to_vec() })
+    Ok(PjPlan {
+        base,
+        joins,
+        projection: projection.to_vec(),
+    })
 }
 
 /// Does any candidate view *hit* the ground truth? A hit is a candidate
@@ -249,7 +313,11 @@ mod tests {
         .unwrap();
         let idx = build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         (cat, idx)
@@ -265,7 +333,11 @@ mod tests {
 
     #[test]
     fn wdc_ground_truths_resolve() {
-        let cat = generate_wdc(&WdcConfig { n_tables: 40, ..Default::default() }).unwrap();
+        let cat = generate_wdc(&WdcConfig {
+            n_tables: 40,
+            ..Default::default()
+        })
+        .unwrap();
         let gts = wdc_ground_truths(&cat).unwrap();
         assert_eq!(gts.len(), 5);
     }
@@ -313,8 +385,14 @@ mod tests {
             .map(|g| attach_noise_columns(&cat, &idx, g, 0.75))
             .collect();
         let wl = generate_workload(&cat, &gts, 5, 3, 42).unwrap();
-        assert_eq!(wl.len(), 5 * 3 * 5, "5 GT × 3 levels × 5 reps = 75 per corpus");
-        assert!(wl.iter().all(|w| w.query.arity() == 2 && w.query.rows() == 3));
+        assert_eq!(
+            wl.len(),
+            5 * 3 * 5,
+            "5 GT × 3 levels × 5 reps = 75 per corpus"
+        );
+        assert!(wl
+            .iter()
+            .all(|w| w.query.arity() == 2 && w.query.rows() == 3));
         // Deterministic.
         let wl2 = generate_workload(&cat, &gts, 5, 3, 42).unwrap();
         assert_eq!(wl[10].query, wl2[10].query);

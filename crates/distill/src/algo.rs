@@ -27,7 +27,10 @@ pub struct DistillConfig {
 
 impl Default for DistillConfig {
     fn default() -> Self {
-        DistillConfig { key_epsilon: 0.0, max_key_width: 2 }
+        DistillConfig {
+            key_epsilon: 0.0,
+            max_key_width: 2,
+        }
     }
 }
 
@@ -218,12 +221,18 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
                     let mut per_value: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
                     for r in 0..view.table.row_count() {
                         let kv = key_value_hash(&view.table, r, key);
-                        per_value.entry(kv).or_default().push(hash_table_row(&view.table, r));
+                        per_value
+                            .entry(kv)
+                            .or_default()
+                            .push(hash_table_row(&view.table, r));
                     }
                     for (kv, mut rows) in per_value {
                         rows.sort_unstable();
                         rows.dedup();
-                        index.entry(kv).or_default().push((view.id, fx_hash_u64(&rows)));
+                        index
+                            .entry(kv)
+                            .or_default()
+                            .push((view.id, fx_hash_u64(&rows)));
                     }
                 }
                 // Group views per key value by their row-set hash.
@@ -257,7 +266,10 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
                     }
                     // Merge identical group structures into one signal.
                     if signals.insert(gs.clone()) {
-                        contradictions.push(Contradiction { key: key.clone(), groups: gs });
+                        contradictions.push(Contradiction {
+                            key: key.clone(),
+                            groups: gs,
+                        });
                     }
                 }
             }
@@ -276,8 +288,16 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
         graph,
         view_keys,
         compatible_groups,
-        survivors_c1: survivors_c1.iter().map(|&i| views[i].id).collect::<Vec<_>>().sorted(),
-        survivors_c2: survivors_c2.iter().map(|&i| views[i].id).collect::<Vec<_>>().sorted(),
+        survivors_c1: survivors_c1
+            .iter()
+            .map(|&i| views[i].id)
+            .collect::<Vec<_>>()
+            .sorted(),
+        survivors_c2: survivors_c2
+            .iter()
+            .map(|&i| views[i].id)
+            .collect::<Vec<_>>()
+            .sorted(),
         contradictions,
         complementary_pairs,
         timer,
@@ -320,7 +340,10 @@ mod tests {
             view(2, &[("TX", 3)]),
         ];
         let out = distill(&views, &DistillConfig::default());
-        assert_eq!(out.graph.get(ViewId(0), ViewId(1)), Some(Category::Compatible));
+        assert_eq!(
+            out.graph.get(ViewId(0), ViewId(1)),
+            Some(Category::Compatible)
+        );
         assert_eq!(out.compatible_groups, vec![vec![ViewId(0), ViewId(1)]]);
         assert_eq!(out.survivors_c1, vec![ViewId(0), ViewId(2)]);
     }
@@ -332,7 +355,10 @@ mod tests {
             view(1, &[("IN", 1), ("GA", 2), ("TX", 3)]),
         ];
         let out = distill(&views, &DistillConfig::default());
-        assert_eq!(out.graph.get(ViewId(0), ViewId(1)), Some(Category::Contained));
+        assert_eq!(
+            out.graph.get(ViewId(0), ViewId(1)),
+            Some(Category::Contained)
+        );
         assert_eq!(out.survivors_c2, vec![ViewId(1)]);
     }
 
@@ -400,8 +426,14 @@ mod tests {
         assert_eq!(c.discrimination(), 3);
         assert_eq!(c.groups.len(), 2);
         // All cross pairs are contradictory in G.
-        assert_eq!(out.graph.get(ViewId(0), ViewId(3)), Some(Category::Contradictory));
-        assert_eq!(out.graph.get(ViewId(2), ViewId(3)), Some(Category::Contradictory));
+        assert_eq!(
+            out.graph.get(ViewId(0), ViewId(3)),
+            Some(Category::Contradictory)
+        );
+        assert_eq!(
+            out.graph.get(ViewId(2), ViewId(3)),
+            Some(Category::Contradictory)
+        );
     }
 
     #[test]

@@ -77,11 +77,7 @@ mod tests {
 
     #[test]
     fn blocks_preserve_first_appearance_order() {
-        let views = vec![
-            view(0, &["z"]),
-            view(1, &["a"]),
-            view(2, &["z"]),
-        ];
+        let views = vec![view(0, &["z"]), view(1, &["a"]), view(2, &["z"])];
         let blocks = schema_blocks(&views);
         assert_eq!(blocks[0].signature, views[0].schema_signature());
         assert_eq!(blocks[1].signature, views[1].schema_signature());

@@ -47,7 +47,10 @@ pub struct ViewGraph {
 impl ViewGraph {
     /// Graph over the given views, no edges yet (ADD-NODES).
     pub fn new(nodes: Vec<ViewId>) -> Self {
-        ViewGraph { nodes, edges: FxHashMap::default() }
+        ViewGraph {
+            nodes,
+            edges: FxHashMap::default(),
+        }
     }
 
     /// All nodes.
@@ -85,11 +88,7 @@ impl ViewGraph {
 
     /// Iterate `(a, b, category)` with `a < b`, sorted for determinism.
     pub fn edges(&self) -> Vec<(ViewId, ViewId, Category)> {
-        let mut v: Vec<_> = self
-            .edges
-            .iter()
-            .map(|(&(a, b), &c)| (a, b, c))
-            .collect();
+        let mut v: Vec<_> = self.edges.iter().map(|(&(a, b), &c)| (a, b, c)).collect();
         v.sort_by_key(|&(a, b, _)| (a, b));
         v
     }
@@ -104,7 +103,7 @@ impl ViewGraph {
         let idx: FxHashMap<ViewId, usize> =
             subset.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut parent: Vec<usize> = (0..subset.len()).collect();
-        fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(p: &mut [usize], mut x: usize) -> usize {
             while p[x] != x {
                 p[x] = p[p[x]];
                 x = p[x];

@@ -63,10 +63,8 @@ impl HashCache {
 
 /// Compute the [`SetRelation`] between two hash sets.
 pub fn relation_of(sa: &FxHashSet<u64>, sb: &FxHashSet<u64>) -> SetRelation {
-    if sa.len() == sb.len() {
-        if sa == sb {
-            return SetRelation::Equal;
-        }
+    if sa.len() == sb.len() && sa == sb {
+        return SetRelation::Equal;
     }
     let (small, large, small_is_left) = if sa.len() <= sb.len() {
         (sa, sb, true)

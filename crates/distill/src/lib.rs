@@ -27,6 +27,4 @@ pub mod strategy;
 
 pub use algo::{distill, Contradiction, DistillConfig, DistillOutput};
 pub use categories::{Category, ViewGraph};
-pub use strategy::{
-    contradiction_steps, union_complementary, CaseChoice, DistillCounts,
-};
+pub use strategy::{contradiction_steps, union_complementary, CaseChoice, DistillCounts};

@@ -83,7 +83,7 @@ pub fn union_complementary(views: &[View], output: &DistillOutput, key: &Key) ->
 
     // Union-find over survivors.
     let mut parent: Vec<usize> = (0..survivors.len()).collect();
-    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(p: &mut [usize], mut x: usize) -> usize {
         while p[x] != x {
             p[x] = p[p[x]];
             x = p[x];
@@ -114,9 +114,7 @@ pub fn union_complementary(views: &[View], output: &DistillOutput, key: &Key) ->
         }
     }
 
-    let roots: FxHashSet<usize> = (0..survivors.len())
-        .map(|i| find(&mut parent, i))
-        .collect();
+    let roots: FxHashSet<usize> = (0..survivors.len()).map(|i| find(&mut parent, i)).collect();
     roots.len()
 }
 
@@ -173,7 +171,12 @@ pub fn contradiction_steps(
             let live: Vec<Vec<ViewId>> = c
                 .groups
                 .iter()
-                .map(|g| g.iter().copied().filter(|v| alive.contains(v)).collect::<Vec<_>>())
+                .map(|g| {
+                    g.iter()
+                        .copied()
+                        .filter(|v| alive.contains(v))
+                        .collect::<Vec<_>>()
+                })
                 .filter(|g: &Vec<ViewId>| !g.is_empty())
                 .collect();
             if live.len() < 2 {
@@ -251,10 +254,10 @@ mod tests {
     fn table_iv_counts_monotone() {
         let views = vec![
             view(0, &[("IN", 1), ("GA", 2)]),
-            view(1, &[("GA", 2), ("IN", 1)]),          // compatible with 0
-            view(2, &[("IN", 1)]),                      // contained in 0
-            view(3, &[("TX", 3), ("GA", 2)]),           // complementary with 0
-            view(4, &[("CA", 9), ("NV", 8)]),           // disjoint
+            view(1, &[("GA", 2), ("IN", 1)]), // compatible with 0
+            view(2, &[("IN", 1)]),            // contained in 0
+            view(3, &[("TX", 3), ("GA", 2)]), // complementary with 0
+            view(4, &[("CA", 9), ("NV", 8)]), // disjoint
         ];
         let out = distill(&views, &DistillConfig::default());
         let counts = distill_counts(&views, &out);

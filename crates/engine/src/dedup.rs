@@ -31,10 +31,7 @@ pub fn distinct_row_indices(table: &Table) -> Vec<usize> {
 }
 
 fn rows_equal(table: &Table, a: usize, b: usize) -> bool {
-    table
-        .columns()
-        .iter()
-        .all(|c| c.get(a) == c.get(b))
+    table.columns().iter().all(|c| c.get(a) == c.get(b))
 }
 
 /// Remove duplicate rows, keeping first occurrences (stable).

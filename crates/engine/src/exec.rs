@@ -31,7 +31,10 @@ pub fn execute_plan(catalog: &TableCatalog, plan: &PjPlan, join_score: f64) -> R
 
     for step in &plan.joins {
         let left_offset = *offsets.get(&step.left.table).ok_or_else(|| {
-            VerError::JoinError(format!("table {} missing from intermediate", step.left.table))
+            VerError::JoinError(format!(
+                "table {} missing from intermediate",
+                step.left.table
+            ))
         })?;
         let left_ordinal = left_offset + step.left.ordinal as usize;
         let right_table = catalog.table(step.right.table)?;
@@ -77,7 +80,10 @@ mod tests {
     use ver_store::table::TableBuilder;
 
     fn cref(t: u32, o: u16) -> ColumnRef {
-        ColumnRef { table: TableId(t), ordinal: o }
+        ColumnRef {
+            table: TableId(t),
+            ordinal: o,
+        }
     }
 
     /// airports(iata, state) ⋈ states(name, pop) ⋈ regions(state, region)
@@ -118,8 +124,14 @@ mod tests {
         let plan = PjPlan {
             base: TableId(0),
             joins: vec![
-                JoinStep { left: cref(0, 1), right: cref(1, 0) },
-                JoinStep { left: cref(1, 0), right: cref(2, 0) },
+                JoinStep {
+                    left: cref(0, 1),
+                    right: cref(1, 0),
+                },
+                JoinStep {
+                    left: cref(1, 0),
+                    right: cref(2, 0),
+                },
             ],
             projection: vec![cref(0, 0), cref(1, 1), cref(2, 1)],
         };
@@ -141,11 +153,18 @@ mod tests {
         let cat = catalog();
         let plan = PjPlan {
             base: TableId(0),
-            joins: vec![JoinStep { left: cref(0, 1), right: cref(1, 0) }],
+            joins: vec![JoinStep {
+                left: cref(0, 1),
+                right: cref(1, 0),
+            }],
             projection: vec![cref(1, 0), cref(1, 1)],
         };
         let v = execute_plan(&cat, &plan, 1.0).unwrap();
-        assert_eq!(v.row_count(), 2, "ATL and SAV rows collapse after projection");
+        assert_eq!(
+            v.row_count(),
+            2,
+            "ATL and SAV rows collapse after projection"
+        );
     }
 
     #[test]
@@ -154,8 +173,14 @@ mod tests {
         let plan = PjPlan {
             base: TableId(0),
             joins: vec![
-                JoinStep { left: cref(0, 1), right: cref(1, 0) },
-                JoinStep { left: cref(0, 1), right: cref(2, 0) },
+                JoinStep {
+                    left: cref(0, 1),
+                    right: cref(1, 0),
+                },
+                JoinStep {
+                    left: cref(0, 1),
+                    right: cref(2, 0),
+                },
             ],
             projection: vec![cref(0, 0), cref(2, 1)],
         };

@@ -16,15 +16,10 @@ use ver_store::table::Table;
 /// Inner equi-join of `left` and `right` on `left_key` / `right_key`
 /// (column ordinals). Output schema = left columns followed by right
 /// columns; output name is `left⋈right`.
-pub fn hash_join(
-    left: &Table,
-    left_key: usize,
-    right: &Table,
-    right_key: usize,
-) -> Result<Table> {
-    let lcol = left.column(left_key).ok_or_else(|| {
-        VerError::JoinError(format!("left key ordinal {left_key} out of range"))
-    })?;
+pub fn hash_join(left: &Table, left_key: usize, right: &Table, right_key: usize) -> Result<Table> {
+    let lcol = left
+        .column(left_key)
+        .ok_or_else(|| VerError::JoinError(format!("left key ordinal {left_key} out of range")))?;
     let rcol = right.column(right_key).ok_or_else(|| {
         VerError::JoinError(format!("right key ordinal {right_key} out of range"))
     })?;
@@ -103,7 +98,11 @@ mod tests {
 
     fn states() -> Table {
         let mut b = TableBuilder::new("states", &["name", "pop"]);
-        for (s, p) in [("Indiana", 6_800_000i64), ("Georgia", 10_700_000), ("Texas", 29_000_000)] {
+        for (s, p) in [
+            ("Indiana", 6_800_000i64),
+            ("Georgia", 10_700_000),
+            ("Texas", 29_000_000),
+        ] {
             b.push_row(vec![s.into(), Value::Int(p)]).unwrap();
         }
         b.build()

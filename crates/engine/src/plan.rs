@@ -35,7 +35,11 @@ pub struct PjPlan {
 impl PjPlan {
     /// Single-table plan (projection only).
     pub fn single(base: TableId, projection: Vec<ColumnRef>) -> Self {
-        PjPlan { base, joins: Vec::new(), projection }
+        PjPlan {
+            base,
+            joins: Vec::new(),
+            projection,
+        }
     }
 
     /// All tables touched by the plan, base first, in join order.
@@ -86,7 +90,10 @@ mod tests {
     use super::*;
 
     fn cref(t: u32, o: u16) -> ColumnRef {
-        ColumnRef { table: TableId(t), ordinal: o }
+        ColumnRef {
+            table: TableId(t),
+            ordinal: o,
+        }
     }
 
     #[test]
@@ -94,8 +101,14 @@ mod tests {
         let plan = PjPlan {
             base: TableId(0),
             joins: vec![
-                JoinStep { left: cref(0, 1), right: cref(1, 0) },
-                JoinStep { left: cref(1, 2), right: cref(2, 0) },
+                JoinStep {
+                    left: cref(0, 1),
+                    right: cref(1, 0),
+                },
+                JoinStep {
+                    left: cref(1, 2),
+                    right: cref(2, 0),
+                },
             ],
             projection: vec![cref(0, 0), cref(2, 1)],
         };
@@ -107,7 +120,10 @@ mod tests {
     fn left_table_must_be_present() {
         let plan = PjPlan {
             base: TableId(0),
-            joins: vec![JoinStep { left: cref(5, 0), right: cref(1, 0) }],
+            joins: vec![JoinStep {
+                left: cref(5, 0),
+                right: cref(1, 0),
+            }],
             projection: vec![cref(0, 0)],
         };
         assert!(plan.validate().is_err());
@@ -117,7 +133,10 @@ mod tests {
     fn right_table_must_be_new() {
         let plan = PjPlan {
             base: TableId(0),
-            joins: vec![JoinStep { left: cref(0, 0), right: cref(0, 1) }],
+            joins: vec![JoinStep {
+                left: cref(0, 0),
+                right: cref(0, 1),
+            }],
             projection: vec![cref(0, 0)],
         };
         assert!(plan.validate().is_err());
@@ -141,8 +160,14 @@ mod tests {
         let plan = PjPlan {
             base: TableId(0),
             joins: vec![
-                JoinStep { left: cref(0, 1), right: cref(1, 0) },
-                JoinStep { left: cref(0, 2), right: cref(2, 0) },
+                JoinStep {
+                    left: cref(0, 1),
+                    right: cref(1, 0),
+                },
+                JoinStep {
+                    left: cref(0, 2),
+                    right: cref(2, 0),
+                },
             ],
             projection: vec![cref(1, 1), cref(2, 1)],
         };

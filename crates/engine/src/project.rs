@@ -31,8 +31,10 @@ mod tests {
 
     fn t3() -> Table {
         let mut b = TableBuilder::new("t", &["a", "b", "c"]);
-        b.push_row(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
-        b.push_row(vec![Value::Int(4), Value::Int(5), Value::Int(6)]).unwrap();
+        b.push_row(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+            .unwrap();
+        b.push_row(vec![Value::Int(4), Value::Int(5), Value::Int(6)])
+            .unwrap();
         b.build()
     }
 

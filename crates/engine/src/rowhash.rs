@@ -52,9 +52,7 @@ pub fn table_hash_set(table: &Table) -> FxHashSet<u64> {
 /// comparison.
 pub fn table_fingerprint(table: &Table) -> u64 {
     // XOR over the *set* (not the multiset) so duplicate rows do not cancel.
-    table_hash_set(table)
-        .iter()
-        .fold(0u64, |acc, h| acc ^ h)
+    table_hash_set(table).iter().fold(0u64, |acc, h| acc ^ h)
 }
 
 #[cfg(test)]
@@ -80,10 +78,7 @@ mod tests {
 
     #[test]
     fn type_tag_distinguishes_int_from_text() {
-        assert_ne!(
-            hash_row(&[Value::Int(1)]),
-            hash_row(&[Value::text("1")])
-        );
+        assert_ne!(hash_row(&[Value::Int(1)]), hash_row(&[Value::text("1")]));
     }
 
     #[test]

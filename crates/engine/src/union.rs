@@ -23,10 +23,15 @@ pub fn union_tables(a: &Table, b: &Table) -> Result<Table> {
     }
     let columns: Vec<Column> = (0..a.column_count())
         .map(|c| {
-            let mut values =
-                Vec::with_capacity(a.row_count() + b.row_count());
+            let mut values = Vec::with_capacity(a.row_count() + b.row_count());
             values.extend(a.column(c).expect("arity checked").values().iter().cloned());
-            values.extend(b.column(c).expect("signature implies same arity").values().iter().cloned());
+            values.extend(
+                b.column(c)
+                    .expect("signature implies same arity")
+                    .values()
+                    .iter()
+                    .cloned(),
+            );
             Column::from_values(values)
         })
         .collect();
@@ -72,7 +77,8 @@ mod tests {
     fn t(name: &str, rows: &[i64]) -> Table {
         let mut b = TableBuilder::new(name, &["k", "v"]);
         for &r in rows {
-            b.push_row(vec![Value::Int(r), Value::text(format!("v{r}"))]).unwrap();
+            b.push_row(vec![Value::Int(r), Value::text(format!("v{r}"))])
+                .unwrap();
         }
         b.build()
     }

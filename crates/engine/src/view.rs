@@ -45,7 +45,11 @@ pub struct View {
 impl View {
     /// Wrap a table as a view.
     pub fn new(id: ViewId, table: Table, provenance: Provenance) -> Self {
-        View { id, table, provenance }
+        View {
+            id,
+            table,
+            provenance,
+        }
     }
 
     /// Number of rows.
@@ -90,13 +94,25 @@ mod tests {
             b.build(),
             Provenance {
                 join_edges: vec![(
-                    ColumnRef { table: TableId(0), ordinal: 1 },
-                    ColumnRef { table: TableId(1), ordinal: 0 },
+                    ColumnRef {
+                        table: TableId(0),
+                        ordinal: 1,
+                    },
+                    ColumnRef {
+                        table: TableId(1),
+                        ordinal: 0,
+                    },
                 )],
                 source_tables: vec![TableId(0), TableId(1)],
                 projection: vec![
-                    ColumnRef { table: TableId(0), ordinal: 1 },
-                    ColumnRef { table: TableId(1), ordinal: 1 },
+                    ColumnRef {
+                        table: TableId(0),
+                        ordinal: 1,
+                    },
+                    ColumnRef {
+                        table: TableId(1),
+                        ordinal: 1,
+                    },
                 ],
                 join_score: 0.9,
             },

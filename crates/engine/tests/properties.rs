@@ -5,7 +5,7 @@ use ver_common::value::Value;
 use ver_engine::dedup::dedup_rows;
 use ver_engine::join::hash_join;
 use ver_engine::project::project;
-use ver_engine::rowhash::{table_hash_set, table_fingerprint};
+use ver_engine::rowhash::{table_fingerprint, table_hash_set};
 use ver_engine::union::union_tables;
 use ver_store::table::{Table, TableBuilder};
 

@@ -12,7 +12,7 @@
 use crate::engine::DiscoveryIndex;
 use crate::hypergraph::JoinHypergraph;
 use crate::lsh::LshIndex;
-use crate::minhash::{exact_containment, estimated_containment, MinHasher, MinHashSignature};
+use crate::minhash::{estimated_containment, exact_containment, MinHashSignature, MinHasher};
 use crate::valueindex::KeywordIndex;
 use ver_common::error::Result;
 use ver_common::fxhash::FxHashSet;
@@ -80,26 +80,24 @@ fn compute_signatures(
     if threads <= 1 || n < 64 {
         return crefs
             .iter()
-            .map(|&(_, cref)| {
-                hasher.signature_of_column(catalog.column(cref).expect("valid ref"))
-            })
+            .map(|&(_, cref)| hasher.signature_of_column(catalog.column(cref).expect("valid ref")))
             .collect();
     }
     let mut out: Vec<Option<MinHashSignature>> = vec![None; n];
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slice, refs) in out.chunks_mut(chunk).zip(crefs.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, &(_, cref)) in slice.iter_mut().zip(refs) {
-                    *slot = Some(
-                        hasher.signature_of_column(catalog.column(cref).expect("valid ref")),
-                    );
+                    *slot =
+                        Some(hasher.signature_of_column(catalog.column(cref).expect("valid ref")));
                 }
             });
         }
-    })
-    .expect("signature workers do not panic");
-    out.into_iter().map(|s| s.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
 }
 
 fn build_keyword_index(catalog: &TableCatalog, config: &IndexConfig) -> KeywordIndex {
@@ -218,8 +216,11 @@ mod tests {
 
         let mut b = TableBuilder::new("airports", &["iata", "state"]);
         for (i, s) in states.iter().take(50).enumerate() {
-            b.push_row(vec![Value::text(format!("A{i:03}")), Value::text(s.clone())])
-                .unwrap();
+            b.push_row(vec![
+                Value::text(format!("A{i:03}")),
+                Value::text(s.clone()),
+            ])
+            .unwrap();
         }
         cat.add_table(b.build()).unwrap();
 
@@ -233,7 +234,11 @@ mod tests {
     }
 
     fn config() -> IndexConfig {
-        IndexConfig { threads: 1, verify_exact: true, ..Default::default() }
+        IndexConfig {
+            threads: 1,
+            verify_exact: true,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -250,7 +255,14 @@ mod tests {
     #[test]
     fn estimated_mode_finds_the_same_edge() {
         let cat = catalog();
-        let idx = build_index(&cat, IndexConfig { threads: 1, ..Default::default() }).unwrap();
+        let idx = build_index(
+            &cat,
+            IndexConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let n = idx.hypergraph().neighbors(ColumnId(1), 0.8);
         assert!(n.iter().any(|(c, _)| *c == ColumnId(2)));
     }
@@ -290,7 +302,11 @@ mod tests {
         let idx = build_index(&cat, config()).unwrap();
         use crate::valueindex::{Fuzziness, SearchTarget};
         let hits = idx.search_keyword("state_7", SearchTarget::Values, Fuzziness::Exact);
-        assert_eq!(hits.len(), 2, "value occurs in airports.state and states.name");
+        assert_eq!(
+            hits.len(),
+            2,
+            "value occurs in airports.state and states.name"
+        );
         let hits = idx.search_keyword("iata", SearchTarget::Attributes, Fuzziness::Exact);
         assert_eq!(hits, vec![ColumnId(0)]);
     }

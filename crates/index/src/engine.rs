@@ -8,7 +8,7 @@
 use crate::builder::IndexConfig;
 use crate::hypergraph::JoinHypergraph;
 use crate::joinpath::{generate_join_graphs, unjoinable, JoinGraph, JoinGraphOptions};
-use crate::minhash::{MinHasher, MinHashSignature};
+use crate::minhash::{MinHashSignature, MinHasher};
 use crate::valueindex::{Fuzziness, KeywordIndex, SearchTarget};
 use ver_common::ids::{ColumnId, TableId};
 use ver_store::profile::ColumnProfile;
@@ -34,7 +34,14 @@ impl DiscoveryIndex {
         keyword: KeywordIndex,
         hypergraph: JoinHypergraph,
     ) -> Self {
-        DiscoveryIndex { config, profiles, hasher, signatures, keyword, hypergraph }
+        DiscoveryIndex {
+            config,
+            profiles,
+            hasher,
+            signatures,
+            keyword,
+            hypergraph,
+        }
     }
 
     /// Build configuration used.
@@ -131,17 +138,23 @@ mod tests {
         let keys: Vec<String> = (0..80).map(|i| format!("k{i}")).collect();
         let mut b = TableBuilder::new("left", &["key", "a"]);
         for (i, k) in keys.iter().enumerate() {
-            b.push_row(vec![Value::text(k.clone()), Value::Int(i as i64)]).unwrap();
+            b.push_row(vec![Value::text(k.clone()), Value::Int(i as i64)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         let mut b = TableBuilder::new("right", &["key", "b"]);
         for (i, k) in keys.iter().enumerate() {
-            b.push_row(vec![Value::text(k.clone()), Value::Int(-(i as i64))]).unwrap();
+            b.push_row(vec![Value::text(k.clone()), Value::Int(-(i as i64))])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     }

@@ -38,7 +38,11 @@ impl JoinHypergraph {
     /// owning table of `ColumnId(i)`.
     pub fn new(col_table: Vec<TableId>) -> Self {
         let n = col_table.len();
-        JoinHypergraph { col_table, adj: vec![Vec::new(); n], edge_count: 0 }
+        JoinHypergraph {
+            col_table,
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Number of columns (nodes).

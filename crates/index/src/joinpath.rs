@@ -99,7 +99,17 @@ fn paths_between(
     let mut out = Vec::new();
     let mut stack: Vec<JoinGraphEdge> = Vec::new();
     let mut visited: Vec<TableId> = vec![from];
-    dfs(g, from, to, max_hops, threshold, cap, &mut stack, &mut visited, &mut out);
+    dfs(
+        g,
+        from,
+        to,
+        max_hops,
+        threshold,
+        cap,
+        &mut stack,
+        &mut visited,
+        &mut out,
+    );
     out
 }
 
@@ -122,7 +132,11 @@ fn dfs(
     for next in g.table_neighbors(cur, threshold) {
         if next == to {
             for (ca, cb, s) in g.edges_between(cur, to, threshold) {
-                stack.push(JoinGraphEdge { left: ca, right: cb, score: s });
+                stack.push(JoinGraphEdge {
+                    left: ca,
+                    right: cb,
+                    score: s,
+                });
                 out.push(stack.clone());
                 stack.pop();
                 if out.len() >= cap {
@@ -139,9 +153,23 @@ fn dfs(
             continue;
         }
         for (ca, cb, s) in g.edges_between(cur, next, threshold) {
-            stack.push(JoinGraphEdge { left: ca, right: cb, score: s });
+            stack.push(JoinGraphEdge {
+                left: ca,
+                right: cb,
+                score: s,
+            });
             visited.push(next);
-            dfs(g, next, to, hops_left - 1, threshold, cap, stack, visited, out);
+            dfs(
+                g,
+                next,
+                to,
+                hops_left - 1,
+                threshold,
+                cap,
+                stack,
+                visited,
+                out,
+            );
             visited.pop();
             stack.pop();
             if out.len() >= cap {
@@ -213,7 +241,11 @@ pub struct JoinGraphOptions {
 
 impl Default for JoinGraphOptions {
     fn default() -> Self {
-        JoinGraphOptions { max_hops: 2, threshold: 0.8, max_graphs: 10_000 }
+        JoinGraphOptions {
+            max_hops: 2,
+            threshold: 0.8,
+            max_graphs: 10_000,
+        }
     }
 }
 
@@ -258,10 +290,7 @@ pub fn generate_join_graphs(
 
     for tree in labelled_trees(n) {
         // Every tree edge needs at least one path.
-        if tree
-            .iter()
-            .any(|&(i, j)| pair_paths[i][j].is_empty())
-        {
+        if tree.iter().any(|&(i, j)| pair_paths[i][j].is_empty()) {
             continue;
         }
         // Cartesian product over path choices per tree edge.
@@ -363,7 +392,11 @@ mod tests {
     }
 
     fn opts() -> JoinGraphOptions {
-        JoinGraphOptions { max_hops: 2, threshold: 0.8, max_graphs: 1000 }
+        JoinGraphOptions {
+            max_hops: 2,
+            threshold: 0.8,
+            max_graphs: 1000,
+        }
     }
 
     #[test]
@@ -389,7 +422,10 @@ mod tests {
     #[test]
     fn hop_limit_prunes_long_paths() {
         let g = graph();
-        let one_hop = JoinGraphOptions { max_hops: 1, ..opts() };
+        let one_hop = JoinGraphOptions {
+            max_hops: 1,
+            ..opts()
+        };
         let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1)], one_hop);
         assert_eq!(jgs.len(), 1);
         assert_eq!(jgs[0].hops(), 1);
@@ -430,7 +466,10 @@ mod tests {
     #[test]
     fn max_graphs_caps_output() {
         let g = graph();
-        let capped = JoinGraphOptions { max_graphs: 1, ..opts() };
+        let capped = JoinGraphOptions {
+            max_graphs: 1,
+            ..opts()
+        };
         let jgs = generate_join_graphs(&g, &[TableId(0), TableId(1)], capped);
         assert_eq!(jgs.len(), 1);
     }
@@ -438,7 +477,10 @@ mod tests {
     #[test]
     fn threshold_filters_weak_edges() {
         let g = graph();
-        let strict = JoinGraphOptions { threshold: 0.92, ..opts() };
+        let strict = JoinGraphOptions {
+            threshold: 0.92,
+            ..opts()
+        };
         // Only C1-C2 (0.95) survives; T0–T2 and T1–T2 (0.85/0.9) drop.
         let jgs = generate_join_graphs(&g, &[TableId(0), TableId(2)], strict);
         assert!(jgs.is_empty());
@@ -460,8 +502,16 @@ mod tests {
     fn mean_score_averages_edges() {
         let jg = JoinGraph {
             edges: vec![
-                JoinGraphEdge { left: ColumnId(0), right: ColumnId(1), score: 1.0 },
-                JoinGraphEdge { left: ColumnId(1), right: ColumnId(2), score: 0.5 },
+                JoinGraphEdge {
+                    left: ColumnId(0),
+                    right: ColumnId(1),
+                    score: 1.0,
+                },
+                JoinGraphEdge {
+                    left: ColumnId(1),
+                    right: ColumnId(2),
+                    score: 0.5,
+                },
             ],
         };
         assert!((jg.mean_score() - 0.75).abs() < 1e-9);

@@ -31,5 +31,5 @@ pub use builder::{build_index, IndexConfig};
 pub use engine::DiscoveryIndex;
 pub use hypergraph::JoinHypergraph;
 pub use joinpath::{JoinGraph, JoinGraphEdge, JoinGraphOptions};
-pub use minhash::{MinHasher, MinHashSignature};
+pub use minhash::{MinHashSignature, MinHasher};
 pub use valueindex::{Fuzziness, SearchTarget};

@@ -42,7 +42,7 @@ impl LshIndex {
         let mut best = (1usize, k.max(1));
         let mut best_err = f64::INFINITY;
         for rows in 1..=k.max(1) {
-            if k % rows != 0 {
+            if !k.is_multiple_of(rows) {
                 continue;
             }
             let bands = k / rows;
@@ -142,8 +142,14 @@ mod tests {
         idx.insert(ColumnId(1), &b);
         idx.insert(ColumnId(2), &c);
         let cands = idx.candidates(&a, Some(ColumnId(0)));
-        assert!(cands.contains(&ColumnId(1)), "near-duplicate must be candidate");
-        assert!(!cands.contains(&ColumnId(2)), "disjoint column must not be candidate");
+        assert!(
+            cands.contains(&ColumnId(1)),
+            "near-duplicate must be candidate"
+        );
+        assert!(
+            !cands.contains(&ColumnId(2)),
+            "disjoint column must not be candidate"
+        );
     }
 
     #[test]

@@ -93,19 +93,18 @@ impl MinHasher {
 
 /// Estimated Jaccard similarity from two signatures (same family, same k).
 pub fn estimated_jaccard(a: &MinHashSignature, b: &MinHashSignature) -> f64 {
-    debug_assert_eq!(a.sig.len(), b.sig.len(), "signatures from different families");
+    debug_assert_eq!(
+        a.sig.len(),
+        b.sig.len(),
+        "signatures from different families"
+    );
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let matches = a
-        .sig
-        .iter()
-        .zip(&b.sig)
-        .filter(|(x, y)| x == y)
-        .count();
+    let matches = a.sig.iter().zip(&b.sig).filter(|(x, y)| x == y).count();
     matches as f64 / a.sig.len() as f64
 }
 
@@ -199,7 +198,10 @@ mod tests {
         assert!(c > 0.75, "containment of subset should be near 1, got {c}");
         // Asymmetry: B is mostly not inside A.
         let c_rev = estimated_containment(&b, &a);
-        assert!(c_rev < 0.35, "reverse containment should be ~0.1, got {c_rev}");
+        assert!(
+            c_rev < 0.35,
+            "reverse containment should be ~0.1, got {c_rev}"
+        );
     }
 
     #[test]
@@ -243,6 +245,9 @@ mod tests {
         let h1 = MinHasher::new(16, 1);
         let h2 = MinHasher::new(16, 2);
         let c = col(0..50);
-        assert_ne!(h1.signature_of_column(&c).sig, h2.signature_of_column(&c).sig);
+        assert_ne!(
+            h1.signature_of_column(&c).sig,
+            h2.signature_of_column(&c).sig
+        );
     }
 }

@@ -123,7 +123,10 @@ mod tests {
     fn truncated_input_rejected() {
         let bytes = hypergraph_to_bytes(&graph());
         for cut in [4usize, 12, bytes.len() - 3] {
-            assert!(hypergraph_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                hypergraph_from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 

@@ -102,9 +102,7 @@ impl Bandit {
     pub fn choose(&self, gains: &[f64], rng: &mut StdRng) -> InterfaceKind {
         if self.in_bootstrap() {
             // Least-asked arm with an available question, else least-asked.
-            let available: Vec<usize> = (0..self.arms.len())
-                .filter(|&i| gains[i] > 0.0)
-                .collect();
+            let available: Vec<usize> = (0..self.arms.len()).filter(|&i| gains[i] > 0.0).collect();
             let pool: Vec<usize> = if available.is_empty() {
                 (0..self.arms.len()).collect()
             } else {
@@ -175,7 +173,13 @@ mod tests {
 
     #[test]
     fn bootstrap_round_robins_until_quota() {
-        let mut b = Bandit::new(arms(), BanditConfig { gamma: 0.0, bootstrap_per_arm: 1 });
+        let mut b = Bandit::new(
+            arms(),
+            BanditConfig {
+                gamma: 0.0,
+                bootstrap_per_arm: 1,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(1);
         assert!(b.in_bootstrap());
         let gains = [1.0; 4];
@@ -191,7 +195,13 @@ mod tests {
 
     #[test]
     fn gamma_one_is_uniform() {
-        let b = Bandit::new(arms(), BanditConfig { gamma: 1.0, bootstrap_per_arm: 0 });
+        let b = Bandit::new(
+            arms(),
+            BanditConfig {
+                gamma: 1.0,
+                bootstrap_per_arm: 0,
+            },
+        );
         let p = b.probabilities(&[100.0, 0.0, 0.0, 0.0]);
         for pi in p {
             assert!((pi - 0.25).abs() < 1e-9);
@@ -200,7 +210,13 @@ mod tests {
 
     #[test]
     fn higher_reward_arm_is_chosen_more_often() {
-        let mut b = Bandit::new(arms(), BanditConfig { gamma: 0.1, bootstrap_per_arm: 0 });
+        let mut b = Bandit::new(
+            arms(),
+            BanditConfig {
+                gamma: 0.1,
+                bootstrap_per_arm: 0,
+            },
+        );
         // Make Dataset answer-rate high, others low.
         for _ in 0..10 {
             b.record(InterfaceKind::Dataset, true);
@@ -224,7 +240,13 @@ mod tests {
 
     #[test]
     fn all_zero_gains_fall_back_to_uniform() {
-        let b = Bandit::new(arms(), BanditConfig { gamma: 0.0, bootstrap_per_arm: 0 });
+        let b = Bandit::new(
+            arms(),
+            BanditConfig {
+                gamma: 0.0,
+                bootstrap_per_arm: 0,
+            },
+        );
         let p = b.probabilities(&[0.0; 4]);
         for pi in p {
             assert!((pi - 0.25).abs() < 1e-9);

@@ -65,10 +65,16 @@ pub struct ScanOutcome {
 pub fn simulate_scan(ranked: &[(ViewId, usize)], target: ViewId, budget: usize) -> ScanOutcome {
     for (i, &(v, _)) in ranked.iter().take(budget).enumerate() {
         if v == target {
-            return ScanOutcome { found: true, inspected: i + 1 };
+            return ScanOutcome {
+                found: true,
+                inspected: i + 1,
+            };
         }
     }
-    ScanOutcome { found: false, inspected: budget.min(ranked.len()) }
+    ScanOutcome {
+        found: false,
+        inspected: budget.min(ranked.len()),
+    }
 }
 
 #[cfg(test)]
@@ -100,9 +106,9 @@ mod tests {
     #[test]
     fn ranking_orders_by_overlap() {
         let views = vec![
-            view(0, &[("TX", 3)]),          // 0 hits
+            view(0, &[("TX", 3)]),            // 0 hits
             view(1, &[("IN", 1), ("GA", 2)]), // 4 hits
-            view(2, &[("IN", 5)]),          // 1 hit
+            view(2, &[("IN", 5)]),            // 1 hit
         ];
         let ranked = fasttopk_rank(&views, &query());
         assert_eq!(ranked[0].0, ViewId(1));
@@ -114,9 +120,21 @@ mod tests {
     fn scan_finds_target_within_budget() {
         let ranked = vec![(ViewId(3), 5), (ViewId(1), 4), (ViewId(0), 2)];
         let hit = simulate_scan(&ranked, ViewId(1), 10);
-        assert_eq!(hit, ScanOutcome { found: true, inspected: 2 });
+        assert_eq!(
+            hit,
+            ScanOutcome {
+                found: true,
+                inspected: 2
+            }
+        );
         let miss = simulate_scan(&ranked, ViewId(0), 2);
-        assert_eq!(miss, ScanOutcome { found: false, inspected: 2 });
+        assert_eq!(
+            miss,
+            ScanOutcome {
+                found: false,
+                inspected: 2
+            }
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub fn info_gain(q: &Question, n: usize) -> usize {
             with.max(n.saturating_sub(with))
         }
         // Picking a side prunes the other side's agreeing group.
-        Question::DatasetPair { agree_a, agree_b, .. } => agree_a.len().max(agree_b.len()),
+        Question::DatasetPair {
+            agree_a, agree_b, ..
+        } => agree_a.len().max(agree_b.len()),
         // Yes prunes the complement; No prunes the group.
         Question::Summary { group, .. } => group.len().max(n.saturating_sub(group.len())),
     }

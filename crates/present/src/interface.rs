@@ -190,8 +190,11 @@ impl<'a> QuestionFactory<'a> {
         let mut by_attr: FxHashMap<String, Vec<ViewId>> = FxHashMap::default();
         for &vid in alive {
             if let Some(v) = self.view(vid) {
-                let names: FxHashSet<String> =
-                    v.attribute_names().into_iter().map(|n| n.to_lowercase()).collect();
+                let names: FxHashSet<String> = v
+                    .attribute_names()
+                    .into_iter()
+                    .map(|n| n.to_lowercase())
+                    .collect();
                 for n in names {
                     by_attr.entry(n).or_default().push(vid);
                 }
@@ -217,16 +220,18 @@ impl<'a> QuestionFactory<'a> {
         });
         let (name, mut with) = candidates.swap_remove(0);
         with.sort_unstable();
-        Some(Question::Attribute { name, with_attribute: with })
+        Some(Question::Attribute {
+            name,
+            with_attribute: with,
+        })
     }
 
     fn term_distance(&self, term: &str, views: &[ViewId]) -> f64 {
         match self.prioritization {
             Prioritization::QueryDistance => lexical_distance(term, &self.query_text),
-            Prioritization::SchemaDistance => views
-                .first()
-                .map(|&v| self.view_distance(v))
-                .unwrap_or(1.0),
+            Prioritization::SchemaDistance => {
+                views.first().map(|&v| self.view_distance(v)).unwrap_or(1.0)
+            }
         }
     }
 
@@ -238,7 +243,12 @@ impl<'a> QuestionFactory<'a> {
             let live: Vec<Vec<ViewId>> = c
                 .groups
                 .iter()
-                .map(|g| g.iter().copied().filter(|v| alive_set.contains(v)).collect::<Vec<_>>())
+                .map(|g| {
+                    g.iter()
+                        .copied()
+                        .filter(|v| alive_set.contains(v))
+                        .collect::<Vec<_>>()
+                })
                 .filter(|g: &Vec<ViewId>| !g.is_empty())
                 .collect();
             if live.len() < 2 {
@@ -350,8 +360,10 @@ mod tests {
         let d = distill(&views, &DistillConfig::default());
         let f = QuestionFactory::new(&views, &d, &q, Prioritization::QueryDistance);
         let alive: Vec<ViewId> = views.iter().map(|v| v.id).collect();
-        let Question::Attribute { name, with_attribute } =
-            f.question(InterfaceKind::Attribute, &alive).unwrap()
+        let Question::Attribute {
+            name,
+            with_attribute,
+        } = f.question(InterfaceKind::Attribute, &alive).unwrap()
         else {
             panic!("expected attribute question");
         };
@@ -410,7 +422,9 @@ mod tests {
         let d = distill(&views, &DistillConfig::default());
         let f = QuestionFactory::new(&views, &d, &q, Prioritization::QueryDistance);
         // Only view 2 alive: no pair question possible.
-        assert!(f.question(InterfaceKind::DatasetPair, &[ViewId(2)]).is_none());
+        assert!(f
+            .question(InterfaceKind::DatasetPair, &[ViewId(2)])
+            .is_none());
         let dq = f.question(InterfaceKind::Dataset, &[ViewId(2)]).unwrap();
         assert_eq!(dq, Question::Dataset { view: ViewId(2) });
     }

@@ -136,7 +136,11 @@ mod tests {
             answer_prob: 1.0,
         }];
         let ranked = rank_views(&[v(0), v(1), v(2), v(3)], &history, |id| {
-            if id == v(3) { 0.9 } else { 0.1 }
+            if id == v(3) {
+                0.9
+            } else {
+                0.1
+            }
         });
         assert_eq!(ranked[0].0, v(1)); // approved
         assert_eq!(ranked[1].0, v(3)); // neutral, higher base score

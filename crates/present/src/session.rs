@@ -112,7 +112,16 @@ impl<'a> PresentationSession<'a> {
             .map(|v| (v.id, v.provenance.join_score))
             .collect();
         let rng = StdRng::seed_from_u64(config.seed);
-        PresentationSession { views, factory, bandit, alive, history: Vec::new(), rng, config, base_scores }
+        PresentationSession {
+            views,
+            factory,
+            bandit,
+            alive,
+            history: Vec::new(),
+            rng,
+            config,
+            base_scores,
+        }
     }
 
     /// Candidate views still alive.
@@ -178,12 +187,18 @@ impl<'a> PresentationSession<'a> {
                 continue;
             }
             if let Some(found) = self.apply(&question, answer) {
-                return SessionOutcome::Found { view: found, interactions };
+                return SessionOutcome::Found {
+                    view: found,
+                    interactions,
+                };
             }
         }
 
         if self.alive.len() == 1 {
-            return SessionOutcome::Found { view: self.alive[0], interactions };
+            return SessionOutcome::Found {
+                view: self.alive[0],
+                interactions,
+            };
         }
         SessionOutcome::Exhausted {
             ranked: self.ranking().into_iter().map(|(v, _)| v).collect(),
@@ -208,16 +223,30 @@ impl<'a> PresentationSession<'a> {
             }
             (Question::Attribute { with_attribute, .. }, Answer::Yes) => {
                 approved = with_attribute.clone();
-                rejected = all.iter().copied().filter(|v| !with_attribute.contains(v)).collect();
+                rejected = all
+                    .iter()
+                    .copied()
+                    .filter(|v| !with_attribute.contains(v))
+                    .collect();
             }
             (Question::Attribute { with_attribute, .. }, Answer::No) => {
                 rejected = with_attribute.clone();
             }
-            (Question::DatasetPair { agree_a, agree_b, .. }, Answer::PickFirst) => {
+            (
+                Question::DatasetPair {
+                    agree_a, agree_b, ..
+                },
+                Answer::PickFirst,
+            ) => {
                 approved = agree_a.clone();
                 rejected = agree_b.clone();
             }
-            (Question::DatasetPair { agree_a, agree_b, .. }, Answer::PickSecond) => {
+            (
+                Question::DatasetPair {
+                    agree_a, agree_b, ..
+                },
+                Answer::PickSecond,
+            ) => {
                 approved = agree_b.clone();
                 rejected = agree_a.clone();
             }
@@ -234,7 +263,11 @@ impl<'a> PresentationSession<'a> {
         }
 
         self.alive.retain(|v| !rejected.contains(v));
-        self.history.push(AnsweredQuestion { approved, rejected, answer_prob });
+        self.history.push(AnsweredQuestion {
+            approved,
+            rejected,
+            answer_prob,
+        });
         None
     }
 }
@@ -281,8 +314,7 @@ mod tests {
     fn oracle_finds_target_quickly() {
         let (views, q) = fixture();
         let d = distill(&views, &DistillConfig::default());
-        let mut session =
-            PresentationSession::new(&views, &d, &q, PresentationConfig::default());
+        let mut session = PresentationSession::new(&views, &d, &q, PresentationConfig::default());
         let mut user = OracleUser::new(ViewId(0));
         let outcome = session.run(&mut user);
         assert_eq!(outcome.found_view(), Some(ViewId(0)));
@@ -310,12 +342,18 @@ mod tests {
     fn always_skipping_user_exhausts_without_pruning() {
         let (views, q) = fixture();
         let d = distill(&views, &DistillConfig::default());
-        let config = PresentationConfig { max_iterations: 5, ..Default::default() };
+        let config = PresentationConfig {
+            max_iterations: 5,
+            ..Default::default()
+        };
         let mut session = PresentationSession::new(&views, &d, &q, config);
         let mut user = PersonaUser::uniform(ViewId(0), 0.0, 0.0, 3);
         let outcome = session.run(&mut user);
         match outcome {
-            SessionOutcome::Exhausted { ranked, interactions } => {
+            SessionOutcome::Exhausted {
+                ranked,
+                interactions,
+            } => {
                 assert_eq!(ranked.len(), 6, "skips must not prune (design principle)");
                 assert_eq!(interactions, 5);
             }
@@ -331,7 +369,10 @@ mod tests {
             &views,
             &d,
             &q,
-            PresentationConfig { max_iterations: 3, ..Default::default() },
+            PresentationConfig {
+                max_iterations: 3,
+                ..Default::default()
+            },
         );
         let mut user = OracleUser::new(ViewId(3));
         let _ = session.run(&mut user);
@@ -345,7 +386,10 @@ mod tests {
         let (views, q) = fixture();
         let d = distill(&views, &DistillConfig::default());
         let run = |seed: u64| {
-            let config = PresentationConfig { seed, ..Default::default() };
+            let config = PresentationConfig {
+                seed,
+                ..Default::default()
+            };
             let mut s = PresentationSession::new(&views, &d, &q, config);
             let mut u = OracleUser::new(ViewId(4));
             s.run(&mut u)
@@ -358,19 +402,23 @@ mod tests {
         let views = vec![view(0, &["state", "pop"], &[("IN", 1)])];
         let q = ExampleQuery::from_rows(&[vec!["IN", "1"]]).unwrap();
         let d = distill(&views, &DistillConfig::default());
-        let mut session =
-            PresentationSession::new(&views, &d, &q, PresentationConfig::default());
+        let mut session = PresentationSession::new(&views, &d, &q, PresentationConfig::default());
         let mut user = OracleUser::new(ViewId(0));
         let outcome = session.run(&mut user);
-        assert_eq!(outcome, SessionOutcome::Found { view: ViewId(0), interactions: 0 });
+        assert_eq!(
+            outcome,
+            SessionOutcome::Found {
+                view: ViewId(0),
+                interactions: 0
+            }
+        );
     }
 
     #[test]
     fn erroneous_users_can_prune_the_target_but_session_terminates() {
         let (views, q) = fixture();
         let d = distill(&views, &DistillConfig::default());
-        let mut session =
-            PresentationSession::new(&views, &d, &q, PresentationConfig::default());
+        let mut session = PresentationSession::new(&views, &d, &q, PresentationConfig::default());
         let mut user = PersonaUser::uniform(ViewId(0), 1.0, 1.0, 5);
         let outcome = session.run(&mut user);
         // With 100% error the session still terminates in bounded steps.

@@ -44,7 +44,10 @@ impl OracleUser {
                     Answer::No
                 }
             }
-            Question::Attribute { with_attribute, name } => {
+            Question::Attribute {
+                with_attribute,
+                name,
+            } => {
                 // The user wants the attribute iff their target view has it.
                 let has = with_attribute.contains(&self.target)
                     || views.iter().any(|v| {
@@ -59,7 +62,9 @@ impl OracleUser {
                     Answer::No
                 }
             }
-            Question::DatasetPair { agree_a, agree_b, .. } => {
+            Question::DatasetPair {
+                agree_a, agree_b, ..
+            } => {
                 if agree_a.contains(&self.target) {
                     Answer::PickFirst
                 } else if agree_b.contains(&self.target) {
@@ -171,10 +176,7 @@ mod tests {
             u.answer(&Question::Dataset { view: v(3) }, &[]),
             Answer::Yes
         );
-        assert_eq!(
-            u.answer(&Question::Dataset { view: v(1) }, &[]),
-            Answer::No
-        );
+        assert_eq!(u.answer(&Question::Dataset { view: v(1) }, &[]), Answer::No);
     }
 
     #[test]
@@ -204,7 +206,10 @@ mod tests {
             with_attribute: vec![v(5), v(6)],
         };
         assert_eq!(u.answer(&q, &[]), Answer::Yes);
-        let q = Question::Summary { terms: vec![], group: vec![v(1)] };
+        let q = Question::Summary {
+            terms: vec![],
+            group: vec![v(1)],
+        };
         assert_eq!(u.answer(&q, &[]), Answer::No);
     }
 
@@ -222,10 +227,7 @@ mod tests {
     #[test]
     fn persona_with_full_error_rate_always_flips() {
         let mut u = PersonaUser::uniform(v(0), 1.0, 1.0, 42);
-        assert_eq!(
-            u.answer(&Question::Dataset { view: v(0) }, &[]),
-            Answer::No
-        );
+        assert_eq!(u.answer(&Question::Dataset { view: v(0) }, &[]), Answer::No);
         assert_eq!(
             u.answer(&Question::Dataset { view: v(9) }, &[]),
             Answer::Yes
@@ -254,7 +256,13 @@ mod tests {
             Answer::Yes
         );
         assert_eq!(
-            u.answer(&Question::Summary { terms: vec![], group: vec![v(0)] }, &[]),
+            u.answer(
+                &Question::Summary {
+                    terms: vec![],
+                    group: vec![v(0)]
+                },
+                &[]
+            ),
             Answer::Skip
         );
     }

@@ -56,7 +56,10 @@ mod tests {
     use super::*;
 
     fn cref(t: u32, o: u16) -> ColumnRef {
-        ColumnRef { table: TableId(t), ordinal: o }
+        ColumnRef {
+            table: TableId(t),
+            ordinal: o,
+        }
     }
 
     #[test]
@@ -69,8 +72,8 @@ mod tests {
 
     #[test]
     fn noise_columns_attach_per_attribute() {
-        let gt = GroundTruth::new("q", vec![cref(0, 0), cref(1, 0)])
-            .with_noise_column(1, cref(2, 0));
+        let gt =
+            GroundTruth::new("q", vec![cref(0, 0), cref(1, 0)]).with_noise_column(1, cref(2, 0));
         assert_eq!(gt.noise_columns[0], None);
         assert_eq!(gt.noise_columns[1], Some(cref(2, 0)));
     }

@@ -16,8 +16,8 @@
 
 use crate::groundtruth::GroundTruth;
 use crate::query::{ExampleQuery, QueryColumn};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use ver_common::error::{Result, VerError};
@@ -159,9 +159,18 @@ mod tests {
         cat.add_table(b.build()).unwrap();
         let gt = GroundTruth::new(
             "q",
-            vec![ColumnRef { table: TableId(0), ordinal: 0 }],
+            vec![ColumnRef {
+                table: TableId(0),
+                ordinal: 0,
+            }],
         )
-        .with_noise_column(0, ColumnRef { table: TableId(1), ordinal: 0 });
+        .with_noise_column(
+            0,
+            ColumnRef {
+                table: TableId(1),
+                ordinal: 0,
+            },
+        );
         (cat, gt)
     }
 
@@ -218,7 +227,13 @@ mod tests {
     #[test]
     fn missing_noise_column_falls_back_to_ground_truth() {
         let (cat, _) = setup();
-        let gt = GroundTruth::new("q", vec![ColumnRef { table: TableId(0), ordinal: 0 }]);
+        let gt = GroundTruth::new(
+            "q",
+            vec![ColumnRef {
+                table: TableId(0),
+                ordinal: 0,
+            }],
+        );
         let q = generate_noisy_query(&cat, &gt, NoiseLevel::High, 3, 1).unwrap();
         assert_eq!(q.rows(), 3);
         assert_eq!(count_noise(&q), 0);
@@ -230,10 +245,19 @@ mod tests {
         let mut b = TableBuilder::new("tiny", &["v"]);
         b.push_row(vec![Value::text("only")]).unwrap();
         cat.add_table(b.build()).unwrap();
-        let gt = GroundTruth::new("q", vec![ColumnRef { table: TableId(0), ordinal: 0 }]);
+        let gt = GroundTruth::new(
+            "q",
+            vec![ColumnRef {
+                table: TableId(0),
+                ordinal: 0,
+            }],
+        );
         let q = generate_noisy_query(&cat, &gt, NoiseLevel::Zero, 5, 1).unwrap();
         assert_eq!(q.rows(), 5);
-        assert!(q.columns[0].examples.iter().all(|v| v.to_string() == "only"));
+        assert!(q.columns[0]
+            .examples
+            .iter()
+            .all(|v| v.to_string() == "only"));
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct QueryColumn {
 impl QueryColumn {
     /// Column from example values only.
     pub fn of_values(examples: Vec<Value>) -> Self {
-        QueryColumn { name_hint: None, examples }
+        QueryColumn {
+            name_hint: None,
+            examples,
+        }
     }
 
     /// Column from string examples (parsed with CSV-style inference).
@@ -55,9 +58,14 @@ impl ExampleQuery {
     /// Build and validate a query.
     pub fn new(columns: Vec<QueryColumn>) -> Result<Self> {
         if columns.is_empty() {
-            return Err(VerError::InvalidQuery("query must have at least one column".into()));
+            return Err(VerError::InvalidQuery(
+                "query must have at least one column".into(),
+            ));
         }
-        if columns.iter().any(|c| c.non_null().count() == 0 && c.name_hint.is_none()) {
+        if columns
+            .iter()
+            .any(|c| c.non_null().count() == 0 && c.name_hint.is_none())
+        {
             return Err(VerError::InvalidQuery(
                 "every query column needs at least one example value or a name hint".into(),
             ));
@@ -69,7 +77,9 @@ impl ExampleQuery {
     /// input of the paper's user study). `rows` are equal-length tuples.
     pub fn from_rows(rows: &[Vec<&str>]) -> Result<Self> {
         if rows.is_empty() {
-            return Err(VerError::InvalidQuery("query needs at least one example row".into()));
+            return Err(VerError::InvalidQuery(
+                "query needs at least one example row".into(),
+            ));
         }
         let arity = rows[0].len();
         if rows.iter().any(|r| r.len() != arity) {
@@ -88,7 +98,11 @@ impl ExampleQuery {
 
     /// l — number of example tuples (max column length).
     pub fn rows(&self) -> usize {
-        self.columns.iter().map(|c| c.examples.len()).max().unwrap_or(0)
+        self.columns
+            .iter()
+            .map(|c| c.examples.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// All distinct non-null example values across columns (normalized).

@@ -49,16 +49,16 @@ impl ViewSpec {
                 .columns
                 .iter()
                 .map(|c| {
-                    let mut terms: Vec<String> =
-                        c.non_null().map(|v| v.normalized()).collect();
+                    let mut terms: Vec<String> = c.non_null().map(|v| v.normalized()).collect();
                     terms.sort();
                     terms.dedup();
                     terms
                 })
                 .collect(),
-            ViewSpec::Keyword(terms) | ViewSpec::Attribute(terms) => {
-                terms.iter().map(|t| vec![t.trim().to_lowercase()]).collect()
-            }
+            ViewSpec::Keyword(terms) | ViewSpec::Attribute(terms) => terms
+                .iter()
+                .map(|t| vec![t.trim().to_lowercase()])
+                .collect(),
         }
     }
 }

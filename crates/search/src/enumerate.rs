@@ -92,8 +92,7 @@ pub fn enumerate_combinations(
         tables.dedup();
 
         // Cache check: any known non-joinable pair in this group?
-        let cached_bad = pair_iter(&tables)
-            .any(|p| non_joinable.contains(&p));
+        let cached_bad = pair_iter(&tables).any(|p| non_joinable.contains(&p));
         if cached_bad {
             out.skipped_by_cache += 1;
         } else {
@@ -156,12 +155,14 @@ mod tests {
         let states: Vec<String> = (0..40).map(|i| format!("st{i}")).collect();
         let mut b = TableBuilder::new("airports", &["iata", "state"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(format!("AP{i}")), Value::text(s.clone())]).unwrap();
+            b.push_row(vec![Value::text(format!("AP{i}")), Value::text(s.clone())])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         let mut b = TableBuilder::new("states", &["state", "pop"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(s.clone()), Value::Int(i as i64 * 1000)]).unwrap();
+            b.push_row(vec![Value::text(s.clone()), Value::Int(i as i64 * 1000)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         // island has two columns with the same value space so a query can
@@ -177,13 +178,24 @@ mod tests {
         cat.add_table(b.build()).unwrap();
         build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
 
     fn select(idx: &DiscoveryIndex, q: &ExampleQuery) -> SelectionResult {
-        column_selection(idx, q, &SelectionConfig { theta: usize::MAX, ..Default::default() })
+        column_selection(
+            idx,
+            q,
+            &SelectionConfig {
+                theta: usize::MAX,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -227,7 +239,7 @@ mod tests {
     fn disjoint_tables_are_cached_not_retried() {
         let idx = setup();
         let q = ExampleQuery::new(vec![
-            QueryColumn::of_strs(&["AP1", "AP2"]),      // airports only
+            QueryColumn::of_strs(&["AP1", "AP2"]),       // airports only
             QueryColumn::of_strs(&["thing1", "thing2"]), // island only
         ])
         .unwrap();

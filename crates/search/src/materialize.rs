@@ -39,7 +39,12 @@ pub fn plan_from_join_graph(
         .map(|e| -> Result<Edge> {
             let a = catalog.column_ref(e.left)?;
             let b = catalog.column_ref(e.right)?;
-            Ok(Edge { a_table: a.table, a, b_table: b.table, b })
+            Ok(Edge {
+                a_table: a.table,
+                a,
+                b_table: b.table,
+                b,
+            })
         })
         .collect::<Result<_>>()?;
 
@@ -48,9 +53,9 @@ pub fn plan_from_join_graph(
     let mut present = vec![base];
     let mut remaining: Vec<&Edge> = edges.iter().collect();
     while !remaining.is_empty() {
-        let pos = remaining.iter().position(|e| {
-            present.contains(&e.a_table) != present.contains(&e.b_table)
-        });
+        let pos = remaining
+            .iter()
+            .position(|e| present.contains(&e.a_table) != present.contains(&e.b_table));
         match pos {
             Some(i) => {
                 let e = remaining.remove(i);
@@ -71,7 +76,11 @@ pub fn plan_from_join_graph(
     }
 
     let _ = index; // index reserved for future orientation hints
-    Ok(PjPlan { base, joins, projection: projection.to_vec() })
+    Ok(PjPlan {
+        base,
+        joins,
+        projection: projection.to_vec(),
+    })
 }
 
 /// Materialise one join graph into a view.
@@ -100,38 +109,49 @@ mod tests {
         let states: Vec<String> = (0..30).map(|i| format!("st{i}")).collect();
         let mut b = TableBuilder::new("airports", &["iata", "state"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(format!("A{i}")), Value::text(s.clone())]).unwrap();
+            b.push_row(vec![Value::text(format!("A{i}")), Value::text(s.clone())])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         let mut b = TableBuilder::new("states", &["state", "pop"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)]).unwrap();
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         let mut b = TableBuilder::new("regions", &["state", "region"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(s.clone()), Value::text(format!("R{}", i % 3))])
-                .unwrap();
+            b.push_row(vec![
+                Value::text(s.clone()),
+                Value::text(format!("R{}", i % 3)),
+            ])
+            .unwrap();
         }
         cat.add_table(b.build()).unwrap();
         let idx = build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         (cat, idx)
     }
 
     fn cref(t: u32, o: u16) -> ColumnRef {
-        ColumnRef { table: TableId(t), ordinal: o }
+        ColumnRef {
+            table: TableId(t),
+            ordinal: o,
+        }
     }
 
     #[test]
     fn single_table_graph_materialises_projection() {
         let (cat, idx) = setup();
         let graph = JoinGraph::default();
-        let v = materialize_join_graph(&cat, &idx, &graph, &[cref(0, 0), cref(0, 1)], 1.0)
-            .unwrap();
+        let v = materialize_join_graph(&cat, &idx, &graph, &[cref(0, 0), cref(0, 1)], 1.0).unwrap();
         assert_eq!(v.row_count(), 30);
         assert_eq!(v.attribute_names(), vec!["iata", "state"]);
     }
@@ -142,8 +162,7 @@ mod tests {
         let graphs = idx.generate_join_graphs(&[TableId(0), TableId(1)], 2);
         assert!(!graphs.is_empty());
         let direct = graphs.iter().find(|g| g.hops() == 1).expect("direct join");
-        let v = materialize_join_graph(&cat, &idx, direct, &[cref(0, 0), cref(1, 1)], 0.9)
-            .unwrap();
+        let v = materialize_join_graph(&cat, &idx, direct, &[cref(0, 0), cref(1, 1)], 0.9).unwrap();
         assert_eq!(v.row_count(), 30);
         assert_eq!(v.attribute_names(), vec!["iata", "pop"]);
         assert_eq!(v.provenance.join_score, 0.9);
@@ -155,8 +174,7 @@ mod tests {
         let graphs = idx.generate_join_graphs(&[TableId(0), TableId(1)], 2);
         let direct = graphs.iter().find(|g| g.hops() == 1).unwrap();
         // Projection starting from states → base = states.
-        let plan =
-            plan_from_join_graph(&cat, &idx, direct, &[cref(1, 1), cref(0, 0)]).unwrap();
+        let plan = plan_from_join_graph(&cat, &idx, direct, &[cref(1, 1), cref(0, 0)]).unwrap();
         assert_eq!(plan.base, TableId(1));
         assert!(plan.validate().is_ok());
     }
@@ -171,8 +189,7 @@ mod tests {
         assert!(!graphs.is_empty());
         let two_hop = graphs.iter().find(|g| g.hops() == 2);
         if let Some(g) = two_hop {
-            let v = materialize_join_graph(&cat, &idx, g, &[cref(0, 0), cref(2, 1)], 0.8)
-                .unwrap();
+            let v = materialize_join_graph(&cat, &idx, g, &[cref(0, 0), cref(2, 1)], 0.8).unwrap();
             assert_eq!(v.row_count(), 30);
             assert_eq!(v.provenance.hops(), 2);
         }

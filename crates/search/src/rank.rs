@@ -31,7 +31,7 @@ pub fn join_score(index: &DiscoveryIndex, graph: &JoinGraph) -> f64 {
 
 /// Sort `(graph, payload)` pairs by score descending, stable by payload
 /// order on ties.
-pub fn rank_join_graphs<T>(index: &DiscoveryIndex, graphs: &mut Vec<(JoinGraph, T)>) {
+pub fn rank_join_graphs<T>(index: &DiscoveryIndex, graphs: &mut [(JoinGraph, T)]) {
     graphs.sort_by(|a, b| {
         join_score(index, &b.0)
             .partial_cmp(&join_score(index, &a.0))
@@ -64,13 +64,18 @@ mod tests {
         for name in ["t2", "t3"] {
             let mut b = TableBuilder::new(name, &["cat"]);
             for i in 0..40 {
-                b.push_row(vec![Value::text(format!("c{}", i % 4))]).unwrap();
+                b.push_row(vec![Value::text(format!("c{}", i % 4))])
+                    .unwrap();
             }
             cat.add_table(b.build()).unwrap();
         }
         build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -111,7 +116,9 @@ mod tests {
             score: 1.0,
         };
         let one = JoinGraph { edges: vec![edge] };
-        let two = JoinGraph { edges: vec![edge, edge] };
+        let two = JoinGraph {
+            edges: vec![edge, edge],
+        };
         assert!(join_score(&idx, &one) > join_score(&idx, &two));
     }
 
@@ -129,8 +136,18 @@ mod tests {
             score: 1.0,
         };
         let mut graphs = vec![
-            (JoinGraph { edges: vec![cat_edge] }, "cat"),
-            (JoinGraph { edges: vec![key_edge] }, "key"),
+            (
+                JoinGraph {
+                    edges: vec![cat_edge],
+                },
+                "cat",
+            ),
+            (
+                JoinGraph {
+                    edges: vec![key_edge],
+                },
+                "key",
+            ),
         ];
         rank_join_graphs(&idx, &mut graphs);
         assert_eq!(graphs[0].1, "key");

@@ -87,8 +87,9 @@ pub fn join_graph_search(
 
     // Pair each combination with each of its group's join graphs; dedupe
     // identical (graph, projection) pairs arising from different orders.
+    type CandidateKey = (Vec<(u32, u32)>, Vec<ColumnRef>);
     let mut candidates: Vec<(ver_index::JoinGraph, Vec<ColumnRef>)> = Vec::new();
-    let mut seen: FxHashSet<(Vec<(u32, u32)>, Vec<ColumnRef>)> = FxHashSet::default();
+    let mut seen: FxHashSet<CandidateKey> = FxHashSet::default();
     for (combo, gi) in &enumeration.combinations {
         let projection: Vec<ColumnRef> = combo
             .columns
@@ -129,7 +130,11 @@ pub fn join_graph_search(
     }
     timer.add("materialize", mat_start.elapsed());
     stats.views = views.len();
-    Ok(SearchOutput { views, stats, timer })
+    Ok(SearchOutput {
+        views,
+        stats,
+        timer,
+    })
 }
 
 #[cfg(test)]
@@ -149,25 +154,32 @@ mod tests {
 
         let mut b = TableBuilder::new("airports", &["iata", "state"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(format!("A{i}")), Value::text(s.clone())]).unwrap();
+            b.push_row(vec![Value::text(format!("A{i}")), Value::text(s.clone())])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
 
         let mut b = TableBuilder::new("pop1", &["state", "pop"]);
         for (i, s) in states.iter().enumerate() {
-            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)]).unwrap();
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
 
         let mut b = TableBuilder::new("pop2", &["state", "pop"]);
         for (i, s) in states.iter().enumerate().take(25) {
-            b.push_row(vec![Value::text(s.clone()), Value::Int(2000 + i as i64)]).unwrap();
+            b.push_row(vec![Value::text(s.clone()), Value::Int(2000 + i as i64)])
+                .unwrap();
         }
         cat.add_table(b.build()).unwrap();
 
         let idx = build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         (cat, idx)
@@ -179,7 +191,14 @@ mod tests {
         q: &ExampleQuery,
         config: &SearchConfig,
     ) -> SearchOutput {
-        let sel = column_selection(idx, q, &SelectionConfig { theta: usize::MAX, ..Default::default() });
+        let sel = column_selection(
+            idx,
+            q,
+            &SelectionConfig {
+                theta: usize::MAX,
+                ..Default::default()
+            },
+        );
         join_graph_search(cat, idx, &sel, config).unwrap()
     }
 
@@ -232,7 +251,15 @@ mod tests {
         ])
         .unwrap();
         let all = run(&cat, &idx, &q, &SearchConfig::default());
-        let one = run(&cat, &idx, &q, &SearchConfig { k: 1, ..Default::default() });
+        let one = run(
+            &cat,
+            &idx,
+            &q,
+            &SearchConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
         assert!(all.stats.views > 1);
         assert_eq!(one.stats.views, 1);
         // The kept view is the top-ranked one.

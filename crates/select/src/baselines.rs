@@ -135,7 +135,11 @@ mod tests {
         cat.add_table(b.build()).unwrap();
         let idx = build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         (cat, idx)
@@ -149,7 +153,11 @@ mod tests {
     fn select_all_returns_every_matching_column() {
         let (_, idx) = setup();
         let res = select_all(&idx, &query(&["state1", "fake0"]));
-        let ids: Vec<ColumnId> = res.per_attribute[0].candidates.iter().map(|c| c.id).collect();
+        let ids: Vec<ColumnId> = res.per_attribute[0]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
         assert_eq!(ids, vec![ColumnId(0), ColumnId(1)]);
     }
 
@@ -158,7 +166,11 @@ mod tests {
         let (_, idx) = setup();
         // noise value ⇒ noisy.state overlap 3, truth.state overlap 2.
         let res = select_best(&idx, &query(&["state1", "state2", "fake0"]));
-        let ids: Vec<ColumnId> = res.per_attribute[0].candidates.iter().map(|c| c.id).collect();
+        let ids: Vec<ColumnId> = res.per_attribute[0]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
         assert_eq!(ids, vec![ColumnId(1)], "noise column wins — truth dropped");
     }
 
@@ -166,8 +178,16 @@ mod tests {
     fn select_best_keeps_ties() {
         let (_, idx) = setup();
         let res = select_best(&idx, &query(&["state1", "state2"]));
-        let ids: Vec<ColumnId> = res.per_attribute[0].candidates.iter().map(|c| c.id).collect();
-        assert_eq!(ids, vec![ColumnId(0), ColumnId(1)], "both contain both examples");
+        let ids: Vec<ColumnId> = res.per_attribute[0]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(
+            ids,
+            vec![ColumnId(0), ColumnId(1)],
+            "both contain both examples"
+        );
     }
 
     #[test]
@@ -177,12 +197,18 @@ mod tests {
         let (_, idx) = setup();
         let noisy_q = query(&["state45", "fake0", "fake1"]); // state45 only in truth
         let best = select_best(&idx, &noisy_q);
-        let best_ids: Vec<ColumnId> =
-            best.per_attribute[0].candidates.iter().map(|c| c.id).collect();
+        let best_ids: Vec<ColumnId> = best.per_attribute[0]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
         assert_eq!(best_ids, vec![ColumnId(1)]);
         let all = select_all(&idx, &noisy_q);
-        let all_ids: Vec<ColumnId> =
-            all.per_attribute[0].candidates.iter().map(|c| c.id).collect();
+        let all_ids: Vec<ColumnId> = all.per_attribute[0]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
         assert!(all_ids.contains(&ColumnId(0)));
     }
 
@@ -199,6 +225,9 @@ mod tests {
     fn alpha_db_is_at_least_as_large_as_data() {
         let (cat, _) = setup();
         let alpha = squid_alpha_db_rows(&cat);
-        assert!(alpha >= cat.total_rows(), "αDB must blow up storage: {alpha}");
+        assert!(
+            alpha >= cat.total_rows(),
+            "αDB must blow up storage: {alpha}"
+        );
     }
 }

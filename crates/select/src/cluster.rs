@@ -15,14 +15,11 @@ pub fn connected_components(
     columns: &[ColumnId],
     threshold: f64,
 ) -> Vec<Vec<ColumnId>> {
-    let member: FxHashMap<ColumnId, usize> = columns
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i))
-        .collect();
+    let member: FxHashMap<ColumnId, usize> =
+        columns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let mut parent: Vec<usize> = (0..columns.len()).collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -79,7 +76,11 @@ mod tests {
         cat.add_table(b.build()).unwrap();
         build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     }

@@ -151,7 +151,12 @@ fn select_for_attribute(
     candidates.sort_by_key(|c| c.id);
     candidates.dedup_by_key(|c| c.id);
 
-    AttributeCandidates { candidates, total_columns, num_clusters, clusters_selected }
+    AttributeCandidates {
+        candidates,
+        total_columns,
+        num_clusters,
+        clusters_selected,
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +194,11 @@ mod tests {
         cat.add_table(b.build()).unwrap();
         build_index(
             &cat,
-            IndexConfig { threads: 1, verify_exact: true, ..Default::default() },
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -221,9 +230,16 @@ mod tests {
         let attr = &res.per_attribute[0];
         // noise column has overlap 3, truth 2 — same cluster, so θ=1 keeps both.
         let ids: Vec<ColumnId> = attr.candidates.iter().map(|c| c.id).collect();
-        assert!(ids.contains(&ColumnId(0)), "ground-truth column must survive");
+        assert!(
+            ids.contains(&ColumnId(0)),
+            "ground-truth column must survive"
+        );
         assert!(ids.contains(&ColumnId(1)));
-        let best = attr.candidates.iter().find(|c| c.id == ColumnId(1)).unwrap();
+        let best = attr
+            .candidates
+            .iter()
+            .find(|c| c.id == ColumnId(1))
+            .unwrap();
         assert_eq!(best.overlap, 3);
     }
 
@@ -237,16 +253,26 @@ mod tests {
         assert_eq!(attr.num_clusters, 2);
         assert_eq!(attr.clusters_selected, 1);
         let ids: Vec<ColumnId> = attr.candidates.iter().map(|c| c.id).collect();
-        assert!(!ids.contains(&ColumnId(2)), "city cluster must be dropped at θ=1");
+        assert!(
+            !ids.contains(&ColumnId(2)),
+            "city cluster must be dropped at θ=1"
+        );
     }
 
     #[test]
     fn theta_infinite_keeps_all_nonempty_clusters() {
         let idx = setup();
         let q = query(&["state1", "city5"]);
-        let cfg = SelectionConfig { theta: usize::MAX, ..Default::default() };
+        let cfg = SelectionConfig {
+            theta: usize::MAX,
+            ..Default::default()
+        };
         let res = column_selection(&idx, &q, &cfg);
-        let ids: Vec<ColumnId> = res.per_attribute[0].candidates.iter().map(|c| c.id).collect();
+        let ids: Vec<ColumnId> = res.per_attribute[0]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
         assert!(ids.contains(&ColumnId(0)));
         assert!(ids.contains(&ColumnId(2)));
     }
@@ -263,10 +289,8 @@ mod tests {
     #[test]
     fn name_hint_retrieves_by_attribute() {
         let idx = setup();
-        let q = ExampleQuery::new(vec![
-            QueryColumn::of_values(vec![Value::Null]).named("city"),
-        ])
-        .unwrap();
+        let q = ExampleQuery::new(vec![QueryColumn::of_values(vec![Value::Null]).named("city")])
+            .unwrap();
         let res = column_selection(&idx, &q, &SelectionConfig::default());
         // hint-only columns have overlap 0 → dropped by the `score == 0`
         // guard unless θ admits them; check retrieval happened.
@@ -283,8 +307,16 @@ mod tests {
         .unwrap();
         let res = column_selection(&idx, &q, &SelectionConfig::default());
         assert_eq!(res.per_attribute.len(), 2);
-        let a0: Vec<ColumnId> = res.per_attribute[0].candidates.iter().map(|c| c.id).collect();
-        let a1: Vec<ColumnId> = res.per_attribute[1].candidates.iter().map(|c| c.id).collect();
+        let a0: Vec<ColumnId> = res.per_attribute[0]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
+        let a1: Vec<ColumnId> = res.per_attribute[1]
+            .candidates
+            .iter()
+            .map(|c| c.id)
+            .collect();
         assert!(a0.contains(&ColumnId(0)));
         assert_eq!(a1, vec![ColumnId(2)]);
     }
@@ -293,7 +325,10 @@ mod tests {
     fn fuzzy_matching_recovers_typos() {
         let idx = setup();
         let q = query(&["statte1", "state2"]); // one edit away
-        let cfg = SelectionConfig { fuzzy: Fuzziness::MaxEdits(1), ..Default::default() };
+        let cfg = SelectionConfig {
+            fuzzy: Fuzziness::MaxEdits(1),
+            ..Default::default()
+        };
         let res = column_selection(&idx, &q, &cfg);
         let attr = &res.per_attribute[0];
         let best_overlap = attr.candidates.iter().map(|c| c.overlap).max().unwrap();

@@ -43,7 +43,10 @@ impl TableCatalog {
         let id = TableId(self.tables.len() as u32);
         table.id = id;
         for ordinal in 0..table.column_count() {
-            let cref = ColumnRef { table: id, ordinal: ordinal as u16 };
+            let cref = ColumnRef {
+                table: id,
+                ordinal: ordinal as u16,
+            };
             let cid = ColumnId(self.column_refs.len() as u32);
             self.column_refs.push(cref);
             self.ref_to_id.insert(cref, cid);
@@ -88,9 +91,9 @@ impl TableCatalog {
     /// Resolve a [`ColumnRef`] to its column data.
     pub fn column(&self, cref: ColumnRef) -> Result<&Column> {
         let table = self.table(cref.table)?;
-        table.column(cref.ordinal as usize).ok_or_else(|| {
-            VerError::NotFound(format!("column {cref} (table has fewer columns)"))
-        })
+        table
+            .column(cref.ordinal as usize)
+            .ok_or_else(|| VerError::NotFound(format!("column {cref} (table has fewer columns)")))
     }
 
     /// Resolve a global [`ColumnId`] to its [`ColumnRef`].
@@ -139,7 +142,7 @@ impl TableCatalog {
         let mut total = 0usize;
         for t in &self.tables {
             for c in t.columns() {
-                total += c.values().len() * std::mem::size_of::<Value>();
+                total += std::mem::size_of_val(c.values());
                 for v in c.values() {
                     if let Value::Text(s) = v {
                         total += s.len();
@@ -163,8 +166,10 @@ mod tests {
         a.push_row(vec!["IND".into(), "Indiana".into()]).unwrap();
         cat.add_table(a.build()).unwrap();
         let mut s = TableBuilder::new("states", &["state", "pop"]);
-        s.push_row(vec!["Indiana".into(), Value::Int(6_800_000)]).unwrap();
-        s.push_row(vec!["Georgia".into(), Value::Int(10_700_000)]).unwrap();
+        s.push_row(vec!["Indiana".into(), Value::Int(6_800_000)])
+            .unwrap();
+        s.push_row(vec!["Georgia".into(), Value::Int(10_700_000)])
+            .unwrap();
         cat.add_table(s.build()).unwrap();
         cat
     }
@@ -200,16 +205,25 @@ mod tests {
         let cat = catalog();
         assert!(matches!(cat.table(TableId(99)), Err(VerError::NotFound(_))));
         assert!(matches!(
-            cat.column(ColumnRef { table: TableId(0), ordinal: 9 }),
+            cat.column(ColumnRef {
+                table: TableId(0),
+                ordinal: 9
+            }),
             Err(VerError::NotFound(_))
         ));
-        assert!(matches!(cat.column_ref(ColumnId(99)), Err(VerError::NotFound(_))));
+        assert!(matches!(
+            cat.column_ref(ColumnId(99)),
+            Err(VerError::NotFound(_))
+        ));
     }
 
     #[test]
     fn qualified_names() {
         let cat = catalog();
-        let cref = ColumnRef { table: TableId(1), ordinal: 1 };
+        let cref = ColumnRef {
+            table: TableId(1),
+            ordinal: 1,
+        };
         assert_eq!(cat.qualified_name(cref), "states.pop");
     }
 

@@ -32,7 +32,10 @@ impl Column {
 
     /// Column from a vector of values.
     pub fn from_values(values: Vec<Value>) -> Self {
-        Column { values, stats: std::sync::OnceLock::new() }
+        Column {
+            values,
+            stats: std::sync::OnceLock::new(),
+        }
     }
 
     /// Append a value (invalidates cached statistics).
@@ -87,7 +90,11 @@ impl Column {
                     _ => DataType::Text,
                 };
             }
-            ColumnStats { distinct: distinct.len(), nulls, dtype }
+            ColumnStats {
+                distinct: distinct.len(),
+                nulls,
+                dtype,
+            }
         })
     }
 

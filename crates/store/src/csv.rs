@@ -123,7 +123,9 @@ pub fn parse_csv(name: &str, text: &str, has_header: bool) -> Result<Table> {
                 }
             })
             .collect(),
-        None => (0..arity).map(|_| ColumnMeta::anonymous(DataType::Unknown)).collect(),
+        None => (0..arity)
+            .map(|_| ColumnMeta::anonymous(DataType::Unknown))
+            .collect(),
     };
 
     let mut builder = TableBuilder::with_schema(TableSchema::new(name, metas));
@@ -134,9 +136,9 @@ pub fn parse_csv(name: &str, text: &str, has_header: bool) -> Result<Table> {
             continue;
         }
         let row: Vec<Value> = fields.iter().map(|f| Value::parse(f)).collect();
-        builder.push_row(row).map_err(|e| {
-            VerError::InvalidData(format!("csv '{name}': {e}"))
-        })?;
+        builder
+            .push_row(row)
+            .map_err(|e| VerError::InvalidData(format!("csv '{name}': {e}")))?;
     }
     Ok(builder.build())
 }
@@ -170,7 +172,14 @@ pub fn write_csv<W: Write>(table: &Table, mut out: W) -> Result<()> {
     writeln!(out, "{}", header.join(","))?;
     for r in 0..table.row_count() {
         let row: Vec<String> = (0..table.column_count())
-            .map(|c| quote_field(&table.cell(r, c).map(ToString::to_string).unwrap_or_default()))
+            .map(|c| {
+                quote_field(
+                    &table
+                        .cell(r, c)
+                        .map(ToString::to_string)
+                        .unwrap_or_default(),
+                )
+            })
             .collect();
         writeln!(out, "{}", row.join(","))?;
     }
@@ -199,7 +208,12 @@ mod tests {
 
     #[test]
     fn quoted_fields_with_commas_and_escapes() {
-        let t = parse_csv("t", "name,motto\n\"Doe, Jane\",\"she said \"\"hi\"\"\"\n", true).unwrap();
+        let t = parse_csv(
+            "t",
+            "name,motto\n\"Doe, Jane\",\"she said \"\"hi\"\"\"\n",
+            true,
+        )
+        .unwrap();
         assert_eq!(t.cell(0, 0), Some(&Value::text("Doe, Jane")));
         assert_eq!(t.cell(0, 1), Some(&Value::text("she said \"hi\"")));
     }

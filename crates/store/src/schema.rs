@@ -21,7 +21,10 @@ pub struct ColumnMeta {
 impl ColumnMeta {
     /// Named column of the given type.
     pub fn named(name: impl Into<Arc<str>>, dtype: DataType) -> Self {
-        ColumnMeta { name: Some(name.into()), dtype }
+        ColumnMeta {
+            name: Some(name.into()),
+            dtype,
+        }
     }
 
     /// Headerless column (`Ai = φ`).
@@ -50,7 +53,10 @@ pub struct TableSchema {
 impl TableSchema {
     /// Build a schema from a table name and column metadata.
     pub fn new(name: impl Into<Arc<str>>, columns: Vec<ColumnMeta>) -> Self {
-        TableSchema { name: name.into(), columns }
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
     }
 
     /// Number of columns (`m` in the paper).

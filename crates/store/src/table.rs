@@ -42,7 +42,12 @@ impl Table {
                 rows
             )));
         }
-        Ok(Table { id: TableId::default(), schema, columns, rows })
+        Ok(Table {
+            id: TableId::default(),
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// Table name.
@@ -132,7 +137,10 @@ impl TableBuilder {
     /// columns for noisy-schema scenarios).
     pub fn with_schema(schema: TableSchema) -> Self {
         let n = schema.arity();
-        TableBuilder { schema, columns: (0..n).map(|_| Column::new()).collect() }
+        TableBuilder {
+            schema,
+            columns: (0..n).map(|_| Column::new()).collect(),
+        }
     }
 
     /// Append one row. Rows longer than the arity error; shorter rows are
@@ -171,9 +179,12 @@ mod tests {
 
     fn states_table() -> Table {
         let mut b = TableBuilder::new("states", &["state", "population"]);
-        b.push_row(vec!["Indiana".into(), Value::Int(6_800_000)]).unwrap();
-        b.push_row(vec!["Georgia".into(), Value::Int(10_700_000)]).unwrap();
-        b.push_row(vec!["Virginia".into(), Value::Int(8_600_000)]).unwrap();
+        b.push_row(vec!["Indiana".into(), Value::Int(6_800_000)])
+            .unwrap();
+        b.push_row(vec!["Georgia".into(), Value::Int(10_700_000)])
+            .unwrap();
+        b.push_row(vec!["Virginia".into(), Value::Int(8_600_000)])
+            .unwrap();
         b.build()
     }
 

@@ -67,7 +67,10 @@ fn report(label: &str, outcome: &SessionOutcome) {
         SessionOutcome::Found { view, interactions } => {
             println!("{label}: found {view} after {interactions} interaction(s)");
         }
-        SessionOutcome::Exhausted { ranked, interactions } => {
+        SessionOutcome::Exhausted {
+            ranked,
+            interactions,
+        } => {
             println!(
                 "{label}: gave up after {interactions} interaction(s); \
                  top-ranked candidates: {:?}",

@@ -46,9 +46,15 @@ fn main() -> ver_common::error::Result<()> {
     println!("  original views : {}", counts.original);
     println!("  after C1       : {} (compatible deduped)", counts.c1);
     println!("  after C2       : {} (contained pruned)", counts.c2);
-    println!("  C3 best-case   : {} (complementary unioned)", counts.c3_best);
+    println!(
+        "  C3 best-case   : {} (complementary unioned)",
+        counts.c3_best
+    );
 
-    println!("\ncontradictions detected: {}", result.distill.contradictions.len());
+    println!(
+        "\ncontradictions detected: {}",
+        result.distill.contradictions.len()
+    );
     for c in result.distill.contradictions.iter().take(3) {
         println!(
             "  key {:?}: {} views split into {} camps (discrimination {})",

@@ -41,16 +41,17 @@ fn main() -> ver_common::error::Result<()> {
     // Offline: profile columns, sketch MinHash signatures, infer the join
     // hypergraph. Online: ask by example — two columns, two example rows.
     let ver = Ver::build(catalog, VerConfig::fast())?;
-    let query = ExampleQuery::from_rows(&[
-        vec!["IND", "6800000"],
-        vec!["ATL", "10700000"],
-    ])?;
+    let query = ExampleQuery::from_rows(&[vec!["IND", "6800000"], vec!["ATL", "10700000"]])?;
     let result = ver.run(&ViewSpec::Qbe(query))?;
 
     println!("candidate views: {}", result.views.len());
     println!("after distillation: {}", result.distill.survivors_c2.len());
     for (view_id, score) in &result.ranked {
-        let view = result.views.iter().find(|v| v.id == *view_id).expect("ranked view");
+        let view = result
+            .views
+            .iter()
+            .find(|v| v.id == *view_id)
+            .expect("ranked view");
         println!(
             "\n#{view_id} (overlap {score}) — attributes {:?}, {} rows, {} join hop(s)",
             view.attribute_names(),

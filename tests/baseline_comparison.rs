@@ -4,13 +4,12 @@
 use ver_core::{Ver, VerConfig};
 use ver_datagen::chembl::{generate_chembl, ChemblConfig};
 use ver_datagen::workload::{
-    attach_noise_columns, chembl_ground_truths, find_ground_truth_view,
-    materialize_ground_truth,
+    attach_noise_columns, chembl_ground_truths, find_ground_truth_view, materialize_ground_truth,
 };
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_search::{join_graph_search, SearchConfig};
 use ver_select::baselines::{select_all, select_best};
 use ver_select::{column_selection, SelectionConfig};
-use ver_search::{join_graph_search, SearchConfig};
 
 fn setup() -> Ver {
     let cat = generate_chembl(&ChemblConfig {
@@ -34,8 +33,7 @@ fn select_best_crumbles_under_high_noise() {
     let mut sa_hits = 0;
     let trials = 6u64;
     for seed in 0..trials {
-        let query =
-            generate_noisy_query(ver.catalog(), &gt, NoiseLevel::High, 3, seed).unwrap();
+        let query = generate_noisy_query(ver.catalog(), &gt, NoiseLevel::High, 3, seed).unwrap();
         let search = SearchConfig::default();
 
         let cs = column_selection(ver.index(), &query, &SelectionConfig::default());
@@ -51,8 +49,14 @@ fn select_best_crumbles_under_high_noise() {
         sa_hits += usize::from(find_ground_truth_view(&out.views, &gt_view).is_some());
     }
     // Table V shape: SA and CS stay high, SB collapses.
-    assert!(sa_hits as u64 >= trials - 1, "SELECT-ALL hits {sa_hits}/{trials}");
-    assert!(cs_hits as u64 >= trials - 1, "COLUMN-SELECTION hits {cs_hits}/{trials}");
+    assert!(
+        sa_hits as u64 >= trials - 1,
+        "SELECT-ALL hits {sa_hits}/{trials}"
+    );
+    assert!(
+        cs_hits as u64 >= trials - 1,
+        "COLUMN-SELECTION hits {cs_hits}/{trials}"
+    );
     assert!(
         sb_hits < cs_hits,
         "SELECT-BEST ({sb_hits}) must underperform COLUMN-SELECTION ({cs_hits})"
@@ -64,8 +68,7 @@ fn select_all_explodes_the_search_space() {
     let ver = setup();
     let gts = chembl_ground_truths(ver.catalog()).unwrap();
     // Zero-noise query → all strategies find the truth; compare sizes.
-    let query =
-        generate_noisy_query(ver.catalog(), &gts[1], NoiseLevel::Zero, 3, 9).unwrap();
+    let query = generate_noisy_query(ver.catalog(), &gts[1], NoiseLevel::Zero, 3, 9).unwrap();
     let search = SearchConfig::default();
 
     let cs = column_selection(ver.index(), &query, &SelectionConfig::default());
@@ -87,11 +90,13 @@ fn all_strategies_agree_at_zero_noise_on_hit() {
     let gts = chembl_ground_truths(ver.catalog()).unwrap();
     for gt in gts.iter().take(3) {
         let gt_view = materialize_ground_truth(ver.catalog(), ver.index(), gt, 2).unwrap();
-        let query =
-            generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 33).unwrap();
+        let query = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 33).unwrap();
         let search = SearchConfig::default();
         for (name, sel) in [
-            ("CS", column_selection(ver.index(), &query, &SelectionConfig::default())),
+            (
+                "CS",
+                column_selection(ver.index(), &query, &SelectionConfig::default()),
+            ),
             ("SA", select_all(ver.index(), &query)),
             ("SB", select_best(ver.index(), &query)),
         ] {

@@ -24,7 +24,8 @@ fn population_camps_produce_contradictory_views() {
     let ver = wdc_ver();
     // Country + population examples → all population_camp* tables match.
     let spec = ViewSpec::Qbe(
-        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]]).unwrap(),
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]])
+            .unwrap(),
     );
     let result = ver.run(&spec).unwrap();
     assert!(result.views.len() >= 4, "views: {}", result.views.len());
@@ -39,15 +40,24 @@ fn population_camps_produce_contradictory_views() {
         "cross-camp views must contradict"
     );
     // The contradiction signal covers many views at once (WDC Q3 insight).
-    let best = d.contradictions.iter().map(|c| c.view_count()).max().unwrap();
-    assert!(best >= 3, "discriminative contradiction expected, best covers {best}");
+    let best = d
+        .contradictions
+        .iter()
+        .map(|c| c.view_count())
+        .max()
+        .unwrap();
+    assert!(
+        best >= 3,
+        "discriminative contradiction expected, best covers {best}"
+    );
 }
 
 #[test]
 fn contradiction_pruning_is_steeper_in_best_case() {
     let ver = wdc_ver();
     let spec = ViewSpec::Qbe(
-        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]]).unwrap(),
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]])
+            .unwrap(),
     );
     let result = ver.run(&spec).unwrap();
     let best = contradiction_steps(&result.distill, CaseChoice::Best, 10);
@@ -66,9 +76,8 @@ fn state_subsets_produce_complementary_views() {
     let ver = wdc_ver();
     // States present across subsets + subset ranks → (state, rank) views
     // from different coverage tables are complementary candidates.
-    let spec = ViewSpec::Qbe(
-        ExampleQuery::from_rows(&[vec!["Texas", "gazette_babacor0"]]).unwrap(),
-    );
+    let spec =
+        ViewSpec::Qbe(ExampleQuery::from_rows(&[vec!["Texas", "gazette_babacor0"]]).unwrap());
     let result = ver.run(&spec).unwrap();
     // Not all runs generate pairs; the property under test is that when
     // overlapping same-schema views exist, they are labelled.
@@ -108,8 +117,7 @@ fn chembl_cell_alias_views_are_compatible() {
         .unwrap()
         .to_string();
     let spec = ViewSpec::Qbe(
-        ExampleQuery::from_rows(&[vec![cell0.as_str(), "B"], vec![cell1.as_str(), "F"]])
-            .unwrap(),
+        ExampleQuery::from_rows(&[vec![cell0.as_str(), "B"], vec![cell1.as_str(), "F"]]).unwrap(),
     );
     let result = ver.run(&spec).unwrap();
     let d = &result.distill;
@@ -126,7 +134,8 @@ fn chembl_cell_alias_views_are_compatible() {
 fn table_iv_counts_are_internally_consistent() {
     let ver = wdc_ver();
     let spec = ViewSpec::Qbe(
-        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Germany", "3466000"]]).unwrap(),
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Germany", "3466000"]])
+            .unwrap(),
     );
     let result = ver.run(&spec).unwrap();
     let counts = distill_counts(&result.views, &result.distill);

@@ -6,8 +6,7 @@ use ver_core::{Ver, VerConfig};
 use ver_datagen::chembl::{generate_chembl, ChemblConfig};
 use ver_datagen::wdc::{generate_wdc, WdcConfig};
 use ver_datagen::workload::{
-    attach_noise_columns, chembl_ground_truths, find_ground_truth_view,
-    materialize_ground_truth,
+    attach_noise_columns, chembl_ground_truths, find_ground_truth_view, materialize_ground_truth,
 };
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
 use ver_qbe::ViewSpec;
@@ -28,8 +27,7 @@ fn chembl_pipeline_finds_ground_truth_at_zero_noise() {
     let gts = chembl_ground_truths(ver.catalog()).unwrap();
     for gt in &gts {
         let gt_view = materialize_ground_truth(ver.catalog(), ver.index(), gt, 2).unwrap();
-        let query =
-            generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 11).unwrap();
+        let query = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 11).unwrap();
         let result = ver.run(&ViewSpec::Qbe(query)).unwrap();
         assert!(
             find_ground_truth_view(&result.views, &gt_view).is_some(),
@@ -51,8 +49,7 @@ fn chembl_pipeline_is_noise_robust_with_clustering() {
     let mut hits = 0;
     let trials = 5;
     for seed in 0..trials {
-        let query =
-            generate_noisy_query(ver.catalog(), &gt, NoiseLevel::Medium, 3, seed).unwrap();
+        let query = generate_noisy_query(ver.catalog(), &gt, NoiseLevel::Medium, 3, seed).unwrap();
         let result = ver.run(&ViewSpec::Qbe(query)).unwrap();
         if find_ground_truth_view(&result.views, &gt_view).is_some() {
             hits += 1;

@@ -3,9 +3,7 @@
 
 use ver_core::{Ver, VerConfig};
 use ver_datagen::wdc::{generate_wdc, WdcConfig};
-use ver_present::{
-    fasttopk_rank, simulate_scan, OracleUser, PersonaUser, SessionOutcome,
-};
+use ver_present::{fasttopk_rank, simulate_scan, OracleUser, PersonaUser, SessionOutcome};
 use ver_qbe::{ExampleQuery, ViewSpec};
 
 fn setup() -> (Ver, ViewSpec) {
@@ -18,7 +16,8 @@ fn setup() -> (Ver, ViewSpec) {
     .unwrap();
     let ver = Ver::build(cat, VerConfig::fast()).unwrap();
     let spec = ViewSpec::Qbe(
-        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]]).unwrap(),
+        ExampleQuery::from_rows(&[vec!["Philippines", "2644000"], vec!["Vietnam", "3055000"]])
+            .unwrap(),
     );
     (ver, spec)
 }
@@ -96,7 +95,10 @@ fn impatient_scanners_fail_where_interactive_users_succeed() {
     let target = ranked.last().unwrap().0;
     let budget = 2; // impatient user
     let scan = simulate_scan(&ranked, target, budget);
-    assert!(!scan.found, "deep target must not be reachable in {budget} steps");
+    assert!(
+        !scan.found,
+        "deep target must not be reachable in {budget} steps"
+    );
 
     let mut user = OracleUser::new(target);
     let (_, outcome) = ver.run_interactive(&spec, &mut user).unwrap();

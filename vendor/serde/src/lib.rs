@@ -1,0 +1,29 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for API completeness
+//! but never serialises through serde (the index uses a hand-rolled
+//! binary format in `ver-index::persist`). The traits are blanket-
+//! implemented so bounds always hold, and the derives (re-exported from
+//! the no-op `serde_derive` stub) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

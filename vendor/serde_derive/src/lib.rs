@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stand-in. The workspace derives these traits for API completeness but
+//! never serialises through them (persistence uses a hand-rolled binary
+//! format), so the derives emit nothing; blanket impls in the `serde`
+//! stub satisfy any trait bounds. `attributes(serde)` keeps field
+//! annotations like `#[serde(skip)]` accepted.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
