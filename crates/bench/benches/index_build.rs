@@ -49,13 +49,43 @@ fn bench_index_build(c: &mut Criterion) {
         })
     });
 
-    // Parallel speed-up check.
+    // Exact verification: every LSH candidate pair is checked against the
+    // true distinct sets — the path the allocation diet (profile-stored
+    // sorted hash vectors, merge-based containment) targets.
+    group.bench_function(BenchmarkId::new("wdc_verify_exact", "150t"), |b| {
+        b.iter(|| {
+            build_index(
+                &wdc,
+                IndexConfig {
+                    threads: 1,
+                    verify_exact: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+
+    // Parallel speed-up checks: fixed worker count and the `0 = auto`
+    // convention (one worker per hardware thread).
     group.bench_function(BenchmarkId::new("wdc_parallel", "150t"), |b| {
         b.iter(|| {
             build_index(
                 &wdc,
                 IndexConfig {
                     threads: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("wdc_auto_threads", "150t"), |b| {
+        b.iter(|| {
+            build_index(
+                &wdc,
+                IndexConfig {
+                    threads: 0,
                     ..Default::default()
                 },
             )

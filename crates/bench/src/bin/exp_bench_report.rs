@@ -1,0 +1,224 @@
+//! `exp_bench_report` — the per-PR perf trajectory.
+//!
+//! Times the three hot paths this repo optimises — offline index build
+//! (1 / 2 / auto threads), join-graph search + view materialization, and
+//! the hash-join micro-kernel — on the standard corpora, and writes a
+//! machine-readable `BENCH_<n>.json` so successive PRs accumulate a
+//! comparable perf series.
+//!
+//! ```text
+//! cargo run --release --bin exp_bench_report                 # full corpora → BENCH_<pr>.json
+//! cargo run --release --bin exp_bench_report -- --smoke      # reduced corpora (CI)
+//! cargo run --release --bin exp_bench_report -- --pr 3       # label for PR 3 → BENCH_3.json
+//! cargo run --release --bin exp_bench_report -- --out p.json # custom output path
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use ver_bench::{eval_search_config, run_strategy, verify_exact_for, Strategy};
+use ver_common::pool::resolve_threads;
+use ver_core::{Ver, VerConfig};
+use ver_datagen::chembl::{generate_chembl, ChemblConfig};
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_datagen::workload::{chembl_ground_truths, wdc_ground_truths};
+use ver_engine::join::hash_join;
+use ver_index::{build_index, IndexConfig};
+use ver_qbe::groundtruth::GroundTruth;
+use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_store::catalog::TableCatalog;
+use ver_store::table::{Table, TableBuilder};
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&out);
+        best = best.min(ms);
+    }
+    best
+}
+
+struct CorpusReport {
+    name: &'static str,
+    tables: usize,
+    columns: usize,
+    rows: usize,
+    build_ms_1: f64,
+    build_ms_2: f64,
+    build_ms_auto: f64,
+    queries: usize,
+    search_jgs_ms: f64,
+    search_materialize_ms: f64,
+    search_views: usize,
+}
+
+fn index_config(threads: usize, verify_exact: bool) -> IndexConfig {
+    IndexConfig {
+        threads,
+        verify_exact,
+        ..Default::default()
+    }
+}
+
+/// Time index builds and one pass of column-selection search over the
+/// corpus's ground-truth queries.
+fn report_corpus(
+    name: &'static str,
+    cat: TableCatalog,
+    gts: Vec<GroundTruth>,
+    reps: usize,
+) -> CorpusReport {
+    let verify_exact = verify_exact_for(&cat);
+    let build_ms_1 = best_ms(reps, || {
+        build_index(&cat, index_config(1, verify_exact)).unwrap()
+    });
+    let build_ms_2 = best_ms(reps, || {
+        build_index(&cat, index_config(2, verify_exact)).unwrap()
+    });
+    let build_ms_auto = best_ms(reps, || {
+        build_index(&cat, index_config(0, verify_exact)).unwrap()
+    });
+
+    let (tables, columns, rows) = (cat.table_count(), cat.column_count(), cat.total_rows());
+    let config = VerConfig {
+        index: index_config(0, verify_exact),
+        ..VerConfig::default()
+    };
+    let ver = Ver::build(cat, config).expect("index build");
+    let search_cfg = eval_search_config();
+
+    let (mut jgs_ms, mut mat_ms, mut views, mut queries) = (0.0, 0.0, 0usize, 0usize);
+    for gt in &gts {
+        let Ok(query) = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 1) else {
+            continue;
+        };
+        let out = run_strategy(&ver, &query, Strategy::ColumnSelection, &search_cfg);
+        jgs_ms += out.timer.get("jgs").as_secs_f64() * 1e3;
+        mat_ms += out.timer.get("materialize").as_secs_f64() * 1e3;
+        views += out.stats.views;
+        queries += 1;
+    }
+
+    CorpusReport {
+        name,
+        tables,
+        columns,
+        rows,
+        build_ms_1,
+        build_ms_2,
+        build_ms_auto,
+        queries,
+        search_jgs_ms: jgs_ms,
+        search_materialize_ms: mat_ms,
+        search_views: views,
+    }
+}
+
+fn join_table(name: &str, rows: usize) -> Table {
+    let mut b = TableBuilder::new(name, &["k", "v"]);
+    for i in 0..rows {
+        b.push_row(vec![
+            ver_common::value::Value::Int((i % (rows / 2).max(1)) as i64),
+            ver_common::value::Value::text(format!("val{i}")),
+        ])
+        .unwrap();
+    }
+    b.build()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let pr: u32 = args
+        .iter()
+        .position(|a| a == "--pr")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--pr takes a number"))
+        .unwrap_or(2);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("BENCH_{pr}.json"));
+    let reps = if smoke { 1 } else { 3 };
+    let hw = resolve_threads(0);
+
+    let (wdc_tables, chembl_tables, chembl_compounds, join_rows) = if smoke {
+        (60, 20, 60, 5_000)
+    } else {
+        (250, 70, 150, 20_000)
+    };
+
+    eprintln!("exp_bench_report: hardware_threads={hw} smoke={smoke} reps={reps}");
+
+    let wdc = generate_wdc(&WdcConfig {
+        n_tables: wdc_tables,
+        ..Default::default()
+    })
+    .expect("wdc generation");
+    let wdc_gts = wdc_ground_truths(&wdc).expect("wdc ground truths");
+    let wdc_report = report_corpus("WDC", wdc, wdc_gts, reps);
+
+    let chembl = generate_chembl(&ChemblConfig {
+        n_compounds: chembl_compounds,
+        n_tables: chembl_tables,
+        seed: 0xC4EB,
+    })
+    .expect("chembl generation");
+    let chembl_gts = chembl_ground_truths(&chembl).expect("chembl ground truths");
+    let chembl_report = report_corpus("ChEMBL", chembl, chembl_gts, reps);
+
+    let left = join_table("l", join_rows);
+    let right = join_table("r", join_rows);
+    let hash_join_ms = best_ms(reps.max(3), || hash_join(&left, 0, &right, 0).unwrap());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"exp_bench_report\",");
+    let _ = writeln!(json, "  \"pr\": {pr},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"corpora\": [\n");
+    for (i, r) in [&wdc_report, &chembl_report].iter().enumerate() {
+        let speedup = r.build_ms_1 / r.build_ms_auto;
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"tables\": {},", r.tables);
+        let _ = writeln!(json, "      \"columns\": {},", r.columns);
+        let _ = writeln!(json, "      \"rows\": {},", r.rows);
+        let _ = writeln!(
+            json,
+            "      \"index_build_ms\": {{\"threads_1\": {:.3}, \"threads_2\": {:.3}, \"threads_auto\": {:.3}}},",
+            r.build_ms_1, r.build_ms_2, r.build_ms_auto
+        );
+        let _ = writeln!(json, "      \"auto_threads\": {hw},");
+        let _ = writeln!(json, "      \"build_speedup_auto_vs_1\": {speedup:.3},");
+        let _ = writeln!(json, "      \"search_queries\": {},", r.queries);
+        let _ = writeln!(
+            json,
+            "      \"join_graph_search_ms\": {:.3},",
+            r.search_jgs_ms
+        );
+        let _ = writeln!(
+            json,
+            "      \"materialize_ms\": {:.3},",
+            r.search_materialize_ms
+        );
+        let _ = writeln!(json, "      \"views_found\": {}", r.search_views);
+        json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"hash_join\": {{\"rows_per_side\": {join_rows}, \"ms\": {hash_join_ms:.3}}}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -99,18 +99,23 @@ pub fn setup_opendata(portion: f64) -> EvalSetup {
     })
 }
 
+/// Exact verification only for corpora small enough to afford it; the
+/// open-data corpus relies on Lazo estimation (that is what the sketches
+/// are for at scale). Shared by the eval setups and `exp_bench_report` so
+/// the recorded perf trajectory times the same build mode the harness uses.
+pub fn verify_exact_for(cat: &TableCatalog) -> bool {
+    cat.table_count() <= 300
+}
+
 fn build_setup(
     label: &'static str,
     cat: TableCatalog,
     gts_fn: impl Fn(&TableCatalog) -> Vec<GroundTruth>,
 ) -> EvalSetup {
-    // Exact verification only for corpora small enough to afford it; the
-    // open-data corpus relies on Lazo estimation (that is what the
-    // sketches are for at scale).
-    let verify_exact = cat.table_count() <= 300;
+    let verify_exact = verify_exact_for(&cat);
     let config = VerConfig {
         index: ver_index::IndexConfig {
-            threads: 4,
+            threads: 0, // auto: one worker per hardware thread
             verify_exact,
             ..Default::default()
         },

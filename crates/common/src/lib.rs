@@ -12,6 +12,9 @@
 //! * [`text`] — Levenshtein distance (fuzzy keyword search), tokenisation and
 //!   n-gram similarity (question prioritisation distances).
 //! * [`ids`] — newtype identifiers for tables, columns and views.
+//! * [`pool`] — a chunk-stealing parallel runtime (`par_map` /
+//!   `par_for_each` over scoped threads) shared by the offline build paths;
+//!   `threads: 0` means "use every available hardware thread".
 //! * [`stats`] — tiny summary-statistics helpers used by the experiment
 //!   harness (median / percentiles for boxplot-style reporting).
 //! * [`timer`] — phase timers used to reproduce the paper's runtime
@@ -20,6 +23,7 @@
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod pool;
 pub mod stats;
 pub mod text;
 pub mod timer;
@@ -28,4 +32,5 @@ pub mod value;
 pub use error::{Result, VerError};
 pub use fxhash::{fx_hash_bytes, fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ColumnId, ColumnRef, TableId, ViewId};
+pub use pool::{par_for_each, par_map, resolve_threads, ThreadPool};
 pub use value::{DataType, Value};

@@ -53,7 +53,10 @@ impl Default for VerConfig {
 impl VerConfig {
     /// Configuration tuned for small corpora and unit tests: exact
     /// containment verification (no estimation error), single-threaded
-    /// index build.
+    /// index build. The default configuration instead builds the index
+    /// with `threads: 0` — the workspace-wide "auto" convention that uses
+    /// one worker per available hardware thread (the built index is
+    /// identical either way; see `ver_common::pool`).
     pub fn fast() -> Self {
         VerConfig {
             index: IndexConfig {
@@ -90,5 +93,14 @@ mod tests {
         let c = VerConfig::fast();
         assert!(c.index.verify_exact);
         assert_eq!(c.index.threads, 1);
+    }
+
+    #[test]
+    fn default_build_uses_auto_threads() {
+        // `0` is the workspace-wide "one worker per hardware thread"
+        // convention; resolution happens inside the pool at build time.
+        let c = VerConfig::default();
+        assert_eq!(c.index.threads, 0);
+        assert!(ver_common::pool::resolve_threads(c.index.threads) >= 1);
     }
 }

@@ -146,7 +146,10 @@ pub fn attach_noise_columns(
         let Ok(gt_col) = catalog.column(*cref) else {
             continue;
         };
-        let gt_values = gt_col.distinct_values();
+        // Borrow the ground-truth column's values instead of cloning them
+        // into an owned set (`distinct_values()` clones every `Value`).
+        let gt_values: ver_common::fxhash::FxHashSet<&ver_common::value::Value> =
+            gt_col.non_null().collect();
         let mut best: Option<(f32, ColumnRef)> = None;
         for (ncid, score) in index.neighbors(cid, threshold) {
             let Ok(ncref) = catalog.column_ref(ncid) else {

@@ -31,19 +31,23 @@ pub fn hash_join(left: &Table, left_key: usize, right: &Table, right_key: usize)
         (probe(rcol, lcol), true)
     };
 
-    // `pairs` is (left_row, right_row) regardless of build side.
-    let pairs: Vec<(u32, u32)> = if swapped {
-        matches_lr.into_iter().map(|(r, l)| (l, r)).collect()
-    } else {
-        matches_lr
-    };
+    // Split the match list into two flat row-index arrays once, instead of
+    // re-iterating and re-mapping the tuple vector for every gathered
+    // column — gathering then reads a contiguous `&[u32]` per side.
+    let n = matches_lr.len();
+    let (mut lrows, mut rrows) = (Vec::with_capacity(n), Vec::with_capacity(n));
+    for (b, p) in matches_lr {
+        let (l, r) = if swapped { (p, b) } else { (b, p) };
+        lrows.push(l);
+        rrows.push(r);
+    }
 
     let mut columns = Vec::with_capacity(left.column_count() + right.column_count());
     for col in left.columns() {
-        columns.push(gather(col, pairs.iter().map(|&(l, _)| l)));
+        columns.push(gather(col, &lrows));
     }
     for col in right.columns() {
-        columns.push(gather(col, pairs.iter().map(|&(_, r)| r)));
+        columns.push(gather(col, &rrows));
     }
 
     let mut metas = left.schema.columns.clone();
@@ -76,10 +80,11 @@ fn probe(build: &Column, probe_col: &Column) -> Vec<(u32, u32)> {
 }
 
 /// Gather `col[indices]` into a new column.
-fn gather(col: &Column, indices: impl Iterator<Item = u32>) -> Column {
+fn gather(col: &Column, indices: &[u32]) -> Column {
     let values = col.values();
     indices
-        .map(|i| values[i as usize].clone())
+        .iter()
+        .map(|&i| values[i as usize].clone())
         .collect::<Column>()
 }
 

@@ -1,25 +1,34 @@
 //! Offline discovery-index construction (the DISCOVERY ENGINE's build pass).
 //!
 //! Builds, over a [`TableCatalog`]:
-//! 1. per-column profiles (exact cardinalities),
-//! 2. MinHash signatures (parallelised across columns with crossbeam scoped
-//!    threads — index construction is the offline, embarrassingly parallel
-//!    stage),
-//! 3. keyword indexes over values / attribute names / table names,
-//! 4. the join hypergraph: LSH candidate pairs filtered by estimated (or
-//!    optionally exact) containment at `containment_threshold`.
+//! 1. per-column profiles (exact cardinalities plus the sorted distinct-hash
+//!    vector every later stage feeds from),
+//! 2. MinHash signatures, sketched from the pre-hashed profile values,
+//! 3. keyword indexes over values / attribute names / table names (built
+//!    per-table, then merged),
+//! 4. the join hypergraph: LSH candidate pairs deduplicated up front and
+//!    verified by estimated (or optionally exact) containment at
+//!    `containment_threshold`.
+//!
+//! Every stage runs on the work-stealing runtime in [`ver_common::pool`]
+//! (`threads: 0` = one worker per hardware thread), which balances the
+//! heavy-tailed column sizes of pathless collections better than the static
+//! chunking used previously. All stages are order-preserving, so the built
+//! index is **bit-identical across thread counts**.
 
 use crate::engine::DiscoveryIndex;
 use crate::hypergraph::JoinHypergraph;
 use crate::lsh::LshIndex;
-use crate::minhash::{estimated_containment, exact_containment, MinHashSignature, MinHasher};
+use crate::minhash::{estimated_containment, hashed_containment, MinHashSignature, MinHasher};
 use crate::valueindex::KeywordIndex;
 use ver_common::error::Result;
 use ver_common::fxhash::FxHashSet;
 use ver_common::ids::ColumnId;
+use ver_common::pool::ThreadPool;
 use ver_common::value::DataType;
 use ver_store::catalog::TableCatalog;
-use ver_store::profile::{profile_catalog, ColumnProfile};
+use ver_store::profile::{profile_catalog_parallel, ColumnProfile};
+use ver_store::table::Table;
 
 /// Tunables for index construction.
 #[derive(Debug, Clone)]
@@ -29,12 +38,19 @@ pub struct IndexConfig {
     /// Containment threshold for hypergraph edges (paper/Aurum default 0.8;
     /// Fig. 8a sweeps 0.8 → 0.5 by rebuilding).
     pub containment_threshold: f64,
-    /// Verify LSH candidates with exact containment instead of the estimate.
-    /// Slower but eliminates estimation error (used by small corpora).
+    /// Verify LSH candidates with exact containment instead of the
+    /// estimate. Slower but eliminates MinHash estimation error (used by
+    /// small corpora). Verification compares the columns' 64-bit
+    /// distinct-value hashes, so it is exact up to Fx-hash collisions
+    /// (vanishingly rare on non-adversarial data); it also keeps the
+    /// per-column hash vectors alive on the profiles, which estimated mode
+    /// drops after sketching.
     pub verify_exact: bool,
     /// Distinct-value sample cap per column profile.
     pub sample_cap: usize,
-    /// Threads for signature computation (1 = sequential).
+    /// Worker threads for the offline build (`0` = one per available
+    /// hardware thread, `1` = sequential). The built index is identical for
+    /// every value.
     pub threads: usize,
     /// Seed for the MinHash family.
     pub seed: u64,
@@ -50,7 +66,7 @@ impl Default for IndexConfig {
             containment_threshold: 0.8,
             verify_exact: false,
             sample_cap: 64,
-            threads: 4,
+            threads: 0,
             seed: 0x5eed,
             value_index_cap: 1_000_000,
         }
@@ -59,86 +75,106 @@ impl Default for IndexConfig {
 
 /// Build the discovery index for `catalog`.
 pub fn build_index(catalog: &TableCatalog, config: IndexConfig) -> Result<DiscoveryIndex> {
-    let profiles = profile_catalog(catalog, config.sample_cap);
+    let pool = ThreadPool::new(config.threads);
+    let mut profiles = profile_catalog_parallel(catalog, config.sample_cap, pool.threads());
     let hasher = MinHasher::new(config.minhash_k, config.seed);
-    let signatures = compute_signatures(catalog, &hasher, config.threads.max(1));
-    let keyword = build_keyword_index(catalog, &config);
-    let hypergraph = build_hypergraph(catalog, &profiles, &signatures, &config);
+    let signatures = compute_signatures(&profiles, &hasher, &pool);
+    if !config.verify_exact {
+        // In estimated mode the stored hash vectors are only consumed by
+        // sketching, which just finished — drop them now, before the
+        // keyword and hypergraph stages run, rather than keep ~8 bytes per
+        // distinct value alive (Open-Data-scale corpora have millions of
+        // columns, and profiles were designed around the `sample_cap`
+        // memory bound). `verify_exact` deployments keep them: they are
+        // the containment verifier's input below and remain available for
+        // re-verification.
+        for p in &mut profiles {
+            p.hashes = Vec::new();
+        }
+    }
+    let keyword = build_keyword_index(catalog, &config, &pool);
+    let hypergraph = build_hypergraph(&profiles, &signatures, &config, &pool);
     Ok(DiscoveryIndex::assemble(
         config, profiles, hasher, signatures, keyword, hypergraph,
     ))
 }
 
-/// Compute all column signatures, in parallel when `threads > 1`.
+/// Sketch every column from its profile's pre-hashed distinct set — no
+/// re-hashing of values, no per-column set clones. Output is in `ColumnId`
+/// order for any worker count.
 fn compute_signatures(
-    catalog: &TableCatalog,
+    profiles: &[ColumnProfile],
     hasher: &MinHasher,
-    threads: usize,
+    pool: &ThreadPool,
 ) -> Vec<MinHashSignature> {
-    let crefs: Vec<_> = catalog.all_columns().collect();
-    let n = crefs.len();
-    if threads <= 1 || n < 64 {
-        return crefs
-            .iter()
-            .map(|&(_, cref)| hasher.signature_of_column(catalog.column(cref).expect("valid ref")))
-            .collect();
-    }
-    let mut out: Vec<Option<MinHashSignature>> = vec![None; n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slice, refs) in out.chunks_mut(chunk).zip(crefs.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, &(_, cref)) in slice.iter_mut().zip(refs) {
-                    *slot =
-                        Some(hasher.signature_of_column(catalog.column(cref).expect("valid ref")));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+    pool.par_map(profiles, |p| {
+        hasher.signature_of_hashes(p.hashes.iter().copied(), p.distinct)
+    })
 }
 
-fn build_keyword_index(catalog: &TableCatalog, config: &IndexConfig) -> KeywordIndex {
+/// Keyword indexes are built per table on the pool, then merged in table
+/// order — giving exactly the postings the sequential build produces.
+fn build_keyword_index(
+    catalog: &TableCatalog,
+    config: &IndexConfig,
+    pool: &ThreadPool,
+) -> KeywordIndex {
+    let partials = pool.par_map(catalog.tables(), |table| {
+        keyword_index_of_table(catalog, table, config)
+    });
     let mut idx = KeywordIndex::new();
-    for table in catalog.tables() {
-        let cols: Vec<ColumnId> = (0..table.column_count())
-            .map(|o| {
-                catalog
-                    .column_id(ver_common::ids::ColumnRef {
-                        table: table.id,
-                        ordinal: o as u16,
-                    })
-                    .expect("registered column")
-            })
-            .collect();
-        idx.add_table(table.name(), table.id, cols.clone());
-        for (ordinal, cid) in cols.iter().enumerate() {
-            if let Some(name) = &table.schema.columns[ordinal].name {
-                idx.add_attribute(name, *cid);
-            }
-            let col = table.column(ordinal).expect("ordinal in range");
-            if col.distinct_count() > config.value_index_cap {
-                continue;
-            }
-            let mut seen: FxHashSet<String> = FxHashSet::default();
-            for v in col.non_null() {
-                let n = v.normalized();
-                if seen.insert(n.clone()) {
-                    idx.add_value(&n, *cid);
-                }
-            }
+    for partial in partials {
+        idx.merge(partial);
+    }
+    idx
+}
+
+/// One table's contribution to the keyword index.
+fn keyword_index_of_table(
+    catalog: &TableCatalog,
+    table: &Table,
+    config: &IndexConfig,
+) -> KeywordIndex {
+    let mut idx = KeywordIndex::new();
+    let cols: Vec<ColumnId> = (0..table.column_count())
+        .map(|o| {
+            catalog
+                .column_id(ver_common::ids::ColumnRef {
+                    table: table.id,
+                    ordinal: o as u16,
+                })
+                .expect("registered column")
+        })
+        .collect();
+    idx.add_table(table.name(), table.id, cols.clone());
+    for (ordinal, cid) in cols.iter().enumerate() {
+        if let Some(name) = &table.schema.columns[ordinal].name {
+            idx.add_attribute(name, *cid);
+        }
+        let col = table.column(ordinal).expect("ordinal in range");
+        if col.distinct_count() > config.value_index_cap {
+            continue;
+        }
+        // One column is scanned at a time, so the posting list's tail entry
+        // already tells us whether *this* column saw the value — no
+        // side-table of seen strings, no clone per cell.
+        for v in col.non_null() {
+            idx.add_value_owned(v.normalized(), *cid);
         }
     }
     idx
 }
 
+/// Candidate pairs are collected from the LSH buckets, deduplicated and
+/// canonically ordered **first**; verification — the dominant cost of the
+/// offline pass — then fans out over the pool. Scores depend only on the
+/// pair, so edge insertion in pair order is deterministic for any worker
+/// count.
 fn build_hypergraph(
-    catalog: &TableCatalog,
     profiles: &[ColumnProfile],
     signatures: &[MinHashSignature],
     config: &IndexConfig,
+    pool: &ThreadPool,
 ) -> JoinHypergraph {
     let col_table: Vec<_> = profiles.iter().map(|p| p.cref.table).collect();
     let mut graph = JoinHypergraph::new(col_table);
@@ -155,30 +191,39 @@ fn build_hypergraph(
         lsh.insert(ColumnId(i as u32), sig);
     }
 
-    let mut checked: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
     for group in lsh.collision_groups() {
         for (i, &a) in group.iter().enumerate() {
             for &b in &group[i + 1..] {
                 let key = (a.0.min(b.0), a.0.max(b.0));
-                if !checked.insert(key) {
-                    continue;
-                }
-                if !compatible(&profiles[a.idx()], &profiles[b.idx()]) {
-                    continue;
-                }
-                let score = if config.verify_exact {
-                    let ca = catalog.column(profiles[a.idx()].cref).expect("valid");
-                    let cb = catalog.column(profiles[b.idx()].cref).expect("valid");
-                    exact_containment(ca, cb).max(exact_containment(cb, ca))
-                } else {
-                    let sa = &signatures[a.idx()];
-                    let sb = &signatures[b.idx()];
-                    estimated_containment(sa, sb).max(estimated_containment(sb, sa))
-                };
-                if score >= config.containment_threshold {
-                    graph.add_edge(a, b, score as f32);
+                if seen.insert(key)
+                    && compatible(&profiles[key.0 as usize], &profiles[key.1 as usize])
+                {
+                    pairs.push(key);
                 }
             }
+        }
+    }
+    // Canonical order: makes edge-list construction independent of LSH
+    // bucket iteration and of how verification was scheduled.
+    pairs.sort_unstable();
+
+    let scores = pool.par_map(&pairs, |&(a, b)| {
+        if config.verify_exact {
+            let (ha, hb) = (
+                profiles[a as usize].hashes.as_slice(),
+                profiles[b as usize].hashes.as_slice(),
+            );
+            hashed_containment(ha, hb).max(hashed_containment(hb, ha))
+        } else {
+            let (sa, sb) = (&signatures[a as usize], &signatures[b as usize]);
+            estimated_containment(sa, sb).max(estimated_containment(sb, sa))
+        }
+    });
+    for (&(a, b), &score) in pairs.iter().zip(&scores) {
+        if score >= config.containment_threshold {
+            graph.add_edge(ColumnId(a), ColumnId(b), score as f32);
         }
     }
     graph.finalize();
@@ -291,9 +336,16 @@ mod tests {
     fn parallel_and_sequential_signatures_agree() {
         let cat = catalog();
         let h = MinHasher::new(64, 1);
-        let seq = compute_signatures(&cat, &h, 1);
-        let par = compute_signatures(&cat, &h, 4);
+        let profiles = profile_catalog_parallel(&cat, 64, 1);
+        let seq = compute_signatures(&profiles, &h, &ThreadPool::new(1));
+        let par = compute_signatures(&profiles, &h, &ThreadPool::new(4));
         assert_eq!(seq, par);
+        // And they match direct column sketching (pre-hash fidelity).
+        let direct: Vec<MinHashSignature> = cat
+            .all_columns()
+            .map(|(_, cref)| h.signature_of_column(cat.column(cref).unwrap()))
+            .collect();
+        assert_eq!(seq, direct);
     }
 
     #[test]
@@ -309,5 +361,38 @@ mod tests {
         );
         let hits = idx.search_keyword("iata", SearchTarget::Attributes, Fuzziness::Exact);
         assert_eq!(hits, vec![ColumnId(0)]);
+    }
+
+    #[test]
+    fn thread_counts_build_identical_indexes() {
+        let cat = catalog();
+        for verify_exact in [false, true] {
+            let base = IndexConfig {
+                verify_exact,
+                ..Default::default()
+            };
+            let one = build_index(
+                &cat,
+                IndexConfig {
+                    threads: 1,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            for threads in [0, 3, 8] {
+                let many = build_index(
+                    &cat,
+                    IndexConfig {
+                        threads,
+                        ..base.clone()
+                    },
+                )
+                .unwrap();
+                assert!(
+                    one.same_contents(&many),
+                    "threads={threads} verify_exact={verify_exact} diverged"
+                );
+            }
+        }
     }
 }

@@ -74,6 +74,26 @@ impl DiscoveryIndex {
         &self.hypergraph
     }
 
+    /// The keyword index (exposed for inspection and determinism tests).
+    pub fn keyword_index(&self) -> &KeywordIndex {
+        &self.keyword
+    }
+
+    /// `true` when two indexes hold identical contents — profiles (with
+    /// their stored distinct-hash vectors), MinHash family and signatures,
+    /// keyword postings, and the full hypergraph adjacency. This is the
+    /// determinism contract of the parallel builder: `threads: 1` and
+    /// `threads: N` must produce indexes for which this holds. The build
+    /// config itself (which records the thread count) is deliberately not
+    /// compared.
+    pub fn same_contents(&self, other: &DiscoveryIndex) -> bool {
+        self.profiles == other.profiles
+            && self.hasher == other.hasher
+            && self.signatures == other.signatures
+            && self.keyword == other.keyword
+            && self.hypergraph == other.hypergraph
+    }
+
     /// Owning table of a column.
     pub fn table_of(&self, c: ColumnId) -> TableId {
         self.hypergraph.table_of(c)

@@ -23,7 +23,11 @@ pub struct JoinableEdge {
 }
 
 /// Column-level join graph with a table-level projection.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Equality compares the full adjacency structure (including scores) —
+/// used by the determinism tests to assert that parallel builds reproduce
+/// the sequential hypergraph exactly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct JoinHypergraph {
     /// Column → owning table (indexed by `ColumnId`).
     col_table: Vec<TableId>,

@@ -16,7 +16,7 @@
 //! join-path hypergraph thresholds on.
 
 use serde::{Deserialize, Serialize};
-use ver_common::fxhash::{fx_hash_u64, mix64};
+use ver_common::fxhash::mix64;
 use ver_store::column::Column;
 
 /// Number of hash functions used when none is configured.
@@ -39,7 +39,7 @@ impl MinHashSignature {
 }
 
 /// Factory for signatures sharing one family of k hash functions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MinHasher {
     seeds: Vec<u64>,
 }
@@ -84,11 +84,59 @@ impl MinHasher {
     }
 
     /// Sketch a column's distinct non-null value set.
+    ///
+    /// Sketches from the column's pre-hashed distinct set
+    /// ([`Column::distinct_hashes`]); the offline builder goes one step
+    /// further and reuses the hash vector already stored on the column's
+    /// profile via [`MinHasher::signature_of_hashes`].
     pub fn signature_of_column(&self, col: &Column) -> MinHashSignature {
-        let distinct = col.distinct_values();
-        let n = distinct.len();
-        self.signature_of_hashes(distinct.iter().map(fx_hash_u64), n)
+        self.signature_of_hashes(col.distinct_hashes().into_iter(), col.distinct_count())
     }
+}
+
+/// Count of common elements between two **sorted, deduplicated** hash
+/// vectors — a single linear merge, no set construction.
+fn merge_intersection(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Exact containment `|A ∩ B| / |A|` over pre-hashed distinct sets (sorted,
+/// deduplicated, as produced by [`Column::distinct_hashes`] and stored on
+/// column profiles). This is what `verify_exact` hypergraph construction
+/// runs per LSH candidate pair: a linear merge instead of two fresh
+/// `FxHashSet<Value>` clones per call.
+///
+/// "Exact" means exact over the 64-bit hash images: two distinct values
+/// whose Fx hashes collide would count as one. That is a ~`n²/2⁶⁴`
+/// per-column event — negligible against the MinHash estimation error this
+/// mode exists to remove — but it is not cryptographically guaranteed.
+pub fn hashed_containment(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    merge_intersection(a, b) as f64 / a.len() as f64
+}
+
+/// Exact Jaccard similarity over pre-hashed distinct sets (see
+/// [`hashed_containment`] for the input contract).
+pub fn hashed_jaccard(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = merge_intersection(a, b);
+    inter as f64 / (a.len() + b.len() - inter) as f64
 }
 
 /// Estimated Jaccard similarity from two signatures (same family, same k).
@@ -126,27 +174,18 @@ pub fn estimated_containment(a: &MinHashSignature, b: &MinHashSignature) -> f64 
 }
 
 /// Exact Jaccard containment `|A ∩ B| / |A|` between two columns' distinct
-/// value sets. Used to (optionally) verify LSH candidates and by tests.
+/// value sets. Convenience wrapper over [`hashed_containment`] for tests
+/// and ground-truth tooling (same hash-collision caveat); hot paths pass
+/// stored hash vectors directly.
 pub fn exact_containment(a: &Column, b: &Column) -> f64 {
-    let da = a.distinct_values();
-    if da.is_empty() {
-        return 0.0;
-    }
-    let db = b.distinct_values();
-    let inter = da.iter().filter(|v| db.contains(*v)).count();
-    inter as f64 / da.len() as f64
+    hashed_containment(&a.distinct_hashes(), &b.distinct_hashes())
 }
 
-/// Exact Jaccard similarity between two columns' distinct value sets.
+/// Exact Jaccard similarity between two columns' distinct value sets
+/// (wrapper over [`hashed_jaccard`], same contract as
+/// [`exact_containment`]).
 pub fn exact_jaccard(a: &Column, b: &Column) -> f64 {
-    let da = a.distinct_values();
-    let db = b.distinct_values();
-    if da.is_empty() && db.is_empty() {
-        return 1.0;
-    }
-    let inter = da.iter().filter(|v| db.contains(*v)).count();
-    let union = da.len() + db.len() - inter;
-    inter as f64 / union as f64
+    hashed_jaccard(&a.distinct_hashes(), &b.distinct_hashes())
 }
 
 #[cfg(test)]
@@ -223,6 +262,30 @@ mod tests {
         assert!((exact_jaccard(&a, &b) - 50.0 / 150.0).abs() < 1e-12);
         assert_eq!(exact_containment(&Column::new(), &a), 0.0);
         assert_eq!(exact_jaccard(&Column::new(), &Column::new()), 1.0);
+    }
+
+    #[test]
+    fn hashed_measures_agree_with_column_measures() {
+        let a = col(0..100);
+        let b = col(50..150);
+        let (ha, hb) = (a.distinct_hashes(), b.distinct_hashes());
+        assert!((hashed_containment(&ha, &hb) - exact_containment(&a, &b)).abs() < 1e-12);
+        assert!((hashed_jaccard(&ha, &hb) - exact_jaccard(&a, &b)).abs() < 1e-12);
+        assert_eq!(hashed_containment(&[], &ha), 0.0);
+        assert_eq!(hashed_jaccard(&[], &[]), 1.0);
+        assert_eq!(hashed_jaccard(&[], &ha), 0.0);
+    }
+
+    #[test]
+    fn signature_from_stored_hashes_matches_signature_of_column() {
+        // The builder feeds sketches from profile-stored hash vectors; they
+        // must be bit-identical to sketching the column directly.
+        let h = MinHasher::new(64, 21);
+        let c = col(0..300);
+        let from_col = h.signature_of_column(&c);
+        let hashes = c.distinct_hashes();
+        let from_hashes = h.signature_of_hashes(hashes.iter().copied(), c.distinct_count());
+        assert_eq!(from_col, from_hashes);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub enum Fuzziness {
 }
 
 /// Inverted indexes for keyword search.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KeywordIndex {
     /// normalized value → columns containing it.
     values: FxHashMap<String, Vec<ColumnId>>,
@@ -68,7 +68,22 @@ impl KeywordIndex {
         if normalized_value.is_empty() {
             return;
         }
-        let entry = self.values.entry(normalized_value.to_string()).or_default();
+        self.add_value_owned(normalized_value.to_string(), column);
+    }
+
+    /// Register a cell value occurrence from an already-owned normalized
+    /// string — the allocation-free entry point for bulk construction (the
+    /// builder hands over each `Value::normalized()` string directly, so no
+    /// copy is made even on first sight).
+    ///
+    /// Postings are compacted against the list tail: while one column's
+    /// values are scanned consecutively, a value already registered by that
+    /// column is a no-op.
+    pub fn add_value_owned(&mut self, normalized_value: String, column: ColumnId) {
+        if normalized_value.is_empty() {
+            return;
+        }
+        let entry = self.values.entry(normalized_value).or_default();
         if entry.last() != Some(&column) {
             entry.push(column);
         }
@@ -95,6 +110,24 @@ impl KeywordIndex {
     /// Number of distinct indexed values.
     pub fn distinct_values(&self) -> usize {
         self.values.len()
+    }
+
+    /// Absorb another index built over a **disjoint set of tables** (the
+    /// parallel builder constructs one partial index per table and merges
+    /// them in table order).
+    ///
+    /// Posting lists concatenate in merge order; because no column appears
+    /// in two partials, the result is exactly what sequential insertion in
+    /// the same table order would have produced.
+    pub fn merge(&mut self, other: KeywordIndex) {
+        for (value, cols) in other.values {
+            self.values.entry(value).or_default().extend(cols);
+        }
+        for (name, cols) in other.attributes {
+            self.attributes.entry(name).or_default().extend(cols);
+        }
+        self.table_names.extend(other.table_names);
+        self.table_columns.extend(other.table_columns);
     }
 
     /// SEARCH-KEYWORD: columns matching `keyword` under `target`/`fuzzy`.
@@ -264,6 +297,37 @@ mod tests {
         assert!(idx
             .search_keyword("", SearchTarget::All, Fuzziness::Exact)
             .is_empty());
+    }
+
+    #[test]
+    fn merging_partials_matches_sequential_insertion() {
+        // Sequential: two tables inserted in order.
+        let mut seq = KeywordIndex::new();
+        seq.add_table("a", TableId(0), vec![ColumnId(0)]);
+        seq.add_value("shared", ColumnId(0));
+        seq.add_attribute("k", ColumnId(0));
+        seq.add_table("b", TableId(1), vec![ColumnId(1)]);
+        seq.add_value("shared", ColumnId(1));
+        seq.add_attribute("k", ColumnId(1));
+
+        // Parallel: one partial per table, merged in table order.
+        let mut pa = KeywordIndex::new();
+        pa.add_table("a", TableId(0), vec![ColumnId(0)]);
+        pa.add_value_owned("shared".into(), ColumnId(0));
+        pa.add_attribute("k", ColumnId(0));
+        let mut pb = KeywordIndex::new();
+        pb.add_table("b", TableId(1), vec![ColumnId(1)]);
+        pb.add_value_owned("shared".into(), ColumnId(1));
+        pb.add_attribute("k", ColumnId(1));
+        let mut merged = KeywordIndex::new();
+        merged.merge(pa);
+        merged.merge(pb);
+
+        assert_eq!(merged, seq);
+        assert_eq!(
+            merged.search_keyword("shared", SearchTarget::Values, Fuzziness::Exact),
+            vec![ColumnId(0), ColumnId(1)]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Column-major value storage with lazily computed statistics.
 
 use serde::{Deserialize, Serialize};
-use ver_common::fxhash::FxHashSet;
+use ver_common::fxhash::{fx_hash_u64, FxHashSet};
 use ver_common::value::{DataType, Value};
 
 /// A single column of values.
@@ -125,12 +125,38 @@ impl Column {
     }
 
     /// The set of distinct non-null values.
+    ///
+    /// Clones every value into a fresh set — fine for one-off inspection,
+    /// wrong for hot paths. Index construction and containment checks use
+    /// [`Column::distinct_hashes`] instead, which is computed once per
+    /// column and compared by sorted-merge.
     pub fn distinct_values(&self) -> FxHashSet<Value> {
         self.values
             .iter()
             .filter(|v| !v.is_null())
             .cloned()
             .collect()
+    }
+
+    /// Sorted, deduplicated Fx hashes of the distinct non-null values.
+    ///
+    /// This is the allocation-free-comparison representation of the
+    /// column's value set: MinHash sketches are fed from it directly and
+    /// exact containment between two columns is a linear merge over the two
+    /// sorted vectors (no per-call `Value` clones, no hash-set churn).
+    /// Hashes use the same [`fx_hash_u64`] the MinHash sketcher applies, so
+    /// sketches built from these hashes are identical to sketches built
+    /// from the values themselves.
+    pub fn distinct_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self
+            .values
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(fx_hash_u64)
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes
     }
 
     /// Iterate over non-null values.
@@ -202,6 +228,17 @@ mod tests {
         let d = mixed().distinct_values();
         assert_eq!(d.len(), 3);
         assert!(!d.contains(&Value::Null));
+    }
+
+    #[test]
+    fn distinct_hashes_are_sorted_dedup_and_value_derived() {
+        let h = mixed().distinct_hashes();
+        assert_eq!(h.len(), 3, "one hash per distinct non-null value");
+        assert!(h.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        for v in [Value::Int(1), Value::Int(2), Value::Int(3)] {
+            assert!(h.binary_search(&fx_hash_u64(&v)).is_ok());
+        }
+        assert!(h.binary_search(&fx_hash_u64(&Value::Null)).is_err());
     }
 
     #[test]

@@ -11,10 +11,11 @@ use crate::column::Column;
 use serde::{Deserialize, Serialize};
 use ver_common::fxhash::FxHashSet;
 use ver_common::ids::{ColumnId, ColumnRef};
+use ver_common::pool::par_map;
 use ver_common::value::DataType;
 
 /// Statistics and a bounded sample for one column.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnProfile {
     /// Global column id.
     pub id: ColumnId,
@@ -30,6 +31,13 @@ pub struct ColumnProfile {
     pub distinct: usize,
     /// Up to `sample_cap` distinct normalized values.
     pub sample: Vec<String>,
+    /// Sorted, deduplicated Fx hashes of the distinct value set
+    /// ([`Column::distinct_hashes`]), computed **once** here and reused by
+    /// every downstream consumer: MinHash sketching feeds from it and exact
+    /// containment verification is a linear merge over two of these vectors
+    /// — replacing the per-call `FxHashSet<Value>` clones that made
+    /// `verify_exact` quadratic in allocations.
+    pub hashes: Vec<u64>,
 }
 
 impl ColumnProfile {
@@ -54,6 +62,7 @@ impl ColumnProfile {
             nulls: col.null_count(),
             distinct: col.distinct_count(),
             sample,
+            hashes: col.distinct_hashes(),
         }
     }
 
@@ -70,13 +79,27 @@ impl ColumnProfile {
 
 /// Profile every column of a catalog. Sample cap bounds memory on wide
 /// collections (Open Data has millions of columns).
-pub fn profile_catalog(catalog: &TableCatalog, sample_cap: usize) -> Vec<ColumnProfile> {
-    let mut out = Vec::with_capacity(catalog.column_count());
-    for (cid, cref) in catalog.all_columns() {
+///
+/// Profiling hashes and sorts each column's distinct set, so it is the
+/// second-heaviest offline pass after signature computation; the work is
+/// spread over `threads` workers (`0` = auto) with results in `ColumnId`
+/// order regardless of thread count.
+pub fn profile_catalog_parallel(
+    catalog: &TableCatalog,
+    sample_cap: usize,
+    threads: usize,
+) -> Vec<ColumnProfile> {
+    let crefs: Vec<(ColumnId, ColumnRef)> = catalog.all_columns().collect();
+    par_map(&crefs, threads, |&(cid, cref)| {
         let col = catalog.column(cref).expect("catalog column refs are valid");
-        out.push(ColumnProfile::of(cid, cref, col, sample_cap));
-    }
-    out
+        ColumnProfile::of(cid, cref, col, sample_cap)
+    })
+}
+
+/// Sequential [`profile_catalog_parallel`] (kept for callers that profile
+/// tiny catalogs where spawning workers is not worth it).
+pub fn profile_catalog(catalog: &TableCatalog, sample_cap: usize) -> Vec<ColumnProfile> {
+    profile_catalog_parallel(catalog, sample_cap, 1)
 }
 
 #[cfg(test)]
@@ -126,6 +149,37 @@ mod tests {
         assert_eq!(ps[0].distinct, 7);
         let set: FxHashSet<&String> = ps[0].sample.iter().collect();
         assert_eq!(set.len(), 5, "sample values are distinct");
+    }
+
+    #[test]
+    fn hashes_cover_the_distinct_set() {
+        let ps = profiled();
+        assert_eq!(ps[0].hashes.len(), ps[0].distinct);
+        assert_eq!(ps[1].hashes.len(), ps[1].distinct);
+        assert!(ps[0].hashes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn parallel_profiling_matches_sequential() {
+        let mut cat = TableCatalog::new();
+        for t in 0..6 {
+            let mut b = TableBuilder::new(format!("t{t}"), &["a", "b"]);
+            for i in 0..(20 + t * 13) {
+                b.push_row(vec![Value::Int(i as i64), Value::text(format!("s{i}"))])
+                    .unwrap();
+            }
+            cat.add_table(b.build()).unwrap();
+        }
+        let seq = profile_catalog(&cat, 16);
+        let par = profile_catalog_parallel(&cat, 16, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.cref, b.cref);
+            assert_eq!(a.distinct, b.distinct);
+            assert_eq!(a.sample, b.sample);
+            assert_eq!(a.hashes, b.hashes);
+        }
     }
 
     #[test]

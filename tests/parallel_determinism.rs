@@ -1,0 +1,100 @@
+//! Determinism contract of the parallel offline build: the discovery index
+//! must be bit-identical for every thread count — signatures, hypergraph
+//! edge set + scores, keyword postings, profiles (with stored hash
+//! vectors). Runs over a generated WDC-style corpus so the skewed column
+//! sizes actually exercise work stealing.
+
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_index::{build_index, DiscoveryIndex, IndexConfig};
+use ver_store::catalog::TableCatalog;
+
+fn corpus() -> TableCatalog {
+    generate_wdc(&WdcConfig {
+        n_tables: 60,
+        ..Default::default()
+    })
+    .expect("wdc generation")
+}
+
+fn build(cat: &TableCatalog, threads: usize, verify_exact: bool) -> DiscoveryIndex {
+    build_index(
+        cat,
+        IndexConfig {
+            threads,
+            verify_exact,
+            ..Default::default()
+        },
+    )
+    .expect("index build")
+}
+
+#[test]
+fn one_thread_and_eight_threads_build_identical_indexes() {
+    let cat = corpus();
+    for verify_exact in [false, true] {
+        let seq = build(&cat, 1, verify_exact);
+        let par = build(&cat, 8, verify_exact);
+
+        // Signatures: bit-identical per column.
+        assert_eq!(
+            seq.profiles().len(),
+            par.profiles().len(),
+            "profile count (verify_exact={verify_exact})"
+        );
+        for (cid, _) in cat.all_columns() {
+            assert_eq!(
+                seq.signature(cid),
+                par.signature(cid),
+                "signature of {cid} (verify_exact={verify_exact})"
+            );
+            assert_eq!(seq.profile(cid).hashes, par.profile(cid).hashes);
+        }
+
+        // Hypergraph: same edge set with the same scores, in the same order.
+        let seq_edges: Vec<_> = seq.hypergraph().edges().collect();
+        let par_edges: Vec<_> = par.hypergraph().edges().collect();
+        assert_eq!(
+            seq_edges, par_edges,
+            "hypergraph edges (verify_exact={verify_exact})"
+        );
+
+        // Keyword postings: identical maps, including posting-list order.
+        assert_eq!(
+            seq.keyword_index(),
+            par.keyword_index(),
+            "keyword index (verify_exact={verify_exact})"
+        );
+
+        // And the one-shot blanket check used by unit tests.
+        assert!(seq.same_contents(&par));
+    }
+}
+
+#[test]
+fn auto_threads_matches_sequential() {
+    let cat = corpus();
+    let seq = build(&cat, 1, false);
+    let auto = build(&cat, 0, false);
+    assert!(
+        seq.same_contents(&auto),
+        "threads: 0 (auto) must reproduce the sequential index"
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_search_results() {
+    let cat = corpus();
+    let seq = build(&cat, 1, false);
+    let par = build(&cat, 8, false);
+    // Spot-check the online API on top of both indexes.
+    for (cid, _) in cat.all_columns().take(40) {
+        assert_eq!(seq.neighbors(cid, 0.8), par.neighbors(cid, 0.8));
+    }
+    let tables: Vec<_> = cat.tables().iter().take(4).map(|t| t.id).collect();
+    let a = seq.generate_join_graphs(&tables, 2);
+    let b = par.generate_join_graphs(&tables, 2);
+    assert_eq!(a.len(), b.len());
+    for (ga, gb) in a.iter().zip(&b) {
+        assert_eq!(ga.hops(), gb.hops());
+    }
+}
