@@ -1,10 +1,11 @@
 //! `exp_bench_report` — the per-PR perf trajectory.
 //!
-//! Times the three hot paths this repo optimises — offline index build
-//! (1 / 2 / auto threads), join-graph search + view materialization, and
-//! the hash-join micro-kernel — on the standard corpora, and writes a
-//! machine-readable `BENCH_<n>.json` so successive PRs accumulate a
-//! comparable perf series.
+//! Times the hot paths this repo optimises — offline index build
+//! (1 / 2 / auto threads), the online query path (join-graph search,
+//! view materialization, and the 4C distillation pass, each at 1 / 2 /
+//! auto threads), and the hash-join micro-kernel — on the standard
+//! corpora, and writes a machine-readable `BENCH_<n>.json` so successive
+//! PRs accumulate a comparable perf series.
 //!
 //! ```text
 //! cargo run --release --bin exp_bench_report                 # full corpora → BENCH_<pr>.json
@@ -21,10 +22,12 @@ use ver_core::{Ver, VerConfig};
 use ver_datagen::chembl::{generate_chembl, ChemblConfig};
 use ver_datagen::wdc::{generate_wdc, WdcConfig};
 use ver_datagen::workload::{chembl_ground_truths, wdc_ground_truths};
+use ver_distill::{distill, DistillConfig};
 use ver_engine::join::hash_join;
 use ver_index::{build_index, IndexConfig};
 use ver_qbe::groundtruth::GroundTruth;
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_search::SearchConfig;
 use ver_store::catalog::TableCatalog;
 use ver_store::table::{Table, TableBuilder};
 
@@ -41,6 +44,16 @@ fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
+/// One online pass over the ground-truth queries at a fixed worker count:
+/// summed JGS, materialization, and 4C wall times (the Fig. 4b split plus
+/// distillation).
+#[derive(Debug, Clone, Copy, Default)]
+struct OnlineTimes {
+    jgs_ms: f64,
+    materialize_ms: f64,
+    distill_4c_ms: f64,
+}
+
 struct CorpusReport {
     name: &'static str,
     tables: usize,
@@ -50,9 +63,10 @@ struct CorpusReport {
     build_ms_2: f64,
     build_ms_auto: f64,
     queries: usize,
-    search_jgs_ms: f64,
-    search_materialize_ms: f64,
-    search_views: usize,
+    views: usize,
+    online_1: OnlineTimes,
+    online_2: OnlineTimes,
+    online_auto: OnlineTimes,
 }
 
 fn index_config(threads: usize, verify_exact: bool) -> IndexConfig {
@@ -63,8 +77,37 @@ fn index_config(threads: usize, verify_exact: bool) -> IndexConfig {
     }
 }
 
-/// Time index builds and one pass of column-selection search over the
-/// corpus's ground-truth queries.
+/// Run every ground-truth query once with search + 4C pinned to `threads`
+/// workers; returns summed stage times plus (queries, views) counters.
+fn online_pass(ver: &Ver, gts: &[GroundTruth], threads: usize) -> (OnlineTimes, usize, usize) {
+    let search_cfg = SearchConfig {
+        threads,
+        ..eval_search_config()
+    };
+    let distill_cfg = DistillConfig {
+        threads,
+        ..Default::default()
+    };
+    let mut t = OnlineTimes::default();
+    let (mut queries, mut views) = (0usize, 0usize);
+    for gt in gts {
+        let Ok(query) = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 1) else {
+            continue;
+        };
+        let out = run_strategy(ver, &query, Strategy::ColumnSelection, &search_cfg);
+        t.jgs_ms += out.timer.get("jgs").as_secs_f64() * 1e3;
+        t.materialize_ms += out.timer.get("materialize").as_secs_f64() * 1e3;
+        let d = distill(&out.views, &distill_cfg);
+        t.distill_4c_ms += d.timer.total().as_secs_f64() * 1e3;
+        views += out.stats.views;
+        queries += 1;
+    }
+    (t, queries, views)
+}
+
+/// Time index builds (1/2/auto threads) and the online path (JGS +
+/// materialization + 4C, likewise at 1/2/auto threads) over the corpus's
+/// ground-truth queries.
 fn report_corpus(
     name: &'static str,
     cat: TableCatalog,
@@ -88,19 +131,10 @@ fn report_corpus(
         ..VerConfig::default()
     };
     let ver = Ver::build(cat, config).expect("index build");
-    let search_cfg = eval_search_config();
 
-    let (mut jgs_ms, mut mat_ms, mut views, mut queries) = (0.0, 0.0, 0usize, 0usize);
-    for gt in &gts {
-        let Ok(query) = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 1) else {
-            continue;
-        };
-        let out = run_strategy(&ver, &query, Strategy::ColumnSelection, &search_cfg);
-        jgs_ms += out.timer.get("jgs").as_secs_f64() * 1e3;
-        mat_ms += out.timer.get("materialize").as_secs_f64() * 1e3;
-        views += out.stats.views;
-        queries += 1;
-    }
+    let (online_1, queries, views) = online_pass(&ver, &gts, 1);
+    let (online_2, ..) = online_pass(&ver, &gts, 2);
+    let (online_auto, ..) = online_pass(&ver, &gts, 0);
 
     CorpusReport {
         name,
@@ -111,9 +145,10 @@ fn report_corpus(
         build_ms_2,
         build_ms_auto,
         queries,
-        search_jgs_ms: jgs_ms,
-        search_materialize_ms: mat_ms,
-        search_views: views,
+        views,
+        online_1,
+        online_2,
+        online_auto,
     }
 }
 
@@ -129,6 +164,17 @@ fn join_table(name: &str, rows: usize) -> Table {
     b.build()
 }
 
+fn write_online(json: &mut String, label: &str, t: &OnlineTimes, last: bool) {
+    let _ = writeln!(
+        json,
+        "        \"{label}\": {{\"jgs_ms\": {:.3}, \"materialize_ms\": {:.3}, \"distill_4c_ms\": {:.3}}}{}",
+        t.jgs_ms,
+        t.materialize_ms,
+        t.distill_4c_ms,
+        if last { "" } else { "," }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -137,7 +183,7 @@ fn main() {
         .position(|a| a == "--pr")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--pr takes a number"))
-        .unwrap_or(2);
+        .unwrap_or(3);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -198,17 +244,14 @@ fn main() {
         let _ = writeln!(json, "      \"auto_threads\": {hw},");
         let _ = writeln!(json, "      \"build_speedup_auto_vs_1\": {speedup:.3},");
         let _ = writeln!(json, "      \"search_queries\": {},", r.queries);
-        let _ = writeln!(
-            json,
-            "      \"join_graph_search_ms\": {:.3},",
-            r.search_jgs_ms
-        );
-        let _ = writeln!(
-            json,
-            "      \"materialize_ms\": {:.3},",
-            r.search_materialize_ms
-        );
-        let _ = writeln!(json, "      \"views_found\": {}", r.search_views);
+        let _ = writeln!(json, "      \"views_found\": {},", r.views);
+        // Online query path (one pass over the ground-truth workload per
+        // worker count; bit-identical output, so the times are comparable).
+        json.push_str("      \"online\": {\n");
+        write_online(&mut json, "threads_1", &r.online_1, false);
+        write_online(&mut json, "threads_2", &r.online_2, false);
+        write_online(&mut json, "threads_auto", &r.online_auto, true);
+        json.push_str("      }\n");
         json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
     }
     json.push_str("  ],\n");

@@ -24,6 +24,26 @@
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::Mutex;
 
+/// Workspace-wide default worker count for `threads` knobs: the
+/// `VER_THREADS` environment variable when set (parsed as a count, with
+/// `0` = auto), otherwise `0` (auto). Lets CI and operators pin every
+/// stage — offline build, online search fan-out, 4C distillation — to a
+/// fixed degree of parallelism without touching per-stage configs; the
+/// determinism guarantee makes all values produce identical output.
+pub fn default_threads() -> usize {
+    match std::env::var("VER_THREADS") {
+        Ok(v) if v.trim().is_empty() => 0,
+        // A malformed value must fail loudly: this knob exists to *pin*
+        // parallelism, and silently falling back to auto would let a CI
+        // typo masquerade as a pinned run.
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("VER_THREADS must be a thread count (0 = auto), got {v:?}")),
+        Err(_) => 0,
+    }
+}
+
 /// Resolve a configured thread count: `0` means "auto" (one worker per
 /// available hardware thread); any other value is taken literally.
 pub fn resolve_threads(threads: usize) -> usize {
@@ -245,6 +265,19 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(ThreadPool::new(0).threads(), resolve_threads(0));
         assert_eq!(ThreadPool::new(5).threads(), 5);
+    }
+
+    #[test]
+    fn default_threads_reads_env_or_auto() {
+        // Whatever VER_THREADS says (CI runs the suite under both unset and
+        // "1"), the result must be a valid knob value for resolve_threads.
+        let d = default_threads();
+        assert!(resolve_threads(d) >= 1);
+        match std::env::var("VER_THREADS") {
+            Ok(v) if v.trim().is_empty() => assert_eq!(d, 0),
+            Ok(v) => assert_eq!(d, v.trim().parse::<usize>().expect("validated")),
+            Err(_) => assert_eq!(d, 0, "unset VER_THREADS means auto"),
+        }
     }
 
     #[test]

@@ -73,6 +73,18 @@ impl VerConfig {
     pub fn paper() -> Self {
         VerConfig::default()
     }
+
+    /// Pin every parallel stage to `threads` workers at once: the offline
+    /// index build, the online search fan-out (join-graph scoring + top-k
+    /// materialization), and 4C distillation. `0` = auto (one worker per
+    /// available hardware thread). Every stage guarantees bit-identical
+    /// output across thread counts, so this is purely a resource knob.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.index.threads = threads;
+        self.search.threads = threads;
+        self.distill.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -99,8 +111,23 @@ mod tests {
     fn default_build_uses_auto_threads() {
         // `0` is the workspace-wide "one worker per hardware thread"
         // convention; resolution happens inside the pool at build time.
+        // Defaults honour VER_THREADS (CI runs the suite under both unset
+        // and "1"), so compare against the env-derived default.
         let c = VerConfig::default();
-        assert_eq!(c.index.threads, 0);
+        let expected = ver_common::pool::default_threads();
+        assert_eq!(c.index.threads, expected);
+        assert_eq!(c.search.threads, expected);
+        assert_eq!(c.distill.threads, expected);
         assert!(ver_common::pool::resolve_threads(c.index.threads) >= 1);
+    }
+
+    #[test]
+    fn with_threads_pins_every_stage() {
+        let c = VerConfig::default().with_threads(3);
+        assert_eq!(c.index.threads, 3);
+        assert_eq!(c.search.threads, 3);
+        assert_eq!(c.distill.threads, 3);
+        let auto = VerConfig::default().with_threads(0);
+        assert_eq!(auto.search.threads, 0);
     }
 }

@@ -23,6 +23,11 @@ pub struct DistillConfig {
     pub key_epsilon: f64,
     /// Maximum candidate-key width.
     pub max_key_width: usize,
+    /// Worker threads for the per-view work — row hashing, candidate-key
+    /// discovery, per-key contradiction hashing (`0` = one per available
+    /// hardware thread; default honours the `VER_THREADS` environment
+    /// variable). Output is identical for every value.
+    pub threads: usize,
 }
 
 impl Default for DistillConfig {
@@ -30,6 +35,7 @@ impl Default for DistillConfig {
         DistillConfig {
             key_epsilon: 0.0,
             max_key_width: 2,
+            threads: ver_common::pool::default_threads(),
         }
     }
 }
@@ -90,13 +96,15 @@ impl DistillOutput {
 /// Run Algorithm 3 over `views`.
 pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
     let mut timer = PhaseTimer::new();
+    let pool = ver_common::pool::ThreadPool::new(config.threads);
     let mut graph = ViewGraph::new(views.iter().map(|v| v.id).collect());
-    let mut cache = HashCache::new();
 
     // Phase SP: schema blocks.
     let blocks = timer.time("schema_partition", || schema_blocks(views));
 
-    // Phase Hash + C1: compatible groups via hash sets & transitivity.
+    // Phase Hash + C1: row hashing fans out per view; the compatible-group
+    // sweep over the prefilled cache stays sequential (it is pure lookups).
+    let mut cache = timer.time("hash_c1", || HashCache::prefill(views, &pool));
     let mut compatible_groups: Vec<Vec<ViewId>> = Vec::new();
     let mut survivors_c1: Vec<usize> = Vec::new(); // indices into `views`
     timer.time("hash_c1", || {
@@ -163,9 +171,13 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
     let mut complementary_pairs: Vec<(ViewId, ViewId, Vec<Key>)> = Vec::new();
     let mut contradictions: Vec<Contradiction> = Vec::new();
     timer.time("c3_c4", || {
-        for &vi in &survivors_c2 {
-            let keys =
-                find_candidate_keys(&views[vi].table, config.key_epsilon, config.max_key_width);
+        // Candidate-key discovery is independent per view: fan out, then
+        // insert in survivor order (order-preserving par_map keeps the map
+        // contents identical to the sequential pass).
+        let found = pool.par_map(&survivors_c2, |&vi| {
+            find_candidate_keys(&views[vi].table, config.key_epsilon, config.max_key_width)
+        });
+        for (&vi, keys) in survivors_c2.iter().zip(found) {
             view_keys.insert(views[vi].id, keys);
         }
 
@@ -211,28 +223,56 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
                 }
             }
 
-            // Contradictions: inverted index per shared key.
-            for (key, owners) in &shared_keys {
-                // key value hash → view → row-set hash under that key value.
-                let mut index: FxHashMap<u64, Vec<(ViewId, u64)>> = FxHashMap::default();
-                for &vi in owners {
-                    let view = &views[vi];
-                    // key value → set of full-row hashes (sorted → stable hash)
-                    let mut per_value: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
-                    for r in 0..view.table.row_count() {
-                        let kv = key_value_hash(&view.table, r, key);
-                        per_value
-                            .entry(kv)
-                            .or_default()
-                            .push(hash_table_row(&view.table, r));
-                    }
-                    for (kv, mut rows) in per_value {
+            // Contradictions: inverted index per shared key. The per-view
+            // hashing (key values + row hashes, the expensive part) fans
+            // out as ONE flat (key, owner) task list for the whole block —
+            // keys typically have 2-3 owners each, so a per-key fan-out
+            // would pay thread spawn/join per key for microseconds of
+            // work. Each task returns its entries sorted by key value so
+            // the sequential merge below inserts in an order determined by
+            // content alone, not thread interleaving.
+            let tasks: Vec<(usize, usize)> = shared_keys
+                .iter()
+                .enumerate()
+                .flat_map(|(ki, (_, owners))| (0..owners.len()).map(move |oi| (ki, oi)))
+                .collect();
+            let hashed: Vec<Vec<(u64, u64)>> = pool.par_map(&tasks, |&(ki, oi)| {
+                let (key, owners) = &shared_keys[ki];
+                let view = &views[owners[oi]];
+                // key value → set of full-row hashes (sorted → stable hash)
+                let mut per_value: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+                for r in 0..view.table.row_count() {
+                    let kv = key_value_hash(&view.table, r, key);
+                    per_value
+                        .entry(kv)
+                        .or_default()
+                        .push(hash_table_row(&view.table, r));
+                }
+                let mut entries: Vec<(u64, u64)> = per_value
+                    .into_iter()
+                    .map(|(kv, mut rows)| {
                         rows.sort_unstable();
                         rows.dedup();
+                        (kv, fx_hash_u64(&rows))
+                    })
+                    .collect();
+                entries.sort_unstable();
+                entries
+            });
+            let mut cursor = 0usize;
+            for (key, owners) in &shared_keys {
+                // Tasks were emitted key-major, so this key's owners sit at
+                // `hashed[cursor..cursor + owners.len()]` in owner order.
+                let per_owner = &hashed[cursor..cursor + owners.len()];
+                cursor += owners.len();
+                // key value hash → view → row-set hash under that key value.
+                let mut index: FxHashMap<u64, Vec<(ViewId, u64)>> = FxHashMap::default();
+                for (&vi, entries) in owners.iter().zip(per_owner) {
+                    for &(kv, row_set_hash) in entries {
                         index
                             .entry(kv)
                             .or_default()
-                            .push((view.id, fx_hash_u64(&rows)));
+                            .push((views[vi].id, row_set_hash));
                     }
                 }
                 // Group views per key value by their row-set hash.

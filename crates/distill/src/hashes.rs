@@ -33,6 +33,18 @@ impl HashCache {
         Self::default()
     }
 
+    /// Cache with `H(V)` computed for every view up front, fanning the
+    /// per-view row hashing out on `pool`. Later `get`/`relation` calls
+    /// become pure lookups, which keeps the sequential 4C control flow
+    /// (and therefore its output) unchanged while the hashing — the bulk
+    /// of the hash+C1 phase — runs in parallel.
+    pub fn prefill(views: &[View], pool: &ver_common::pool::ThreadPool) -> Self {
+        let sets = pool.par_map(views, |v| table_hash_set(&v.table));
+        HashCache {
+            sets: views.iter().map(|v| v.id).zip(sets).collect(),
+        }
+    }
+
     /// Get (or compute) `H(V)`.
     pub fn get(&mut self, view: &View) -> &FxHashSet<u64> {
         self.sets
@@ -113,6 +125,22 @@ mod tests {
         assert_eq!(cache.relation(&a, &c), SetRelation::RightInLeft);
         assert_eq!(cache.relation(&a, &d), SetRelation::Overlap);
         assert_eq!(cache.relation(&a, &e), SetRelation::Disjoint);
+    }
+
+    #[test]
+    fn prefill_matches_lazy_computation() {
+        let a = view(0, &[1, 2, 3]);
+        let b = view(1, &[1, 2]);
+        let views = vec![a, b];
+        for threads in [1usize, 4] {
+            let mut pre = HashCache::prefill(&views, &ver_common::pool::ThreadPool::new(threads));
+            assert_eq!(pre.len(), 2);
+            let mut lazy = HashCache::new();
+            for v in &views {
+                assert_eq!(pre.get(v), lazy.get(v), "H(V{}) differs", v.id.0);
+            }
+            assert_eq!(pre.relation(&views[0], &views[1]), SetRelation::RightInLeft);
+        }
     }
 
     #[test]

@@ -67,6 +67,27 @@ impl View {
         table_hash_set(&self.table)
     }
 
+    /// Sorted multiset of row hashes — an order-insensitive but
+    /// duplicate-sensitive content fingerprint.
+    pub fn row_hash_multiset(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> = (0..self.table.row_count())
+            .map(|r| crate::rowhash::hash_table_row(&self.table, r))
+            .collect();
+        hashes.sort_unstable();
+        hashes
+    }
+
+    /// Strict equality for determinism tests: same id, same schema, same
+    /// provenance, and the same rows (as a multiset — views are
+    /// deduplicated, but this does not assume it).
+    pub fn same_contents(&self, other: &View) -> bool {
+        self.id == other.id
+            && self.schema_signature() == other.schema_signature()
+            && self.attribute_names() == other.attribute_names()
+            && self.provenance == other.provenance
+            && self.row_hash_multiset() == other.row_hash_multiset()
+    }
+
     /// Display names of the view's attributes.
     pub fn attribute_names(&self) -> Vec<String> {
         self.table
@@ -139,5 +160,36 @@ mod tests {
         let a = view();
         let b = view();
         assert_eq!(a.schema_signature(), b.schema_signature());
+    }
+
+    #[test]
+    fn same_contents_detects_equality_and_difference() {
+        let a = view();
+        let b = view();
+        assert!(a.same_contents(&b));
+        // Different id → different.
+        let mut c = view();
+        c.id = ViewId(8);
+        assert!(!a.same_contents(&c));
+        // Different rows → different.
+        let mut builder = TableBuilder::new("v", &["state", "pop"]);
+        builder
+            .push_row(vec!["Indiana".into(), Value::Int(1)])
+            .unwrap();
+        let d = View::new(ViewId(7), builder.build(), a.provenance.clone());
+        assert!(!a.same_contents(&d));
+    }
+
+    #[test]
+    fn row_hash_multiset_is_order_insensitive() {
+        let mut b1 = TableBuilder::new("v", &["x"]);
+        b1.push_row(vec![Value::Int(1)]).unwrap();
+        b1.push_row(vec![Value::Int(2)]).unwrap();
+        let mut b2 = TableBuilder::new("v", &["x"]);
+        b2.push_row(vec![Value::Int(2)]).unwrap();
+        b2.push_row(vec![Value::Int(1)]).unwrap();
+        let v1 = View::new(ViewId(0), b1.build(), Provenance::default());
+        let v2 = View::new(ViewId(0), b2.build(), Provenance::default());
+        assert_eq!(v1.row_hash_multiset(), v2.row_hash_multiset());
     }
 }

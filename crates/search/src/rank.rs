@@ -5,6 +5,13 @@
 //! graphs rank higher." PK/FK-ness of an edge = its containment score ×
 //! the key-ness (distinct ratio) of its stronger endpoint; the graph score
 //! averages its edges and discounts by size.
+//!
+//! Ranking is a **total order on graph content**: score descending, ties
+//! broken by the graph's canonical edge form ([`graph_canon`]) ascending.
+//! That makes the ranked order independent of candidate *input* order —
+//! the property the parallel online path relies on for bit-identical
+//! results across thread counts, and the one
+//! `crates/search/tests/rank_properties.rs` pins down.
 
 use ver_index::{DiscoveryIndex, JoinGraph};
 
@@ -29,14 +36,60 @@ pub fn join_score(index: &DiscoveryIndex, graph: &JoinGraph) -> f64 {
     mean_edge / (1.0 + 0.25 * graph.edges.len() as f64)
 }
 
-/// Sort `(graph, payload)` pairs by score descending, stable by payload
-/// order on ties.
+/// Canonical form of a graph's edge set: endpoint-sorted column-id pairs in
+/// ascending order. Two graphs over the same columns canonicalise equally
+/// regardless of edge order or edge orientation, so this doubles as the
+/// dedup key during candidate generation and the deterministic tie-breaker
+/// during ranking.
+pub fn graph_canon(graph: &JoinGraph) -> Vec<(u32, u32)> {
+    let mut canon: Vec<(u32, u32)> = graph
+        .edges
+        .iter()
+        .map(|e| (e.left.0.min(e.right.0), e.left.0.max(e.right.0)))
+        .collect();
+    canon.sort_unstable();
+    canon
+}
+
+/// Total-order comparator for ranked candidates: score descending, then
+/// canonical edge form ascending. Scores must be finite (`join_score`
+/// guarantees it); `total_cmp` keeps the comparator total regardless.
+pub fn rank_order(
+    a_score: f64,
+    a_canon: &[(u32, u32)],
+    b_score: f64,
+    b_canon: &[(u32, u32)],
+) -> std::cmp::Ordering {
+    b_score
+        .total_cmp(&a_score)
+        .then_with(|| a_canon.cmp(b_canon))
+}
+
+/// Sort `(graph, payload)` pairs by score descending, ties broken by the
+/// graphs' canonical edge form — a permutation-invariant total order on
+/// graph content (shuffling the input never changes the ranked order of
+/// distinct graphs; identical graphs keep their relative input order, the
+/// sort being stable).
 pub fn rank_join_graphs<T>(index: &DiscoveryIndex, graphs: &mut [(JoinGraph, T)]) {
-    graphs.sort_by(|a, b| {
-        join_score(index, &b.0)
-            .partial_cmp(&join_score(index, &a.0))
-            .expect("scores are finite")
-    });
+    // f64 is not Ord, so decorate with a bit-ordered key for
+    // sort_by_cached_key (one score/canon computation per graph). The
+    // sign-flip trick makes u64 order agree with `f64::total_cmp` for
+    // every value (negatives and -0.0 included), so this sorts exactly as
+    // [`rank_order`] compares.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct DescScore(std::cmp::Reverse<u64>);
+    impl DescScore {
+        fn of(score: f64) -> Self {
+            let bits = score.to_bits();
+            let total = if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            };
+            DescScore(std::cmp::Reverse(total))
+        }
+    }
+    graphs.sort_by_cached_key(|(g, _)| (DescScore::of(join_score(index, g)), graph_canon(g)));
 }
 
 #[cfg(test)]
@@ -80,22 +133,22 @@ mod tests {
         .unwrap()
     }
 
+    fn edge(l: u32, r: u32, score: f32) -> JoinGraphEdge {
+        JoinGraphEdge {
+            left: ver_common::ids::ColumnId(l),
+            right: ver_common::ids::ColumnId(r),
+            score,
+        }
+    }
+
     #[test]
     fn key_joins_outscore_category_joins() {
         let idx = setup();
         let key_edge = JoinGraph {
-            edges: vec![JoinGraphEdge {
-                left: ver_common::ids::ColumnId(0),
-                right: ver_common::ids::ColumnId(1),
-                score: 1.0,
-            }],
+            edges: vec![edge(0, 1, 1.0)],
         };
         let cat_edge = JoinGraph {
-            edges: vec![JoinGraphEdge {
-                left: ver_common::ids::ColumnId(2),
-                right: ver_common::ids::ColumnId(3),
-                score: 1.0,
-            }],
+            edges: vec![edge(2, 3, 1.0)],
         };
         assert!(join_score(&idx, &key_edge) > join_score(&idx, &cat_edge));
     }
@@ -110,46 +163,103 @@ mod tests {
     #[test]
     fn more_hops_score_lower() {
         let idx = setup();
-        let edge = JoinGraphEdge {
-            left: ver_common::ids::ColumnId(0),
-            right: ver_common::ids::ColumnId(1),
-            score: 1.0,
-        };
-        let one = JoinGraph { edges: vec![edge] };
-        let two = JoinGraph {
-            edges: vec![edge, edge],
-        };
+        let e = edge(0, 1, 1.0);
+        let one = JoinGraph { edges: vec![e] };
+        let two = JoinGraph { edges: vec![e, e] };
         assert!(join_score(&idx, &one) > join_score(&idx, &two));
     }
 
     #[test]
     fn ranking_orders_by_score_desc() {
         let idx = setup();
-        let key_edge = JoinGraphEdge {
-            left: ver_common::ids::ColumnId(0),
-            right: ver_common::ids::ColumnId(1),
-            score: 1.0,
-        };
-        let cat_edge = JoinGraphEdge {
-            left: ver_common::ids::ColumnId(2),
-            right: ver_common::ids::ColumnId(3),
-            score: 1.0,
-        };
         let mut graphs = vec![
             (
                 JoinGraph {
-                    edges: vec![cat_edge],
+                    edges: vec![edge(2, 3, 1.0)],
                 },
                 "cat",
             ),
             (
                 JoinGraph {
-                    edges: vec![key_edge],
+                    edges: vec![edge(0, 1, 1.0)],
                 },
                 "key",
             ),
         ];
         rank_join_graphs(&idx, &mut graphs);
         assert_eq!(graphs[0].1, "key");
+    }
+
+    #[test]
+    fn canon_ignores_edge_order_and_orientation() {
+        let fwd = JoinGraph {
+            edges: vec![edge(0, 1, 1.0), edge(2, 3, 0.9)],
+        };
+        let rev = JoinGraph {
+            edges: vec![edge(3, 2, 0.5), edge(1, 0, 0.5)],
+        };
+        assert_eq!(graph_canon(&fwd), graph_canon(&rev));
+        assert_eq!(graph_canon(&fwd), vec![(0, 1), (2, 3)]);
+        assert!(graph_canon(&JoinGraph::default()).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_canonical_form() {
+        let idx = setup();
+        // t0.k—t1.k both ways round: same score, same canon → one order.
+        let a = JoinGraph {
+            edges: vec![edge(2, 3, 1.0)],
+        };
+        let b = JoinGraph {
+            edges: vec![edge(0, 1, 1.0)],
+        };
+        let sa = join_score(&idx, &a);
+        let sb = join_score(&idx, &b);
+        // Comparator is total and antisymmetric.
+        let ab = rank_order(sa, &graph_canon(&a), sb, &graph_canon(&b));
+        let ba = rank_order(sb, &graph_canon(&b), sa, &graph_canon(&a));
+        assert_eq!(ab, ba.reverse());
+        // Equal scores fall back to canon order.
+        assert_eq!(
+            rank_order(0.5, &[(0, 1)], 0.5, &[(2, 3)]),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn negative_scores_sort_consistently_with_rank_order() {
+        // JoinGraphEdge.score is pub and unconstrained; a hostile caller
+        // can produce negative join scores. The sort must still agree with
+        // rank_order (score descending under total_cmp).
+        let idx = setup();
+        let mut graphs = vec![
+            (
+                JoinGraph {
+                    edges: vec![edge(0, 1, -1.0)],
+                },
+                "neg",
+            ),
+            (
+                JoinGraph {
+                    edges: vec![edge(2, 3, 1.0)],
+                },
+                "pos",
+            ),
+        ];
+        rank_join_graphs(&idx, &mut graphs);
+        assert_eq!(graphs[0].1, "pos", "negative scores must rank last");
+        let (sa, sb) = (
+            join_score(&idx, &graphs[0].0),
+            join_score(&idx, &graphs[1].0),
+        );
+        assert_eq!(
+            rank_order(
+                sa,
+                &graph_canon(&graphs[0].0),
+                sb,
+                &graph_canon(&graphs[1].0)
+            ),
+            std::cmp::Ordering::Less
+        );
     }
 }

@@ -1,11 +1,22 @@
 //! The end-to-end JOIN-GRAPH-SEARCH component (Algorithm 5).
+//!
+//! The online path is structured as *generate → score → rank → execute* so
+//! the two expensive stages (join-graph scoring and view materialization)
+//! can fan out on `ver_common::pool` without changing the output:
+//! candidate generation is sequential and canonically ordered, scoring and
+//! materialization are order-preserving [`ThreadPool::par_map`]s, and the
+//! rank comparator is a total order on candidate content ([`rank_order`]).
+//! Results are therefore bit-identical for every `threads` value — same
+//! views, same [`ViewId`] assignment, same ranked order.
 
-use crate::enumerate::enumerate_combinations;
+use std::sync::Arc;
+
 use crate::materialize::materialize_join_graph;
-use crate::rank::join_score;
+use crate::rank::{graph_canon, join_score, rank_order};
 use ver_common::error::Result;
 use ver_common::fxhash::FxHashSet;
 use ver_common::ids::{ColumnRef, ViewId};
+use ver_common::pool::ThreadPool;
 use ver_engine::view::View;
 use ver_index::DiscoveryIndex;
 use ver_select::SelectionResult;
@@ -24,6 +35,11 @@ pub struct SearchConfig {
     /// Drop materialized views with zero rows (joins that match nothing
     /// carry no information for the user).
     pub drop_empty_views: bool,
+    /// Worker threads for candidate scoring and top-k materialization
+    /// (`0` = one per available hardware thread; default honours the
+    /// `VER_THREADS` environment variable). Output is identical for every
+    /// value.
+    pub threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -33,6 +49,7 @@ impl Default for SearchConfig {
             k: usize::MAX,
             max_combinations: 100_000,
             drop_empty_views: true,
+            threads: ver_common::pool::default_threads(),
         }
     }
 }
@@ -65,6 +82,55 @@ pub struct SearchOutput {
     pub timer: ver_common::timer::PhaseTimer,
 }
 
+/// One deduplicated (join graph, projection) execution candidate.
+///
+/// The projection is shared (`Arc`) across all graphs of its combination
+/// instead of cloned per graph, and the canonical edge form is kept
+/// alongside because it serves twice: dedup key at generation time,
+/// deterministic tie-breaker at rank time.
+struct Candidate {
+    graph: ver_index::JoinGraph,
+    projection: Arc<[ColumnRef]>,
+    canon: Vec<(u32, u32)>,
+}
+
+/// Dedup key: canonical edge form + projection (content-hashed through the
+/// `Arc`).
+type CandidateKey = (Vec<(u32, u32)>, Arc<[ColumnRef]>);
+
+/// Pair each combination with each of its group's join graphs, deduping
+/// identical (graph, projection) pairs arising from different orders.
+/// Sequential and input-order deterministic — the fan-out stages downstream
+/// rely on this producing one canonical candidate list.
+fn collect_candidates(
+    catalog: &TableCatalog,
+    enumeration: &crate::enumerate::Enumeration,
+) -> Result<Vec<Candidate>> {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut seen: FxHashSet<CandidateKey> = FxHashSet::default();
+    for (combo, gi) in &enumeration.combinations {
+        let projection: Arc<[ColumnRef]> = combo
+            .columns
+            .iter()
+            .map(|&c| catalog.column_ref(c))
+            .collect::<Result<Vec<_>>>()?
+            .into();
+        for graph in &enumeration.groups[*gi].1 {
+            let canon = graph_canon(graph);
+            // Arc clones are refcount bumps; the column list itself is
+            // built once per combination.
+            if seen.insert((canon.clone(), projection.clone())) {
+                candidates.push(Candidate {
+                    graph: graph.clone(),
+                    projection: projection.clone(),
+                    canon,
+                });
+            }
+        }
+    }
+    Ok(candidates)
+}
+
 /// Run Algorithm 5: enumerate combinations, resolve join graphs, rank, and
 /// materialise the top-k candidate PJ-views.
 pub fn join_graph_search(
@@ -74,8 +140,14 @@ pub fn join_graph_search(
     config: &SearchConfig,
 ) -> Result<SearchOutput> {
     let mut timer = ver_common::timer::PhaseTimer::new();
+    let pool = ThreadPool::new(config.threads);
     let jgs_start = std::time::Instant::now();
-    let enumeration = enumerate_combinations(index, selection, config.rho, config.max_combinations);
+    let enumeration = crate::enumerate::enumerate_combinations(
+        index,
+        selection,
+        config.rho,
+        config.max_combinations,
+    );
 
     let mut stats = SearchStats {
         combinations: enumeration.total_combinations,
@@ -85,43 +157,31 @@ pub fn join_graph_search(
         views: 0,
     };
 
-    // Pair each combination with each of its group's join graphs; dedupe
-    // identical (graph, projection) pairs arising from different orders.
-    type CandidateKey = (Vec<(u32, u32)>, Vec<ColumnRef>);
-    let mut candidates: Vec<(ver_index::JoinGraph, Vec<ColumnRef>)> = Vec::new();
-    let mut seen: FxHashSet<CandidateKey> = FxHashSet::default();
-    for (combo, gi) in &enumeration.combinations {
-        let projection: Vec<ColumnRef> = combo
-            .columns
-            .iter()
-            .map(|&c| catalog.column_ref(c))
-            .collect::<Result<_>>()?;
-        for graph in &enumeration.groups[*gi].1 {
-            let mut canon: Vec<(u32, u32)> = graph
-                .edges
-                .iter()
-                .map(|e| (e.left.0.min(e.right.0), e.left.0.max(e.right.0)))
-                .collect();
-            canon.sort_unstable();
-            if seen.insert((canon, projection.clone())) {
-                candidates.push((graph.clone(), projection.clone()));
-            }
-        }
-    }
+    let candidates = collect_candidates(catalog, &enumeration)?;
 
-    // Rank by join score (desc); stable for determinism.
-    let mut scored: Vec<(f64, ver_index::JoinGraph, Vec<ColumnRef>)> = candidates
-        .into_iter()
-        .map(|(g, p)| (join_score(index, &g), g, p))
-        .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    // Score in parallel (order-preserving), then rank by the content-based
+    // total order: score desc, canonical edges asc, projection asc. The
+    // projection tail makes the order total even across candidates sharing
+    // a graph, so ranked output never depends on generation order.
+    let scores = pool.par_map(&candidates, |c| join_score(index, &c.graph));
+    let mut scored: Vec<(f64, Candidate)> = scores.into_iter().zip(candidates).collect();
+    scored.sort_by(|a, b| {
+        rank_order(a.0, &a.1.canon, b.0, &b.1.canon)
+            .then_with(|| a.1.projection.cmp(&b.1.projection))
+    });
     scored.truncate(config.k);
     timer.add("jgs", jgs_start.elapsed());
 
+    // Materialise the top-k in parallel; per-candidate failures propagate
+    // as the first error in rank order. Ids are assigned sequentially
+    // afterwards so empty-view dropping cannot race id assignment.
     let mat_start = std::time::Instant::now();
-    let mut views = Vec::with_capacity(scored.len());
-    for (score, graph, projection) in &scored {
-        let mut view = materialize_join_graph(catalog, index, graph, projection, *score)?;
+    let materialized: Vec<Result<View>> = pool.par_map(&scored, |(score, cand)| {
+        materialize_join_graph(catalog, index, &cand.graph, &cand.projection, *score)
+    });
+    let mut views = Vec::with_capacity(materialized.len());
+    for result in materialized {
+        let mut view = result?;
         if config.drop_empty_views && view.row_count() == 0 {
             continue;
         }
@@ -309,6 +369,41 @@ mod tests {
                 v.provenance.hops() + 1,
                 "tree: tables = edges + 1"
             );
+        }
+    }
+
+    #[test]
+    fn thread_counts_produce_identical_search_output() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let base = run(
+            &cat,
+            &idx,
+            &q,
+            &SearchConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2usize, 4, 0] {
+            let par = run(
+                &cat,
+                &idx,
+                &q,
+                &SearchConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(par.stats, base.stats, "threads={threads}");
+            assert_eq!(par.views.len(), base.views.len());
+            for (a, b) in par.views.iter().zip(&base.views) {
+                assert!(a.same_contents(b), "threads={threads}: {} differs", a.id);
+            }
         }
     }
 }

@@ -1,0 +1,153 @@
+//! Property tests for join-graph ranking: the ranked order is a total
+//! order on graph *content* — permutation-invariant (shuffling the
+//! candidate input never changes the output order of distinct graphs) with
+//! deterministic tie-breaking by canonical edge form. This is the contract
+//! the parallel online path needs for bit-identical results across thread
+//! counts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use ver_common::fxhash::FxHashSet;
+use ver_common::ids::ColumnId;
+use ver_common::value::Value;
+use ver_index::{build_index, DiscoveryIndex, IndexConfig, JoinGraph, JoinGraphEdge};
+use ver_search::rank::{graph_canon, join_score, rank_join_graphs, rank_order};
+use ver_store::catalog::TableCatalog;
+use ver_store::table::TableBuilder;
+
+const COLUMNS: u32 = 8;
+
+/// Eight single-column tables with distinct ratios spread across (0, 1], so
+/// generated edges hit varied key-ness. Built once; ranking is read-only.
+fn index() -> &'static DiscoveryIndex {
+    static INDEX: OnceLock<DiscoveryIndex> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut cat = TableCatalog::new();
+        for t in 0..COLUMNS {
+            let mut b = TableBuilder::new(format!("t{t}"), &["c"]);
+            // t distinct-classes out of 40 rows: t=0 → all equal, t=7 → near-unique.
+            let classes = 1 + 5 * t as usize;
+            for i in 0..40 {
+                b.push_row(vec![Value::text(format!("v{}", i % classes))])
+                    .unwrap();
+            }
+            cat.add_table(b.build()).unwrap();
+        }
+        build_index(
+            &cat,
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
+        )
+        .expect("index build")
+    })
+}
+
+/// Strategy output → graphs, deduplicated by canonical form so every graph
+/// occupies a distinct rank slot (identical graphs are interchangeable by
+/// construction, so invariance is only meaningful across distinct ones).
+fn graphs_of(raw: Vec<Vec<(u32, u32, f64)>>) -> Vec<JoinGraph> {
+    let mut seen: FxHashSet<Vec<(u32, u32)>> = FxHashSet::default();
+    let mut graphs = Vec::new();
+    for edges in raw {
+        let g = JoinGraph {
+            edges: edges
+                .into_iter()
+                .map(|(l, r, s)| JoinGraphEdge {
+                    left: ColumnId(l),
+                    right: ColumnId(r),
+                    score: s as f32,
+                })
+                .collect(),
+        };
+        if seen.insert(graph_canon(&g)) {
+            graphs.push(g);
+        }
+    }
+    graphs
+}
+
+fn raw_graphs() -> impl Strategy<Value = Vec<Vec<(u32, u32, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..COLUMNS, 0u32..COLUMNS, 0.0f64..1.0), 0..4),
+        1..16,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn ranking_is_permutation_invariant(raw in raw_graphs(), seed in 0u64..1_000_000) {
+        let idx = index();
+        let graphs = graphs_of(raw);
+
+        let mut original: Vec<(JoinGraph, usize)> =
+            graphs.iter().cloned().enumerate().map(|(i, g)| (g, i)).collect();
+        let mut shuffled = original.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+
+        rank_join_graphs(idx, &mut original);
+        rank_join_graphs(idx, &mut shuffled);
+
+        let canon_a: Vec<_> = original.iter().map(|(g, _)| graph_canon(g)).collect();
+        let canon_b: Vec<_> = shuffled.iter().map(|(g, _)| graph_canon(g)).collect();
+        prop_assert_eq!(canon_a, canon_b, "shuffle changed the ranked order");
+    }
+
+    #[test]
+    fn ranking_is_a_total_order_with_canonical_ties(raw in raw_graphs()) {
+        let idx = index();
+        let mut graphs: Vec<(JoinGraph, usize)> =
+            graphs_of(raw).into_iter().enumerate().map(|(i, g)| (g, i)).collect();
+        rank_join_graphs(idx, &mut graphs);
+
+        for w in graphs.windows(2) {
+            let (sa, sb) = (join_score(idx, &w[0].0), join_score(idx, &w[1].0));
+            prop_assert!(sa >= sb, "scores must be non-increasing: {} < {}", sa, sb);
+            if sa == sb {
+                prop_assert!(
+                    graph_canon(&w[0].0) <= graph_canon(&w[1].0),
+                    "equal scores must order by canonical form"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_twice_is_idempotent(raw in raw_graphs()) {
+        let idx = index();
+        let mut once: Vec<(JoinGraph, usize)> =
+            graphs_of(raw).into_iter().enumerate().map(|(i, g)| (g, i)).collect();
+        rank_join_graphs(idx, &mut once);
+        let mut twice = once.clone();
+        rank_join_graphs(idx, &mut twice);
+        let a: Vec<usize> = once.iter().map(|&(_, i)| i).collect();
+        let b: Vec<usize> = twice.iter().map(|&(_, i)| i).collect();
+        prop_assert_eq!(a, b, "re-ranking a ranked list must be a no-op");
+    }
+
+    #[test]
+    fn rank_order_is_antisymmetric_and_consistent(
+        sa in 0.0f64..1.0,
+        sb in 0.0f64..1.0,
+        ca in prop::collection::vec((0u32..COLUMNS, 0u32..COLUMNS), 0..3),
+        cb in prop::collection::vec((0u32..COLUMNS, 0u32..COLUMNS), 0..3),
+    ) {
+        let ab = rank_order(sa, &ca, sb, &cb);
+        let ba = rank_order(sb, &cb, sa, &ca);
+        prop_assert_eq!(ab, ba.reverse(), "comparator must be antisymmetric");
+        // Equal keys compare equal; distinct keys never do.
+        if sa == sb && ca == cb {
+            prop_assert_eq!(ab, std::cmp::Ordering::Equal);
+        }
+        if ab == std::cmp::Ordering::Equal {
+            prop_assert!(sa == sb && ca == cb, "only identical keys may tie");
+        }
+    }
+}

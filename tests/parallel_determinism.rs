@@ -1,11 +1,20 @@
-//! Determinism contract of the parallel offline build: the discovery index
-//! must be bit-identical for every thread count — signatures, hypergraph
-//! edge set + scores, keyword postings, profiles (with stored hash
-//! vectors). Runs over a generated WDC-style corpus so the skewed column
-//! sizes actually exercise work stealing.
+//! Determinism contract of the parallel runtime, offline AND online.
+//!
+//! Offline: the discovery index must be bit-identical for every thread
+//! count — signatures, hypergraph edge set + scores, keyword postings,
+//! profiles (with stored hash vectors). Online: `Ver::run` must produce
+//! the identical `QueryResult` — same views (ids, rows, provenance), same
+//! search statistics, same distillation labels and survivors, same final
+//! ranking — whether search scoring/materialization and the 4C pass run
+//! on 1, 2, or auto worker threads. Runs over a generated WDC-style
+//! corpus so the skewed column sizes actually exercise work stealing.
 
+use ver_core::{QueryResult, Ver, VerConfig};
 use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_datagen::workload::wdc_ground_truths;
 use ver_index::{build_index, DiscoveryIndex, IndexConfig};
+use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_qbe::ViewSpec;
 use ver_store::catalog::TableCatalog;
 
 fn corpus() -> TableCatalog {
@@ -78,6 +87,76 @@ fn auto_threads_matches_sequential() {
     assert!(
         seq.same_contents(&auto),
         "threads: 0 (auto) must reproduce the sequential index"
+    );
+}
+
+/// Assert two pipeline runs are bit-identical in everything the user (or a
+/// downstream stage) can observe.
+fn assert_same_result(a: &QueryResult, b: &QueryResult, label: &str) {
+    assert_eq!(a.search_stats, b.search_stats, "{label}: search stats");
+    assert_eq!(a.views.len(), b.views.len(), "{label}: view count");
+    for (va, vb) in a.views.iter().zip(&b.views) {
+        assert!(
+            va.same_contents(vb),
+            "{label}: view {} differs (id/schema/provenance/rows)",
+            va.id
+        );
+    }
+    assert_eq!(
+        a.distill.survivors_c1, b.distill.survivors_c1,
+        "{label}: C1 survivors"
+    );
+    assert_eq!(
+        a.distill.survivors_c2, b.distill.survivors_c2,
+        "{label}: C2 survivors"
+    );
+    assert_eq!(
+        a.distill.compatible_groups, b.distill.compatible_groups,
+        "{label}: compatible groups"
+    );
+    assert_eq!(
+        a.distill.contradictions, b.distill.contradictions,
+        "{label}: contradictions"
+    );
+    assert_eq!(
+        a.distill.complementary_pairs, b.distill.complementary_pairs,
+        "{label}: complementary pairs"
+    );
+    assert_eq!(a.ranked, b.ranked, "{label}: final ranking");
+}
+
+#[test]
+fn online_path_is_identical_across_thread_counts() {
+    let cat = corpus();
+    let gts = wdc_ground_truths(&cat).expect("wdc ground truths");
+
+    // One Ver per thread count; the offline builds are already proven
+    // identical above, so any divergence below is the online path's.
+    let build = |threads: usize| {
+        Ver::build(cat.clone(), VerConfig::default().with_threads(threads)).expect("build")
+    };
+    let seq = build(1);
+    let two = build(2);
+    let auto = build(0);
+
+    let mut compared = 0;
+    for (qi, gt) in gts.iter().enumerate() {
+        let Ok(query) = generate_noisy_query(&cat, gt, NoiseLevel::Zero, 3, 7 + qi as u64) else {
+            continue;
+        };
+        let spec = ViewSpec::Qbe(query);
+        let r1 = seq.run(&spec).expect("run threads=1");
+        let r2 = two.run(&spec).expect("run threads=2");
+        let ra = auto.run(&spec).expect("run threads=auto");
+        assert_same_result(&r2, &r1, &format!("{} threads=2 vs 1", gt.name));
+        assert_same_result(&ra, &r1, &format!("{} threads=auto vs 1", gt.name));
+        if !r1.views.is_empty() {
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 2,
+        "determinism check needs non-trivial queries, got {compared}"
     );
 }
 
