@@ -1,0 +1,242 @@
+//! `exp_serve_bench` — the serving-layer perf datapoint (`BENCH_4.json`).
+//!
+//! Measures what `ver-serve` exists to deliver:
+//!
+//! * **cold build vs. warm start** — building the discovery index in
+//!   process vs. loading the persisted artifact (`ver-index::persist`);
+//! * **replay throughput** — queries/sec over a multi-client noisy QBE
+//!   workload (`ver-datagen::workload`) at per-query thread budgets of
+//!   1 / 2 / auto, on a first (cache-cold) and a repeat (cache-warm) pass;
+//! * **cache effectiveness** — hit rates of the whole-result LRU, the
+//!   materialized-view LRU, and the signature/containment score memo;
+//! * **concurrency** — wall-clock throughput with 4 client threads
+//!   hammering one shared engine.
+//!
+//! ```text
+//! cargo run --release --bin exp_serve_bench                 # full corpus → BENCH_4.json
+//! cargo run --release --bin exp_serve_bench -- --smoke      # reduced corpus (CI)
+//! cargo run --release --bin exp_serve_bench -- --out p.json # custom output path
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use ver_core::VerConfig;
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_datagen::workload::{generate_workload, wdc_ground_truths};
+use ver_index::persist::{load_index, save_index};
+use ver_index::{build_index, IndexConfig};
+use ver_qbe::ViewSpec;
+use ver_serve::{ServeConfig, ServeEngine};
+use ver_store::catalog::TableCatalog;
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&out);
+        best = best.min(ms);
+    }
+    best
+}
+
+struct ReplayPoint {
+    threads_label: &'static str,
+    first_pass_ms: f64,
+    first_pass_qps: f64,
+    repeat_pass_ms: f64,
+    repeat_pass_qps: f64,
+    result_hit_rate: f64,
+    view_hit_rate: f64,
+    score_hit_rate: f64,
+}
+
+/// Replay the workload twice on a fresh warm-started engine pinned to
+/// `threads` workers per query; report per-pass latency/throughput and the
+/// engine's final cache hit rates.
+fn replay(
+    catalog: &Arc<TableCatalog>,
+    index: &Arc<ver_index::DiscoveryIndex>,
+    specs: &[ViewSpec],
+    threads: usize,
+    threads_label: &'static str,
+) -> ReplayPoint {
+    let config = ServeConfig {
+        pipeline: VerConfig::default(),
+        view_cache_capacity: 16_384,
+        ..ServeConfig::default()
+    }
+    .with_query_threads(threads);
+    let engine = ServeEngine::warm_start(Arc::clone(catalog), Arc::clone(index), config)
+        .expect("warm start");
+
+    let t = Instant::now();
+    for spec in specs {
+        engine.query(spec).expect("query");
+    }
+    let first_pass_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    for spec in specs {
+        engine.query(spec).expect("query");
+    }
+    let repeat_pass_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let stats = engine.stats();
+    ReplayPoint {
+        threads_label,
+        first_pass_ms,
+        first_pass_qps: specs.len() as f64 / (first_pass_ms / 1e3),
+        repeat_pass_ms,
+        repeat_pass_qps: specs.len() as f64 / (repeat_pass_ms / 1e3),
+        result_hit_rate: stats.result_cache.hit_rate(),
+        view_hit_rate: stats.view_cache.hit_rate(),
+        score_hit_rate: stats.score_memo.hit_rate(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_4.json".to_string());
+    let reps = if smoke { 1 } else { 3 };
+    let hw = ver_common::pool::resolve_threads(0);
+    let (n_tables, per_gt) = if smoke { (40, 1) } else { (150, 2) };
+    let clients = 4usize;
+
+    eprintln!("exp_serve_bench: hardware_threads={hw} smoke={smoke} reps={reps}");
+
+    // Corpus + multi-client workload: every ground truth at every noise
+    // level, `per_gt` reps each — the §VI-B noisy-workload generator.
+    let catalog = Arc::new(
+        generate_wdc(&WdcConfig {
+            n_tables,
+            ..Default::default()
+        })
+        .expect("wdc generation"),
+    );
+    let gts = wdc_ground_truths(&catalog).expect("ground truths");
+    let workload =
+        generate_workload(&catalog, &gts, per_gt, 3, 0x5E87E).expect("workload generation");
+    let specs: Vec<ViewSpec> = workload
+        .iter()
+        .map(|w| ViewSpec::Qbe(w.query.clone()))
+        .collect();
+
+    // Cold build vs. persist + warm-start load.
+    let index_config = IndexConfig::default();
+    let cold_build_ms = best_ms(reps, || {
+        build_index(&catalog, index_config.clone()).expect("build")
+    });
+    let index = Arc::new(build_index(&catalog, index_config).expect("build"));
+    let dir = std::env::temp_dir().join(format!("ver_serve_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("index.bin");
+    let persist_ms = best_ms(reps, || save_index(&index, &path).expect("save"));
+    let persist_bytes = std::fs::metadata(&path).expect("artifact").len();
+    let warm_start_ms = best_ms(reps, || load_index(&path).expect("load"));
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+
+    // Throughput at per-query thread budgets (fresh engine per point so
+    // cache state never leaks between budgets; output is bit-identical
+    // across budgets, so the times are comparable).
+    let points = [
+        replay(&catalog, &index, &specs, 1, "threads_1"),
+        replay(&catalog, &index, &specs, 2, "threads_2"),
+        replay(&catalog, &index, &specs, 0, "threads_auto"),
+    ];
+
+    // Concurrent clients over one shared, pre-warmed engine.
+    let engine = Arc::new(
+        ServeEngine::warm_start(
+            Arc::clone(&catalog),
+            Arc::clone(&index),
+            ServeConfig {
+                pipeline: VerConfig::default(),
+                view_cache_capacity: 16_384,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("warm start"),
+    );
+    for spec in &specs {
+        engine.query(spec).expect("pre-warm");
+    }
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let engine = Arc::clone(&engine);
+            let specs = &specs;
+            scope.spawn(move || {
+                // Round-robin offset so clients interleave the key space.
+                for i in 0..specs.len() {
+                    let spec = &specs[(i + c * specs.len() / clients) % specs.len()];
+                    engine.query(spec).expect("query");
+                }
+            });
+        }
+    });
+    let concurrent_ms = t.elapsed().as_secs_f64() * 1e3;
+    let concurrent_qps = (clients * specs.len()) as f64 / (concurrent_ms / 1e3);
+    let concurrent_hit_rate = engine.stats().result_cache.hit_rate();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"exp_serve_bench\",");
+    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"name\": \"WDC\", \"tables\": {}, \"columns\": {}, \"rows\": {}}},",
+        catalog.table_count(),
+        catalog.column_count(),
+        catalog.total_rows()
+    );
+    let _ = writeln!(json, "  \"workload_queries\": {},", specs.len());
+    let _ = writeln!(
+        json,
+        "  \"startup\": {{\"cold_build_ms\": {cold_build_ms:.3}, \"persist_ms\": {persist_ms:.3}, \"persist_bytes\": {persist_bytes}, \"warm_start_ms\": {warm_start_ms:.3}, \"warm_vs_cold_speedup\": {:.3}}},",
+        cold_build_ms / warm_start_ms
+    );
+    json.push_str("  \"replay\": {\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"first_pass_ms\": {:.3}, \"first_pass_qps\": {:.3}, \"repeat_pass_ms\": {:.3}, \"repeat_pass_qps\": {:.3}, \"result_hit_rate\": {:.4}, \"view_hit_rate\": {:.4}, \"score_hit_rate\": {:.4}}}{}",
+            p.threads_label,
+            p.first_pass_ms,
+            p.first_pass_qps,
+            p.repeat_pass_ms,
+            p.repeat_pass_qps,
+            p.result_hit_rate,
+            p.view_hit_rate,
+            p.score_hit_rate,
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"concurrent\": {{\"clients\": {clients}, \"total_queries\": {}, \"wall_ms\": {concurrent_ms:.3}, \"qps\": {concurrent_qps:.3}, \"result_hit_rate\": {concurrent_hit_rate:.4}}}",
+        clients * specs.len()
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    assert!(
+        warm_start_ms < cold_build_ms,
+        "warm start ({warm_start_ms:.1} ms) must beat the cold build ({cold_build_ms:.1} ms)"
+    );
+}

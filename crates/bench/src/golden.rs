@@ -1,0 +1,110 @@
+//! The shared golden-snapshot workload and renderer.
+//!
+//! Two integration suites pin the online path's output against
+//! `tests/golden/online_snapshot.txt`: `tests/golden_online.rs` (the
+//! rebuild path, `Ver::run`) and `tests/serve_warm_start.rs` (the
+//! persisted-index serving path). Both must render **the same workload the
+//! same way** for "bit-identical" to mean anything, so the corpus, the
+//! queries, and the renderer live here once.
+
+use std::fmt::Write as _;
+use ver_core::QueryResult;
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_datagen::workload::wdc_ground_truths;
+use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
+use ver_qbe::ViewSpec;
+use ver_store::catalog::TableCatalog;
+
+/// Repo-relative path of the golden snapshot file.
+pub const SNAPSHOT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/online_snapshot.txt"
+);
+
+/// The fixed seeded corpus behind the snapshot: a 60-table WDC-style
+/// collection.
+pub fn golden_catalog() -> TableCatalog {
+    generate_wdc(&WdcConfig {
+        n_tables: 60,
+        ..Default::default()
+    })
+    .expect("wdc generation")
+}
+
+/// The fixed workload: the five WDC ground-truth queries at zero noise with
+/// pinned per-query seeds, as named `(label, spec)` pairs.
+pub fn golden_queries(catalog: &TableCatalog) -> Vec<(String, ViewSpec)> {
+    let gts = wdc_ground_truths(catalog).expect("ground truths");
+    gts.iter()
+        .enumerate()
+        .map(|(qi, gt)| {
+            let query = generate_noisy_query(catalog, gt, NoiseLevel::Zero, 3, 7 + qi as u64)
+                .expect("query generation");
+            (gt.name.clone(), ViewSpec::Qbe(query))
+        })
+        .collect()
+}
+
+/// Render the observable online-path output for one query.
+pub fn render_query(out: &mut String, name: &str, result: &QueryResult) {
+    let s = &result.search_stats;
+    let _ = writeln!(out, "# query {name}");
+    let _ = writeln!(
+        out,
+        "stats combinations={} groups={} graphs={} views={}",
+        s.combinations, s.joinable_groups, s.join_graphs, s.views
+    );
+    for v in &result.views {
+        let tables: Vec<String> = v
+            .provenance
+            .source_tables
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "view {} score={:.6} rows={} cols={} hops={} tables={}",
+            v.id,
+            v.provenance.join_score,
+            v.row_count(),
+            v.table.column_count(),
+            v.provenance.hops(),
+            tables.join(",")
+        );
+    }
+    let survivors: Vec<String> = result
+        .distill
+        .survivors_c2
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    let _ = writeln!(out, "survivors_c2 {}", survivors.join(" "));
+    let ranked: Vec<String> = result
+        .ranked
+        .iter()
+        .map(|(v, score)| format!("{v}:{score}"))
+        .collect();
+    let _ = writeln!(out, "ranked {}", ranked.join(" "));
+    let _ = writeln!(out);
+}
+
+/// Render the full snapshot by driving each golden query through `run` —
+/// the rebuild path passes `Ver::run` (owned results), the serving path
+/// passes `ServeEngine::query` (shared `Arc` results).
+pub fn snapshot_with<T, E>(
+    queries: &[(String, ViewSpec)],
+    mut run: impl FnMut(&ViewSpec) -> Result<T, E>,
+) -> String
+where
+    T: std::borrow::Borrow<QueryResult>,
+    E: std::fmt::Debug,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "# golden online-path snapshot (see golden_online.rs)");
+    let _ = writeln!(out);
+    for (name, spec) in queries {
+        let result = run(spec).expect("pipeline run");
+        render_query(&mut out, name, result.borrow());
+    }
+    out
+}

@@ -6,6 +6,12 @@
 //! module centralises corpus construction, the three column-retrieval
 //! strategies of RQ3, and plain-text table formatting so each binary stays
 //! focused on its experiment.
+//!
+//! Layer 6 of the crate map in the repo-root `ARCHITECTURE.md`: the
+//! experiment harness; also hosts the repo-root integration tests that
+//! pin the determinism invariants.
+
+pub mod golden;
 
 use ver_core::{Ver, VerConfig};
 use ver_datagen::chembl::{generate_chembl, ChemblConfig};

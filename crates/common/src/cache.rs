@@ -1,0 +1,401 @@
+//! Thread-safe caches for the serving layer.
+//!
+//! `ver-serve` keeps a long-lived engine warm across many queries and
+//! sessions; the caches that make repeated work cheap live here so every
+//! layer (search, core, serve) can share one implementation:
+//!
+//! * [`LruCache`] — a bounded least-recently-used map for values worth
+//!   keeping only while hot (materialized candidate views, whole query
+//!   results);
+//! * [`Memo`] — an unbounded memoization map for values that are cheap to
+//!   store and deterministic given the engine's immutable index (join-graph
+//!   containment scores);
+//! * [`CacheCounters`] / [`CacheStats`] — lock-free hit/miss accounting so
+//!   serving stats can report cache effectiveness without touching the maps.
+//!
+//! Both caches take `&self` for every operation (interior `Mutex`), so they
+//! can sit behind an `Arc`'d engine queried from many threads at once.
+//! Values are returned **by clone**; callers cache cheaply cloneable values
+//! (`Arc`s, or views whose text cells are refcounted `Arc<str>`). See
+//! ARCHITECTURE.md ("Serving layer") for where each cache sits on the
+//! query path.
+
+use crate::fxhash::FxHashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Lock-free hit/miss counters shared by both cache types.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Fresh counters (all zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for reporting.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of a cache's effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// Interior state of an [`LruCache`]: entries tagged with a monotonically
+/// increasing access tick. Eviction scans the whole map for the oldest
+/// ticks, but evicts a **batch** (1/8 of capacity) per scan, so the scan
+/// amortises to O(1) comparisons per insert — important because the
+/// serving layer's materialization fan-out inserts from many pool workers
+/// behind this mutex. Batch eviction under-approximates strict LRU by at
+/// most one batch, which is irrelevant for a cache.
+struct LruInner<K, V> {
+    map: FxHashMap<K, (V, u64)>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe least-recently-used cache.
+///
+/// `capacity == 0` disables the cache entirely: every `get` misses and
+/// `insert` is a no-op, so callers can thread one through unconditionally.
+pub struct LruCache<K, V> {
+    inner: Mutex<LruInner<K, V>>,
+    counters: CacheCounters,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// Cache holding at most `capacity` entries (`0` = disabled).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            inner: Mutex::new(LruInner {
+                map: FxHashMap::default(),
+                tick: 0,
+            }),
+            counters: CacheCounters::new(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("lru poisoned").map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.counters.stats()
+    }
+
+    /// Look up `key`, refreshing its recency on hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        if self.capacity == 0 {
+            self.counters.miss();
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("lru poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((v, t)) => {
+                *t = tick;
+                let out = v.clone();
+                drop(inner);
+                self.counters.hit();
+                Some(out)
+            }
+            None => {
+                drop(inner);
+                self.counters.miss();
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used batch
+    /// of entries when full. Does not count as a hit or a miss.
+    pub fn insert(&self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("lru poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // Evict the oldest ~1/8 of the cache in one scan (at least one
+            // entry): one O(n) pass per n/8 inserts ⇒ amortised O(1).
+            let batch = (self.capacity / 8).max(1);
+            let mut ticks: Vec<u64> = inner.map.values().map(|(_, t)| *t).collect();
+            let idx = batch.min(ticks.len()) - 1;
+            let (_, cutoff, _) = ticks.select_nth_unstable(idx);
+            let cutoff = *cutoff;
+            inner.map.retain(|_, (_, t)| *t > cutoff);
+        }
+        inner.map.insert(key, (value, tick));
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("lru poisoned").map.clear();
+    }
+}
+
+impl<K: Hash + Eq, V> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("lru poisoned");
+        f.debug_struct("LruCache")
+            .field("len", &inner.map.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.counters.stats())
+            .finish()
+    }
+}
+
+/// An unbounded, thread-safe memoization map.
+///
+/// For values that are deterministic functions of their key (given immutable
+/// shared state, e.g. a built discovery index) and small enough to keep
+/// forever. Racing inserts of the same key are benign: both compute the same
+/// value, last write wins.
+pub struct Memo<K, V> {
+    map: Mutex<FxHashMap<K, V>>,
+    counters: CacheCounters,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Memo<K, V> {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Memo {
+            map: Mutex::new(FxHashMap::default()),
+            counters: CacheCounters::new(),
+        }
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.counters.stats()
+    }
+
+    /// Return the memoized value for `key`, computing it with `make` on
+    /// first sight. `make` runs **outside** the lock, so concurrent callers
+    /// never serialise behind a slow computation (they may compute the same
+    /// value twice; determinism makes that harmless).
+    pub fn get_or_insert_with(&self, key: &K, make: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.map.lock().expect("memo poisoned").get(key) {
+            self.counters.hit();
+            return v.clone();
+        }
+        self.counters.miss();
+        let v = make();
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .insert(key.clone(), v.clone());
+        v
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for Memo<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V> std::fmt::Debug for Memo<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo")
+            .field("len", &self.map.lock().expect("memo poisoned").len())
+            .field("stats", &self.counters.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lru_hits_and_misses_are_counted() {
+        let cache: LruCache<u32, String> = LruCache::new(4);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, "one".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(3, 30);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&2), None, "LRU entry evicted");
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+    }
+
+    #[test]
+    fn lru_reinsert_refreshes_without_evicting() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11); // refresh, not a new entry
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.get(&2), Some(20));
+    }
+
+    #[test]
+    fn batch_eviction_drops_the_oldest_entries() {
+        let cache: LruCache<u32, u32> = LruCache::new(64);
+        for i in 0..64 {
+            cache.insert(i, i);
+        }
+        // Refresh the first 8 so they are the *newest*, then overflow.
+        for i in 0..8 {
+            assert_eq!(cache.get(&i), Some(i));
+        }
+        cache.insert(64, 64);
+        // One batch (64/8 = 8) of the oldest entries (8..16) is gone; the
+        // refreshed ones and the new insert survive.
+        assert_eq!(cache.len(), 64 - 8 + 1);
+        for i in 0..8 {
+            assert_eq!(cache.get(&i), Some(i), "refreshed entry {i} evicted");
+        }
+        assert_eq!(cache.get(&64), Some(64));
+        for i in 8..16 {
+            assert_eq!(cache.get(&i), None, "oldest entry {i} survived");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache: LruCache<u32, u32> = LruCache::new(0);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_clear_keeps_counters() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        let _ = cache.get(&1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn memo_computes_once_per_key() {
+        let memo: Memo<u32, u64> = Memo::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = memo.get_or_insert_with(&7, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                49
+            });
+            assert_eq!(v, 49);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn caches_are_usable_across_threads() {
+        let cache: LruCache<usize, usize> = LruCache::new(64);
+        let memo: Memo<usize, usize> = Memo::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        cache.insert(i, i * 2);
+                        let _ = cache.get(&i);
+                        assert_eq!(memo.get_or_insert_with(&i, || i * 3), i * 3);
+                    }
+                    let _ = t;
+                });
+            }
+        });
+        assert!(!cache.is_empty() && cache.len() <= 64);
+        assert!(memo.stats().lookups() == 400);
+    }
+
+    #[test]
+    fn stats_hit_rate_edge_cases() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.lookups(), 4);
+    }
+}

@@ -2,10 +2,10 @@
 //!
 //! This crate hosts the pieces every other Ver crate needs:
 //!
-//! * [`Value`][value::Value] — the dynamically typed cell value used by the
+//! * [`value::Value`] — the dynamically typed cell value used by the
 //!   noisy table model (Definition 1 of the paper allows missing headers and
 //!   missing cell values, so `Value::Null` is a first-class citizen).
-//! * [`FxHashMap`][fxhash::FxHashMap] / [`FxHasher`][fxhash::FxHasher] — a
+//! * [`fxhash::FxHashMap`] / [`fxhash::FxHasher`] — a
 //!   fast, DoS-insensitive hash used on hot paths (row hashing, MinHash,
 //!   inverted indexes). Re-implemented locally to keep the dependency
 //!   footprint at the approved set.
@@ -15,11 +15,17 @@
 //! * [`pool`] — a chunk-stealing parallel runtime (`par_map` /
 //!   `par_for_each` over scoped threads) shared by the offline build paths;
 //!   `threads: 0` means "use every available hardware thread".
+//! * [`cache`] — thread-safe LRU and memoization caches with hit/miss
+//!   counters, the substrate of the `ver-serve` serving layer.
 //! * [`stats`] — tiny summary-statistics helpers used by the experiment
 //!   harness (median / percentiles for boxplot-style reporting).
 //! * [`timer`] — phase timers used to reproduce the paper's runtime
 //!   breakdowns (Fig. 3 and Fig. 4).
+//!
+//! Layer 0 of the crate map in the repo-root `ARCHITECTURE.md` — every
+//! other crate rests on this one.
 
+pub mod cache;
 pub mod error;
 pub mod fxhash;
 pub mod ids;

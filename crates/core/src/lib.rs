@@ -30,13 +30,16 @@
 //! let result = ver.run(&ViewSpec::Qbe(query)).unwrap();
 //! assert!(!result.views.is_empty());
 //! ```
+//!
+//! Layer 4 of the crate map in the repo-root `ARCHITECTURE.md`: the
+//! single-process facade that `ver-serve` wraps for long-lived serving.
 
 pub mod config;
 pub mod pipeline;
 pub mod spec_select;
 
 pub use config::{Mode, VerConfig};
-pub use pipeline::{QueryResult, Ver};
+pub use pipeline::{presentation_query, QueryResult, Ver};
 
 // Re-export the component crates under one roof for downstream users.
 pub use ver_common as common;

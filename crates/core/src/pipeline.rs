@@ -6,6 +6,7 @@
 
 use crate::config::{Mode, VerConfig};
 use crate::spec_select::select_for_spec;
+use std::sync::Arc;
 use ver_common::error::{Result, VerError};
 use ver_common::ids::ViewId;
 use ver_common::timer::PhaseTimer;
@@ -14,14 +15,21 @@ use ver_engine::view::View;
 use ver_index::{build_index, DiscoveryIndex};
 use ver_present::{fasttopk_rank, PresentationSession, SessionOutcome, SimulatedUser};
 use ver_qbe::{ExampleQuery, ViewSpec};
-use ver_search::join_graph_search;
+use ver_search::{join_graph_search_cached, SearchCaches};
 use ver_select::SelectionResult;
 use ver_store::catalog::TableCatalog;
 
 /// The assembled system: a catalog plus its discovery index.
+///
+/// Both are held behind [`Arc`] so a long-lived serving layer (`ver-serve`)
+/// can share one catalog and one index across many concurrent readers —
+/// queries take `&self`, and [`Ver::catalog_shared`] / [`Ver::index_shared`]
+/// hand out cheap clones of the handles. Single-shot callers are
+/// unaffected: [`Ver::build`] wraps its inputs and every accessor still
+/// returns plain references.
 pub struct Ver {
-    catalog: TableCatalog,
-    index: DiscoveryIndex,
+    catalog: Arc<TableCatalog>,
+    index: Arc<DiscoveryIndex>,
     config: VerConfig,
 }
 
@@ -58,6 +66,31 @@ impl Ver {
     pub fn build(catalog: TableCatalog, config: VerConfig) -> Result<Ver> {
         let index = build_index(&catalog, config.index.clone())?;
         Ok(Ver {
+            catalog: Arc::new(catalog),
+            index: Arc::new(index),
+            config,
+        })
+    }
+
+    /// Assemble from an already-built (e.g. persisted and re-loaded) index
+    /// — the warm-start path: no profiling, no sketching, no LSH.
+    ///
+    /// Fails fast when the index was clearly not built over `catalog` (the
+    /// column counts disagree); deeper mismatches are the operator's
+    /// contract, exactly as with any persisted-artifact system.
+    pub fn from_parts(
+        catalog: Arc<TableCatalog>,
+        index: Arc<DiscoveryIndex>,
+        config: VerConfig,
+    ) -> Result<Ver> {
+        if index.profiles().len() != catalog.column_count() {
+            return Err(VerError::InvalidData(format!(
+                "index covers {} columns but catalog has {}",
+                index.profiles().len(),
+                catalog.column_count()
+            )));
+        }
+        Ok(Ver {
             catalog,
             index,
             config,
@@ -74,6 +107,16 @@ impl Ver {
         &self.index
     }
 
+    /// Shared handle to the catalog (for serving layers).
+    pub fn catalog_shared(&self) -> Arc<TableCatalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// Shared handle to the index (for serving layers and persistence).
+    pub fn index_shared(&self) -> Arc<DiscoveryIndex> {
+        Arc::clone(&self.index)
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &VerConfig {
         &self.config
@@ -82,6 +125,19 @@ impl Ver {
     /// Run the automatic pipeline (Algorithm 1 lines 1-9 and 13) for any
     /// view specification.
     pub fn run(&self, spec: &ViewSpec) -> Result<QueryResult> {
+        self.run_cached(spec, None)
+    }
+
+    /// [`Ver::run`] with optional cross-query [`SearchCaches`].
+    ///
+    /// The serving layer threads one cache bundle through every query of a
+    /// long-lived engine; output is bit-identical to [`Ver::run`] for any
+    /// cache state (see `ver_search::cache` for the contract).
+    pub fn run_cached(
+        &self,
+        spec: &ViewSpec,
+        caches: Option<&SearchCaches>,
+    ) -> Result<QueryResult> {
         let mut timer = PhaseTimer::new();
 
         // COLUMN-SELECTION (lines 3-7).
@@ -90,8 +146,13 @@ impl Ver {
         });
 
         // JOIN-GRAPH-SEARCH + MATERIALIZER (line 8).
-        let search_out =
-            join_graph_search(&self.catalog, &self.index, &selection, &self.config.search)?;
+        let search_out = join_graph_search_cached(
+            &self.catalog,
+            &self.index,
+            &selection,
+            &self.config.search,
+            caches,
+        )?;
         timer.add("jgs", search_out.timer.get("jgs"));
         timer.add("materialize", search_out.timer.get("materialize"));
         let mut views = search_out.views;
@@ -129,7 +190,7 @@ impl Ver {
         user: &mut dyn SimulatedUser,
     ) -> Result<(QueryResult, SessionOutcome)> {
         let result = self.run(spec)?;
-        let query = query_of(spec);
+        let query = presentation_query(spec);
         let mut session = PresentationSession::new(
             &result.views,
             &result.distill,
@@ -194,8 +255,10 @@ fn rank_survivors(
 }
 
 /// The example query driving presentation distances; non-QBE specs get a
-/// synthetic one from their terms.
-fn query_of(spec: &ViewSpec) -> ExampleQuery {
+/// synthetic one from their terms. Public so serving-layer sessions
+/// (`ver-serve`) can build [`PresentationSession`]s over stored results
+/// with exactly the query [`Ver::run_interactive`] would use.
+pub fn presentation_query(spec: &ViewSpec) -> ExampleQuery {
     match spec {
         ViewSpec::Qbe(q) => q.clone(),
         ViewSpec::Keyword(terms) | ViewSpec::Attribute(terms) => {
@@ -326,6 +389,57 @@ mod tests {
         let result = ver.run(&spec).unwrap();
         assert_eq!(result.views.len(), 0);
         assert!(expect_views(&result).is_err());
+    }
+
+    #[test]
+    fn from_parts_reproduces_build_exactly() {
+        let built = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let warm = Ver::from_parts(
+            built.catalog_shared(),
+            built.index_shared(),
+            VerConfig::fast(),
+        )
+        .unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let a = built.run(&spec).unwrap();
+        let b = warm.run(&spec).unwrap();
+        assert_eq!(a.ranked, b.ranked);
+        assert_eq!(a.views.len(), b.views.len());
+        for (va, vb) in a.views.iter().zip(&b.views) {
+            assert!(va.same_contents(vb));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_catalog() {
+        let built = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let mut other = TableCatalog::new();
+        let mut b = TableBuilder::new("only", &["x"]);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        other.add_table(b.build()).unwrap();
+        let err = Ver::from_parts(
+            std::sync::Arc::new(other),
+            built.index_shared(),
+            VerConfig::fast(),
+        );
+        assert!(matches!(err, Err(VerError::InvalidData(_))));
+    }
+
+    #[test]
+    fn run_cached_matches_run_and_hits_on_repeat() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let base = ver.run(&spec).unwrap();
+        let caches = SearchCaches::new(32);
+        for pass in 0..2 {
+            let out = ver.run_cached(&spec, Some(&caches)).unwrap();
+            assert_eq!(out.ranked, base.ranked, "pass {pass}");
+            assert_eq!(out.distill.survivors_c2, base.distill.survivors_c2);
+            for (a, b) in out.views.iter().zip(&base.views) {
+                assert!(a.same_contents(b), "pass {pass}");
+            }
+        }
+        assert!(caches.view_stats().hits > 0, "repeat pass must hit");
     }
 
     #[test]

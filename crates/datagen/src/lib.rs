@@ -19,6 +19,9 @@
 //! * [`workload`] — ground-truth queries, noise-column discovery via the
 //!   index, noisy workloads (150-query Table V setup), and ground-truth
 //!   view identification for hit-ratio measurement.
+//!
+//! Layer 5 of the crate map in the repo-root `ARCHITECTURE.md`:
+//! evaluation infrastructure, not product code.
 
 pub mod chembl;
 pub mod opendata;

@@ -17,6 +17,9 @@
 //! paper's cache), [`blocks`] (SCHEMA-BASED-BLOCKS), [`algo`] (the two-phase
 //! Algorithm 3 with per-phase timing for Fig. 4a), [`strategy`]
 //! (C1/C2/C3 pruning and the Fig. 2 contradiction-step simulation).
+//!
+//! Layer 3 of the crate map in the repo-root `ARCHITECTURE.md` — between
+//! the MATERIALIZER and VIEW-PRESENTATION on the online path.
 
 pub mod algo;
 pub mod blocks;

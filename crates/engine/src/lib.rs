@@ -13,6 +13,9 @@
 //! * [`rowhash`] — the row-wise hash function `H` of Algorithm 3.
 //! * [`plan`] / [`exec`] — PJ plans (a join tree linearised into steps plus a
 //!   projection list) and their executor, producing materialized [`View`]s.
+//!
+//! Layer 2 of the crate map in the repo-root `ARCHITECTURE.md`: the
+//! relational executor under the MATERIALIZER and distillation.
 
 pub mod dedup;
 pub mod exec;

@@ -19,6 +19,10 @@
 //! any thread count) and [`engine`] is the online façade. [`persist`]
 //! serialises the hypergraph — the expensive offline product — to a
 //! compact binary format.
+//!
+//! Layer 2 of the crate map in the repo-root `ARCHITECTURE.md` — the
+//! offline half of the pipeline; its persisted artifact is what the
+//! serving layer warm-starts from.
 
 pub mod builder;
 pub mod engine;

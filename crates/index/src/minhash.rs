@@ -5,7 +5,7 @@
 //! containment between all column pairs is quadratic in both columns and
 //! values; Aurum/Lazo instead sketch each column with a k-MinHash signature
 //! and estimate Jaccard *similarity* from signature agreement. Lazo's
-//! insight (cited as [13] in the paper) is that with exact cardinalities
+//! insight (citation 13 of the paper) is that with exact cardinalities
 //! stored per column, similarity converts to an *intersection* estimate
 //!
 //! ```text

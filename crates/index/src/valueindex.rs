@@ -130,6 +130,46 @@ impl KeywordIndex {
         self.table_columns.extend(other.table_columns);
     }
 
+    /// Decompose into persistable parts, each sorted by key so the binary
+    /// encoding in [`crate::persist`] is canonical (two equal indexes
+    /// serialise to identical bytes). Posting lists keep their insertion
+    /// order — it is part of the index's determinism contract.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn persist_parts(
+        &self,
+    ) -> (
+        Vec<(&String, &Vec<ColumnId>)>,
+        Vec<(&String, &Vec<ColumnId>)>,
+        Vec<(&String, TableId)>,
+        Vec<(TableId, &Vec<ColumnId>)>,
+    ) {
+        let mut values: Vec<_> = self.values.iter().collect();
+        values.sort_unstable_by_key(|(k, _)| *k);
+        let mut attributes: Vec<_> = self.attributes.iter().collect();
+        attributes.sort_unstable_by_key(|(k, _)| *k);
+        let mut table_names: Vec<_> = self.table_names.iter().map(|(k, &t)| (k, t)).collect();
+        table_names.sort_unstable_by_key(|(k, _)| *k);
+        let mut table_columns: Vec<_> = self.table_columns.iter().map(|(&t, c)| (t, c)).collect();
+        table_columns.sort_unstable_by_key(|(t, _)| *t);
+        (values, attributes, table_names, table_columns)
+    }
+
+    /// Rebuild from parts produced by [`KeywordIndex::persist_parts`]
+    /// (deserialisation path; posting-list order is preserved verbatim).
+    pub(crate) fn from_persist_parts(
+        values: Vec<(String, Vec<ColumnId>)>,
+        attributes: Vec<(String, Vec<ColumnId>)>,
+        table_names: Vec<(String, TableId)>,
+        table_columns: Vec<(TableId, Vec<ColumnId>)>,
+    ) -> Self {
+        KeywordIndex {
+            values: values.into_iter().collect(),
+            attributes: attributes.into_iter().collect(),
+            table_names: table_names.into_iter().collect(),
+            table_columns: table_columns.into_iter().collect(),
+        }
+    }
+
     /// SEARCH-KEYWORD: columns matching `keyword` under `target`/`fuzzy`.
     /// Results are sorted and deduplicated for determinism.
     pub fn search_keyword(

@@ -1,4 +1,4 @@
-//! The FastTopK baseline (S4 [35]): overlap-scored ranking plus a simulated
+//! The FastTopK baseline (S4, citation 35 of the paper): overlap-scored ranking plus a simulated
 //! scanning user.
 //!
 //! The paper's user study compares Ver's presentation against "a ranking of

@@ -21,6 +21,9 @@
 //! * [`fasttopk`] — the FastTopK overlap-ranking baseline the user study
 //!   compares against;
 //! * [`wordcloud`] — term summaries for the summary interface.
+//!
+//! Layer 3 of the crate map in the repo-root `ARCHITECTURE.md`; the
+//! serving layer re-drives [`session`] loops over shared query results.
 
 pub mod bandit;
 pub mod fasttopk;

@@ -7,8 +7,8 @@
 //! interfaces too — the paper's §VI-C1 evaluates all three. This crate
 //! models:
 //!
-//! * [`query`] — the QBE example table [`ExampleQuery`](query::ExampleQuery);
-//! * [`spec`] — the [`ViewSpec`](spec::ViewSpec) enum covering QBE, keyword
+//! * [`query`] — the QBE example table [`ExampleQuery`];
+//! * [`spec`] — the [`ViewSpec`] enum covering QBE, keyword
 //!   and attribute interfaces;
 //! * [`noise`] — the paper's noisy-query generator (§VI-B): sample example
 //!   values from ground-truth columns and, for medium/high noise, from a
@@ -16,6 +16,9 @@
 //!   ground-truth column);
 //! * [`groundtruth`] — ground-truth bookkeeping shared by workload
 //!   generation and the experiment harness.
+//!
+//! Layer 4 of the crate map in the repo-root `ARCHITECTURE.md`: the
+//! query vocabulary shared by selection, search, serving and datagen.
 
 pub mod groundtruth;
 pub mod noise;

@@ -1,0 +1,202 @@
+//! Cross-query caches for the online search path.
+//!
+//! A long-lived serving deployment (`ver-serve`) answers many queries
+//! against one immutable discovery index. Two pieces of per-query work are
+//! pure functions of that index and therefore safe to share across queries
+//! and sessions:
+//!
+//! * **materialized candidate views** — executing a (join graph, projection)
+//!   candidate always yields the same view, so an LRU over candidates
+//!   short-circuits the MATERIALIZER for candidates that recur across
+//!   queries (the common case: different example queries over the same
+//!   popular tables resolve to the same join graphs);
+//! * **join-graph containment scores** — [`join_score`] folds the
+//!   hypergraph's signature-estimated containments with profile key-ness;
+//!   it is fully determined by the graph's canonical edge form
+//!   ([`graph_canon`]), so a memo keyed by that form skips re-scoring.
+//!
+//! Correctness contract: a cache **hit must be bit-identical to the value a
+//! miss would compute**. The score memo keys on the canonical edge form
+//! (edge *sets* determine scores — the mean over edges is
+//! order-independent). The view cache keys on the *execution form* — the
+//! graph's oriented edge list in order plus the projection — because plan
+//! linearisation (and hence provenance and execution order) follows edge
+//! order; keying on the weaker canonical form could return a view whose
+//! provenance lists tables in a different order. With these keys, cached
+//! and uncached runs produce identical [`SearchOutput`]s, which
+//! `tests/serve_warm_start.rs` pins against the golden snapshot.
+//!
+//! [`join_score`]: crate::rank::join_score
+//! [`graph_canon`]: crate::rank::graph_canon
+//! [`SearchOutput`]: crate::search::SearchOutput
+
+use std::sync::Arc;
+use ver_common::cache::{CacheStats, LruCache, Memo};
+use ver_common::ids::ColumnRef;
+use ver_engine::view::View;
+use ver_index::JoinGraph;
+
+/// Key identifying one execution candidate exactly: the join graph's
+/// oriented edges in execution order, plus the projected columns.
+pub type ViewKey = (Vec<(u32, u32)>, Arc<[ColumnRef]>);
+
+/// Build the [`ViewKey`] for a (graph, projection) candidate.
+pub fn view_key(graph: &JoinGraph, projection: &Arc<[ColumnRef]>) -> ViewKey {
+    (
+        graph.edges.iter().map(|e| (e.left.0, e.right.0)).collect(),
+        projection.clone(),
+    )
+}
+
+/// Shared caches threaded through [`join_graph_search_cached`].
+///
+/// All methods take `&self`; the struct is `Sync` and intended to live in an
+/// `Arc`'d serving engine queried from many threads.
+///
+/// [`join_graph_search_cached`]: crate::search::join_graph_search_cached
+#[derive(Debug)]
+pub struct SearchCaches {
+    /// LRU over materialized candidate views.
+    views: LruCache<ViewKey, View>,
+    /// Memoized signature/containment-derived join scores, keyed by the
+    /// graph's canonical edge form.
+    scores: Memo<Vec<(u32, u32)>, f64>,
+}
+
+impl SearchCaches {
+    /// Caches with the given view-LRU capacity (`0` disables view caching;
+    /// the score memo is unbounded — scores are 8 bytes per distinct graph).
+    pub fn new(view_capacity: usize) -> Self {
+        SearchCaches {
+            views: LruCache::new(view_capacity),
+            scores: Memo::new(),
+        }
+    }
+
+    /// Hit/miss snapshot of the materialized-view LRU.
+    pub fn view_stats(&self) -> CacheStats {
+        self.views.stats()
+    }
+
+    /// Hit/miss snapshot of the join-score memo.
+    pub fn score_stats(&self) -> CacheStats {
+        self.scores.stats()
+    }
+
+    /// Number of views currently cached.
+    pub fn cached_views(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Memoized join score for a graph with canonical form `canon`.
+    pub fn score_or_compute(&self, canon: &Vec<(u32, u32)>, compute: impl FnOnce() -> f64) -> f64 {
+        self.scores.get_or_insert_with(canon, compute)
+    }
+
+    /// Cached view for `key`, or materialize-and-remember. Errors are never
+    /// cached (a transient failure must not poison the cache).
+    pub fn view_or_materialize(
+        &self,
+        key: ViewKey,
+        materialize: impl FnOnce() -> ver_common::error::Result<View>,
+    ) -> ver_common::error::Result<View> {
+        if let Some(hit) = self.views.get(&key) {
+            return Ok(hit);
+        }
+        let view = materialize()?;
+        self.views.insert(key, view.clone());
+        Ok(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::error::VerError;
+    use ver_common::ids::{ColumnId, TableId, ViewId};
+    use ver_engine::view::Provenance;
+    use ver_index::JoinGraphEdge;
+    use ver_store::table::TableBuilder;
+
+    fn projection(cols: &[(u32, u16)]) -> Arc<[ColumnRef]> {
+        cols.iter()
+            .map(|&(t, o)| ColumnRef {
+                table: TableId(t),
+                ordinal: o,
+            })
+            .collect()
+    }
+
+    fn graph(edges: &[(u32, u32)]) -> JoinGraph {
+        JoinGraph {
+            edges: edges
+                .iter()
+                .map(|&(l, r)| JoinGraphEdge {
+                    left: ColumnId(l),
+                    right: ColumnId(r),
+                    score: 0.9,
+                })
+                .collect(),
+        }
+    }
+
+    fn dummy_view(rows: usize) -> View {
+        let mut b = TableBuilder::new("v", &["x"]);
+        for i in 0..rows {
+            b.push_row(vec![ver_common::value::Value::Int(i as i64)])
+                .unwrap();
+        }
+        View::new(ViewId(0), b.build(), Provenance::default())
+    }
+
+    #[test]
+    fn view_key_distinguishes_edge_order_and_orientation() {
+        let p = projection(&[(0, 0), (1, 1)]);
+        let a = view_key(&graph(&[(0, 2), (2, 4)]), &p);
+        let b = view_key(&graph(&[(2, 4), (0, 2)]), &p);
+        let c = view_key(&graph(&[(2, 0), (2, 4)]), &p);
+        assert_ne!(a, b, "execution order is part of the key");
+        assert_ne!(a, c, "orientation is part of the key");
+        assert_eq!(a, view_key(&graph(&[(0, 2), (2, 4)]), &p));
+    }
+
+    #[test]
+    fn view_cache_hits_skip_materialization() {
+        let caches = SearchCaches::new(8);
+        let key = view_key(&graph(&[(0, 2)]), &projection(&[(0, 0)]));
+        let v1 = caches
+            .view_or_materialize(key.clone(), || Ok(dummy_view(3)))
+            .unwrap();
+        let v2 = caches
+            .view_or_materialize(key, || panic!("must be served from cache"))
+            .unwrap();
+        assert!(v1.same_contents(&v2));
+        let s = caches.view_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(caches.cached_views(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let caches = SearchCaches::new(8);
+        let key = view_key(&graph(&[(0, 2)]), &projection(&[(0, 0)]));
+        let err = caches
+            .view_or_materialize(key.clone(), || Err(VerError::JoinError("transient".into())));
+        assert!(err.is_err());
+        // The next attempt recomputes and succeeds.
+        let ok = caches.view_or_materialize(key, || Ok(dummy_view(1)));
+        assert!(ok.is_ok());
+        assert_eq!(caches.cached_views(), 1);
+    }
+
+    #[test]
+    fn score_memo_computes_once() {
+        let caches = SearchCaches::new(0);
+        let canon = vec![(0u32, 2u32)];
+        let a = caches.score_or_compute(&canon, || 0.75);
+        let b = caches.score_or_compute(&canon, || panic!("memoized"));
+        assert_eq!(a, 0.75);
+        assert_eq!(b, 0.75);
+        assert_eq!(caches.score_stats().hits, 1);
+    }
+}

@@ -14,10 +14,17 @@
 //!   materialized [`View`](ver_engine::View) (Algorithm 5 step 2);
 //! * [`search`] — the end-to-end component with the statistics the paper's
 //!   figures report (joinable groups / join graphs / views).
+//!
+//! Layer 3 of the crate map in the repo-root `ARCHITECTURE.md`; the
+//! [`cache`] module is the serving layer's cross-query reuse point.
 
+pub mod cache;
 pub mod enumerate;
 pub mod materialize;
 pub mod rank;
 pub mod search;
 
-pub use search::{join_graph_search, SearchConfig, SearchOutput, SearchStats};
+pub use cache::SearchCaches;
+pub use search::{
+    join_graph_search, join_graph_search_cached, SearchConfig, SearchOutput, SearchStats,
+};

@@ -139,6 +139,26 @@ pub fn join_graph_search(
     selection: &SelectionResult,
     config: &SearchConfig,
 ) -> Result<SearchOutput> {
+    join_graph_search_cached(catalog, index, selection, config, None)
+}
+
+/// [`join_graph_search`] with optional cross-query caches.
+///
+/// When `caches` is provided, join-graph scores are memoized by canonical
+/// edge form and materialized views are served from the LRU keyed by the
+/// candidate's execution form (see [`crate::cache`]). Output is
+/// **bit-identical** to the uncached path for any cache state — a hit
+/// returns exactly what the miss would compute, because both values are
+/// pure functions of the immutable index and catalog. `ver-serve` threads
+/// one [`crate::cache::SearchCaches`] through every query of a long-lived
+/// engine.
+pub fn join_graph_search_cached(
+    catalog: &TableCatalog,
+    index: &DiscoveryIndex,
+    selection: &SelectionResult,
+    config: &SearchConfig,
+    caches: Option<&crate::cache::SearchCaches>,
+) -> Result<SearchOutput> {
     let mut timer = ver_common::timer::PhaseTimer::new();
     let pool = ThreadPool::new(config.threads);
     let jgs_start = std::time::Instant::now();
@@ -163,7 +183,10 @@ pub fn join_graph_search(
     // total order: score desc, canonical edges asc, projection asc. The
     // projection tail makes the order total even across candidates sharing
     // a graph, so ranked output never depends on generation order.
-    let scores = pool.par_map(&candidates, |c| join_score(index, &c.graph));
+    let scores = pool.par_map(&candidates, |c| match caches {
+        Some(cs) => cs.score_or_compute(&c.canon, || join_score(index, &c.graph)),
+        None => join_score(index, &c.graph),
+    });
     let mut scored: Vec<(f64, Candidate)> = scores.into_iter().zip(candidates).collect();
     scored.sort_by(|a, b| {
         rank_order(a.0, &a.1.canon, b.0, &b.1.canon)
@@ -176,8 +199,12 @@ pub fn join_graph_search(
     // as the first error in rank order. Ids are assigned sequentially
     // afterwards so empty-view dropping cannot race id assignment.
     let mat_start = std::time::Instant::now();
-    let materialized: Vec<Result<View>> = pool.par_map(&scored, |(score, cand)| {
-        materialize_join_graph(catalog, index, &cand.graph, &cand.projection, *score)
+    let materialized: Vec<Result<View>> = pool.par_map(&scored, |(score, cand)| match caches {
+        Some(cs) => cs.view_or_materialize(
+            crate::cache::view_key(&cand.graph, &cand.projection),
+            || materialize_join_graph(catalog, index, &cand.graph, &cand.projection, *score),
+        ),
+        None => materialize_join_graph(catalog, index, &cand.graph, &cand.projection, *score),
     });
     let mut views = Vec::with_capacity(materialized.len());
     for result in materialized {
@@ -370,6 +397,41 @@ mod tests {
                 "tree: tables = edges + 1"
             );
         }
+    }
+
+    #[test]
+    fn cached_search_is_bit_identical_to_uncached() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = column_selection(
+            &idx,
+            &q,
+            &SelectionConfig {
+                theta: usize::MAX,
+                ..Default::default()
+            },
+        );
+        let cfg = SearchConfig::default();
+        let base = join_graph_search(&cat, &idx, &sel, &cfg).unwrap();
+
+        let caches = crate::cache::SearchCaches::new(64);
+        // Three passes over the same caches: cold, warm, warm.
+        for pass in 0..3 {
+            let out = join_graph_search_cached(&cat, &idx, &sel, &cfg, Some(&caches)).unwrap();
+            assert_eq!(out.stats, base.stats, "pass {pass}");
+            assert_eq!(out.views.len(), base.views.len());
+            for (a, b) in out.views.iter().zip(&base.views) {
+                assert!(a.same_contents(b), "pass {pass}: {} differs", a.id);
+            }
+        }
+        // The warm passes actually hit.
+        assert!(caches.view_stats().hits > 0, "no view-cache hits");
+        assert!(caches.score_stats().hits > 0, "no score-memo hits");
+        assert!(caches.view_stats().misses > 0);
     }
 
     #[test]

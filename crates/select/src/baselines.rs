@@ -1,8 +1,8 @@
 //! Column-retrieval baselines used in the paper's RQ3 comparison.
 //!
-//! * **SELECT-ALL** (from FastTopK [35]): any column containing at least one
+//! * **SELECT-ALL** (from FastTopK, citation 35): any column containing at least one
 //!   example value. Robust to noise but floods join-graph search.
-//! * **SELECT-BEST** (from SQuID [36]): only the column(s) with the maximum
+//! * **SELECT-BEST** (from SQuID, citation 36): only the column(s) with the maximum
 //!   example overlap. Fast but "crumbles" once noise means no single column
 //!   contains all examples — the noise column out-scores the true one.
 //!

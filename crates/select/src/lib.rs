@@ -15,6 +15,9 @@
 //!   (FastTopK-style);
 //! * [`baselines::select_best`] — the column(s) with the maximum example
 //!   overlap (SQuID-style), which the paper shows "crumbles" under noise.
+//!
+//! Layer 3 of the crate map in the repo-root `ARCHITECTURE.md` — the
+//! first online stage after VIEW-SPECIFICATION.
 
 pub mod baselines;
 pub mod cluster;

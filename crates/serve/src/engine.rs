@@ -1,0 +1,531 @@
+//! The serving engine: warm-start, caches, stats, session admission.
+
+use crate::session::{Session, SessionId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use ver_common::cache::{CacheStats, LruCache};
+use ver_common::error::{Result, VerError};
+use ver_common::fxhash::FxHashMap;
+use ver_core::{presentation_query, QueryResult, Ver, VerConfig};
+use ver_index::persist::{load_index, save_index};
+use ver_index::DiscoveryIndex;
+use ver_present::{SessionOutcome, SimulatedUser};
+use ver_qbe::ViewSpec;
+use ver_search::SearchCaches;
+use ver_store::catalog::TableCatalog;
+
+/// Serving-layer tunables on top of the pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The underlying pipeline knobs (selection, search, distillation,
+    /// presentation). `pipeline.search.threads` / `pipeline.distill.threads`
+    /// are the per-query fan-out budget; set both at once with
+    /// [`ServeConfig::with_query_threads`].
+    pub pipeline: VerConfig,
+    /// Capacity of the whole-result LRU (`0` disables result caching).
+    pub result_cache_capacity: usize,
+    /// Capacity of the materialized-view LRU shared across queries
+    /// (`0` disables view caching; the score memo is always on). Size this
+    /// above the working set of candidates your workload's queries touch —
+    /// an LRU smaller than one sequential scan of that set degrades to
+    /// zero hits. Candidate views on open-data-style corpora are small
+    /// (tens of rows), so the default trades a few MB for hot candidates.
+    pub view_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            pipeline: VerConfig::default(),
+            result_cache_capacity: 64,
+            view_cache_capacity: 8192,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Pin the per-query thread budget: every query's join-graph scoring,
+    /// top-k materialization, and 4C distillation fan out over at most
+    /// `threads` workers (`0` = one per available hardware thread). Output
+    /// is bit-identical for every value — this is purely a resource knob,
+    /// the lever that keeps one heavy query from starving its neighbours.
+    pub fn with_query_threads(mut self, threads: usize) -> Self {
+        self.pipeline.search.threads = threads;
+        self.pipeline.distill.threads = threads;
+        self
+    }
+
+    /// The configured per-query thread budget.
+    pub fn query_threads(&self) -> usize {
+        self.pipeline.search.threads
+    }
+}
+
+/// Point-in-time serving statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Queries admitted (cache hits included).
+    pub queries: u64,
+    /// Whole-result LRU hit/miss counts.
+    pub result_cache: CacheStats,
+    /// Materialized-view LRU hit/miss counts (across queries).
+    pub view_cache: CacheStats,
+    /// Join-score signature/containment memo hit/miss counts.
+    pub score_memo: CacheStats,
+    /// Views currently held by the view LRU.
+    pub cached_views: usize,
+    /// Sessions opened over the engine's lifetime.
+    pub sessions_opened: u64,
+    /// Sessions currently open.
+    pub sessions_active: usize,
+    /// Interaction-loop runs served.
+    pub interactions: u64,
+}
+
+/// A long-lived, concurrently shareable serving engine.
+///
+/// All entry points take `&self`; the engine is `Sync` and designed to sit
+/// behind an `Arc` with any number of client threads calling
+/// [`ServeEngine::query`] / [`ServeEngine::interact`] simultaneously.
+pub struct ServeEngine {
+    ver: Ver,
+    config: ServeConfig,
+    /// Whole-result cache keyed by the canonical query form.
+    results: LruCache<String, Arc<QueryResult>>,
+    /// Cross-query search caches (view LRU + score memo).
+    caches: SearchCaches,
+    sessions: Mutex<FxHashMap<SessionId, Session>>,
+    next_session: AtomicU64,
+    queries: AtomicU64,
+    sessions_opened: AtomicU64,
+    interactions: AtomicU64,
+}
+
+impl ServeEngine {
+    /// Cold start: profile the catalog and build the discovery index in
+    /// process (the path [`ServeEngine::open`] exists to avoid).
+    pub fn build(catalog: TableCatalog, config: ServeConfig) -> Result<ServeEngine> {
+        let ver = Ver::build(catalog, config.pipeline.clone())?;
+        Ok(Self::assemble(ver, config))
+    }
+
+    /// Warm start from an already-built index (typically loaded via
+    /// [`ver_index::persist::load_index`]). No profiling, sketching, or LSH
+    /// runs; the engine is ready as soon as the artifact is in memory.
+    pub fn warm_start(
+        catalog: Arc<TableCatalog>,
+        index: Arc<DiscoveryIndex>,
+        config: ServeConfig,
+    ) -> Result<ServeEngine> {
+        let ver = Ver::from_parts(catalog, index, config.pipeline.clone())?;
+        Ok(Self::assemble(ver, config))
+    }
+
+    /// Warm start from a persisted index file (see
+    /// [`ver_index::persist::save_index`]).
+    pub fn open(
+        catalog: Arc<TableCatalog>,
+        index_path: &std::path::Path,
+        config: ServeConfig,
+    ) -> Result<ServeEngine> {
+        let index = load_index(index_path)?;
+        Self::warm_start(catalog, Arc::new(index), config)
+    }
+
+    fn assemble(ver: Ver, config: ServeConfig) -> ServeEngine {
+        ServeEngine {
+            results: LruCache::new(config.result_cache_capacity),
+            caches: SearchCaches::new(config.view_cache_capacity),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            interactions: AtomicU64::new(0),
+            ver,
+            config,
+        }
+    }
+
+    /// Persist this engine's index so future processes can
+    /// [`ServeEngine::open`] instead of rebuilding.
+    pub fn save_index(&self, path: &std::path::Path) -> Result<()> {
+        save_index(self.ver.index(), path)
+    }
+
+    /// The wrapped pipeline facade.
+    pub fn ver(&self) -> &Ver {
+        &self.ver
+    }
+
+    /// Shared handle to the catalog.
+    pub fn catalog_shared(&self) -> Arc<TableCatalog> {
+        self.ver.catalog_shared()
+    }
+
+    /// Shared handle to the index.
+    pub fn index_shared(&self) -> Arc<DiscoveryIndex> {
+        self.ver.index_shared()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Answer a view specification.
+    ///
+    /// Identical specs (after value normalization) are served from the
+    /// whole-result LRU; misses run the full online pipeline with the
+    /// engine's cross-query [`SearchCaches`] threaded through, so even a
+    /// result-cache miss reuses materialized views and memoized scores
+    /// from earlier queries. The returned result is shared — sessions and
+    /// concurrent callers alias one materialization.
+    pub fn query(&self, spec: &ViewSpec) -> Result<Arc<QueryResult>> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let key = spec_key(spec);
+        if let Some(hit) = self.results.get(&key) {
+            return Ok(hit);
+        }
+        let result = Arc::new(self.ver.run_cached(spec, Some(&self.caches))?);
+        self.results.insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// Open an interactive QBE session: run (or reuse) the query and
+    /// register a session over its distilled candidates.
+    pub fn open_session(&self, spec: &ViewSpec) -> Result<SessionId> {
+        let result = self.query(spec)?;
+        let session = Session {
+            result,
+            query: presentation_query(spec),
+            presentation: self.config.pipeline.presentation.clone(),
+        };
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .insert(id, session);
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Drive session `id`'s question loop (Algorithm 2) with `user`. The
+    /// loop runs outside the registry lock, so any number of sessions can
+    /// interact concurrently.
+    pub fn interact(&self, id: SessionId, user: &mut dyn SimulatedUser) -> Result<SessionOutcome> {
+        let session = self
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| VerError::NotFound(format!("session {id}")))?;
+        self.interactions.fetch_add(1, Ordering::Relaxed);
+        Ok(session.interact(user))
+    }
+
+    /// Number of candidate views session `id` starts from.
+    pub fn session_candidates(&self, id: SessionId) -> Result<usize> {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .get(&id)
+            .map(Session::candidates)
+            .ok_or_else(|| VerError::NotFound(format!("session {id}")))
+    }
+
+    /// Close a session; returns `false` when it was already gone.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Currently open sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .len()
+    }
+
+    /// Serving statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            result_cache: self.results.stats(),
+            view_cache: self.caches.view_stats(),
+            score_memo: self.caches.score_stats(),
+            cached_views: self.caches.cached_views(),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_active: self.active_sessions(),
+            interactions: self.interactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Canonical string form of a spec — the result-cache key.
+///
+/// Two specs map to the same key exactly when the pipeline treats them
+/// identically: per-attribute example values are compared by logical type
+/// plus normalized form (the form COLUMN-SELECTION, FastTopK ranking and
+/// presentation distances all operate on), name hints and attribute order
+/// are preserved, and the three interfaces are disjoint namespaces. Every
+/// variable-length part is **length-prefixed** (`{len}:{bytes}`), so user
+/// strings containing any would-be separator cannot make two different
+/// specs collide on one key.
+fn spec_key(spec: &ViewSpec) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::new();
+    let part = |key: &mut String, s: &str| {
+        let _ = write!(key, "{}:{s}", s.len());
+    };
+    match spec {
+        ViewSpec::Qbe(q) => {
+            key.push_str("qbe");
+            for col in &q.columns {
+                key.push('|');
+                match &col.name_hint {
+                    Some(hint) => {
+                        key.push('~');
+                        part(&mut key, hint);
+                    }
+                    None => key.push('_'),
+                }
+                for v in &col.examples {
+                    if v.is_null() {
+                        key.push('0');
+                    } else {
+                        let _ = write!(key, "{}", v.data_type());
+                        part(&mut key, &v.normalized());
+                    }
+                }
+            }
+        }
+        ViewSpec::Keyword(terms) => {
+            key.push_str("kw");
+            for t in terms {
+                part(&mut key, t);
+            }
+        }
+        ViewSpec::Attribute(terms) => {
+            key.push_str("attr");
+            for t in terms {
+                part(&mut key, t);
+            }
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_common::value::Value;
+    use ver_present::OracleUser;
+    use ver_qbe::{ExampleQuery, QueryColumn};
+    use ver_store::table::TableBuilder;
+
+    /// airports ⋈ state_pop plus a conflicting state_pop_old (mirrors the
+    /// ver-core pipeline fixture so serving output can be compared 1:1).
+    fn catalog() -> TableCatalog {
+        let mut cat = TableCatalog::new();
+        let states: Vec<String> = (0..40).map(|i| format!("st{i}")).collect();
+        let mut b = TableBuilder::new("airports", &["iata", "state"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(format!("AP{i}")), Value::text(s.clone())])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        let mut b = TableBuilder::new("state_pop", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        let mut b = TableBuilder::new("state_pop_old", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(900 + i as i64)])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        cat
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            pipeline: VerConfig::fast(),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn spec() -> ViewSpec {
+        ViewSpec::Qbe(ExampleQuery::from_rows(&[vec!["st1", "1001"], vec!["st2", "1002"]]).unwrap())
+    }
+
+    #[test]
+    fn result_cache_serves_repeated_queries() {
+        let engine = ServeEngine::build(catalog(), config()).unwrap();
+        let a = engine.query(&spec()).unwrap();
+        let b = engine.query(&spec()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second query must alias the first");
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.result_cache.hits, 1);
+        assert_eq!(stats.result_cache.misses, 1);
+    }
+
+    #[test]
+    fn warm_start_answers_like_cold_build() {
+        let cold = ServeEngine::build(catalog(), config()).unwrap();
+        let warm =
+            ServeEngine::warm_start(cold.catalog_shared(), cold.index_shared(), config()).unwrap();
+        let a = cold.query(&spec()).unwrap();
+        let b = warm.query(&spec()).unwrap();
+        assert_eq!(a.ranked, b.ranked);
+        assert_eq!(a.views.len(), b.views.len());
+        for (va, vb) in a.views.iter().zip(&b.views) {
+            assert!(va.same_contents(vb));
+        }
+    }
+
+    #[test]
+    fn persisted_index_round_trips_through_open() {
+        let dir = std::env::temp_dir().join(format!("ver_serve_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.bin");
+        let cold = ServeEngine::build(catalog(), config()).unwrap();
+        cold.save_index(&path).unwrap();
+        let warm = ServeEngine::open(cold.catalog_shared(), &path, config()).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+        assert!(warm.index_shared().same_contents(&cold.index_shared()));
+        let a = cold.query(&spec()).unwrap();
+        let b = warm.query(&spec()).unwrap();
+        assert_eq!(a.ranked, b.ranked);
+    }
+
+    #[test]
+    fn sessions_share_results_and_reach_targets() {
+        let engine = ServeEngine::build(catalog(), config()).unwrap();
+        let s1 = engine.open_session(&spec()).unwrap();
+        let s2 = engine.open_session(&spec()).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(engine.active_sessions(), 2);
+        // Both sessions share one materialization via the result cache.
+        assert_eq!(engine.stats().result_cache.hits, 1);
+        assert!(engine.session_candidates(s1).unwrap() >= 1);
+
+        let target = engine.query(&spec()).unwrap().ranked[0].0;
+        let mut user = OracleUser::new(target);
+        let outcome = engine.interact(s1, &mut user).unwrap();
+        assert_eq!(outcome.found_view(), Some(target));
+
+        assert!(engine.close_session(s1));
+        assert!(!engine.close_session(s1), "double close reports false");
+        assert_eq!(engine.active_sessions(), 1);
+        let err = engine.interact(s1, &mut user);
+        assert!(matches!(err, Err(VerError::NotFound(_))));
+    }
+
+    #[test]
+    fn concurrent_queries_and_sessions_are_consistent() {
+        let engine = Arc::new(ServeEngine::build(catalog(), config()).unwrap());
+        let baseline = engine.query(&spec()).unwrap();
+        let specs: Vec<ViewSpec> = vec![
+            spec(),
+            ViewSpec::Qbe(ExampleQuery::from_rows(&[vec!["st3", "1003"]]).unwrap()),
+            ViewSpec::Keyword(vec!["st5".into()]),
+            ViewSpec::Attribute(vec!["pop".into()]),
+        ];
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let engine = Arc::clone(&engine);
+                let specs = specs.clone();
+                let baseline = Arc::clone(&baseline);
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        for s in &specs {
+                            let out = engine.query(s).unwrap();
+                            if s == &specs[0] {
+                                assert_eq!(out.ranked, baseline.ranked, "t{t} r{round}");
+                            }
+                        }
+                        let sid = engine.open_session(&specs[0]).unwrap();
+                        let target = engine.query(&specs[0]).unwrap().ranked[0].0;
+                        let outcome = engine.interact(sid, &mut OracleUser::new(target)).unwrap();
+                        assert_eq!(outcome.found_view(), Some(target));
+                        engine.close_session(sid);
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_active, 0);
+        assert_eq!(stats.sessions_opened, 12);
+        assert_eq!(stats.interactions, 12);
+        assert!(stats.result_cache.hits > 0);
+    }
+
+    #[test]
+    fn spec_keys_distinguish_interfaces_and_content() {
+        let qbe1 = spec_key(&spec());
+        let qbe2 = spec_key(&ViewSpec::Qbe(
+            ExampleQuery::from_rows(&[vec!["st1", "1001"]]).unwrap(),
+        ));
+        assert_ne!(qbe1, qbe2);
+        assert_ne!(
+            spec_key(&ViewSpec::Keyword(vec!["pop".into()])),
+            spec_key(&ViewSpec::Attribute(vec!["pop".into()]))
+        );
+        // Name hints participate.
+        let plain = ViewSpec::Qbe(ExampleQuery::new(vec![QueryColumn::of_strs(&["st1"])]).unwrap());
+        let hinted = ViewSpec::Qbe(
+            ExampleQuery::new(vec![QueryColumn::of_strs(&["st1"]).named("state")]).unwrap(),
+        );
+        assert_ne!(spec_key(&plain), spec_key(&hinted));
+        // Normalization unifies case (the pipeline is case-insensitive).
+        let upper = ViewSpec::Qbe(ExampleQuery::new(vec![QueryColumn::of_strs(&["ST1"])]).unwrap());
+        assert_eq!(spec_key(&plain), spec_key(&upper));
+    }
+
+    #[test]
+    fn spec_keys_resist_separator_injection() {
+        use ver_common::value::Value;
+        // One example crafted to *look like* two concatenated key parts
+        // must not collide with a genuine two-example column.
+        let crafted = ViewSpec::Qbe(
+            ExampleQuery::new(vec![QueryColumn::of_values(vec![Value::text(
+                "x1:ytext1:z",
+            )])])
+            .unwrap(),
+        );
+        let genuine = ViewSpec::Qbe(
+            ExampleQuery::new(vec![QueryColumn::of_values(vec![
+                Value::text("x1:y"),
+                Value::text("z"),
+            ])])
+            .unwrap(),
+        );
+        assert_ne!(spec_key(&crafted), spec_key(&genuine));
+        // Control characters in terms don't merge keyword terms either.
+        let one = ViewSpec::Keyword(vec!["a\u{1f}b".into()]);
+        let two = ViewSpec::Keyword(vec!["a".into(), "b".into()]);
+        assert_ne!(spec_key(&one), spec_key(&two));
+    }
+
+    #[test]
+    fn query_threads_budget_is_purely_a_resource_knob() {
+        let one = ServeEngine::build(catalog(), config().with_query_threads(1)).unwrap();
+        let four = ServeEngine::build(catalog(), config().with_query_threads(4)).unwrap();
+        assert_eq!(one.config().query_threads(), 1);
+        let a = one.query(&spec()).unwrap();
+        let b = four.query(&spec()).unwrap();
+        assert_eq!(a.ranked, b.ranked);
+        for (va, vb) in a.views.iter().zip(&b.views) {
+            assert!(va.same_contents(vb));
+        }
+    }
+}

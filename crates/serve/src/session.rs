@@ -1,0 +1,55 @@
+//! Concurrent QBE sessions over shared query results.
+//!
+//! A session is one user's interactive VIEW-PRESENTATION loop (Algorithm 2)
+//! over the candidate views of one query. The engine admits any number of
+//! simultaneous sessions: each holds an `Arc` of its query's
+//! [`QueryResult`] (sessions over the same query share one materialization
+//! through the result cache) and drives a fresh [`PresentationSession`]
+//! per interaction run, outside the registry lock — so concurrent users
+//! never serialise behind each other's question loops.
+
+use std::sync::Arc;
+use ver_core::QueryResult;
+use ver_present::{PresentationConfig, PresentationSession, SessionOutcome, SimulatedUser};
+use ver_qbe::ExampleQuery;
+
+/// Opaque handle to an open session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// One open session: the query's result plus the example query driving
+/// presentation distances. Cheap to clone out of the registry (two `Arc`
+/// bumps and a config), which is what keeps interaction runs lock-free.
+#[derive(Clone)]
+pub(crate) struct Session {
+    pub(crate) result: Arc<QueryResult>,
+    pub(crate) query: ExampleQuery,
+    pub(crate) presentation: PresentationConfig,
+}
+
+impl Session {
+    /// Run the Algorithm-2 interaction loop against `user`. Each run starts
+    /// from the distilled candidate set (bandit state is per-run, matching
+    /// `Ver::run_interactive`).
+    pub(crate) fn interact(&self, user: &mut dyn SimulatedUser) -> SessionOutcome {
+        let mut session = PresentationSession::new(
+            &self.result.views,
+            &self.result.distill,
+            &self.query,
+            self.presentation.clone(),
+        );
+        session.run(user)
+    }
+
+    /// Candidate views still alive at session start (distillation
+    /// survivors) — what the first question will range over.
+    pub(crate) fn candidates(&self) -> usize {
+        self.result.distill.survivors_c2.len()
+    }
+}

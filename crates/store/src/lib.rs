@@ -6,7 +6,7 @@
 //!
 //! * [`schema`] — table schemas whose column names are `Option`al (a missing
 //!   header is the paper's `Ai = φ`).
-//! * [`column`](crate::column) — typed, column-major value storage with cached per-column
+//! * [`column`](mod@crate::column) — typed, column-major value storage with cached per-column
 //!   statistics (distinct count, null count, inferred type).
 //! * [`table`] — the noisy table plus a row-oriented builder.
 //! * [`catalog`] — the collection itself: id assignment, name lookup, and
@@ -14,6 +14,9 @@
 //! * [`csv`] — plain CSV reader/writer with pandas-style type inference.
 //! * [`profile`] — compact per-column profiles consumed by index
 //!   construction.
+//!
+//! Layer 1 of the crate map in the repo-root `ARCHITECTURE.md`: the data
+//! substrate under both the offline build and the online executor.
 
 pub mod catalog;
 pub mod column;

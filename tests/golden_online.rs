@@ -1,9 +1,12 @@
-//! Golden end-to-end snapshot of the online path.
+//! Golden end-to-end snapshot of the online path (rebuild mode).
 //!
-//! Runs `Ver::run` on a fixed seeded WDC-style workload and pins the ranked
-//! view output — view ids, join scores, row/column counts, distillation
-//! survivors, final ranking — against `tests/golden/online_snapshot.txt`.
-//! Any ranking or materialization regression shows up as a plain-text diff.
+//! Runs `Ver::run` on the fixed seeded workload in `ver_bench::golden` and
+//! pins the ranked view output — view ids, join scores, row/column counts,
+//! distillation survivors, final ranking — against
+//! `tests/golden/online_snapshot.txt`. Any ranking or materialization
+//! regression shows up as a plain-text diff. The serving path
+//! (`tests/serve_warm_start.rs`) pins the same snapshot from a
+//! warm-started, cache-enabled engine.
 //!
 //! To regenerate after an *intentional* behaviour change:
 //!
@@ -16,81 +19,15 @@
 //! and platform independent (all hashing is seeded FxHash/MinHash).
 
 use std::fmt::Write as _;
+use ver_bench::golden::{golden_catalog, golden_queries, snapshot_with, SNAPSHOT_PATH};
 use ver_core::{Ver, VerConfig};
-use ver_datagen::wdc::{generate_wdc, WdcConfig};
-use ver_datagen::workload::wdc_ground_truths;
-use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
-use ver_qbe::ViewSpec;
 
-const SNAPSHOT_PATH: &str = concat!(
-    env!("CARGO_MANIFEST_DIR"),
-    "/../../tests/golden/online_snapshot.txt"
-);
-
-/// Render the observable online-path output for one query.
-fn render_query(out: &mut String, name: &str, result: &ver_core::QueryResult) {
-    let s = &result.search_stats;
-    let _ = writeln!(out, "# query {name}");
-    let _ = writeln!(
-        out,
-        "stats combinations={} groups={} graphs={} views={}",
-        s.combinations, s.joinable_groups, s.join_graphs, s.views
-    );
-    for v in &result.views {
-        let tables: Vec<String> = v
-            .provenance
-            .source_tables
-            .iter()
-            .map(|t| t.to_string())
-            .collect();
-        let _ = writeln!(
-            out,
-            "view {} score={:.6} rows={} cols={} hops={} tables={}",
-            v.id,
-            v.provenance.join_score,
-            v.row_count(),
-            v.table.column_count(),
-            v.provenance.hops(),
-            tables.join(",")
-        );
-    }
-    let survivors: Vec<String> = result
-        .distill
-        .survivors_c2
-        .iter()
-        .map(|v| v.to_string())
-        .collect();
-    let _ = writeln!(out, "survivors_c2 {}", survivors.join(" "));
-    let ranked: Vec<String> = result
-        .ranked
-        .iter()
-        .map(|(v, score)| format!("{v}:{score}"))
-        .collect();
-    let _ = writeln!(out, "ranked {}", ranked.join(" "));
-    let _ = writeln!(out);
-}
-
-/// The fixed workload: seeded 60-table WDC corpus, the five ground-truth
-/// queries at zero noise with pinned per-query seeds.
+/// The rebuild-path snapshot: cold index build, then the golden workload.
 fn snapshot() -> String {
-    let cat = generate_wdc(&WdcConfig {
-        n_tables: 60,
-        ..Default::default()
-    })
-    .expect("wdc generation");
-    let gts = wdc_ground_truths(&cat).expect("ground truths");
+    let cat = golden_catalog();
+    let queries = golden_queries(&cat);
     let ver = Ver::build(cat, VerConfig::default()).expect("index build");
-
-    let mut out = String::new();
-    let _ = writeln!(out, "# golden online-path snapshot (see golden_online.rs)");
-    let _ = writeln!(out);
-    for (qi, gt) in gts.iter().enumerate() {
-        let query = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 7 + qi as u64)
-            .expect("query generation");
-        let result = ver.run(&ViewSpec::Qbe(query)).expect("pipeline run");
-        render_query(&mut out, &gt.name, &result);
-    }
-    out
+    snapshot_with(&queries, |spec| ver.run(spec))
 }
 
 #[test]

@@ -88,6 +88,9 @@ pub trait BufMut {
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
     }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
@@ -125,6 +128,12 @@ pub trait Buf {
         let v = self.chunk()[0];
         self.advance(1);
         v
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
     }
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
