@@ -3,9 +3,12 @@
 //! Times the hot paths this repo optimises — offline index build
 //! (1 / 2 / auto threads), the online query path (join-graph search,
 //! view materialization, and the 4C distillation pass, each at 1 / 2 /
-//! auto threads), and the hash-join micro-kernel — on the standard
-//! corpora, and writes a machine-readable `BENCH_<n>.json` so successive
-//! PRs accumulate a comparable perf series.
+//! auto threads), the sketching kernels (MinHash signature, LSH band
+//! hashing, containment merge — SIMD vs. scalar reference over the full
+//! corpus), and the hash-join micro-kernel — on the standard corpora, and
+//! writes a machine-readable `BENCH_<n>.json` so successive PRs accumulate
+//! a comparable perf series. Every report embeds the bench host's hardware
+//! context (thread count, CPU features, active SIMD backend).
 //!
 //! ```text
 //! cargo run --release --bin exp_bench_report                 # full corpora → BENCH_<pr>.json
@@ -16,7 +19,8 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use ver_bench::{eval_search_config, run_strategy, verify_exact_for, Strategy};
+use ver_bench::{eval_search_config, hardware_json, run_strategy, verify_exact_for, Strategy};
+use ver_common::fxhash::fx_hash_u64;
 use ver_common::pool::resolve_threads;
 use ver_core::{Ver, VerConfig};
 use ver_datagen::chembl::{generate_chembl, ChemblConfig};
@@ -24,7 +28,9 @@ use ver_datagen::wdc::{generate_wdc, WdcConfig};
 use ver_datagen::workload::{chembl_ground_truths, wdc_ground_truths};
 use ver_distill::{distill, DistillConfig};
 use ver_engine::join::hash_join;
-use ver_index::{build_index, IndexConfig};
+use ver_index::{
+    build_index, hashed_containment, hashed_containment_scalar, IndexConfig, LshIndex, MinHasher,
+};
 use ver_qbe::groundtruth::GroundTruth;
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
 use ver_search::SearchConfig;
@@ -152,6 +158,156 @@ fn report_corpus(
     }
 }
 
+/// One kernel's scalar-vs-SIMD timing.
+#[derive(Debug, Clone, Copy)]
+struct KernelTimes {
+    scalar_ms: f64,
+    simd_ms: f64,
+}
+
+impl KernelTimes {
+    fn speedup(&self) -> f64 {
+        self.scalar_ms / self.simd_ms
+    }
+}
+
+struct SketchKernelReport {
+    columns: usize,
+    values: usize,
+    k: usize,
+    minhash: KernelTimes,
+    band_hash: KernelTimes,
+    containment: KernelTimes,
+}
+
+/// Microbenchmark the three sketching kernels over every column of the
+/// given corpora: the dispatched SIMD path against the scalar reference the
+/// pre-SIMD builder ran. Outputs are asserted identical while timing — the
+/// determinism invariant, enforced even here.
+fn sketch_kernel_report(corpora: &[&TableCatalog], reps: usize) -> SketchKernelReport {
+    let k = ver_index::minhash::DEFAULT_K;
+    let hasher = MinHasher::new(k, 0x5eed);
+    let hash_sets: Vec<Vec<u64>> = corpora
+        .iter()
+        .flat_map(|cat| cat.all_columns().map(|(_, cref)| cat.column(cref)))
+        .map(|col| col.expect("registered column").distinct_hashes())
+        .collect();
+    let values: usize = hash_sets.iter().map(Vec::len).sum();
+
+    // MinHash sketch: k seed lanes folded over every distinct value.
+    let minhash = KernelTimes {
+        scalar_ms: best_ms(reps, || {
+            hash_sets
+                .iter()
+                .map(|h| hasher.signature_of_hashes_scalar(h.iter().copied(), h.len()))
+                .collect::<Vec<_>>()
+        }),
+        simd_ms: best_ms(reps, || {
+            hash_sets
+                .iter()
+                .map(|h| hasher.signature_of_hash_slice(h, h.len()))
+                .collect::<Vec<_>>()
+        }),
+    };
+
+    // LSH band hashing over the whole signature set (the builder's r = 1
+    // containment-friendly banding: k bands of one row). The scalar arm is
+    // the PR 4 insert path — one fx hash per band; the SIMD arm the batched
+    // kernel. Both write a reused buffer so the hashing is what's timed.
+    let signatures: Vec<_> = hash_sets
+        .iter()
+        .map(|h| hasher.signature_of_hash_slice(h, h.len()))
+        .collect();
+    let lsh = LshIndex::new(k, 1);
+    let mut scratch: Vec<u64> = Vec::new();
+    let band_hash = KernelTimes {
+        scalar_ms: best_ms(reps, || {
+            let mut acc = 0u64;
+            for sig in &signatures {
+                scratch.clear();
+                scratch.extend((0..k).map(|band| fx_hash_u64(&sig.sig[band..band + 1])));
+                acc ^= scratch[k - 1];
+            }
+            acc
+        }),
+        simd_ms: best_ms(reps, || {
+            let mut acc = 0u64;
+            for sig in &signatures {
+                lsh.band_hashes_into(sig, &mut scratch);
+                acc ^= scratch[k - 1];
+            }
+            acc
+        }),
+    };
+
+    // Containment scoring over adjacent column pairs (mixed cardinality
+    // skew, as verify_exact hypergraph construction sees it). The scalar
+    // arm is the PR 4 builder's scoring — a full scalar merge per
+    // direction; the SIMD arm is today's single shared merge with
+    // galloping/block fast paths (`hashed_containment_max`).
+    let pairs: Vec<(&[u64], &[u64])> = hash_sets
+        .windows(2)
+        .map(|w| (w[0].as_slice(), w[1].as_slice()))
+        .collect();
+    let containment = KernelTimes {
+        scalar_ms: best_ms(reps, || {
+            pairs
+                .iter()
+                .map(|(a, b)| hashed_containment_scalar(a, b).max(hashed_containment_scalar(b, a)))
+                .sum::<f64>()
+        }),
+        simd_ms: best_ms(reps, || {
+            pairs
+                .iter()
+                .map(|(a, b)| ver_index::hashed_containment_max(a, b))
+                .sum::<f64>()
+        }),
+    };
+
+    // The invariant behind all the timing: SIMD ≡ scalar, bit for bit.
+    for (h, sig) in hash_sets.iter().zip(&signatures) {
+        assert_eq!(
+            &hasher.signature_of_hashes_scalar(h.iter().copied(), h.len()),
+            sig,
+            "SIMD sketch diverged from scalar reference"
+        );
+    }
+    for (a, b) in &pairs {
+        assert_eq!(
+            hashed_containment_scalar(a, b).to_bits(),
+            hashed_containment(a, b).to_bits(),
+            "SIMD containment diverged from scalar reference"
+        );
+        assert_eq!(
+            hashed_containment_scalar(a, b)
+                .max(hashed_containment_scalar(b, a))
+                .to_bits(),
+            ver_index::hashed_containment_max(a, b).to_bits(),
+            "symmetric-max containment diverged from two-call scalar form"
+        );
+    }
+
+    SketchKernelReport {
+        columns: hash_sets.len(),
+        values,
+        k,
+        minhash,
+        band_hash,
+        containment,
+    }
+}
+
+fn write_kernel(json: &mut String, label: &str, t: &KernelTimes, last: bool) {
+    let _ = writeln!(
+        json,
+        "    \"{label}\": {{\"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.3}}}{}",
+        t.scalar_ms,
+        t.simd_ms,
+        t.speedup(),
+        if last { "" } else { "," }
+    );
+}
+
 fn join_table(name: &str, rows: usize) -> Table {
     let mut b = TableBuilder::new(name, &["k", "v"]);
     for i in 0..rows {
@@ -183,7 +339,7 @@ fn main() {
         .position(|a| a == "--pr")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--pr takes a number"))
-        .unwrap_or(3);
+        .unwrap_or(5);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -205,15 +361,19 @@ fn main() {
         ..Default::default()
     })
     .expect("wdc generation");
-    let wdc_gts = wdc_ground_truths(&wdc).expect("wdc ground truths");
-    let wdc_report = report_corpus("WDC", wdc, wdc_gts, reps);
-
     let chembl = generate_chembl(&ChemblConfig {
         n_compounds: chembl_compounds,
         n_tables: chembl_tables,
         seed: 0xC4EB,
     })
     .expect("chembl generation");
+
+    // Kernel microbenchmarks run over both corpora's columns before the
+    // catalogs are consumed by the end-to-end passes.
+    let kernels = sketch_kernel_report(&[&wdc, &chembl], reps.max(3));
+
+    let wdc_gts = wdc_ground_truths(&wdc).expect("wdc ground truths");
+    let wdc_report = report_corpus("WDC", wdc, wdc_gts, reps);
     let chembl_gts = chembl_ground_truths(&chembl).expect("chembl ground truths");
     let chembl_report = report_corpus("ChEMBL", chembl, chembl_gts, reps);
 
@@ -225,9 +385,22 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"exp_bench_report\",");
     let _ = writeln!(json, "  \"pr\": {pr},");
+    let _ = writeln!(json, "  \"hardware\": {},", hardware_json());
     let _ = writeln!(json, "  \"hardware_threads\": {hw},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"reps\": {reps},");
+    // Sketching kernels: dispatched SIMD path vs. the scalar reference the
+    // pre-SIMD builder ran, over every column of both corpora.
+    json.push_str("  \"sketch_kernels\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"k\": {}, \"columns\": {}, \"values\": {},",
+        kernels.k, kernels.columns, kernels.values
+    );
+    write_kernel(&mut json, "minhash_signature", &kernels.minhash, false);
+    write_kernel(&mut json, "lsh_band_hash", &kernels.band_hash, false);
+    write_kernel(&mut json, "containment_merge", &kernels.containment, true);
+    json.push_str("  },\n");
     json.push_str("  \"corpora\": [\n");
     for (i, r) in [&wdc_report, &chembl_report].iter().enumerate() {
         let speedup = r.build_ms_1 / r.build_ms_auto;

@@ -21,6 +21,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
+use ver_bench::hardware_json;
 use ver_core::VerConfig;
 use ver_datagen::wdc::{generate_wdc, WdcConfig};
 use ver_datagen::workload::{generate_workload, wdc_ground_truths};
@@ -191,6 +192,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"exp_serve_bench\",");
     let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"hardware\": {},", hardware_json());
     let _ = writeln!(json, "  \"hardware_threads\": {hw},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"reps\": {reps},");

@@ -16,13 +16,24 @@ pub struct FxHasher {
     hash: u64,
 }
 
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// The Fx multiplier (public to the crate so the SIMD lanes in
+/// [`crate::simd`] can replicate [`fx_step`] exactly).
+pub(crate) const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 const ROTATE: u32 = 5;
+
+/// One Fx hashing step: fold `word` into the running `hash`. This is the
+/// exact state transition [`FxHasher`] applies per 8-byte word; the LSH
+/// band-hash kernel replays it lane-parallel across bands
+/// ([`crate::simd::fx_step_x8`]) and must stay bit-identical to it.
+#[inline]
+pub fn fx_step(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(ROTATE) ^ word).wrapping_mul(FX_SEED)
+}
 
 impl FxHasher {
     #[inline]
     fn add_to_hash(&mut self, i: u64) {
-        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED);
+        self.hash = fx_step(self.hash, i);
     }
 }
 
@@ -96,13 +107,19 @@ pub fn fx_hash_u64<T: Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+/// SplitMix64 finaliser constants, shared with the eight-lane version in
+/// [`crate::simd::mix64x8`] so the two can never drift apart.
+pub(crate) const MIX64_INC: u64 = 0x9e37_79b9_7f4a_7c15;
+pub(crate) const MIX64_M1: u64 = 0xbf58_476d_1ce4_e5b9;
+pub(crate) const MIX64_M2: u64 = 0x94d0_49bb_1331_11eb;
+
 /// Mix a 64-bit value (SplitMix64 finaliser). Used to derive independent
 /// hash functions for MinHash from a single base hash.
 #[inline]
 pub fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z = z.wrapping_add(MIX64_INC);
+    z = (z ^ (z >> 30)).wrapping_mul(MIX64_M1);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX64_M2);
     z ^ (z >> 31)
 }
 

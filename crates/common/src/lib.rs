@@ -15,6 +15,9 @@
 //! * [`pool`] — a chunk-stealing parallel runtime (`par_map` /
 //!   `par_for_each` over scoped threads) shared by the offline build paths;
 //!   `threads: 0` means "use every available hardware thread".
+//! * [`simd`] — fixed-width `u64` lane blocks and runtime backend dispatch
+//!   for the MinHash/LSH sketching kernels (`VER_SIMD=0` forces the scalar
+//!   reference path; output is bit-identical either way).
 //! * [`cache`] — thread-safe LRU and memoization caches with hit/miss
 //!   counters, the substrate of the `ver-serve` serving layer.
 //! * [`stats`] — tiny summary-statistics helpers used by the experiment
@@ -30,6 +33,7 @@ pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod pool;
+pub mod simd;
 pub mod stats;
 pub mod text;
 pub mod timer;
@@ -39,4 +43,5 @@ pub use error::{Result, VerError};
 pub use fxhash::{fx_hash_bytes, fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ColumnId, ColumnRef, TableId, ViewId};
 pub use pool::{par_for_each, par_map, resolve_threads, ThreadPool};
+pub use simd::{active_backend, simd_enabled, SimdBackend};
 pub use value::{DataType, Value};

@@ -8,34 +8,33 @@
 
 use crate::fxhash::FxHashMap;
 
-/// Levenshtein edit distance with an early-exit `cap`.
-///
-/// Returns `cap + 1` as soon as the distance provably exceeds `cap`, which
-/// keeps fuzzy keyword search linear-ish for non-matches.
-pub fn levenshtein_capped(a: &str, b: &str, cap: usize) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let (n, m) = (a.len(), b.len());
+/// The one capped-Levenshtein DP in this crate: distance between `key` and
+/// the pre-decoded `needle`, capped at `cap + 1`, streaming `key`'s chars
+/// and writing the single DP row into `row` (cleared and refilled; `row[j]`
+/// = distance between the consumed prefix of `key` and `needle[..j]`).
+/// Both [`levenshtein_capped`] and [`FuzzyMatcher`] call this, so the two
+/// public surfaces cannot drift apart.
+fn capped_row_distance(key: &str, needle: &[char], cap: usize, row: &mut Vec<usize>) -> usize {
+    let m = needle.len();
+    let n = key.chars().count();
     if n.abs_diff(m) > cap {
         return cap + 1;
     }
-    if n == 0 {
-        return m.min(cap + 1);
+    if n == 0 || m == 0 {
+        // One side empty: the distance is the other side's length.
+        return n.max(m).min(cap + 1);
     }
-    if m == 0 {
-        return n.min(cap + 1);
-    }
-    // Single-row DP; row[j] = distance between a[..i] and b[..j].
-    let mut row: Vec<usize> = (0..=m).collect();
-    for i in 1..=n {
+    row.clear();
+    row.extend(0..=m);
+    for (i, ka) in key.chars().enumerate() {
         let mut prev_diag = row[0];
-        row[0] = i;
+        row[0] = i + 1;
         let mut row_min = row[0];
-        for j in 1..=m {
-            let cost = usize::from(a[i - 1] != b[j - 1]);
-            let val = (prev_diag + cost).min(row[j] + 1).min(row[j - 1] + 1);
-            prev_diag = row[j];
-            row[j] = val;
+        for (j, &nb) in needle.iter().enumerate() {
+            let cost = usize::from(ka != nb);
+            let val = (prev_diag + cost).min(row[j + 1] + 1).min(row[j] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = val;
             row_min = row_min.min(val);
         }
         if row_min > cap {
@@ -45,9 +44,53 @@ pub fn levenshtein_capped(a: &str, b: &str, cap: usize) -> usize {
     row[m].min(cap + 1)
 }
 
+/// Levenshtein edit distance with an early-exit `cap`.
+///
+/// Returns `cap + 1` as soon as the distance provably exceeds `cap`, which
+/// keeps fuzzy keyword search linear-ish for non-matches.
+pub fn levenshtein_capped(a: &str, b: &str, cap: usize) -> usize {
+    let needle: Vec<char> = b.chars().collect();
+    let mut row = Vec::with_capacity(needle.len() + 1);
+    capped_row_distance(a, &needle, cap, &mut row)
+}
+
 /// Plain Levenshtein distance (no cap).
 pub fn levenshtein(a: &str, b: &str) -> usize {
     levenshtein_capped(a, b, a.chars().count().max(b.chars().count()))
+}
+
+/// A reusable capped-Levenshtein matcher for one needle.
+///
+/// [`levenshtein_capped`] collects both strings into fresh `char` vectors
+/// and allocates a DP row on every call — fine for one-off distances, but
+/// fuzzy keyword search probes the needle against *every* posting key. This
+/// matcher normalises that work up front: the needle is decoded once at
+/// construction, the DP row is allocated once and reused, and each probe
+/// streams the key's chars without collecting them.
+///
+/// `matches(key)` returns exactly `levenshtein_capped(key, needle, cap) <=
+/// cap` (pinned by tests); only the allocation profile differs.
+#[derive(Debug, Clone)]
+pub struct FuzzyMatcher {
+    needle: Vec<char>,
+    cap: usize,
+    row: Vec<usize>,
+}
+
+impl FuzzyMatcher {
+    /// Matcher accepting keys within `cap` edits of `needle`.
+    pub fn new(needle: &str, cap: usize) -> Self {
+        let needle: Vec<char> = needle.chars().collect();
+        let row = Vec::with_capacity(needle.len() + 1);
+        FuzzyMatcher { needle, cap, row }
+    }
+
+    /// `true` when `key` is within the cap: `levenshtein(key, needle) <=
+    /// cap`, with the same early exits as [`levenshtein_capped`] (the two
+    /// share one DP implementation) and no per-call allocation.
+    pub fn matches(&mut self, key: &str) -> bool {
+        capped_row_distance(key, &self.needle, self.cap, &mut self.row) <= self.cap
+    }
 }
 
 /// Lower-cased alphanumeric tokens; separators are any
@@ -161,6 +204,42 @@ mod tests {
     fn levenshtein_unicode() {
         assert_eq!(levenshtein("café", "cafe"), 1);
         assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn fuzzy_matcher_agrees_with_levenshtein_capped() {
+        let cases = [
+            ("indiana", 1, "indianna"),
+            ("indiana", 1, "georgia"),
+            ("state", 5, "state_name"),
+            ("", 2, "ab"),
+            ("", 1, "ab"),
+            ("abc", 0, "abc"),
+            ("abc", 0, "abd"),
+            ("café", 1, "cafe"),
+            ("aaaaaaaa", 2, "bbbbbbbb"),
+            ("a", 2, "abcdefg"),
+        ];
+        for (needle, cap, key) in cases {
+            let mut m = FuzzyMatcher::new(needle, cap);
+            let expected = levenshtein_capped(key, needle, cap) <= cap;
+            assert_eq!(m.matches(key), expected, "needle={needle} key={key}");
+            // Reuse across probes must not corrupt state.
+            assert_eq!(m.matches(key), expected, "second probe of {key}");
+        }
+    }
+
+    #[test]
+    fn fuzzy_matcher_reuse_across_many_keys() {
+        let mut m = FuzzyMatcher::new("population", 2);
+        let keys = ["population", "populaton", "popullation", "iata", ""];
+        for key in keys {
+            assert_eq!(
+                m.matches(key),
+                levenshtein_capped(key, "population", 2) <= 2,
+                "key={key}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 use crate::engine::DiscoveryIndex;
 use crate::hypergraph::JoinHypergraph;
 use crate::lsh::LshIndex;
-use crate::minhash::{estimated_containment, hashed_containment, MinHashSignature, MinHasher};
+use crate::minhash::{
+    estimated_containment_max, hashed_containment_max, MinHashSignature, MinHasher,
+};
 use crate::valueindex::KeywordIndex;
 use ver_common::error::Result;
 use ver_common::fxhash::FxHashSet;
@@ -109,7 +111,7 @@ fn compute_signatures(
     pool: &ThreadPool,
 ) -> Vec<MinHashSignature> {
     pool.par_map(profiles, |p| {
-        hasher.signature_of_hashes(p.hashes.iter().copied(), p.distinct)
+        hasher.signature_of_hash_slice(&p.hashes, p.distinct)
     })
 }
 
@@ -188,9 +190,7 @@ fn build_hypergraph(
     // Ensemble/Lazo address. False candidates are discarded by the
     // containment check below.
     let mut lsh = LshIndex::new(config.minhash_k, 1);
-    for (i, sig) in signatures.iter().enumerate() {
-        lsh.insert(ColumnId(i as u32), sig);
-    }
+    lsh.insert_signatures(signatures, pool);
 
     let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
     let mut pairs: Vec<(u32, u32)> = Vec::new();
@@ -211,15 +211,17 @@ fn build_hypergraph(
     pairs.sort_unstable();
 
     let scores = pool.par_map(&pairs, |&(a, b)| {
+        // Symmetric-max scoring shares one intersection/agreement count per
+        // pair (bit-identical to taking the max of both directions).
         if config.verify_exact {
             let (ha, hb) = (
                 profiles[a as usize].hashes.as_slice(),
                 profiles[b as usize].hashes.as_slice(),
             );
-            hashed_containment(ha, hb).max(hashed_containment(hb, ha))
+            hashed_containment_max(ha, hb)
         } else {
             let (sa, sb) = (&signatures[a as usize], &signatures[b as usize]);
-            estimated_containment(sa, sb).max(estimated_containment(sb, sa))
+            estimated_containment_max(sa, sb)
         }
     });
     for (&(a, b), &score) in pairs.iter().zip(&scores) {

@@ -37,5 +37,10 @@ pub use builder::{build_index, IndexConfig};
 pub use engine::DiscoveryIndex;
 pub use hypergraph::JoinHypergraph;
 pub use joinpath::{JoinGraph, JoinGraphEdge, JoinGraphOptions};
-pub use minhash::{MinHashSignature, MinHasher};
+pub use lsh::LshIndex;
+pub use minhash::{
+    estimated_containment, estimated_containment_max, estimated_jaccard, exact_containment,
+    exact_jaccard, hashed_containment, hashed_containment_max, hashed_containment_scalar,
+    hashed_jaccard, MinHashSignature, MinHasher,
+};
 pub use valueindex::{Fuzziness, SearchTarget};

@@ -8,10 +8,23 @@
 //! makes them a *candidate pair*. The probability a pair with similarity `s`
 //! becomes a candidate is `1 − (1 − s^r)^b` — the classic S-curve.
 
+//!
+//! Band hashing is vectorized: a signature's `b` band hashes are computed
+//! in one batched kernel, eight bands per step ([`ver_common::simd`]), each
+//! lane replaying the exact Fx word-fold the scalar `fx_hash_u64` performs —
+//! so batched and per-band hashing are bit-identical, and bucket layouts
+//! never depend on the backend. The offline builder inserts whole signature
+//! sets at once via [`LshIndex::insert_signatures`], which fans the
+//! band-hash kernel out over the thread pool and fills buckets in
+//! `ColumnId` order for any worker count.
+
 use crate::minhash::MinHashSignature;
 use serde::{Deserialize, Serialize};
-use ver_common::fxhash::{fx_hash_u64, FxHashMap, FxHashSet};
+use ver_common::fxhash::{fx_hash_u64, fx_step, FxHashMap, FxHashSet};
 use ver_common::ids::ColumnId;
+use ver_common::pool::ThreadPool;
+use ver_common::simd::{self, fx_step_x8, U64x8, LANES};
+use ver_common::simd_multiversion;
 
 /// Banded LSH index over column signatures.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -66,9 +79,49 @@ impl LshIndex {
         self.rows
     }
 
-    fn band_hash(&self, sig: &MinHashSignature, band: usize) -> u64 {
+    /// Scalar reference band hash: the Fx hash of one band's row slice.
+    /// [`LshIndex::band_hashes`] must reproduce this per band exactly.
+    fn band_hash_scalar(&self, sig: &MinHashSignature, band: usize) -> u64 {
         let start = band * self.rows;
         fx_hash_u64(&sig.sig[start..start + self.rows])
+    }
+
+    /// All band hashes of one signature in band order, computed by the
+    /// batched kernel (scalar reference under `VER_SIMD=0`). The returned
+    /// vector has exactly [`LshIndex::bands`] entries.
+    pub fn band_hashes(&self, sig: &MinHashSignature) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.band_hashes_into(sig, &mut out);
+        out
+    }
+
+    /// [`LshIndex::band_hashes`] into a reused buffer — the allocation-free
+    /// entry point for loops that hash many signatures (`out` is cleared
+    /// and refilled with [`LshIndex::bands`] entries).
+    pub fn band_hashes_into(&self, sig: &MinHashSignature, out: &mut Vec<u64>) {
+        assert_eq!(
+            sig.sig.len(),
+            self.bands * self.rows,
+            "signature length does not match banding"
+        );
+        out.clear();
+        out.resize(self.bands, 0);
+        if simd::simd_enabled() && self.bands >= LANES {
+            band_hashes_blocked(&sig.sig, self.rows, out);
+        } else {
+            for (band, slot) in out.iter_mut().enumerate() {
+                *slot = self.band_hash_scalar(sig, band);
+            }
+        }
+    }
+
+    /// Bucket `id` under precomputed band hashes (the write half of
+    /// [`LshIndex::insert`], split out so batch insertion can hash on the
+    /// pool and fill buckets deterministically afterwards).
+    fn bucket_hashed(&mut self, id: ColumnId, band_hashes: &[u64]) {
+        for (band, &h) in band_hashes.iter().enumerate() {
+            self.buckets[band].entry(h).or_default().push(id);
+        }
     }
 
     /// Insert a column's signature. Empty signatures are skipped (empty
@@ -77,14 +130,27 @@ impl LshIndex {
         if sig.is_empty() {
             return;
         }
-        assert_eq!(
-            sig.sig.len(),
-            self.bands * self.rows,
-            "signature length does not match banding"
-        );
-        for band in 0..self.bands {
-            let h = self.band_hash(sig, band);
-            self.buckets[band].entry(h).or_default().push(id);
+        let hashes = self.band_hashes(sig);
+        self.bucket_hashed(id, &hashes);
+    }
+
+    /// Insert a whole signature set at once: `sigs[i]` is bucketed as
+    /// `ColumnId(i)`. Band hashing — the arithmetic half — fans out over
+    /// `pool`; bucket filling then runs in `ColumnId` order, so the bucket
+    /// lists are identical to sequential [`LshIndex::insert`] calls for any
+    /// worker count. This is the offline builder's insertion path.
+    pub fn insert_signatures(&mut self, sigs: &[MinHashSignature], pool: &ThreadPool) {
+        let hashed: Vec<Option<Vec<u64>>> = pool.par_map(sigs, |sig| {
+            if sig.is_empty() {
+                None
+            } else {
+                Some(self.band_hashes(sig))
+            }
+        });
+        for (i, hashes) in hashed.iter().enumerate() {
+            if let Some(hashes) = hashes {
+                self.bucket_hashed(ColumnId(i as u32), hashes);
+            }
         }
     }
 
@@ -95,8 +161,7 @@ impl LshIndex {
             return Vec::new();
         }
         let mut out: FxHashSet<ColumnId> = FxHashSet::default();
-        for band in 0..self.bands {
-            let h = self.band_hash(sig, band);
+        for (band, &h) in self.band_hashes(sig).iter().enumerate() {
             if let Some(ids) = self.buckets[band].get(&h) {
                 out.extend(ids.iter().copied());
             }
@@ -109,14 +174,56 @@ impl LshIndex {
         v
     }
 
-    /// Iterate every bucket with ≥ 2 members — the candidate-pair source for
-    /// offline hypergraph construction.
+    /// Iterate every bucket with ≥ 2 members — the candidate-pair source
+    /// for offline hypergraph construction.
     pub fn collision_groups(&self) -> impl Iterator<Item = &[ColumnId]> + '_ {
         self.buckets
             .iter()
             .flat_map(|b| b.values())
             .filter(|v| v.len() >= 2)
             .map(|v| v.as_slice())
+    }
+}
+
+simd_multiversion! {
+    /// Batched band hashing: eight bands per step, each lane replaying the
+    /// exact word-fold `fx_hash_u64` applies to a band's row slice — the
+    /// length prefix, then each row (as little-endian words via `to_le`,
+    /// matching the byte-wise `Hasher::write` the std slice `Hash` impl
+    /// feeds). Bands are independent, so lane-parallel evaluation is
+    /// bit-identical to hashing band by band; the remainder
+    /// (`bands % LANES`) falls back to the scalar hash. `out.len()` must be
+    /// `sig.len() / rows`.
+    fn band_hashes_blocked(sig: &[u64], rows: usize, out: &mut [u64]) {
+        let bands = out.len();
+        let full = bands - bands % LANES;
+        // Length prefix: std's slice Hash writes the element count first
+        // (`write_usize(rows)`), identically for every band.
+        let prefix = fx_step_x8(U64x8::splat(0), U64x8::splat(rows as u64));
+        for block in (0..full).step_by(LANES) {
+            let mut h = prefix;
+            if rows == 1 {
+                // Single-row bands (the builder's containment-friendly
+                // banding): lanes load contiguously.
+                h = fx_step_x8(h, U64x8::load(&sig[block..]).to_le());
+            } else {
+                for j in 0..rows {
+                    let mut words = [0u64; LANES];
+                    for (lane, w) in words.iter_mut().enumerate() {
+                        *w = sig[(block + lane) * rows + j];
+                    }
+                    h = fx_step_x8(h, U64x8(words).to_le());
+                }
+            }
+            h.store(&mut out[block..]);
+        }
+        for band in full..bands {
+            let mut h = fx_step(0, rows as u64);
+            for j in 0..rows {
+                h = fx_step(h, sig[band * rows + j].to_le());
+            }
+            out[band] = h;
+        }
     }
 }
 
@@ -190,6 +297,49 @@ mod tests {
         let mut idx = LshIndex::new(4, 8); // expects 32
         let a = h.signature_of_column(&col(0..10));
         idx.insert(ColumnId(0), &a);
+    }
+
+    #[test]
+    fn batched_band_hashes_match_scalar_reference() {
+        // Bandings with and without lane-width remainders, rows > 1, and a
+        // bands < LANES case that exercises the scalar dispatch.
+        for (bands, rows) in [(128, 1), (32, 4), (12, 2), (9, 3), (4, 4), (1, 16)] {
+            let h = MinHasher::new(bands * rows, 77);
+            let idx = LshIndex::new(bands, rows);
+            let sig = h.signature_of_column(&col(0..500));
+            let batched = idx.band_hashes(&sig);
+            assert_eq!(batched.len(), bands);
+            for (band, &bh) in batched.iter().enumerate() {
+                assert_eq!(
+                    bh,
+                    idx.band_hash_scalar(&sig, band),
+                    "bands={bands} rows={rows} band={band}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_signatures_matches_sequential_inserts() {
+        let h = MinHasher::new(32, 5);
+        let sigs: Vec<MinHashSignature> = (0..20)
+            .map(|i| {
+                if i % 7 == 3 {
+                    h.signature_of_column(&Column::new()) // empty: skipped
+                } else {
+                    h.signature_of_column(&col(i * 40..i * 40 + 120))
+                }
+            })
+            .collect();
+        let mut seq = LshIndex::new(8, 4);
+        for (i, sig) in sigs.iter().enumerate() {
+            seq.insert(ColumnId(i as u32), sig);
+        }
+        for threads in [1, 4] {
+            let mut batch = LshIndex::new(8, 4);
+            batch.insert_signatures(&sigs, &ver_common::pool::ThreadPool::new(threads));
+            assert_eq!(batch.buckets, seq.buckets, "threads={threads}");
+        }
     }
 
     #[test]

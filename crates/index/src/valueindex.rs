@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 use ver_common::fxhash::{FxHashMap, FxHashSet};
 use ver_common::ids::{ColumnId, TableId};
-use ver_common::text::levenshtein_capped;
+use ver_common::text::FuzzyMatcher;
 
 /// What a keyword should be matched against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,36 @@ pub struct KeywordIndex {
 
 fn normalize(s: &str) -> String {
     s.trim().to_lowercase()
+}
+
+/// One query's match state, built once per lookup: the normalised needle
+/// plus (for fuzzy mode) a reusable [`FuzzyMatcher`]. Probing a posting key
+/// allocates nothing.
+struct KeywordMatcher {
+    needle: String,
+    fuzzy: Option<FuzzyMatcher>,
+}
+
+impl KeywordMatcher {
+    fn new(keyword: &str, fuzzy: Fuzziness) -> Self {
+        let needle = normalize(keyword);
+        let fuzzy = match fuzzy {
+            Fuzziness::Exact => None,
+            Fuzziness::MaxEdits(d) => Some(FuzzyMatcher::new(&needle, d)),
+        };
+        KeywordMatcher { needle, fuzzy }
+    }
+
+    fn needle(&self) -> &str {
+        &self.needle
+    }
+
+    fn matches(&mut self, key: &str) -> bool {
+        match &mut self.fuzzy {
+            None => key == self.needle,
+            Some(m) => m.matches(key),
+        }
+    }
 }
 
 impl KeywordIndex {
@@ -172,31 +202,29 @@ impl KeywordIndex {
 
     /// SEARCH-KEYWORD: columns matching `keyword` under `target`/`fuzzy`.
     /// Results are sorted and deduplicated for determinism.
+    ///
+    /// The query is normalised once up front; fuzzy probes share one
+    /// `KeywordMatcher` (pre-decoded needle, reused DP row), so the per-key
+    /// lookup loop over the posting maps allocates nothing.
     pub fn search_keyword(
         &self,
         keyword: &str,
         target: SearchTarget,
         fuzzy: Fuzziness,
     ) -> Vec<ColumnId> {
-        let needle = normalize(keyword);
+        let mut matcher = KeywordMatcher::new(keyword, fuzzy);
         let mut out: FxHashSet<ColumnId> = FxHashSet::default();
-        let matches = |key: &str| -> bool {
-            match fuzzy {
-                Fuzziness::Exact => key == needle,
-                Fuzziness::MaxEdits(d) => levenshtein_capped(key, &needle, d) <= d,
-            }
-        };
 
         if matches!(target, SearchTarget::Values | SearchTarget::All) {
             match fuzzy {
                 Fuzziness::Exact => {
-                    if let Some(cols) = self.values.get(&needle) {
+                    if let Some(cols) = self.values.get(matcher.needle()) {
                         out.extend(cols.iter().copied());
                     }
                 }
                 Fuzziness::MaxEdits(_) => {
                     for (key, cols) in &self.values {
-                        if matches(key) {
+                        if matcher.matches(key) {
                             out.extend(cols.iter().copied());
                         }
                     }
@@ -205,14 +233,14 @@ impl KeywordIndex {
         }
         if matches!(target, SearchTarget::Attributes | SearchTarget::All) {
             for (key, cols) in &self.attributes {
-                if matches(key) {
+                if matcher.matches(key) {
                     out.extend(cols.iter().copied());
                 }
             }
         }
         if matches!(target, SearchTarget::TableNames | SearchTarget::All) {
             for (key, table) in &self.table_names {
-                if matches(key) {
+                if matcher.matches(key) {
                     if let Some(cols) = self.table_columns.get(table) {
                         out.extend(cols.iter().copied());
                     }
@@ -227,14 +255,11 @@ impl KeywordIndex {
 
     /// Tables whose name matches `keyword`.
     pub fn search_table(&self, keyword: &str, fuzzy: Fuzziness) -> Vec<TableId> {
-        let needle = normalize(keyword);
+        let mut matcher = KeywordMatcher::new(keyword, fuzzy);
         let mut out: Vec<TableId> = self
             .table_names
             .iter()
-            .filter(|(key, _)| match fuzzy {
-                Fuzziness::Exact => key.as_str() == needle,
-                Fuzziness::MaxEdits(d) => levenshtein_capped(key, &needle, d) <= d,
-            })
+            .filter(|(key, _)| matcher.matches(key))
             .map(|(_, &t)| t)
             .collect();
         out.sort_unstable();
