@@ -5,7 +5,9 @@
 //! view materialization, and the 4C distillation pass, each at 1 / 2 /
 //! auto threads), the sketching kernels (MinHash signature, LSH band
 //! hashing, containment merge — SIMD vs. scalar reference over the full
-//! corpus), and the hash-join micro-kernel — on the standard corpora, and
+//! corpus), the shared sub-join DAG executor against the independent
+//! per-candidate materializer (with the DAG's shared-edge hit counters),
+//! and the hash-join micro-kernel — on the standard corpora, and
 //! writes a machine-readable `BENCH_<n>.json` so successive PRs accumulate
 //! a comparable perf series. Every report embeds the bench host's hardware
 //! context (thread count, CPU features, active SIMD backend).
@@ -33,7 +35,7 @@ use ver_index::{
 };
 use ver_qbe::groundtruth::GroundTruth;
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
-use ver_search::SearchConfig;
+use ver_search::{MaterializeStats, SearchConfig};
 use ver_store::catalog::TableCatalog;
 use ver_store::table::{Table, TableBuilder};
 
@@ -60,6 +62,22 @@ struct OnlineTimes {
     distill_4c_ms: f64,
 }
 
+/// Shared sub-join DAG vs. independent per-candidate materialization over
+/// one corpus's workload: accumulated DAG counters (PR 6) plus the
+/// materialize-phase wall clock of both executors at one worker thread.
+#[derive(Debug, Clone, Copy, Default)]
+struct DagReport {
+    stats: MaterializeStats,
+    dag_ms: f64,
+    independent_ms: f64,
+}
+
+impl DagReport {
+    fn speedup(&self) -> f64 {
+        self.independent_ms / self.dag_ms
+    }
+}
+
 struct CorpusReport {
     name: &'static str,
     tables: usize,
@@ -73,6 +91,7 @@ struct CorpusReport {
     online_1: OnlineTimes,
     online_2: OnlineTimes,
     online_auto: OnlineTimes,
+    dag: DagReport,
 }
 
 fn index_config(threads: usize, verify_exact: bool) -> IndexConfig {
@@ -111,6 +130,55 @@ fn online_pass(ver: &Ver, gts: &[GroundTruth], threads: usize) -> (OnlineTimes, 
     (t, queries, views)
 }
 
+/// Head-to-head materialization: every ground-truth query run through both
+/// executors — the shared sub-join DAG (`dag_materialize: true`, the
+/// default) and the independent per-candidate path — with the outputs
+/// asserted bit-identical while timing. Best-of-`reps` materialize-phase
+/// wall clock per query per arm, summed; DAG counters (distinct steps,
+/// shared-edge hits, empty-pruned views) accumulated from the DAG arm.
+fn dag_pass(ver: &Ver, gts: &[GroundTruth], reps: usize) -> DagReport {
+    let dag_cfg = SearchConfig {
+        threads: 1,
+        ..eval_search_config()
+    };
+    let ind_cfg = SearchConfig {
+        threads: 1,
+        dag_materialize: false,
+        ..eval_search_config()
+    };
+    let mut r = DagReport::default();
+    for gt in gts {
+        let Ok(query) = generate_noisy_query(ver.catalog(), gt, NoiseLevel::Zero, 3, 1) else {
+            continue;
+        };
+        let (mut dag_best, mut ind_best) = (f64::INFINITY, f64::INFINITY);
+        let (mut dag_out, mut ind_out) = (None, None);
+        for _ in 0..reps.max(1) {
+            let out = run_strategy(ver, &query, Strategy::ColumnSelection, &dag_cfg);
+            dag_best = dag_best.min(out.timer.get("materialize").as_secs_f64() * 1e3);
+            dag_out = Some(out);
+            let out = run_strategy(ver, &query, Strategy::ColumnSelection, &ind_cfg);
+            ind_best = ind_best.min(out.timer.get("materialize").as_secs_f64() * 1e3);
+            ind_out = Some(out);
+        }
+        let (dag_out, ind_out) = (dag_out.unwrap(), ind_out.unwrap());
+        // The invariant behind the timing: both executors produce the
+        // identical ranked views — enforced even here.
+        assert_eq!(dag_out.views.len(), ind_out.views.len());
+        for (a, b) in dag_out.views.iter().zip(&ind_out.views) {
+            assert!(
+                a.same_contents(b),
+                "DAG executor diverged from independent reference on {}",
+                gt.name
+            );
+        }
+        r.stats.accumulate(dag_out.dag);
+        r.dag_ms += dag_best;
+        r.independent_ms += ind_best;
+    }
+    r
+}
+
 /// Time index builds (1/2/auto threads) and the online path (JGS +
 /// materialization + 4C, likewise at 1/2/auto threads) over the corpus's
 /// ground-truth queries.
@@ -141,6 +209,7 @@ fn report_corpus(
     let (online_1, queries, views) = online_pass(&ver, &gts, 1);
     let (online_2, ..) = online_pass(&ver, &gts, 2);
     let (online_auto, ..) = online_pass(&ver, &gts, 0);
+    let dag = dag_pass(&ver, &gts, reps);
 
     CorpusReport {
         name,
@@ -155,6 +224,7 @@ fn report_corpus(
         online_1,
         online_2,
         online_auto,
+        dag,
     }
 }
 
@@ -339,7 +409,7 @@ fn main() {
         .position(|a| a == "--pr")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--pr takes a number"))
-        .unwrap_or(5);
+        .unwrap_or(6);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -424,6 +494,26 @@ fn main() {
         write_online(&mut json, "threads_1", &r.online_1, false);
         write_online(&mut json, "threads_2", &r.online_2, false);
         write_online(&mut json, "threads_auto", &r.online_auto, true);
+        json.push_str("      },\n");
+        // Shared sub-join DAG vs. independent per-candidate execution
+        // (both at one worker thread, outputs asserted bit-identical).
+        json.push_str("      \"materialize_dag\": {\n");
+        let _ = writeln!(
+            json,
+            "        \"candidates\": {}, \"total_steps\": {}, \"distinct_steps\": {}, \"shared_hits\": {}, \"empty_pruned\": {},",
+            r.dag.stats.candidates,
+            r.dag.stats.total_steps,
+            r.dag.stats.distinct_steps,
+            r.dag.stats.shared_hits,
+            r.dag.stats.empty_pruned
+        );
+        let _ = writeln!(
+            json,
+            "        \"dag_ms\": {:.3}, \"independent_ms\": {:.3}, \"speedup\": {:.3}",
+            r.dag.dag_ms,
+            r.dag.independent_ms,
+            r.dag.speedup()
+        );
         json.push_str("      }\n");
         json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
     }

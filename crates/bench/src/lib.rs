@@ -21,7 +21,7 @@ use ver_datagen::workload::{attach_noise_columns, chembl_ground_truths, wdc_grou
 use ver_index::DiscoveryIndex;
 use ver_qbe::groundtruth::GroundTruth;
 use ver_qbe::query::ExampleQuery;
-use ver_search::{join_graph_search, SearchConfig, SearchOutput};
+use ver_search::{SearchConfig, SearchContext, SearchOutput};
 use ver_select::baselines::{select_all, select_best};
 use ver_select::{column_selection, SelectionConfig};
 use ver_store::catalog::TableCatalog;
@@ -199,7 +199,9 @@ pub fn run_strategy(
         Strategy::SelectAll => select_all(index, query),
         Strategy::SelectBest => select_best(index, query),
     };
-    join_graph_search(ver.catalog(), index, &selection, search).expect("search succeeds")
+    SearchContext::new(ver.catalog(), index)
+        .search(&selection, search)
+        .expect("search succeeds")
 }
 
 /// Search configuration used by the experiments (paper defaults with a

@@ -15,7 +15,7 @@ use ver_engine::view::View;
 use ver_index::{build_index, DiscoveryIndex};
 use ver_present::{fasttopk_rank, PresentationSession, SessionOutcome, SimulatedUser};
 use ver_qbe::{ExampleQuery, ViewSpec};
-use ver_search::{join_graph_search_cached, SearchCaches};
+use ver_search::{SearchCaches, SearchContext};
 use ver_select::SelectionResult;
 use ver_store::catalog::TableCatalog;
 
@@ -146,13 +146,11 @@ impl Ver {
         });
 
         // JOIN-GRAPH-SEARCH + MATERIALIZER (line 8).
-        let search_out = join_graph_search_cached(
-            &self.catalog,
-            &self.index,
-            &selection,
-            &self.config.search,
-            caches,
-        )?;
+        let mut search_cx = SearchContext::new(&self.catalog, &self.index);
+        if let Some(caches) = caches {
+            search_cx = search_cx.with_caches(caches);
+        }
+        let search_out = search_cx.search(&selection, &self.config.search)?;
         timer.add("jgs", search_out.timer.get("jgs"));
         timer.add("materialize", search_out.timer.get("materialize"));
         let mut views = search_out.views;

@@ -13,10 +13,14 @@
 //! * [`rowhash`] — the row-wise hash function `H` of Algorithm 3.
 //! * [`plan`] / [`exec`] — PJ plans (a join tree linearised into steps plus a
 //!   projection list) and their executor, producing materialized [`View`]s.
+//! * [`dag`] — the row-index join core behind shared sub-join execution:
+//!   [`JoinState`] intermediates that many plans with a
+//!   common prefix reuse, bit-identical to [`exec`]'s independent path.
 //!
 //! Layer 2 of the crate map in the repo-root `ARCHITECTURE.md`: the
 //! relational executor under the MATERIALIZER and distillation.
 
+pub mod dag;
 pub mod dedup;
 pub mod exec;
 pub mod join;
@@ -26,6 +30,10 @@ pub mod rowhash;
 pub mod union;
 pub mod view;
 
+pub use dag::{
+    execute_plan_shared, materialize_state, materialize_state_hashed, materialize_state_named,
+    ColumnHashes, JoinState,
+};
 pub use exec::execute_plan;
 pub use plan::{JoinStep, PjPlan};
 pub use view::{Provenance, View};

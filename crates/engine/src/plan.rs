@@ -13,7 +13,11 @@ use ver_common::ids::{ColumnRef, TableId};
 
 /// One join step: `left` is a column of a table already in the plan,
 /// `right` a column of the newly attached table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` because an oriented step doubles as a node key in the shared
+/// sub-join DAG (`ver_search::materialize::MaterializePlanner`) and as part
+/// of the plan-derived view-cache key (`ver_search::cache::ViewKey`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct JoinStep {
     /// Join column on the accumulated side.
     pub left: ColumnRef,

@@ -5,8 +5,8 @@
 //! pure functions of that index and therefore safe to share across queries
 //! and sessions:
 //!
-//! * **materialized candidate views** — executing a (join graph, projection)
-//!   candidate always yields the same view, so an LRU over candidates
+//! * **materialized candidate views** — executing a candidate's
+//!   [`PjPlan`] always yields the same view, so an LRU over plans
 //!   short-circuits the MATERIALIZER for candidates that recur across
 //!   queries (the common case: different example queries over the same
 //!   popular tables resolve to the same join graphs);
@@ -18,42 +18,46 @@
 //! Correctness contract: a cache **hit must be bit-identical to the value a
 //! miss would compute**. The score memo keys on the canonical edge form
 //! (edge *sets* determine scores — the mean over edges is
-//! order-independent). The view cache keys on the *execution form* — the
-//! graph's oriented edge list in order plus the projection — because plan
-//! linearisation (and hence provenance and execution order) follows edge
-//! order; keying on the weaker canonical form could return a view whose
-//! provenance lists tables in a different order. With these keys, cached
-//! and uncached runs produce identical [`SearchOutput`]s, which
-//! `tests/serve_warm_start.rs` pins against the golden snapshot.
+//! order-independent). The view cache keys on the candidate's **linearised
+//! execution plan** — base table, oriented [`JoinStep`] sequence, and
+//! projection — because the materialized view (rows, row order, provenance,
+//! chained name) is a pure function of exactly that plan. Keying on the
+//! plan rather than the raw edge list means two graphs whose differing edge
+//! orders linearise to the same plan share one entry, while graphs that
+//! linearise differently (and hence execute differently) never collide.
+//! With these keys, cached and uncached runs produce identical
+//! [`SearchOutput`]s, which `tests/serve_warm_start.rs` pins against the
+//! golden snapshot.
 //!
 //! [`join_score`]: crate::rank::join_score
 //! [`graph_canon`]: crate::rank::graph_canon
 //! [`SearchOutput`]: crate::search::SearchOutput
+//! [`PjPlan`]: ver_engine::plan::PjPlan
 
 use std::sync::Arc;
 use ver_common::cache::{CacheStats, LruCache, Memo};
-use ver_common::ids::ColumnRef;
+use ver_common::ids::{ColumnRef, TableId};
+use ver_engine::plan::{JoinStep, PjPlan};
 use ver_engine::view::View;
-use ver_index::JoinGraph;
 
-/// Key identifying one execution candidate exactly: the join graph's
-/// oriented edges in execution order, plus the projected columns.
-pub type ViewKey = (Vec<(u32, u32)>, Arc<[ColumnRef]>);
+/// Key identifying one execution candidate exactly: the linearised plan's
+/// base table and oriented join steps in execution order, plus the
+/// projected columns.
+pub type ViewKey = (TableId, Vec<JoinStep>, Arc<[ColumnRef]>);
 
-/// Build the [`ViewKey`] for a (graph, projection) candidate.
-pub fn view_key(graph: &JoinGraph, projection: &Arc<[ColumnRef]>) -> ViewKey {
-    (
-        graph.edges.iter().map(|e| (e.left.0, e.right.0)).collect(),
-        projection.clone(),
-    )
+/// Build the [`ViewKey`] for a candidate from its linearised `plan`. The
+/// projection is passed separately so the shared `Arc` from candidate
+/// generation is reused instead of cloning the column list.
+pub fn view_key(plan: &PjPlan, projection: &Arc<[ColumnRef]>) -> ViewKey {
+    (plan.base, plan.joins.clone(), projection.clone())
 }
 
-/// Shared caches threaded through [`join_graph_search_cached`].
+/// Shared caches threaded through [`SearchContext::search`].
 ///
 /// All methods take `&self`; the struct is `Sync` and intended to live in an
 /// `Arc`'d serving engine queried from many threads.
 ///
-/// [`join_graph_search_cached`]: crate::search::join_graph_search_cached
+/// [`SearchContext::search`]: crate::search::SearchContext::search
 #[derive(Debug)]
 pub struct SearchCaches {
     /// LRU over materialized candidate views.
@@ -93,6 +97,19 @@ impl SearchCaches {
         self.scores.get_or_insert_with(canon, compute)
     }
 
+    /// Cached view for `key`, if present (counts a hit or a miss). The
+    /// batched search path partitions candidates with this before handing
+    /// the misses to `MaterializePlanner::plan_batch`.
+    pub fn view_get(&self, key: &ViewKey) -> Option<View> {
+        self.views.get(key)
+    }
+
+    /// Remember a freshly materialized view. Never insert failed
+    /// materializations — errors must not poison the cache.
+    pub fn view_insert(&self, key: ViewKey, view: View) {
+        self.views.insert(key, view);
+    }
+
     /// Cached view for `key`, or materialize-and-remember. Errors are never
     /// cached (a transient failure must not poison the cache).
     pub fn view_or_materialize(
@@ -100,11 +117,11 @@ impl SearchCaches {
         key: ViewKey,
         materialize: impl FnOnce() -> ver_common::error::Result<View>,
     ) -> ver_common::error::Result<View> {
-        if let Some(hit) = self.views.get(&key) {
+        if let Some(hit) = self.view_get(&key) {
             return Ok(hit);
         }
         let view = materialize()?;
-        self.views.insert(key, view.clone());
+        self.view_insert(key, view.clone());
         Ok(view)
     }
 }
@@ -113,30 +130,33 @@ impl SearchCaches {
 mod tests {
     use super::*;
     use ver_common::error::VerError;
-    use ver_common::ids::{ColumnId, TableId, ViewId};
+    use ver_common::ids::ViewId;
     use ver_engine::view::Provenance;
-    use ver_index::JoinGraphEdge;
     use ver_store::table::TableBuilder;
 
-    fn projection(cols: &[(u32, u16)]) -> Arc<[ColumnRef]> {
-        cols.iter()
-            .map(|&(t, o)| ColumnRef {
-                table: TableId(t),
-                ordinal: o,
-            })
-            .collect()
+    fn cref(t: u32, o: u16) -> ColumnRef {
+        ColumnRef {
+            table: TableId(t),
+            ordinal: o,
+        }
     }
 
-    fn graph(edges: &[(u32, u32)]) -> JoinGraph {
-        JoinGraph {
-            edges: edges
+    fn projection(cols: &[(u32, u16)]) -> Arc<[ColumnRef]> {
+        cols.iter().map(|&(t, o)| cref(t, o)).collect()
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn plan(base: u32, steps: &[((u32, u16), (u32, u16))]) -> PjPlan {
+        PjPlan {
+            base: TableId(base),
+            joins: steps
                 .iter()
-                .map(|&(l, r)| JoinGraphEdge {
-                    left: ColumnId(l),
-                    right: ColumnId(r),
-                    score: 0.9,
+                .map(|&((lt, lo), (rt, ro))| JoinStep {
+                    left: cref(lt, lo),
+                    right: cref(rt, ro),
                 })
                 .collect(),
+            projection: vec![cref(base, 0)],
         }
     }
 
@@ -150,20 +170,34 @@ mod tests {
     }
 
     #[test]
-    fn view_key_distinguishes_edge_order_and_orientation() {
+    fn view_key_distinguishes_step_order_and_orientation() {
         let p = projection(&[(0, 0), (1, 1)]);
-        let a = view_key(&graph(&[(0, 2), (2, 4)]), &p);
-        let b = view_key(&graph(&[(2, 4), (0, 2)]), &p);
-        let c = view_key(&graph(&[(2, 0), (2, 4)]), &p);
+        let a = view_key(&plan(0, &[((0, 0), (1, 0)), ((1, 1), (2, 0))]), &p);
+        let b = view_key(&plan(0, &[((1, 1), (2, 0)), ((0, 0), (1, 0))]), &p);
+        let c = view_key(&plan(0, &[((0, 0), (1, 1)), ((1, 1), (2, 0))]), &p);
         assert_ne!(a, b, "execution order is part of the key");
-        assert_ne!(a, c, "orientation is part of the key");
-        assert_eq!(a, view_key(&graph(&[(0, 2), (2, 4)]), &p));
+        assert_ne!(a, c, "join columns are part of the key");
+        assert_eq!(
+            a,
+            view_key(&plan(0, &[((0, 0), (1, 0)), ((1, 1), (2, 0))]), &p)
+        );
+        // Same steps, different base (projection-only plans differ too).
+        assert_ne!(
+            view_key(&plan(0, &[]), &p),
+            view_key(&plan(1, &[]), &p),
+            "base table is part of the key"
+        );
+        // Same plan, different projection.
+        assert_ne!(
+            view_key(&plan(0, &[]), &projection(&[(0, 0)])),
+            view_key(&plan(0, &[]), &projection(&[(0, 1)])),
+        );
     }
 
     #[test]
     fn view_cache_hits_skip_materialization() {
         let caches = SearchCaches::new(8);
-        let key = view_key(&graph(&[(0, 2)]), &projection(&[(0, 0)]));
+        let key = view_key(&plan(0, &[((0, 0), (1, 0))]), &projection(&[(0, 0)]));
         let v1 = caches
             .view_or_materialize(key.clone(), || Ok(dummy_view(3)))
             .unwrap();
@@ -177,9 +211,21 @@ mod tests {
     }
 
     #[test]
+    fn get_then_insert_round_trips_like_or_materialize() {
+        let caches = SearchCaches::new(8);
+        let key = view_key(&plan(0, &[((0, 0), (1, 0))]), &projection(&[(0, 0)]));
+        assert!(caches.view_get(&key).is_none(), "cold cache misses");
+        caches.view_insert(key.clone(), dummy_view(2));
+        let hit = caches.view_get(&key).expect("warm cache hits");
+        assert!(hit.same_contents(&dummy_view(2)));
+        let s = caches.view_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
     fn errors_are_not_cached() {
         let caches = SearchCaches::new(8);
-        let key = view_key(&graph(&[(0, 2)]), &projection(&[(0, 0)]));
+        let key = view_key(&plan(0, &[((0, 0), (1, 0))]), &projection(&[(0, 0)]));
         let err = caches
             .view_or_materialize(key.clone(), || Err(VerError::JoinError("transient".into())));
         assert!(err.is_err());

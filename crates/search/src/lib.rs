@@ -5,15 +5,18 @@
 //! join graphs connecting each combination's tables through the discovery
 //! index (`ρ`-hop bounded), caches provably non-joinable table pairs to
 //! skip doomed combinations, ranks join graphs by the discovery engine's
-//! join score, and materialises the top-k into candidate PJ-views.
+//! join score, and materialises the top-k into candidate PJ-views over a
+//! shared sub-join DAG that executes each distinct oriented join step once.
 //!
 //! * [`enumerate`] — combination & joinable-group enumeration with the
 //!   non-joinable cache (Algorithm 5 step 1);
 //! * [`rank`] — join-score ranking (PK/FK-ness × smaller-is-better);
 //! * [`materialize`] — join graph → [`PjPlan`](ver_engine::PjPlan) →
-//!   materialized [`View`](ver_engine::View) (Algorithm 5 step 2);
-//! * [`search`] — the end-to-end component with the statistics the paper's
-//!   figures report (joinable groups / join graphs / views).
+//!   materialized [`View`](ver_engine::View), batched across candidates by
+//!   [`MaterializePlanner`] (Algorithm 5 step 2);
+//! * [`search`] — the end-to-end component behind [`SearchContext`], with
+//!   the statistics the paper's figures report (joinable groups / join
+//!   graphs / views).
 //!
 //! Layer 3 of the crate map in the repo-root `ARCHITECTURE.md`; the
 //! [`cache`] module is the serving layer's cross-query reuse point.
@@ -24,7 +27,8 @@ pub mod materialize;
 pub mod rank;
 pub mod search;
 
-pub use cache::SearchCaches;
-pub use search::{
-    join_graph_search, join_graph_search_cached, SearchConfig, SearchOutput, SearchStats,
-};
+pub use cache::{view_key, SearchCaches, ViewKey};
+pub use materialize::{plan_from_join_graph, MaterializePlanner, MaterializeStats};
+#[allow(deprecated)]
+pub use search::{join_graph_search, join_graph_search_cached};
+pub use search::{SearchConfig, SearchContext, SearchOutput, SearchStats};

@@ -1,20 +1,47 @@
-//! Join graph → PJ plan → materialized view (MATERIALIZE-VIEWS).
+//! Join graph → PJ plan → materialized view (MATERIALIZE-VIEWS), batched
+//! over a shared sub-join DAG.
 //!
 //! A join graph is a *tree* over tables; the executor wants a *chain* of
-//! join steps. We linearise by BFS from the base table (the first projected
-//! column's table), orienting each edge so `left` is already materialised.
+//! join steps. [`plan_from_join_graph`] linearises by BFS from the base
+//! table (the first projected column's table), orienting each edge so
+//! `left` is already materialised.
+//!
+//! The top-k candidates of one query share enormous join-prefix overlap —
+//! Algorithm 5 enumerates combinations over the same join paths, so on the
+//! WDC corpus tens of thousands of candidate PJ-views reduce to a few
+//! hundred distinct join steps. [`MaterializePlanner::plan_batch`] exploits
+//! that: it folds every plan's oriented step sequence into a prefix trie
+//! (the shared sub-join DAG), executes each distinct step **once** on
+//! [`JoinState`] row-index intermediates, and only gathers values for the
+//! final per-candidate projections. Candidates whose shared prefix matched
+//! nothing are pruned without executing their remaining steps.
+//!
+//! Output is **bit-identical** to materialising every candidate
+//! independently through [`execute_plan`](ver_engine::exec::execute_plan)
+//! — same rows in the same order, same names, same provenance (the
+//! `ver_engine::dag` module documents why). `SearchConfig::dag_materialize
+//! = false` keeps the independent path available as the reference arm, and
+//! `crates/search/tests/materialize_equivalence.rs` plus the repo-root
+//! determinism suite pin the equivalence.
 
+use std::sync::Arc;
 use ver_common::error::{Result, VerError};
+use ver_common::fxhash::FxHashMap;
 use ver_common::ids::{ColumnRef, TableId};
+use ver_common::pool::ThreadPool;
+use ver_engine::dag::{materialize_state_hashed, materialize_state_named, ColumnHashes, JoinState};
 use ver_engine::plan::{JoinStep, PjPlan};
 use ver_engine::view::View;
-use ver_index::{DiscoveryIndex, JoinGraph};
+use ver_index::JoinGraph;
 use ver_store::catalog::TableCatalog;
 
 /// Build a [`PjPlan`] for `graph` projecting `projection`.
+///
+/// The base table is the first projected column's table; edges are consumed
+/// BFS-style, each oriented so its `left` endpoint is already in the plan.
+/// Errors when the graph is not a connected tree over the base.
 pub fn plan_from_join_graph(
     catalog: &TableCatalog,
-    index: &DiscoveryIndex,
     graph: &JoinGraph,
     projection: &[ColumnRef],
 ) -> Result<PjPlan> {
@@ -75,7 +102,6 @@ pub fn plan_from_join_graph(
         }
     }
 
-    let _ = index; // index reserved for future orientation hints
     Ok(PjPlan {
         base,
         joins,
@@ -83,16 +109,286 @@ pub fn plan_from_join_graph(
     })
 }
 
+/// Counters from one [`MaterializePlanner::plan_batch`] call — how much
+/// join work the shared sub-join DAG saved. Reported per query in
+/// [`SearchOutput::dag`](crate::search::SearchOutput) and aggregated by
+/// `exp_bench_report`'s `materialize_dag` section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaterializeStats {
+    /// Candidate plans executed by the batch (cache hits never reach it).
+    pub candidates: usize,
+    /// Join steps summed over all candidate plans — what the independent
+    /// path would execute.
+    pub total_steps: usize,
+    /// Distinct DAG nodes (unique oriented step prefixes) — what the
+    /// batch actually executed.
+    pub distinct_steps: usize,
+    /// Steps served by a shared prefix instead of re-executed
+    /// (`total_steps − distinct_steps`).
+    pub shared_hits: usize,
+    /// DAG nodes short-circuited because their parent prefix was already
+    /// empty — joins that were never probed at all.
+    pub empty_pruned: usize,
+}
+
+impl MaterializeStats {
+    /// Merge counters from another batch (bench aggregation across queries).
+    pub fn accumulate(&mut self, other: MaterializeStats) {
+        self.candidates += other.candidates;
+        self.total_steps += other.total_steps;
+        self.distinct_steps += other.distinct_steps;
+        self.shared_hits += other.shared_hits;
+        self.empty_pruned += other.empty_pruned;
+    }
+}
+
+/// One DAG node: a distinct oriented step applied to a parent prefix.
+struct DagNode {
+    /// Index into the node table; base states are modelled as roots.
+    parent: DagParent,
+    step: JoinStep,
+}
+
+#[derive(Clone, Copy)]
+enum DagParent {
+    /// Root: the identity state over a base table.
+    Base(usize),
+    /// Interior: another node's output state.
+    Node(usize),
+}
+
+/// Plans candidate batches onto the shared sub-join DAG and executes them.
+///
+/// The planner owns nothing but a catalog reference; construct one per
+/// search invocation. [`MaterializePlanner::plan`] linearises a single
+/// (graph, projection) candidate, [`MaterializePlanner::plan_batch`]
+/// executes many plans with prefix sharing.
+pub struct MaterializePlanner<'a> {
+    catalog: &'a TableCatalog,
+}
+
+impl<'a> MaterializePlanner<'a> {
+    /// Planner over `catalog`.
+    pub fn new(catalog: &'a TableCatalog) -> Self {
+        MaterializePlanner { catalog }
+    }
+
+    /// Linearise one candidate — see [`plan_from_join_graph`].
+    pub fn plan(&self, graph: &JoinGraph, projection: &[ColumnRef]) -> Result<PjPlan> {
+        plan_from_join_graph(self.catalog, graph, projection)
+    }
+
+    /// Execute a batch of `(plan, join_score)` candidates over the shared
+    /// sub-join DAG.
+    ///
+    /// Each distinct oriented step prefix is executed once as a
+    /// [`JoinState`]; every plan sharing it reuses the row-index arrays.
+    /// Prefixes that matched nothing prune all their descendants. Results
+    /// come back in input order, each bit-identical to what
+    /// [`execute_plan`](ver_engine::exec::execute_plan) would produce for
+    /// that plan alone; per-plan failures surface as that plan's `Err`
+    /// without affecting the rest of the batch.
+    ///
+    /// Node execution fans out level-by-level on `pool` (order-preserving,
+    /// pure per-node work), so the output is identical for every thread
+    /// count.
+    pub fn plan_batch(
+        &self,
+        candidates: &[(PjPlan, f64)],
+        pool: ThreadPool,
+    ) -> (Vec<Result<View>>, MaterializeStats) {
+        let mut stats = MaterializeStats {
+            candidates: candidates.len(),
+            ..Default::default()
+        };
+
+        // Build the DAG: a trie over (base table, oriented step sequence).
+        // Sequential over candidates in input (rank) order, so node ids and
+        // level membership are deterministic.
+        let mut bases: Vec<TableId> = Vec::new();
+        let mut base_ids: FxHashMap<TableId, usize> = FxHashMap::default();
+        let mut nodes: Vec<DagNode> = Vec::new();
+        // Trie edges as per-parent adjacency lists of (packed left cref,
+        // packed right cref, child id). Fan-out per prefix is tiny, so a
+        // linear scan of the parent's own list beats hashing into one
+        // global map — this walk runs once per step of every candidate.
+        let pack = |c: ColumnRef| ((c.table.0 as u64) << 16) | c.ordinal as u64;
+        let mut base_children: Vec<Vec<(u64, u64, usize)>> = Vec::new();
+        let mut node_children: Vec<Vec<(u64, u64, usize)>> = Vec::new();
+        // Per-candidate terminal: Err(plan validation error) or the leaf.
+        enum Leaf {
+            Base(usize),
+            Node(usize),
+            Invalid(VerError),
+        }
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        let leaves: Vec<Leaf> = candidates
+            .iter()
+            .map(|(plan, _)| {
+                if let Err(e) = plan.validate() {
+                    return Leaf::Invalid(e);
+                }
+                stats.total_steps += plan.joins.len();
+                let base_id = *base_ids.entry(plan.base).or_insert_with(|| {
+                    bases.push(plan.base);
+                    base_children.push(Vec::new());
+                    bases.len() - 1
+                });
+                let mut at = Leaf::Base(base_id);
+                for (depth, &step) in plan.joins.iter().enumerate() {
+                    let (l, r) = (pack(step.left), pack(step.right));
+                    let parent = match at {
+                        Leaf::Base(b) => DagParent::Base(b),
+                        Leaf::Node(n) => DagParent::Node(n),
+                        Leaf::Invalid(_) => unreachable!(),
+                    };
+                    let list = match parent {
+                        DagParent::Base(b) => &base_children[b],
+                        DagParent::Node(n) => &node_children[n],
+                    };
+                    let next = match list.iter().find(|&&(el, er, _)| el == l && er == r) {
+                        Some(&(_, _, id)) => id,
+                        None => {
+                            let id = nodes.len();
+                            match parent {
+                                DagParent::Base(b) => base_children[b].push((l, r, id)),
+                                DagParent::Node(n) => node_children[n].push((l, r, id)),
+                            }
+                            nodes.push(DagNode { parent, step });
+                            node_children.push(Vec::new());
+                            if levels.len() <= depth {
+                                levels.push(Vec::new());
+                            }
+                            levels[depth].push(id);
+                            id
+                        }
+                    };
+                    at = Leaf::Node(next);
+                }
+                at
+            })
+            .collect();
+        stats.distinct_steps = nodes.len();
+        stats.shared_hits = stats.total_steps - stats.distinct_steps;
+
+        // Hash every key and projection column the batch touches once up
+        // front; steps and projections share the arrays instead of
+        // re-hashing per node / per candidate. Pure optimisation — hashes
+        // only pre-bucket, matches are value-verified, so output is
+        // unchanged (see `ver_engine::dag::ColumnHashes`).
+        let mut hashes = ColumnHashes::new();
+        for node in &nodes {
+            hashes.ensure(self.catalog, node.step.left);
+            hashes.ensure(self.catalog, node.step.right);
+        }
+        for ((plan, _), leaf) in candidates.iter().zip(&leaves) {
+            if !matches!(leaf, Leaf::Invalid(_)) {
+                for &p in &plan.projection {
+                    hashes.ensure(self.catalog, p);
+                }
+            }
+        }
+
+        // Execute: base states, then one level at a time. Each level's
+        // nodes depend only on completed states, so they fan out on the
+        // pool; par_map is order-preserving and every node is a pure
+        // function of its parent, so results are thread-count independent.
+        let base_states: Vec<Result<JoinState>> =
+            pool.par_map(&bases, |&t| JoinState::base(self.catalog, t));
+        let mut states: Vec<Option<Result<JoinState>>> = (0..nodes.len()).map(|_| None).collect();
+        for level in &levels {
+            let computed: Vec<(Result<JoinState>, bool)> = pool.par_map(level, |&id| {
+                let node = &nodes[id];
+                let parent = match node.parent {
+                    DagParent::Base(b) => &base_states[b],
+                    DagParent::Node(n) => states[n].as_ref().expect("parent level completed"),
+                };
+                match parent {
+                    Err(e) => (Err(e.clone()), false),
+                    Ok(state) => (
+                        state.step_hashed(self.catalog, node.step, &hashes),
+                        state.is_empty(),
+                    ),
+                }
+            });
+            for (&id, (state, pruned)) in level.iter().zip(computed) {
+                states[id] = Some(state);
+                stats.empty_pruned += usize::from(pruned);
+            }
+        }
+
+        // Chain each leaf's `a⋈b⋈c` view name once; every candidate
+        // projecting that leaf shares the `Arc<str>` instead of re-walking
+        // the catalog per candidate.
+        let mut names: FxHashMap<(u8, u32), Arc<str>> = FxHashMap::default();
+        let leaf_names: Vec<Option<Arc<str>>> = leaves
+            .iter()
+            .map(|leaf| {
+                let (key, state) = match leaf {
+                    Leaf::Invalid(_) => return None,
+                    Leaf::Base(b) => ((0u8, *b as u32), &base_states[*b]),
+                    Leaf::Node(n) => (
+                        (1u8, *n as u32),
+                        states[*n].as_ref().expect("leaf level completed"),
+                    ),
+                };
+                let Ok(state) = state else { return None };
+                match names.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => Some(e.get().clone()),
+                    std::collections::hash_map::Entry::Vacant(e) => state
+                        .joined_name(self.catalog)
+                        .ok()
+                        .map(|n| e.insert(n).clone()),
+                }
+            })
+            .collect();
+        // Project every candidate off its leaf state (order-preserving
+        // fan-out; value gathering is the only per-candidate work left).
+        let idx: Vec<usize> = (0..candidates.len()).collect();
+        let views = pool.par_map(&idx, |&i| {
+            let (plan, score) = &candidates[i];
+            let state = match &leaves[i] {
+                Leaf::Invalid(e) => return Err(e.clone()),
+                Leaf::Base(b) => &base_states[*b],
+                Leaf::Node(n) => states[*n].as_ref().expect("leaf level completed"),
+            };
+            match state {
+                Err(e) => Err(e.clone()),
+                Ok(state) => match &leaf_names[i] {
+                    Some(name) => materialize_state_named(
+                        self.catalog,
+                        state,
+                        plan,
+                        *score,
+                        &hashes,
+                        name.clone(),
+                    ),
+                    None => materialize_state_hashed(self.catalog, state, plan, *score, &hashes),
+                },
+            }
+        });
+        (views, stats)
+    }
+}
+
 /// Materialise one join graph into a view.
+///
+/// Documented shim over [`MaterializePlanner`]: linearises the graph with
+/// [`plan_from_join_graph`] and runs it as a single-candidate
+/// [`MaterializePlanner::plan_batch`] — the same shared-kernel executor the
+/// batched search path uses, which for one plan degenerates to exactly
+/// [`execute_plan`](ver_engine::exec::execute_plan)'s behaviour. Kept as
+/// the single-candidate entrypoint for tests and ground-truth tooling.
 pub fn materialize_join_graph(
     catalog: &TableCatalog,
-    index: &DiscoveryIndex,
     graph: &JoinGraph,
     projection: &[ColumnRef],
     join_score: f64,
 ) -> Result<View> {
-    let plan = plan_from_join_graph(catalog, index, graph, projection)?;
-    ver_engine::exec::execute_plan(catalog, &plan, join_score)
+    let planner = MaterializePlanner::new(catalog);
+    let plan = planner.plan(graph, projection)?;
+    let (mut views, _) = planner.plan_batch(&[(plan, join_score)], ThreadPool::new(1));
+    views.pop().expect("one candidate in, one result out")
 }
 
 #[cfg(test)]
@@ -100,7 +396,8 @@ mod tests {
     use super::*;
     use ver_common::ids::ColumnId;
     use ver_common::value::Value;
-    use ver_index::{build_index, IndexConfig};
+    use ver_engine::exec::execute_plan;
+    use ver_index::{build_index, DiscoveryIndex, IndexConfig};
     use ver_store::table::TableBuilder;
 
     /// airports(iata, state) ⟷ states(state, pop) ⟷ regions(state, region)
@@ -149,9 +446,9 @@ mod tests {
 
     #[test]
     fn single_table_graph_materialises_projection() {
-        let (cat, idx) = setup();
+        let (cat, _) = setup();
         let graph = JoinGraph::default();
-        let v = materialize_join_graph(&cat, &idx, &graph, &[cref(0, 0), cref(0, 1)], 1.0).unwrap();
+        let v = materialize_join_graph(&cat, &graph, &[cref(0, 0), cref(0, 1)], 1.0).unwrap();
         assert_eq!(v.row_count(), 30);
         assert_eq!(v.attribute_names(), vec!["iata", "state"]);
     }
@@ -162,7 +459,7 @@ mod tests {
         let graphs = idx.generate_join_graphs(&[TableId(0), TableId(1)], 2);
         assert!(!graphs.is_empty());
         let direct = graphs.iter().find(|g| g.hops() == 1).expect("direct join");
-        let v = materialize_join_graph(&cat, &idx, direct, &[cref(0, 0), cref(1, 1)], 0.9).unwrap();
+        let v = materialize_join_graph(&cat, direct, &[cref(0, 0), cref(1, 1)], 0.9).unwrap();
         assert_eq!(v.row_count(), 30);
         assert_eq!(v.attribute_names(), vec!["iata", "pop"]);
         assert_eq!(v.provenance.join_score, 0.9);
@@ -174,7 +471,7 @@ mod tests {
         let graphs = idx.generate_join_graphs(&[TableId(0), TableId(1)], 2);
         let direct = graphs.iter().find(|g| g.hops() == 1).unwrap();
         // Projection starting from states → base = states.
-        let plan = plan_from_join_graph(&cat, &idx, direct, &[cref(1, 1), cref(0, 0)]).unwrap();
+        let plan = plan_from_join_graph(&cat, direct, &[cref(1, 1), cref(0, 0)]).unwrap();
         assert_eq!(plan.base, TableId(1));
         assert!(plan.validate().is_ok());
     }
@@ -189,7 +486,7 @@ mod tests {
         assert!(!graphs.is_empty());
         let two_hop = graphs.iter().find(|g| g.hops() == 2);
         if let Some(g) = two_hop {
-            let v = materialize_join_graph(&cat, &idx, g, &[cref(0, 0), cref(2, 1)], 0.8).unwrap();
+            let v = materialize_join_graph(&cat, g, &[cref(0, 0), cref(2, 1)], 0.8).unwrap();
             assert_eq!(v.row_count(), 30);
             assert_eq!(v.provenance.hops(), 2);
         }
@@ -203,7 +500,7 @@ mod tests {
         let g = graphs.iter().find(|g| g.hops() == 1).unwrap();
         // Base from a projection on airports, but edges only link states—regions:
         // BFS can never attach the first edge.
-        let err = plan_from_join_graph(&cat, &idx, g, &[cref(0, 0)]);
+        let err = plan_from_join_graph(&cat, g, &[cref(0, 0)]);
         assert!(err.is_err());
     }
 
@@ -213,14 +510,14 @@ mod tests {
         let graphs = idx.generate_join_graphs(&[TableId(0), TableId(2)], 2);
         let direct = graphs.iter().find(|g| g.hops() == 1).unwrap();
         // Project only the region column: 30 rows collapse to 3 regions.
-        let v = materialize_join_graph(&cat, &idx, direct, &[cref(2, 1)], 1.0).unwrap();
+        let v = materialize_join_graph(&cat, direct, &[cref(2, 1)], 1.0).unwrap();
         assert_eq!(v.row_count(), 3);
     }
 
     #[test]
     fn empty_projection_is_invalid() {
-        let (cat, idx) = setup();
-        assert!(plan_from_join_graph(&cat, &idx, &JoinGraph::default(), &[]).is_err());
+        let (cat, _) = setup();
+        assert!(plan_from_join_graph(&cat, &JoinGraph::default(), &[]).is_err());
     }
 
     #[test]
@@ -230,5 +527,131 @@ mod tests {
         let cref = cat.column_ref(ColumnId(3)).unwrap();
         assert_eq!(cref.table, TableId(1));
         assert_eq!(cref.ordinal, 1);
+    }
+
+    /// All prefix-sharing shapes at once: the batch must return exactly
+    /// what independent execution returns, while executing fewer steps.
+    #[test]
+    fn plan_batch_matches_independent_execution_and_shares_prefixes() {
+        let (cat, _) = setup();
+        let step_as = JoinStep {
+            left: cref(0, 1),
+            right: cref(1, 0),
+        };
+        let step_sr = JoinStep {
+            left: cref(1, 0),
+            right: cref(2, 0),
+        };
+        let step_ar = JoinStep {
+            left: cref(0, 1),
+            right: cref(2, 0),
+        };
+        let plans: Vec<(PjPlan, f64)> = vec![
+            // Three candidates over the same 1-hop prefix...
+            (
+                PjPlan {
+                    base: TableId(0),
+                    joins: vec![step_as],
+                    projection: vec![cref(0, 0), cref(1, 1)],
+                },
+                0.9,
+            ),
+            (
+                PjPlan {
+                    base: TableId(0),
+                    joins: vec![step_as],
+                    projection: vec![cref(0, 0), cref(1, 0)],
+                },
+                0.8,
+            ),
+            // ...one extending it by a second hop...
+            (
+                PjPlan {
+                    base: TableId(0),
+                    joins: vec![step_as, step_sr],
+                    projection: vec![cref(0, 0), cref(2, 1)],
+                },
+                0.7,
+            ),
+            // ...one on a different prefix, and a projection-only plan.
+            (
+                PjPlan {
+                    base: TableId(0),
+                    joins: vec![step_ar],
+                    projection: vec![cref(0, 0), cref(2, 1)],
+                },
+                0.6,
+            ),
+            (PjPlan::single(TableId(2), vec![cref(2, 1)]), 1.0),
+        ];
+
+        for threads in [1usize, 2, 0] {
+            let planner = MaterializePlanner::new(&cat);
+            let (views, stats) = planner.plan_batch(&plans, ThreadPool::new(threads));
+            assert_eq!(views.len(), plans.len());
+            for ((plan, score), view) in plans.iter().zip(&views) {
+                let independent = execute_plan(&cat, plan, *score).unwrap();
+                let batched = view.as_ref().expect("batch result");
+                assert_eq!(batched.table, independent.table, "threads={threads}");
+                assert_eq!(batched.provenance, independent.provenance);
+            }
+            assert_eq!(stats.candidates, 5);
+            assert_eq!(stats.total_steps, 5, "1+1+2+1 joins");
+            assert_eq!(stats.distinct_steps, 3, "as, as→sr, ar");
+            assert_eq!(
+                stats.shared_hits, 2,
+                "second as-candidate and the two-hop prefix both reuse"
+            );
+            assert_eq!(stats.empty_pruned, 0);
+        }
+    }
+
+    #[test]
+    fn plan_batch_isolates_per_candidate_failures() {
+        let (cat, _) = setup();
+        let good = PjPlan::single(TableId(0), vec![cref(0, 0)]);
+        let invalid = PjPlan::single(TableId(0), vec![]); // fails validate()
+        let missing = PjPlan::single(TableId(42), vec![cref(42, 0)]); // no table
+        let planner = MaterializePlanner::new(&cat);
+        let (views, stats) = planner.plan_batch(
+            &[(good, 1.0), (invalid, 1.0), (missing, 1.0)],
+            ThreadPool::new(1),
+        );
+        assert!(views[0].is_ok());
+        assert!(views[1].is_err());
+        assert!(views[2].is_err());
+        assert_eq!(stats.candidates, 3);
+    }
+
+    #[test]
+    fn plan_batch_prunes_descendants_of_empty_prefixes() {
+        let (mut cat, _) = setup();
+        let mut b = TableBuilder::new("nomatch", &["state"]);
+        b.push_row(vec!["Nowhere".into()]).unwrap();
+        cat.add_table(b.build()).unwrap();
+        // nomatch ⋈ states is empty; the second hop must be pruned, and the
+        // resulting view is still the (empty) one independent execution
+        // produces.
+        let plan = PjPlan {
+            base: TableId(3),
+            joins: vec![
+                JoinStep {
+                    left: cref(3, 0),
+                    right: cref(1, 0),
+                },
+                JoinStep {
+                    left: cref(1, 0),
+                    right: cref(2, 0),
+                },
+            ],
+            projection: vec![cref(3, 0), cref(2, 1)],
+        };
+        let planner = MaterializePlanner::new(&cat);
+        let (views, stats) = planner.plan_batch(&[(plan.clone(), 0.5)], ThreadPool::new(1));
+        let batched = views[0].as_ref().unwrap();
+        let independent = execute_plan(&cat, &plan, 0.5).unwrap();
+        assert_eq!(batched.table, independent.table);
+        assert_eq!(batched.row_count(), 0);
+        assert_eq!(stats.empty_pruned, 1, "second hop never probed");
     }
 }

@@ -3,19 +3,28 @@
 //! The online path is structured as *generate → score → rank → execute* so
 //! the two expensive stages (join-graph scoring and view materialization)
 //! can fan out on `ver_common::pool` without changing the output:
-//! candidate generation is sequential and canonically ordered, scoring and
-//! materialization are order-preserving [`ThreadPool::par_map`]s, and the
-//! rank comparator is a total order on candidate content ([`rank_order`]).
-//! Results are therefore bit-identical for every `threads` value — same
-//! views, same [`ViewId`] assignment, same ranked order.
+//! candidate generation is sequential and canonically ordered, scoring is
+//! an order-preserving [`ThreadPool::par_map`], the rank comparator is a
+//! total order on candidate content ([`rank_order`]), and the top-k
+//! candidates materialise over the shared sub-join DAG
+//! ([`MaterializePlanner::plan_batch`]) whose level-wise fan-out is
+//! likewise order-preserving. Results are therefore bit-identical for
+//! every `threads` value — same views, same [`ViewId`] assignment, same
+//! ranked order — and identical between the batched DAG executor and the
+//! independent per-candidate path ([`SearchConfig::dag_materialize`]).
+//!
+//! Entry point: build a [`SearchContext`] over the catalog and index, then
+//! call [`SearchContext::search`]. The pre-PR-6 free functions
+//! [`join_graph_search`] / [`join_graph_search_cached`] remain as
+//! deprecated shims over it.
 
 use std::sync::Arc;
 
-use crate::materialize::materialize_join_graph;
+use crate::materialize::{MaterializePlanner, MaterializeStats};
 use crate::rank::{graph_canon, join_score, rank_order};
 use ver_common::error::Result;
 use ver_common::fxhash::FxHashSet;
-use ver_common::ids::{ColumnRef, ViewId};
+use ver_common::ids::{ColumnRef, TableId, ViewId};
 use ver_common::pool::ThreadPool;
 use ver_engine::view::View;
 use ver_index::DiscoveryIndex;
@@ -28,7 +37,9 @@ pub struct SearchConfig {
     /// Hop bound ρ (paper default 2).
     pub rho: usize,
     /// Materialise the top-k ranked join candidates. The paper's evaluation
-    /// sets k = total join graphs (materialise everything).
+    /// sets k = total join graphs (materialise everything). Candidates
+    /// ranked below k are never planned or executed — the bounded top-k
+    /// pruning the batched materializer relies on.
     pub k: usize,
     /// Cap on enumerated column combinations.
     pub max_combinations: usize,
@@ -38,8 +49,14 @@ pub struct SearchConfig {
     /// Worker threads for candidate scoring and top-k materialization
     /// (`0` = one per available hardware thread; default honours the
     /// `VER_THREADS` environment variable). Output is identical for every
-    /// value.
+    /// value. Ignored when the [`SearchContext`] carries an explicit pool.
     pub threads: usize,
+    /// Materialise the top-k over the shared sub-join DAG (default), or
+    /// independently per candidate when `false`. Both paths produce
+    /// bit-identical output; the independent path is kept as the reference
+    /// arm for the equivalence tests and the `materialize_dag` bench
+    /// section.
+    pub dag_materialize: bool,
 }
 
 impl Default for SearchConfig {
@@ -50,6 +67,7 @@ impl Default for SearchConfig {
             max_combinations: 100_000,
             drop_empty_views: true,
             threads: ver_common::pool::default_threads(),
+            dag_materialize: true,
         }
     }
 }
@@ -77,9 +95,252 @@ pub struct SearchOutput {
     pub views: Vec<View>,
     /// Search-space statistics.
     pub stats: SearchStats,
+    /// Shared sub-join DAG counters for the candidates this query batched
+    /// (zeroed on the independent path and for cache-served candidates).
+    pub dag: MaterializeStats,
     /// Stage wall times: `jgs` (enumeration + ranking) and `materialize`
     /// (plan execution) — the JGS/M split of Fig. 4b.
     pub timer: ver_common::timer::PhaseTimer,
+}
+
+/// Everything join-graph search reads, bundled as one borrowing context:
+/// the immutable catalog and discovery index, optional cross-query
+/// [`SearchCaches`], and an optional pre-resolved worker pool.
+///
+/// ```
+/// # use ver_search::SearchContext;
+/// # fn demo(catalog: &ver_store::catalog::TableCatalog,
+/// #         index: &ver_index::DiscoveryIndex,
+/// #         caches: &ver_search::SearchCaches,
+/// #         selection: &ver_select::SelectionResult,
+/// #         config: &ver_search::SearchConfig)
+/// #         -> ver_common::error::Result<()> {
+/// let out = SearchContext::new(catalog, index)
+///     .with_caches(caches)
+///     .search(selection, config)?;
+/// # let _ = out; Ok(())
+/// # }
+/// ```
+///
+/// When `caches` is set, join-graph scores are memoized by canonical edge
+/// form and materialized views are served from the LRU keyed by the
+/// candidate's linearised plan (see [`crate::cache`]). Output is
+/// **bit-identical** to the uncached path for any cache state — a hit
+/// returns exactly what the miss would compute, because both values are
+/// pure functions of the immutable index and catalog. `ver-serve` threads
+/// one [`SearchCaches`] through every query of a long-lived engine.
+///
+/// When `pool` is set it overrides `config.threads`; otherwise a pool is
+/// resolved per call. Either way the output is thread-count independent.
+///
+/// [`SearchCaches`]: crate::cache::SearchCaches
+#[derive(Clone, Copy)]
+pub struct SearchContext<'a> {
+    catalog: &'a TableCatalog,
+    index: &'a DiscoveryIndex,
+    caches: Option<&'a crate::cache::SearchCaches>,
+    pool: Option<ThreadPool>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Context over an immutable catalog + index, no caches, per-call pool.
+    pub fn new(catalog: &'a TableCatalog, index: &'a DiscoveryIndex) -> Self {
+        SearchContext {
+            catalog,
+            index,
+            caches: None,
+            pool: None,
+        }
+    }
+
+    /// Attach cross-query caches (hits stay bit-identical to misses).
+    pub fn with_caches(mut self, caches: &'a crate::cache::SearchCaches) -> Self {
+        self.caches = Some(caches);
+        self
+    }
+
+    /// Use a pre-resolved worker pool instead of `config.threads`.
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Run Algorithm 5: enumerate combinations, resolve join graphs, rank,
+    /// and materialise the top-k candidate PJ-views — batched over the
+    /// shared sub-join DAG unless [`SearchConfig::dag_materialize`] is off.
+    pub fn search(
+        &self,
+        selection: &SelectionResult,
+        config: &SearchConfig,
+    ) -> Result<SearchOutput> {
+        let mut timer = ver_common::timer::PhaseTimer::new();
+        let pool = self.pool.unwrap_or_else(|| ThreadPool::new(config.threads));
+        let jgs_start = std::time::Instant::now();
+        let enumeration = crate::enumerate::enumerate_combinations(
+            self.index,
+            selection,
+            config.rho,
+            config.max_combinations,
+        );
+
+        let mut stats = SearchStats {
+            combinations: enumeration.total_combinations,
+            skipped_by_cache: enumeration.skipped_by_cache,
+            joinable_groups: enumeration.joinable_group_count(),
+            join_graphs: enumeration.join_graph_count(),
+            views: 0,
+        };
+
+        let candidates = collect_candidates(self.catalog, &enumeration)?;
+
+        // Score in parallel (order-preserving), then rank by the
+        // content-based total order: score desc, canonical edges asc,
+        // projection asc. The projection tail makes the order total even
+        // across candidates sharing a graph, so ranked output never depends
+        // on generation order.
+        let scores = pool.par_map(&candidates, |c| match self.caches {
+            Some(cs) => cs.score_or_compute(&c.canon, || join_score(self.index, &c.graph)),
+            None => join_score(self.index, &c.graph),
+        });
+        let mut scored: Vec<(f64, Candidate)> = scores.into_iter().zip(candidates).collect();
+        scored.sort_by(|a, b| {
+            rank_order(a.0, &a.1.canon, b.0, &b.1.canon)
+                .then_with(|| a.1.projection.cmp(&b.1.projection))
+        });
+        // Bounded top-k pruning: everything below the cut is dropped before
+        // any planning or execution happens.
+        scored.truncate(config.k);
+        timer.add("jgs", jgs_start.elapsed());
+
+        // Materialise the top-k; per-candidate failures propagate as the
+        // first error in rank order. Ids are assigned sequentially
+        // afterwards so empty-view dropping cannot race id assignment.
+        let mat_start = std::time::Instant::now();
+        let planner = MaterializePlanner::new(self.catalog);
+        // Linearisation depends only on (graph, base table), and the rank
+        // order's canonical-edge + projection tiebreaks put candidates
+        // sharing a graph next to each other — so a run of equal graphs
+        // with the same base reuses the previous BFS verbatim instead of
+        // re-linearising each of the top-k candidates.
+        let mut prev: Option<(
+            &ver_index::JoinGraph,
+            TableId,
+            Vec<ver_engine::plan::JoinStep>,
+        )> = None;
+        let mut plans: Vec<Result<ver_engine::plan::PjPlan>> = scored
+            .iter()
+            .map(|(_, c)| {
+                let Some(base) = c.projection.first().map(|p| p.table) else {
+                    // Empty projection: let the planner surface its error.
+                    return planner.plan(&c.graph, &c.projection);
+                };
+                if let Some((g, b, joins)) = &prev {
+                    if *b == base && *g == &c.graph {
+                        return Ok(ver_engine::plan::PjPlan {
+                            base,
+                            joins: joins.clone(),
+                            projection: c.projection.to_vec(),
+                        });
+                    }
+                }
+                let plan = planner.plan(&c.graph, &c.projection)?;
+                prev = Some((&c.graph, plan.base, plan.joins.clone()));
+                Ok(plan)
+            })
+            .collect();
+
+        let mut dag = MaterializeStats::default();
+        let materialized: Vec<Result<View>> = if config.dag_materialize {
+            // Partition into cache hits and the batch of misses, execute
+            // the misses over the shared DAG, then reassemble in rank
+            // order.
+            let mut results: Vec<Option<Result<View>>> = (0..scored.len()).map(|_| None).collect();
+            let mut miss: Vec<usize> = Vec::new();
+            for (i, plan) in plans.iter().enumerate() {
+                match plan {
+                    Err(e) => results[i] = Some(Err(e.clone())),
+                    Ok(plan) => {
+                        let hit = self.caches.and_then(|cs| {
+                            cs.view_get(&crate::cache::view_key(plan, &scored[i].1.projection))
+                        });
+                        match hit {
+                            Some(view) => results[i] = Some(Ok(view)),
+                            None => miss.push(i),
+                        }
+                    }
+                }
+            }
+            // Batch the misses by value. Without caches the plan is moved
+            // out of `plans` (nothing reads it again); with caches it is
+            // cloned because `view_insert` needs it for the key afterwards.
+            let batch: Vec<(ver_engine::plan::PjPlan, f64)> = miss
+                .iter()
+                .map(|&i| {
+                    let plan = match self.caches {
+                        Some(_) => plans[i].as_ref().expect("misses are Ok").clone(),
+                        None => std::mem::replace(
+                            &mut plans[i],
+                            Err(ver_common::error::VerError::InvalidQuery(
+                                "plan consumed by batch".into(),
+                            )),
+                        )
+                        .expect("misses are Ok"),
+                    };
+                    (plan, scored[i].0)
+                })
+                .collect();
+            let (views, batch_stats) = planner.plan_batch(&batch, pool);
+            dag = batch_stats;
+            for (&i, view) in miss.iter().zip(views) {
+                if let (Some(cs), Ok(view), Ok(plan)) = (self.caches, &view, &plans[i]) {
+                    cs.view_insert(
+                        crate::cache::view_key(plan, &scored[i].1.projection),
+                        view.clone(),
+                    );
+                }
+                results[i] = Some(view);
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("every candidate resolved"))
+                .collect()
+        } else {
+            // Independent reference path: one full executor run per
+            // candidate, exactly the pre-DAG behaviour.
+            let idx: Vec<usize> = (0..scored.len()).collect();
+            pool.par_map(&idx, |&i| {
+                let plan = match &plans[i] {
+                    Err(e) => return Err(e.clone()),
+                    Ok(plan) => plan,
+                };
+                match self.caches {
+                    Some(cs) => cs.view_or_materialize(
+                        crate::cache::view_key(plan, &scored[i].1.projection),
+                        || ver_engine::exec::execute_plan(self.catalog, plan, scored[i].0),
+                    ),
+                    None => ver_engine::exec::execute_plan(self.catalog, plan, scored[i].0),
+                }
+            })
+        };
+
+        let mut views = Vec::with_capacity(materialized.len());
+        for result in materialized {
+            let mut view = result?;
+            if config.drop_empty_views && view.row_count() == 0 {
+                continue;
+            }
+            view.id = ViewId(views.len() as u32);
+            views.push(view);
+        }
+        timer.add("materialize", mat_start.elapsed());
+        stats.views = views.len();
+        Ok(SearchOutput {
+            views,
+            stats,
+            dag,
+            timer,
+        })
+    }
 }
 
 /// One deduplicated (join graph, projection) execution candidate.
@@ -133,25 +394,24 @@ fn collect_candidates(
 
 /// Run Algorithm 5: enumerate combinations, resolve join graphs, rank, and
 /// materialise the top-k candidate PJ-views.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SearchContext::new(catalog, index).search(selection, config)`"
+)]
 pub fn join_graph_search(
     catalog: &TableCatalog,
     index: &DiscoveryIndex,
     selection: &SelectionResult,
     config: &SearchConfig,
 ) -> Result<SearchOutput> {
-    join_graph_search_cached(catalog, index, selection, config, None)
+    SearchContext::new(catalog, index).search(selection, config)
 }
 
 /// [`join_graph_search`] with optional cross-query caches.
-///
-/// When `caches` is provided, join-graph scores are memoized by canonical
-/// edge form and materialized views are served from the LRU keyed by the
-/// candidate's execution form (see [`crate::cache`]). Output is
-/// **bit-identical** to the uncached path for any cache state — a hit
-/// returns exactly what the miss would compute, because both values are
-/// pure functions of the immutable index and catalog. `ver-serve` threads
-/// one [`crate::cache::SearchCaches`] through every query of a long-lived
-/// engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SearchContext::new(catalog, index).with_caches(caches).search(selection, config)`"
+)]
 pub fn join_graph_search_cached(
     catalog: &TableCatalog,
     index: &DiscoveryIndex,
@@ -159,69 +419,11 @@ pub fn join_graph_search_cached(
     config: &SearchConfig,
     caches: Option<&crate::cache::SearchCaches>,
 ) -> Result<SearchOutput> {
-    let mut timer = ver_common::timer::PhaseTimer::new();
-    let pool = ThreadPool::new(config.threads);
-    let jgs_start = std::time::Instant::now();
-    let enumeration = crate::enumerate::enumerate_combinations(
-        index,
-        selection,
-        config.rho,
-        config.max_combinations,
-    );
-
-    let mut stats = SearchStats {
-        combinations: enumeration.total_combinations,
-        skipped_by_cache: enumeration.skipped_by_cache,
-        joinable_groups: enumeration.joinable_group_count(),
-        join_graphs: enumeration.join_graph_count(),
-        views: 0,
-    };
-
-    let candidates = collect_candidates(catalog, &enumeration)?;
-
-    // Score in parallel (order-preserving), then rank by the content-based
-    // total order: score desc, canonical edges asc, projection asc. The
-    // projection tail makes the order total even across candidates sharing
-    // a graph, so ranked output never depends on generation order.
-    let scores = pool.par_map(&candidates, |c| match caches {
-        Some(cs) => cs.score_or_compute(&c.canon, || join_score(index, &c.graph)),
-        None => join_score(index, &c.graph),
-    });
-    let mut scored: Vec<(f64, Candidate)> = scores.into_iter().zip(candidates).collect();
-    scored.sort_by(|a, b| {
-        rank_order(a.0, &a.1.canon, b.0, &b.1.canon)
-            .then_with(|| a.1.projection.cmp(&b.1.projection))
-    });
-    scored.truncate(config.k);
-    timer.add("jgs", jgs_start.elapsed());
-
-    // Materialise the top-k in parallel; per-candidate failures propagate
-    // as the first error in rank order. Ids are assigned sequentially
-    // afterwards so empty-view dropping cannot race id assignment.
-    let mat_start = std::time::Instant::now();
-    let materialized: Vec<Result<View>> = pool.par_map(&scored, |(score, cand)| match caches {
-        Some(cs) => cs.view_or_materialize(
-            crate::cache::view_key(&cand.graph, &cand.projection),
-            || materialize_join_graph(catalog, index, &cand.graph, &cand.projection, *score),
-        ),
-        None => materialize_join_graph(catalog, index, &cand.graph, &cand.projection, *score),
-    });
-    let mut views = Vec::with_capacity(materialized.len());
-    for result in materialized {
-        let mut view = result?;
-        if config.drop_empty_views && view.row_count() == 0 {
-            continue;
-        }
-        view.id = ViewId(views.len() as u32);
-        views.push(view);
+    let mut cx = SearchContext::new(catalog, index);
+    if let Some(cs) = caches {
+        cx = cx.with_caches(cs);
     }
-    timer.add("materialize", mat_start.elapsed());
-    stats.views = views.len();
-    Ok(SearchOutput {
-        views,
-        stats,
-        timer,
-    })
+    cx.search(selection, config)
 }
 
 #[cfg(test)]
@@ -272,21 +474,25 @@ mod tests {
         (cat, idx)
     }
 
-    fn run(
-        cat: &TableCatalog,
-        idx: &DiscoveryIndex,
-        q: &ExampleQuery,
-        config: &SearchConfig,
-    ) -> SearchOutput {
-        let sel = column_selection(
+    fn select(idx: &DiscoveryIndex, q: &ExampleQuery) -> SelectionResult {
+        column_selection(
             idx,
             q,
             &SelectionConfig {
                 theta: usize::MAX,
                 ..Default::default()
             },
-        );
-        join_graph_search(cat, idx, &sel, config).unwrap()
+        )
+    }
+
+    fn run(
+        cat: &TableCatalog,
+        idx: &DiscoveryIndex,
+        q: &ExampleQuery,
+        config: &SearchConfig,
+    ) -> SearchOutput {
+        let sel = select(idx, q);
+        SearchContext::new(cat, idx).search(&sel, config).unwrap()
     }
 
     #[test]
@@ -310,6 +516,8 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(i, v)| v.id == ViewId(i as u32)));
+        // The DAG executed the batch.
+        assert_eq!(out.dag.candidates, out.views.len());
     }
 
     #[test]
@@ -354,6 +562,9 @@ mod tests {
             one.views[0].provenance.join_score,
             all.views[0].provenance.join_score
         );
+        // Pruned candidates were never planned or executed.
+        assert_eq!(one.dag.candidates, 1);
+        assert!(one.dag.total_steps <= 1);
     }
 
     #[test]
@@ -400,6 +611,34 @@ mod tests {
     }
 
     #[test]
+    fn dag_and_independent_paths_are_bit_identical() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let dag = run(&cat, &idx, &q, &SearchConfig::default());
+        let independent = run(
+            &cat,
+            &idx,
+            &q,
+            &SearchConfig {
+                dag_materialize: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(dag.stats, independent.stats);
+        assert_eq!(dag.views.len(), independent.views.len());
+        for (a, b) in dag.views.iter().zip(&independent.views) {
+            assert!(a.same_contents(b), "{} differs across executors", a.id);
+        }
+        // The DAG actually shared work on this multi-candidate query.
+        assert!(dag.dag.candidates > 1);
+        assert_eq!(independent.dag, MaterializeStats::default());
+    }
+
+    #[test]
     fn cached_search_is_bit_identical_to_uncached() {
         let (cat, idx) = setup();
         let q = ExampleQuery::new(vec![
@@ -407,25 +646,24 @@ mod tests {
             QueryColumn::of_strs(&["1001", "2002"]),
         ])
         .unwrap();
-        let sel = column_selection(
-            &idx,
-            &q,
-            &SelectionConfig {
-                theta: usize::MAX,
-                ..Default::default()
-            },
-        );
+        let sel = select(&idx, &q);
         let cfg = SearchConfig::default();
-        let base = join_graph_search(&cat, &idx, &sel, &cfg).unwrap();
+        let base = SearchContext::new(&cat, &idx).search(&sel, &cfg).unwrap();
 
         let caches = crate::cache::SearchCaches::new(64);
+        let cx = SearchContext::new(&cat, &idx).with_caches(&caches);
         // Three passes over the same caches: cold, warm, warm.
         for pass in 0..3 {
-            let out = join_graph_search_cached(&cat, &idx, &sel, &cfg, Some(&caches)).unwrap();
+            let out = cx.search(&sel, &cfg).unwrap();
             assert_eq!(out.stats, base.stats, "pass {pass}");
             assert_eq!(out.views.len(), base.views.len());
             for (a, b) in out.views.iter().zip(&base.views) {
                 assert!(a.same_contents(b), "pass {pass}: {} differs", a.id);
+            }
+            if pass > 0 {
+                // Warm passes serve every candidate from the LRU: the DAG
+                // batch is empty.
+                assert_eq!(out.dag.candidates, 0, "pass {pass}");
             }
         }
         // The warm passes actually hit.
@@ -442,29 +680,77 @@ mod tests {
             QueryColumn::of_strs(&["1001", "2002"]),
         ])
         .unwrap();
-        let base = run(
-            &cat,
-            &idx,
-            &q,
-            &SearchConfig {
-                threads: 1,
-                ..Default::default()
-            },
-        );
-        for threads in [2usize, 4, 0] {
-            let par = run(
+        for dag_materialize in [true, false] {
+            let base = run(
                 &cat,
                 &idx,
                 &q,
                 &SearchConfig {
-                    threads,
+                    threads: 1,
+                    dag_materialize,
                     ..Default::default()
                 },
             );
-            assert_eq!(par.stats, base.stats, "threads={threads}");
-            assert_eq!(par.views.len(), base.views.len());
-            for (a, b) in par.views.iter().zip(&base.views) {
-                assert!(a.same_contents(b), "threads={threads}: {} differs", a.id);
+            for threads in [2usize, 4, 0] {
+                let par = run(
+                    &cat,
+                    &idx,
+                    &q,
+                    &SearchConfig {
+                        threads,
+                        dag_materialize,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(par.stats, base.stats, "threads={threads}");
+                assert_eq!(par.dag, base.dag, "threads={threads}");
+                assert_eq!(par.views.len(), base.views.len());
+                for (a, b) in par.views.iter().zip(&base.views) {
+                    assert!(a.same_contents(b), "threads={threads}: {} differs", a.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_pool_overrides_config_threads() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        let cfg = SearchConfig::default();
+        let base = SearchContext::new(&cat, &idx).search(&sel, &cfg).unwrap();
+        let pooled = SearchContext::new(&cat, &idx)
+            .with_pool(ThreadPool::new(2))
+            .search(&sel, &cfg)
+            .unwrap();
+        assert_eq!(pooled.stats, base.stats);
+        for (a, b) in pooled.views.iter().zip(&base.views) {
+            assert!(a.same_contents(b));
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_entrypoint() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        let cfg = SearchConfig::default();
+        let base = SearchContext::new(&cat, &idx).search(&sel, &cfg).unwrap();
+        let via_old = join_graph_search(&cat, &idx, &sel, &cfg).unwrap();
+        let via_old_cached = join_graph_search_cached(&cat, &idx, &sel, &cfg, None).unwrap();
+        for out in [&via_old, &via_old_cached] {
+            assert_eq!(out.stats, base.stats);
+            for (a, b) in out.views.iter().zip(&base.views) {
+                assert!(a.same_contents(b));
             }
         }
     }

@@ -7,7 +7,7 @@ use ver_datagen::workload::{
     attach_noise_columns, chembl_ground_truths, find_ground_truth_view, materialize_ground_truth,
 };
 use ver_qbe::noise::{generate_noisy_query, NoiseLevel};
-use ver_search::{join_graph_search, SearchConfig};
+use ver_search::{SearchConfig, SearchContext};
 use ver_select::baselines::{select_all, select_best};
 use ver_select::{column_selection, SelectionConfig};
 
@@ -37,15 +37,21 @@ fn select_best_crumbles_under_high_noise() {
         let search = SearchConfig::default();
 
         let cs = column_selection(ver.index(), &query, &SelectionConfig::default());
-        let out = join_graph_search(ver.catalog(), ver.index(), &cs, &search).unwrap();
+        let out = SearchContext::new(ver.catalog(), ver.index())
+            .search(&cs, &search)
+            .unwrap();
         cs_hits += usize::from(find_ground_truth_view(&out.views, &gt_view).is_some());
 
         let sb = select_best(ver.index(), &query);
-        let out = join_graph_search(ver.catalog(), ver.index(), &sb, &search).unwrap();
+        let out = SearchContext::new(ver.catalog(), ver.index())
+            .search(&sb, &search)
+            .unwrap();
         sb_hits += usize::from(find_ground_truth_view(&out.views, &gt_view).is_some());
 
         let sa = select_all(ver.index(), &query);
-        let out = join_graph_search(ver.catalog(), ver.index(), &sa, &search).unwrap();
+        let out = SearchContext::new(ver.catalog(), ver.index())
+            .search(&sa, &search)
+            .unwrap();
         sa_hits += usize::from(find_ground_truth_view(&out.views, &gt_view).is_some());
     }
     // Table V shape: SA and CS stay high, SB collapses.
@@ -72,9 +78,13 @@ fn select_all_explodes_the_search_space() {
     let search = SearchConfig::default();
 
     let cs = column_selection(ver.index(), &query, &SelectionConfig::default());
-    let cs_out = join_graph_search(ver.catalog(), ver.index(), &cs, &search).unwrap();
+    let cs_out = SearchContext::new(ver.catalog(), ver.index())
+        .search(&cs, &search)
+        .unwrap();
     let sa = select_all(ver.index(), &query);
-    let sa_out = join_graph_search(ver.catalog(), ver.index(), &sa, &search).unwrap();
+    let sa_out = SearchContext::new(ver.catalog(), ver.index())
+        .search(&sa, &search)
+        .unwrap();
 
     // Fig. 5/6 shape: SELECT-ALL produces at least as many joinable groups,
     // join graphs and views as COLUMN-SELECTION.
@@ -100,7 +110,9 @@ fn all_strategies_agree_at_zero_noise_on_hit() {
             ("SA", select_all(ver.index(), &query)),
             ("SB", select_best(ver.index(), &query)),
         ] {
-            let out = join_graph_search(ver.catalog(), ver.index(), &sel, &search).unwrap();
+            let out = SearchContext::new(ver.catalog(), ver.index())
+                .search(&sel, &search)
+                .unwrap();
             assert!(
                 find_ground_truth_view(&out.views, &gt_view).is_some(),
                 "{name} missed {} at zero noise",

@@ -6,8 +6,10 @@
 //! the identical `QueryResult` — same views (ids, rows, provenance), same
 //! search statistics, same distillation labels and survivors, same final
 //! ranking — whether search scoring/materialization and the 4C pass run
-//! on 1, 2, or auto worker threads. Runs over a generated WDC-style
-//! corpus so the skewed column sizes actually exercise work stealing.
+//! on 1, 2, or auto worker threads, and whether the top-k candidates
+//! materialise over the shared sub-join DAG (default) or independently
+//! per candidate (invariant 9). Runs over a generated WDC-style corpus so
+//! the skewed column sizes actually exercise work stealing.
 
 use ver_core::{QueryResult, Ver, VerConfig};
 use ver_datagen::wdc::{generate_wdc, WdcConfig};
@@ -157,6 +159,45 @@ fn online_path_is_identical_across_thread_counts() {
     assert!(
         compared >= 2,
         "determinism check needs non-trivial queries, got {compared}"
+    );
+}
+
+#[test]
+fn dag_materialization_is_identical_to_independent_execution() {
+    // Invariant 9: the shared sub-join DAG executor (the default) and the
+    // independent per-candidate executor produce bit-identical results —
+    // for every thread count, over a corpus large enough that candidates
+    // actually share join prefixes.
+    let cat = corpus();
+    let gts = wdc_ground_truths(&cat).expect("wdc ground truths");
+
+    let build = |threads: usize, dag: bool| {
+        let mut config = VerConfig::default().with_threads(threads);
+        config.search.dag_materialize = dag;
+        Ver::build(cat.clone(), config).expect("build")
+    };
+    let dag_seq = build(1, true);
+    let ind_seq = build(1, false);
+    let dag_auto = build(0, true);
+
+    let mut compared = 0;
+    for (qi, gt) in gts.iter().enumerate().take(4) {
+        let Ok(query) = generate_noisy_query(&cat, gt, NoiseLevel::Zero, 3, 7 + qi as u64) else {
+            continue;
+        };
+        let spec = ViewSpec::Qbe(query);
+        let rd = dag_seq.run(&spec).expect("run dag threads=1");
+        let ri = ind_seq.run(&spec).expect("run independent threads=1");
+        let ra = dag_auto.run(&spec).expect("run dag threads=auto");
+        assert_same_result(&rd, &ri, &format!("{} dag vs independent", gt.name));
+        assert_same_result(&ra, &ri, &format!("{} dag-auto vs independent", gt.name));
+        if !ri.views.is_empty() {
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 2,
+        "equivalence check needs non-trivial queries, got {compared}"
     );
 }
 
