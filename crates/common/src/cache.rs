@@ -21,6 +21,7 @@
 //! query path.
 
 use crate::fxhash::FxHashMap;
+use crate::sync::lock_unpoisoned;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -124,7 +125,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 
     /// Current entry count.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("lru poisoned").map.len()
+        lock_unpoisoned(&self.inner).map.len()
     }
 
     /// `true` when no entries are cached.
@@ -143,7 +144,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             self.counters.miss();
             return None;
         }
-        let mut inner = self.inner.lock().expect("lru poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -168,7 +169,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("lru poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
@@ -186,13 +187,13 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
-        self.inner.lock().expect("lru poisoned").map.clear();
+        lock_unpoisoned(&self.inner).map.clear();
     }
 }
 
 impl<K: Hash + Eq, V> std::fmt::Debug for LruCache<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("lru poisoned");
+        let inner = lock_unpoisoned(&self.inner);
         f.debug_struct("LruCache")
             .field("len", &inner.map.len())
             .field("capacity", &self.capacity)
@@ -223,7 +224,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Memo<K, V> {
 
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("memo poisoned").len()
+        lock_unpoisoned(&self.map).len()
     }
 
     /// `true` when nothing is memoized.
@@ -241,16 +242,13 @@ impl<K: Hash + Eq + Clone, V: Clone> Memo<K, V> {
     /// never serialise behind a slow computation (they may compute the same
     /// value twice; determinism makes that harmless).
     pub fn get_or_insert_with(&self, key: &K, make: impl FnOnce() -> V) -> V {
-        if let Some(v) = self.map.lock().expect("memo poisoned").get(key) {
+        if let Some(v) = lock_unpoisoned(&self.map).get(key) {
             self.counters.hit();
             return v.clone();
         }
         self.counters.miss();
         let v = make();
-        self.map
-            .lock()
-            .expect("memo poisoned")
-            .insert(key.clone(), v.clone());
+        lock_unpoisoned(&self.map).insert(key.clone(), v.clone());
         v
     }
 }
@@ -264,7 +262,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Default for Memo<K, V> {
 impl<K: Hash + Eq, V> std::fmt::Debug for Memo<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Memo")
-            .field("len", &self.map.lock().expect("memo poisoned").len())
+            .field("len", &lock_unpoisoned(&self.map).len())
             .field("stats", &self.counters.stats())
             .finish()
     }

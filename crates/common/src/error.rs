@@ -27,6 +27,18 @@ pub enum VerError {
     Io(String),
     /// (De)serialisation failure for persisted indexes.
     Serde(String),
+    /// The serving layer's admission gate rejected the request because too
+    /// many queries are already in flight. Retryable: back off and resend.
+    Overloaded(String),
+    /// A query's [`QueryBudget`](crate::budget::QueryBudget) deadline passed
+    /// before the stage named in the message completed. The serving layer
+    /// converts this into a `partial: true` result wherever it already has
+    /// ranked views in hand.
+    DeadlineExceeded(String),
+    /// An isolated internal failure — typically a worker panic caught by
+    /// `ver_common::pool` and confined to the item it was processing. The
+    /// process, the engine, and its caches all remain usable.
+    Internal(String),
 }
 
 impl fmt::Display for VerError {
@@ -40,6 +52,9 @@ impl fmt::Display for VerError {
             VerError::Config(m) => write!(f, "configuration error: {m}"),
             VerError::Io(m) => write!(f, "io error: {m}"),
             VerError::Serde(m) => write!(f, "serialisation error: {m}"),
+            VerError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            VerError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            VerError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

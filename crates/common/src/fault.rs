@@ -1,0 +1,399 @@
+//! Fault-injection harness for chaos testing the serving path.
+//!
+//! Production resilience claims ("a worker panic degrades to a per-item
+//! error", "a torn write never loads") are only as good as the tests that
+//! exercise them. This module provides **named injection points** that the
+//! runtime code hits at its failure-prone boundaries; a disarmed point is
+//! one relaxed atomic load (no locks, no clock, no allocation), so the
+//! harness ships compiled-in at effectively zero cost, and fault-free runs
+//! remain bit-identical to builds without it (determinism invariant 10 in
+//! `ARCHITECTURE.md`).
+//!
+//! Faults are armed two ways:
+//!
+//! * **programmatically** — [`arm`] / [`arm_times`] / [`disarm`] /
+//!   [`reset`], used by `tests/chaos.rs`;
+//! * **via `VER_FAULT`** — a `;`-separated list of `point=action` clauses
+//!   parsed once on first use, e.g.
+//!   `VER_FAULT="search.score=panic*1;persist.save=io"`. Actions:
+//!   `io`, `panic`, `corrupt`, `slow:<ms>`; an optional `*N` suffix fires
+//!   the fault on the first `N` hits only. A malformed spec logs one
+//!   stderr warning and is ignored (the harness must never be able to
+//!   break a healthy process).
+//!
+//! Runtime code calls [`hit`] at a point to (maybe) suffer an injected IO
+//! error, panic, or delay, and [`corrupt_bytes`] where a byte-corruption
+//! fault makes sense (the persistence writer). The well-known point names
+//! live in [`points`].
+
+use crate::error::{Result, VerError};
+use crate::fxhash::FxHashMap;
+use crate::sync::lock_unpoisoned;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Well-known injection-point names. Using the constants (rather than ad
+/// hoc strings) keeps `VER_FAULT` specs, runtime call sites, and the chaos
+/// suite in agreement.
+pub mod points {
+    /// Index save path, hit before the temp file is renamed into place.
+    pub const PERSIST_SAVE: &str = "persist.save";
+    /// Index load path, hit before the file is read.
+    pub const PERSIST_LOAD: &str = "persist.load";
+    /// Encoded index bytes about to be written (supports `corrupt`).
+    pub const PERSIST_BYTES: &str = "persist.bytes";
+    /// Per-candidate scoring inside the search fan-out.
+    pub const SEARCH_SCORE: &str = "search.score";
+    /// Per-node join execution inside the materialization DAG.
+    pub const DAG_STEP: &str = "dag.step";
+    /// Per-view work inside 4C distillation.
+    pub const DISTILL_VIEW: &str = "distill.view";
+    /// Entry of `ServeEngine::query`, after admission.
+    pub const SERVE_QUERY: &str = "serve.query";
+}
+
+/// What an armed injection point does when hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// [`hit`] returns `VerError::Io` naming the point.
+    IoError,
+    /// [`hit`] panics (exercises worker-panic isolation).
+    Panic,
+    /// [`hit`] sleeps this many milliseconds (drives deadline paths).
+    Slow(u64),
+    /// [`corrupt_bytes`] flips one byte of the buffer.
+    CorruptByte,
+}
+
+/// An armed fault: what to do and how many more times to do it.
+#[derive(Debug, Clone)]
+struct Armed {
+    kind: FaultKind,
+    /// Fire on this many more hits, then self-disarm; `None` = every hit.
+    remaining: Option<u32>,
+}
+
+// Fast-path gate. UNINIT forces one slow-path pass that parses `VER_FAULT`;
+// after that every disarmed check is a single acquire load.
+const STATE_UNINIT: u8 = 0;
+const STATE_IDLE: u8 = 1;
+const STATE_ARMED: u8 = 2;
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+fn registry() -> &'static Mutex<FxHashMap<String, Armed>> {
+    static REG: OnceLock<Mutex<FxHashMap<String, Armed>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Parse `VER_FAULT` into the registry, exactly once per process.
+fn ensure_init() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if let Ok(spec) = std::env::var("VER_FAULT") {
+            if !spec.trim().is_empty() {
+                match parse_spec(&spec) {
+                    Ok(entries) => {
+                        let mut reg = lock_unpoisoned(registry());
+                        for (point, armed) in entries {
+                            reg.insert(point, armed);
+                        }
+                    }
+                    Err(e) => eprintln!("ver: warning: ignoring malformed VER_FAULT: {e}"),
+                }
+            }
+        }
+        refresh_state();
+    });
+}
+
+/// Recompute the fast-path gate from the registry contents.
+fn refresh_state() {
+    let armed = !lock_unpoisoned(registry()).is_empty();
+    STATE.store(
+        if armed { STATE_ARMED } else { STATE_IDLE },
+        Ordering::Release,
+    );
+}
+
+/// True if any injection point is currently armed. The disarmed fast path
+/// is one atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Acquire) {
+        STATE_IDLE => false,
+        STATE_ARMED => true,
+        _ => {
+            ensure_init();
+            STATE.load(Ordering::Acquire) == STATE_ARMED
+        }
+    }
+}
+
+/// Arm `point` to fire `kind` on every hit until [`disarm`]ed.
+pub fn arm(point: &str, kind: FaultKind) {
+    ensure_init();
+    lock_unpoisoned(registry()).insert(
+        point.to_string(),
+        Armed {
+            kind,
+            remaining: None,
+        },
+    );
+    refresh_state();
+}
+
+/// Arm `point` to fire `kind` on the next `times` hits, then self-disarm.
+/// `times == 0` is a no-op.
+pub fn arm_times(point: &str, kind: FaultKind, times: u32) {
+    if times == 0 {
+        return;
+    }
+    ensure_init();
+    lock_unpoisoned(registry()).insert(
+        point.to_string(),
+        Armed {
+            kind,
+            remaining: Some(times),
+        },
+    );
+    refresh_state();
+}
+
+/// Disarm `point` if armed.
+pub fn disarm(point: &str) {
+    ensure_init();
+    lock_unpoisoned(registry()).remove(point);
+    refresh_state();
+}
+
+/// Disarm every point (chaos tests call this between scenarios).
+pub fn reset() {
+    ensure_init();
+    lock_unpoisoned(registry()).clear();
+    refresh_state();
+}
+
+/// Consume one firing of `point` if its armed kind satisfies `want`.
+fn take_if(point: &str, want: impl Fn(&FaultKind) -> bool) -> Option<FaultKind> {
+    let mut reg = lock_unpoisoned(registry());
+    let armed = reg.get_mut(point)?;
+    if !want(&armed.kind) {
+        return None;
+    }
+    let kind = armed.kind.clone();
+    let exhausted = match &mut armed.remaining {
+        Some(n) => {
+            *n -= 1;
+            *n == 0
+        }
+        None => false,
+    };
+    if exhausted {
+        reg.remove(point);
+        drop(reg);
+        refresh_state();
+    }
+    Some(kind)
+}
+
+/// Hit an injection point: suffer the armed IO error, panic, or delay, if
+/// any. Disarmed (the overwhelmingly common case) this is one atomic load.
+///
+/// `corrupt` faults are not consumed here — they only fire through
+/// [`corrupt_bytes`], so arming `corrupt` on a non-buffer point is inert.
+#[inline]
+pub fn hit(point: &str) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    match take_if(point, |k| !matches!(k, FaultKind::CorruptByte)) {
+        None => Ok(()),
+        Some(FaultKind::IoError) => Err(VerError::Io(format!("injected fault at {point}"))),
+        Some(FaultKind::Panic) => panic!("injected panic at {point}"),
+        Some(FaultKind::Slow(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FaultKind::CorruptByte) => unreachable!("filtered by take_if"),
+    }
+}
+
+/// Hit a buffer-carrying injection point: if a `corrupt` fault is armed,
+/// flip one byte in the middle of `bytes`. Returns whether a flip happened
+/// (chaos tests assert on it).
+pub fn corrupt_bytes(point: &str, bytes: &mut [u8]) -> bool {
+    if !enabled() {
+        return false;
+    }
+    if take_if(point, |k| matches!(k, FaultKind::CorruptByte)).is_some() && !bytes.is_empty() {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        return true;
+    }
+    false
+}
+
+/// Parse a `VER_FAULT` spec: `;`- or `,`-separated `point=action[*N]`
+/// clauses with actions `io | panic | corrupt | slow:<ms>`.
+fn parse_spec(spec: &str) -> std::result::Result<Vec<(String, Armed)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split([';', ',']) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (point, action) = part
+            .split_once('=')
+            .ok_or_else(|| format!("missing '=' in {part:?}"))?;
+        let (action, remaining) = match action.split_once('*') {
+            Some((a, n)) => {
+                let n: u32 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad repeat count in {part:?}"))?;
+                if n == 0 {
+                    return Err(format!("repeat count must be >= 1 in {part:?}"));
+                }
+                (a, Some(n))
+            }
+            None => (action, None),
+        };
+        let kind = match action.trim() {
+            "io" => FaultKind::IoError,
+            "panic" => FaultKind::Panic,
+            "corrupt" => FaultKind::CorruptByte,
+            a if a.starts_with("slow:") => {
+                let ms = a["slow:".len()..]
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad slow duration in {part:?}"))?;
+                FaultKind::Slow(ms)
+            }
+            other => return Err(format!("unknown fault action {other:?}")),
+        };
+        out.push((point.trim().to_string(), Armed { kind, remaining }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Fault state is process-global; serialise the tests that mutate it.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        lock_unpoisoned(&LOCK)
+    }
+
+    #[test]
+    fn disarmed_points_are_inert() {
+        let _g = guard();
+        reset();
+        assert!(!enabled());
+        assert!(hit(points::SEARCH_SCORE).is_ok());
+        let mut buf = vec![1u8, 2, 3];
+        assert!(!corrupt_bytes(points::PERSIST_BYTES, &mut buf));
+        assert_eq!(buf, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn io_fault_fires_until_disarmed() {
+        let _g = guard();
+        reset();
+        arm(points::PERSIST_SAVE, FaultKind::IoError);
+        assert!(enabled());
+        for _ in 0..3 {
+            match hit(points::PERSIST_SAVE) {
+                Err(VerError::Io(m)) => assert!(m.contains(points::PERSIST_SAVE)),
+                other => panic!("expected injected io error, got {other:?}"),
+            }
+        }
+        // Other points are untouched.
+        assert!(hit(points::SERVE_QUERY).is_ok());
+        disarm(points::PERSIST_SAVE);
+        assert!(hit(points::PERSIST_SAVE).is_ok());
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn one_shot_fault_self_disarms() {
+        let _g = guard();
+        reset();
+        arm_times(points::SEARCH_SCORE, FaultKind::IoError, 2);
+        assert!(hit(points::SEARCH_SCORE).is_err());
+        assert!(hit(points::SEARCH_SCORE).is_err());
+        assert!(hit(points::SEARCH_SCORE).is_ok(), "exhausted after 2 hits");
+        assert!(!enabled(), "self-disarm empties the registry");
+        arm_times(points::SEARCH_SCORE, FaultKind::IoError, 0);
+        assert!(!enabled(), "times=0 is a no-op");
+    }
+
+    #[test]
+    fn panic_fault_panics_with_point_name() {
+        let _g = guard();
+        reset();
+        arm_times(points::DAG_STEP, FaultKind::Panic, 1);
+        let caught = catch_unwind(AssertUnwindSafe(|| hit(points::DAG_STEP)));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains(points::DAG_STEP), "payload: {msg:?}");
+        reset();
+    }
+
+    #[test]
+    fn corrupt_fault_flips_one_byte_once() {
+        let _g = guard();
+        reset();
+        arm_times(points::PERSIST_BYTES, FaultKind::CorruptByte, 1);
+        // `hit` must not consume a corrupt fault.
+        assert!(hit(points::PERSIST_BYTES).is_ok());
+        let mut buf = vec![0u8; 9];
+        assert!(corrupt_bytes(points::PERSIST_BYTES, &mut buf));
+        assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1);
+        assert_eq!(buf[4], 0xFF, "middle byte flipped");
+        let mut again = vec![0u8; 9];
+        assert!(!corrupt_bytes(points::PERSIST_BYTES, &mut again));
+        assert!(again.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn slow_fault_delays() {
+        let _g = guard();
+        reset();
+        arm_times(points::SERVE_QUERY, FaultKind::Slow(20), 1);
+        let t0 = std::time::Instant::now();
+        assert!(hit(points::SERVE_QUERY).is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert!(hit(points::SERVE_QUERY).is_ok(), "one-shot");
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let parsed = parse_spec("search.score=panic*1; persist.save=io ,dag.step=slow:25")
+            .expect("valid spec");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].0, "search.score");
+        assert_eq!(parsed[0].1.kind, FaultKind::Panic);
+        assert_eq!(parsed[0].1.remaining, Some(1));
+        assert_eq!(parsed[1].1.kind, FaultKind::IoError);
+        assert_eq!(parsed[1].1.remaining, None);
+        assert_eq!(parsed[2].1.kind, FaultKind::Slow(25));
+        assert!(parse_spec("").expect("empty is fine").is_empty());
+        assert!(parse_spec(" ; ").expect("blank clauses skipped").is_empty());
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage() {
+        assert!(parse_spec("no-equals-sign").is_err());
+        assert!(parse_spec("p=explode").is_err());
+        assert!(parse_spec("p=slow:fast").is_err());
+        assert!(parse_spec("p=io*0").is_err());
+        assert!(parse_spec("p=io*many").is_err());
+    }
+}

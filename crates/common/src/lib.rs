@@ -20,6 +20,12 @@
 //!   reference path; output is bit-identical either way).
 //! * [`cache`] — thread-safe LRU and memoization caches with hit/miss
 //!   counters, the substrate of the `ver-serve` serving layer.
+//! * [`budget`] — per-query wall-clock deadlines and work caps, checked
+//!   cooperatively at stage boundaries ([`budget::QueryBudget`]).
+//! * [`fault`] — the named-injection-point chaos harness (`VER_FAULT`);
+//!   one relaxed atomic load when disarmed.
+//! * [`sync`] — [`sync::lock_unpoisoned`], the workspace-wide policy that
+//!   a panicked lock holder must never brick a cache or registry.
 //! * [`stats`] — tiny summary-statistics helpers used by the experiment
 //!   harness (median / percentiles for boxplot-style reporting).
 //! * [`timer`] — phase timers used to reproduce the paper's runtime
@@ -28,20 +34,25 @@
 //! Layer 0 of the crate map in the repo-root `ARCHITECTURE.md` — every
 //! other crate rests on this one.
 
+pub mod budget;
 pub mod cache;
 pub mod error;
+pub mod fault;
 pub mod fxhash;
 pub mod ids;
 pub mod pool;
 pub mod simd;
 pub mod stats;
+pub mod sync;
 pub mod text;
 pub mod timer;
 pub mod value;
 
+pub use budget::QueryBudget;
 pub use error::{Result, VerError};
 pub use fxhash::{fx_hash_bytes, fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ColumnId, ColumnRef, TableId, ViewId};
 pub use pool::{par_for_each, par_map, resolve_threads, ThreadPool};
 pub use simd::{active_backend, simd_enabled, SimdBackend};
+pub use sync::lock_unpoisoned;
 pub use value::{DataType, Value};

@@ -21,7 +21,11 @@
 //! The convention across the workspace is `threads: 0` = use
 //! [`std::thread::available_parallelism`]; see [`resolve_threads`].
 
+use crate::error::{Result, VerError};
+use crate::sync::lock_unpoisoned;
+use std::any::Any;
 use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Workspace-wide default worker count for `threads` knobs: the
@@ -30,18 +34,27 @@ use std::sync::Mutex;
 /// stage — offline build, online search fan-out, 4C distillation — to a
 /// fixed degree of parallelism without touching per-stage configs; the
 /// determinism guarantee makes all values produce identical output.
+///
+/// A malformed value logs one stderr warning and falls back to auto: a
+/// long-running service must not abort at query time because an operator
+/// exported a typo'd knob, and the determinism guarantee means the
+/// fallback still computes identical output (only the schedule differs).
 pub fn default_threads() -> usize {
-    match std::env::var("VER_THREADS") {
+    // Parsed (and, on a malformed value, warned about) once per process:
+    // this runs on every config construction, and a typo'd knob should
+    // not spam one warning per query.
+    static PARSED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("VER_THREADS") {
         Ok(v) if v.trim().is_empty() => 0,
-        // A malformed value must fail loudly: this knob exists to *pin*
-        // parallelism, and silently falling back to auto would let a CI
-        // typo masquerade as a pinned run.
-        Ok(v) => v
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("VER_THREADS must be a thread count (0 = auto), got {v:?}")),
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!(
+                "ver: warning: VER_THREADS must be a thread count (0 = auto), \
+                 got {v:?}; falling back to auto"
+            );
+            0
+        }),
         Err(_) => 0,
-    }
+    })
 }
 
 /// Resolve a configured thread count: `0` means "auto" (one worker per
@@ -98,6 +111,18 @@ impl ThreadPool {
     {
         par_for_each(items, self.threads, f)
     }
+
+    /// Panic-isolating order-preserving parallel map: a panic in `f`
+    /// becomes that item's `Err(VerError::Internal)` instead of
+    /// propagating. See [`try_par_map`].
+    pub fn try_par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Result<R> + Sync,
+    {
+        try_par_map(items, self.threads, f)
+    }
 }
 
 /// One worker's share of the index space: a half-open `[next, end)` range.
@@ -131,7 +156,7 @@ fn work(me: usize, deques: &[Deque], grain: usize, run: &(impl Fn(usize) + Sync)
         // Drain own range, one grain at a time.
         loop {
             let (start, stop) = {
-                let mut r = deques[me].lock().expect("deque poisoned");
+                let mut r = lock_unpoisoned(&deques[me]);
                 if r.0 >= r.1 {
                     break;
                 }
@@ -150,7 +175,7 @@ fn work(me: usize, deques: &[Deque], grain: usize, run: &(impl Fn(usize) + Sync)
             if v == me {
                 continue;
             }
-            let r = d.lock().expect("deque poisoned");
+            let r = lock_unpoisoned(d);
             let remaining = r.1.saturating_sub(r.0);
             if remaining > most {
                 most = remaining;
@@ -163,7 +188,7 @@ fn work(me: usize, deques: &[Deque], grain: usize, run: &(impl Fn(usize) + Sync)
         // Steal the back half (re-checked under the victim's lock; the
         // victim may have drained since the scan).
         let stolen = {
-            let mut r = deques[v].lock().expect("deque poisoned");
+            let mut r = lock_unpoisoned(&deques[v]);
             let remaining = r.1.saturating_sub(r.0);
             if remaining == 0 {
                 continue; // lost the race — rescan
@@ -172,7 +197,7 @@ fn work(me: usize, deques: &[Deque], grain: usize, run: &(impl Fn(usize) + Sync)
             r.1 -= take;
             (r.1, r.1 + take)
         };
-        *deques[me].lock().expect("deque poisoned") = stolen;
+        *lock_unpoisoned(&deques[me]) = stolen;
     }
 }
 
@@ -212,13 +237,29 @@ impl<R> Slots<R> {
     }
 }
 
-/// Order-preserving chunk-stealing parallel map: `out[i] == f(&items[i])`.
-///
-/// `threads` follows the `0 = auto` convention. Falls back to a plain
-/// sequential map for one worker or trivially small inputs. If `f` panics
-/// the panic propagates after all workers stop; already-computed results
-/// are leaked (not dropped) in that case.
-pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// Render a caught panic payload as a one-line message for
+/// `VerError::Internal`.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
+}
+
+/// Core of [`par_map`]: map every item, catching per-item panics so one
+/// panicking closure cannot poison the deques or tear down sibling
+/// workers. Returns the first caught payload (by completion order, not
+/// item order) instead of the output vector when any item panicked;
+/// results computed for other items are leaked (not dropped) in that case,
+/// exactly as the pre-isolation propagating version did.
+fn par_map_impl<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> std::result::Result<Vec<R>, Box<dyn Any + Send>>
 where
     T: Sync,
     R: Send,
@@ -227,31 +268,106 @@ where
     let n = items.len();
     let workers = resolve_threads(threads).max(1).min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return items.iter().map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for item in items {
+            out.push(catch_unwind(AssertUnwindSafe(|| f(item)))?);
+        }
+        return Ok(out);
     }
     let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
     // SAFETY: MaybeUninit<R> needs no initialisation; length equals capacity.
     unsafe { out.set_len(n) };
     let slots = Slots(out.as_mut_ptr());
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     run_indices(n, workers, |i| {
-        // SAFETY: `run_indices` claims each index exactly once and `i < n`,
-        // so this write is in-bounds and races with no other access.
-        unsafe { slots.write(i, f(&items[i])) };
+        // The catch keeps the "every claimed index completes" invariant
+        // intact under panicking closures: the worker records the payload
+        // and moves on to its next grain rather than dying mid-deque.
+        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+            // SAFETY: `run_indices` claims each index exactly once and
+            // `i < n`, so this write is in-bounds and races with no other
+            // access.
+            Ok(v) => unsafe { slots.write(i, v) },
+            Err(payload) => {
+                let mut slot = lock_unpoisoned(&first_panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
     });
-    // SAFETY: every slot was initialised above; MaybeUninit<R> and R share
-    // layout, so the buffer can be reinterpreted wholesale.
+    if let Some(payload) = lock_unpoisoned(&first_panic).take() {
+        // Panicked slots were never written; `out` drops as
+        // `Vec<MaybeUninit<R>>`, leaking the written results.
+        return Err(payload);
+    }
+    // SAFETY: no panic means every slot was initialised above;
+    // MaybeUninit<R> and R share layout, so the buffer can be
+    // reinterpreted wholesale.
     let mut out = ManuallyDrop::new(out);
-    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) }
+    Ok(unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) })
+}
+
+/// Order-preserving chunk-stealing parallel map: `out[i] == f(&items[i])`.
+///
+/// `threads` follows the `0 = auto` convention. Falls back to a plain
+/// sequential map for one worker or trivially small inputs. If `f` panics
+/// the first caught payload is re-raised on the calling thread after all
+/// workers finish; already-computed results are leaked (not dropped) in
+/// that case. Callers that want panics degraded to per-item errors use
+/// [`try_par_map`] instead.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match par_map_impl(items, threads, f) {
+        Ok(out) => out,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Panic-isolating order-preserving parallel map.
+///
+/// Like [`par_map`] over a fallible closure, except a panic in `f` is
+/// caught and returned as that item's `Err(VerError::Internal)` carrying
+/// the panic message — the other items complete normally and the calling
+/// thread never unwinds. This is the serving path's contract: one
+/// poisonous candidate degrades to one failed item, not a dead process.
+pub fn try_par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R> + Sync,
+{
+    par_map(items, threads, |item| {
+        catch_unwind(AssertUnwindSafe(|| f(item)))
+            .unwrap_or_else(|payload| Err(VerError::Internal(panic_message(payload.as_ref()))))
+    })
 }
 
 /// Run `f` once per item in parallel; no results, no ordering guarantees on
-/// execution (use [`par_map`] when output order matters).
+/// execution (use [`par_map`] when output order matters). Panics in `f`
+/// are re-raised on the calling thread after all workers finish.
 pub fn par_for_each<T, F>(items: &[T], threads: usize, f: F)
 where
     T: Sync,
     F: Fn(&T) + Sync,
 {
-    run_indices(items.len(), threads, |i| f(&items[i]));
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    run_indices(items.len(), threads, |i| {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+            let mut slot = lock_unpoisoned(&first_panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    });
+    let payload = lock_unpoisoned(&first_panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +391,9 @@ mod tests {
         assert!(resolve_threads(d) >= 1);
         match std::env::var("VER_THREADS") {
             Ok(v) if v.trim().is_empty() => assert_eq!(d, 0),
-            Ok(v) => assert_eq!(d, v.trim().parse::<usize>().expect("validated")),
+            // Valid values parse; garbage falls back to auto (0) with a
+            // stderr warning rather than panicking.
+            Ok(v) => assert_eq!(d, v.trim().parse::<usize>().unwrap_or(0)),
             Err(_) => assert_eq!(d, 0, "unset VER_THREADS means auto"),
         }
     }
@@ -344,5 +462,75 @@ mod tests {
         let out = par_map(&items, 4, |&x| format!("v{x}"));
         assert_eq!(out[1999], "v1999");
         assert_eq!(out[0], "v0");
+    }
+
+    #[test]
+    fn try_par_map_degrades_panics_to_per_item_errors() {
+        use crate::error::VerError;
+        let items: Vec<u32> = (0..500).collect();
+        for threads in [1, 4] {
+            let out = try_par_map(&items, threads, |&x| {
+                if x % 100 == 37 {
+                    panic!("poisonous item {x}");
+                }
+                Ok(x * 2)
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 100 == 37 {
+                    match r {
+                        Err(VerError::Internal(m)) => {
+                            assert!(m.contains(&format!("poisonous item {i}")), "msg: {m}")
+                        }
+                        other => panic!("item {i}: expected Internal, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(r.as_ref().copied().unwrap(), i as u32 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_reraises_the_panic_after_workers_finish() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let items: Vec<u32> = (0..800).collect();
+        for threads in [1, 4] {
+            let visited: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                par_map(&items, threads, |&x| {
+                    visited[x as usize].fetch_add(1, Ordering::Relaxed);
+                    if x == 123 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            }));
+            let payload = caught.expect_err("panic must propagate to the caller");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("boom at 123"), "payload: {msg:?}");
+            // No item ran twice: the catch keeps the claim-exactly-once
+            // invariant intact even with a panicking closure.
+            assert!(visited.iter().all(|c| c.load(Ordering::Relaxed) <= 1));
+        }
+    }
+
+    #[test]
+    fn par_for_each_reraises_panics() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let items: Vec<u32> = (0..200).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_for_each(&items, 4, |&x| {
+                if x == 7 {
+                    panic!("side-effect panic");
+                }
+            })
+        }));
+        assert!(caught.is_err());
+        // The runtime stays usable afterwards.
+        assert_eq!(par_map(&items, 4, |&x| x + 1)[0], 1);
     }
 }

@@ -1,0 +1,55 @@
+//! Poison-tolerant synchronisation helpers.
+//!
+//! Every `Mutex` in this workspace guards data whose invariants hold at
+//! each individual lock release: the pool deques store a single half-open
+//! range updated in one assignment, the caches mutate standard maps whose
+//! memory safety is unconditional, and the session registry inserts or
+//! removes whole entries. A panic inside a critical section therefore
+//! cannot leave *logically* torn state behind — the worst a panicking
+//! client can do is abandon an entry it was about to write. Propagating
+//! the poison flag, on the other hand, turns one isolated panic into a
+//! process-wide brick: every later `lock().expect("poisoned")` aborts.
+//!
+//! [`lock_unpoisoned`] encodes that policy in one place: take the lock,
+//! and if a previous holder panicked, recover the guard and keep serving.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+///
+/// Use this instead of `m.lock().expect("poisoned")` for every mutex whose
+/// protected data stays consistent at each lock release (all of them, in
+/// this workspace — see the module docs). One panicked worker must degrade
+/// to a per-item error, never to a poisoned-forever cache or registry.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn recovers_after_a_panicking_holder() {
+        let m = Mutex::new(41);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("holder dies with the lock held");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned(), "std marks the mutex poisoned");
+        let mut g = lock_unpoisoned(&m);
+        assert_eq!(*g, 41, "data written before the panic is intact");
+        *g = 42;
+        drop(g);
+        assert_eq!(*lock_unpoisoned(&m), 42);
+    }
+
+    #[test]
+    fn behaves_like_lock_when_unpoisoned() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        lock_unpoisoned(&m).push(4);
+        assert_eq!(*lock_unpoisoned(&m), vec![1, 2, 3, 4]);
+    }
+}

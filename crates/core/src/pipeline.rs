@@ -7,10 +7,11 @@
 use crate::config::{Mode, VerConfig};
 use crate::spec_select::select_for_spec;
 use std::sync::Arc;
+use ver_common::budget::QueryBudget;
 use ver_common::error::{Result, VerError};
 use ver_common::ids::ViewId;
 use ver_common::timer::PhaseTimer;
-use ver_distill::{distill, DistillOutput};
+use ver_distill::{distill_budgeted, DistillOutput};
 use ver_engine::view::View;
 use ver_index::{build_index, DiscoveryIndex};
 use ver_present::{fasttopk_rank, PresentationSession, SessionOutcome, SimulatedUser};
@@ -49,6 +50,12 @@ pub struct QueryResult {
     pub ranked: Vec<(ViewId, usize)>,
     /// Per-stage wall times (`cs`, `jgs`, `materialize`, `vd_io`, `4c`).
     pub timer: PhaseTimer,
+    /// `true` when a [`QueryBudget`] degraded this result: candidates were
+    /// capped or skipped, the deadline tripped mid-stage, or distillation
+    /// was abandoned (in which case every view counts as a survivor and
+    /// ranking falls back to join scores). Budget-free runs are never
+    /// partial.
+    pub partial: bool,
 }
 
 impl QueryResult {
@@ -138,6 +145,28 @@ impl Ver {
         spec: &ViewSpec,
         caches: Option<&SearchCaches>,
     ) -> Result<QueryResult> {
+        self.run_budgeted(spec, caches, &QueryBudget::none())
+    }
+
+    /// [`Ver::run_cached`] under a [`QueryBudget`].
+    ///
+    /// The budget is threaded through every stage: search checks it per
+    /// candidate scored, per DAG step and per view projected (skipping
+    /// candidates that trip), and distillation checks it per block and per
+    /// view. Exhaustion degrades instead of failing — the result keeps
+    /// whatever ranked views completed, with [`QueryResult::partial`] set.
+    /// If distillation itself runs out of budget (or a distill worker
+    /// panics), the views are returned *undistilled*: every view counts as
+    /// a C2 survivor and ranking falls back to the non-QBE join-score
+    /// order. Errors that are neither deadline nor panic (e.g. genuine
+    /// I/O failures) still fail the query. An unlimited budget makes this
+    /// byte-identical to [`Ver::run_cached`].
+    pub fn run_budgeted(
+        &self,
+        spec: &ViewSpec,
+        caches: Option<&SearchCaches>,
+        budget: &QueryBudget,
+    ) -> Result<QueryResult> {
         let mut timer = PhaseTimer::new();
 
         // COLUMN-SELECTION (lines 3-7).
@@ -146,13 +175,14 @@ impl Ver {
         });
 
         // JOIN-GRAPH-SEARCH + MATERIALIZER (line 8).
-        let mut search_cx = SearchContext::new(&self.catalog, &self.index);
+        let mut search_cx = SearchContext::new(&self.catalog, &self.index).with_budget(*budget);
         if let Some(caches) = caches {
             search_cx = search_cx.with_caches(caches);
         }
         let search_out = search_cx.search(&selection, &self.config.search)?;
         timer.add("jgs", search_out.timer.get("jgs"));
         timer.add("materialize", search_out.timer.get("materialize"));
+        let mut partial = search_out.partial;
         let mut views = search_out.views;
 
         // VD-IO: optionally round-trip the views through CSV on disk, the
@@ -163,8 +193,18 @@ impl Ver {
             timer.add("vd_io", std::time::Duration::ZERO);
         }
 
-        // VIEW-DISTILLATION (line 9).
-        let distill_out = distill(&views, &self.config.distill);
+        // VIEW-DISTILLATION (line 9). Out of budget (or a panicked distill
+        // worker) degrades to "no distillation": the ranked views are
+        // still useful without 4C labels, and the partial flag tells the
+        // caller which contract they got.
+        let distill_out = match distill_budgeted(&views, &self.config.distill, budget) {
+            Ok(out) => out,
+            Err(VerError::DeadlineExceeded(_)) | Err(VerError::Internal(_)) => {
+                partial = true;
+                undistilled(&views)
+            }
+            Err(e) => return Err(e),
+        };
         timer.add("4c", distill_out.timer.total());
 
         // Automatic mode ranking (line 13): overlap score over survivors.
@@ -177,6 +217,7 @@ impl Ver {
             distill: distill_out,
             ranked,
             timer,
+            partial,
         })
     }
 
@@ -202,6 +243,23 @@ impl Ver {
     /// Operation mode configured for this instance.
     pub fn mode(&self) -> Mode {
         self.config.mode
+    }
+}
+
+/// The degraded stand-in for an abandoned distillation: an unlabelled
+/// graph where every view survives C1 and C2, so downstream ranking and
+/// presentation still have the full candidate set to work with.
+fn undistilled(views: &[View]) -> DistillOutput {
+    let ids: Vec<ViewId> = views.iter().map(|v| v.id).collect();
+    DistillOutput {
+        graph: ver_distill::ViewGraph::new(ids.clone()),
+        view_keys: Default::default(),
+        compatible_groups: Vec::new(),
+        survivors_c1: ids.clone(),
+        survivors_c2: ids,
+        contradictions: Vec::new(),
+        complementary_pairs: Vec::new(),
+        timer: PhaseTimer::new(),
     }
 }
 

@@ -10,6 +10,8 @@ use crate::categories::{Category, ViewGraph};
 use crate::hashes::{HashCache, SetRelation};
 use crate::keys::{find_candidate_keys, key_value_hash, Key};
 use serde::{Deserialize, Serialize};
+use ver_common::budget::QueryBudget;
+use ver_common::error::Result;
 use ver_common::fxhash::{fx_hash_u64, FxHashMap, FxHashSet};
 use ver_common::ids::ViewId;
 use ver_common::timer::PhaseTimer;
@@ -94,7 +96,37 @@ impl DistillOutput {
 }
 
 /// Run Algorithm 3 over `views`.
+///
+/// Infallible wrapper over [`distill_budgeted`] with an unlimited budget —
+/// the historical entry point, bit-identical to pre-budget builds.
 pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
+    match distill_budgeted(views, config, &QueryBudget::none()) {
+        Ok(out) => out,
+        // Unlimited budgets never trip; the only other error source is a
+        // worker panic (or an armed fault point), which the unbudgeted
+        // entry point propagates as the panic it always was.
+        Err(e) => panic!("distill failed: {e}"),
+    }
+}
+
+/// Run Algorithm 3 over `views` under a [`QueryBudget`].
+///
+/// The cooperative deadline is checked per schema block in every phase and
+/// per view in candidate-key discovery (the dominant per-view cost), so a
+/// tripped budget surfaces as [`VerError::DeadlineExceeded`] within one
+/// stage step. Distillation output is one connected artifact (a labelled
+/// graph over *all* views), so unlike search it cannot drop individual
+/// items: exhaustion fails the whole distill and the serving layer
+/// degrades by returning ranked views without 4C labels. A panic in
+/// per-view work is likewise confined to `Err(VerError::Internal)`.
+///
+/// [`VerError::DeadlineExceeded`]: ver_common::error::VerError
+/// [`VerError::Internal`]: ver_common::error::VerError
+pub fn distill_budgeted(
+    views: &[View],
+    config: &DistillConfig,
+    budget: &QueryBudget,
+) -> Result<DistillOutput> {
     let mut timer = PhaseTimer::new();
     let pool = ver_common::pool::ThreadPool::new(config.threads);
     let mut graph = ViewGraph::new(views.iter().map(|v| v.id).collect());
@@ -104,11 +136,13 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
 
     // Phase Hash + C1: row hashing fans out per view; the compatible-group
     // sweep over the prefilled cache stays sequential (it is pure lookups).
+    budget.check("distill.hash_c1")?;
     let mut cache = timer.time("hash_c1", || HashCache::prefill(views, &pool));
     let mut compatible_groups: Vec<Vec<ViewId>> = Vec::new();
     let mut survivors_c1: Vec<usize> = Vec::new(); // indices into `views`
-    timer.time("hash_c1", || {
+    timer.time("hash_c1", || -> Result<()> {
         for block in &blocks {
+            budget.check("distill.c1")?;
             // representatives of this block with their hash-set sizes
             let mut reps: Vec<usize> = Vec::new();
             let mut groups: FxHashMap<usize, Vec<ViewId>> = FxHashMap::default();
@@ -137,12 +171,14 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
             }
             survivors_c1.extend(reps);
         }
-    });
+        Ok(())
+    })?;
 
     // Phase C2: containment among C1 survivors, per block.
     let mut survivors_c2: Vec<usize> = Vec::new();
-    timer.time("c2", || {
+    timer.time("c2", || -> Result<()> {
         for block in &blocks {
+            budget.check("distill.c2")?;
             let mut members: Vec<usize> = block
                 .members
                 .iter()
@@ -164,24 +200,34 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
             survivors_c2.extend(kept);
         }
         survivors_c2.sort_unstable();
-    });
+        Ok(())
+    })?;
 
     // Phase C3 + C4: keys, complementary marking, contradictions.
     let mut view_keys: FxHashMap<ViewId, Vec<Key>> = FxHashMap::default();
     let mut complementary_pairs: Vec<(ViewId, ViewId, Vec<Key>)> = Vec::new();
     let mut contradictions: Vec<Contradiction> = Vec::new();
-    timer.time("c3_c4", || {
+    timer.time("c3_c4", || -> Result<()> {
         // Candidate-key discovery is independent per view: fan out, then
         // insert in survivor order (order-preserving par_map keeps the map
-        // contents identical to the sequential pass).
-        let found = pool.par_map(&survivors_c2, |&vi| {
-            find_candidate_keys(&views[vi].table, config.key_epsilon, config.max_key_width)
+        // contents identical to the sequential pass). The per-view closure
+        // is the `distill.view` stage boundary: deadline check, fault
+        // point, and panic isolation all sit here.
+        let found = pool.try_par_map(&survivors_c2, |&vi| {
+            ver_common::fault::hit(ver_common::fault::points::DISTILL_VIEW)?;
+            budget.check("distill.view")?;
+            Ok(find_candidate_keys(
+                &views[vi].table,
+                config.key_epsilon,
+                config.max_key_width,
+            ))
         });
         for (&vi, keys) in survivors_c2.iter().zip(found) {
-            view_keys.insert(views[vi].id, keys);
+            view_keys.insert(views[vi].id, keys?);
         }
 
         for block in &blocks {
+            budget.check("distill.c3_c4")?;
             let members: Vec<usize> = block
                 .members
                 .iter()
@@ -322,9 +368,10 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
                 .then_with(|| a.groups.cmp(&b.groups))
         });
         complementary_pairs.sort_by_key(|&(a, b, _)| (a, b));
-    });
+        Ok(())
+    })?;
 
-    DistillOutput {
+    Ok(DistillOutput {
         graph,
         view_keys,
         compatible_groups,
@@ -341,7 +388,7 @@ pub fn distill(views: &[View], config: &DistillConfig) -> DistillOutput {
         contradictions,
         complementary_pairs,
         timer,
-    }
+    })
 }
 
 /// Tiny helper: sort-and-return for readability above.
@@ -517,5 +564,37 @@ mod tests {
         assert_eq!(out.original_count(), 0);
         assert!(out.survivors_c2.is_empty());
         assert!(out.contradictions.is_empty());
+    }
+
+    #[test]
+    fn expired_budget_fails_with_deadline_exceeded() {
+        use ver_common::error::VerError;
+        let views = vec![
+            view(0, &[("IN", 1), ("GA", 2)]),
+            view(1, &[("IN", 999), ("GA", 2)]),
+        ];
+        let budget = QueryBudget::none().with_timeout(std::time::Duration::ZERO);
+        match distill_budgeted(&views, &DistillConfig::default(), &budget) {
+            Err(VerError::DeadlineExceeded(stage)) => {
+                assert!(stage.starts_with("distill."), "stage: {stage}")
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_distill_with_headroom_matches_unbudgeted() {
+        let views = vec![
+            view(0, &[("IN", 1), ("GA", 2)]),
+            view(1, &[("IN", 999), ("GA", 2)]),
+            view(2, &[("TX", 3)]),
+        ];
+        let cfg = DistillConfig::default();
+        let base = distill(&views, &cfg);
+        let budget = QueryBudget::none().with_timeout(std::time::Duration::from_secs(3600));
+        let budgeted = distill_budgeted(&views, &cfg, &budget).unwrap();
+        assert_eq!(budgeted.survivors_c2, base.survivors_c2);
+        assert_eq!(budgeted.contradictions, base.contradictions);
+        assert_eq!(budgeted.complementary_pairs, base.complementary_pairs);
     }
 }

@@ -28,6 +28,6 @@ pub mod hashes;
 pub mod keys;
 pub mod strategy;
 
-pub use algo::{distill, Contradiction, DistillConfig, DistillOutput};
+pub use algo::{distill, distill_budgeted, Contradiction, DistillConfig, DistillOutput};
 pub use categories::{Category, ViewGraph};
 pub use strategy::{contradiction_steps, union_complementary, CaseChoice, DistillCounts};

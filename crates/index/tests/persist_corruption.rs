@@ -1,0 +1,168 @@
+//! Corruption suite for the persisted index artifact (`VERIDX\x03`).
+//!
+//! The crash-safety contract under test: **any** single-byte flip and
+//! **any** truncation of a saved index must come back from
+//! [`index_from_bytes`] as `VerError::Serde` — never a panic, never a
+//! successfully-loaded wrong index. The whole-file trailer checksum is
+//! verified before any parsing, which is what makes the property hold at
+//! *every* offset (payloads, length fields, section checksums, the trailer
+//! itself, even the magic — a damaged magic falls through to the
+//! bad-magic error, still `Serde`). Alongside the properties, the legacy
+//! `VERIDX\x02` read-compat path is pinned: both formats load back
+//! [`DiscoveryIndex::same_contents`]-identical to the in-memory original.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use ver_common::error::VerError;
+use ver_common::value::Value;
+use ver_index::persist::{index_from_bytes, index_to_bytes, index_to_bytes_v2};
+use ver_index::{build_index, DiscoveryIndex, IndexConfig};
+use ver_store::catalog::TableCatalog;
+use ver_store::table::TableBuilder;
+
+/// Small two-table catalog with joinable text columns, ints and nulls —
+/// enough to populate every section of the artifact.
+fn catalog() -> TableCatalog {
+    let mut cat = TableCatalog::new();
+    let states: Vec<String> = (0..50).map(|i| format!("state_{i}")).collect();
+    let mut b = TableBuilder::new("airports", &["iata", "state"]);
+    for (i, s) in states.iter().take(40).enumerate() {
+        b.push_row(vec![
+            Value::text(format!("A{i:03}")),
+            Value::text(s.clone()),
+        ])
+        .unwrap();
+    }
+    cat.add_table(b.build()).unwrap();
+    let mut b = TableBuilder::new("states", &["name", "pop"]);
+    for (i, s) in states.iter().enumerate() {
+        let pop = if i % 7 == 0 {
+            Value::Null
+        } else {
+            Value::Int(1000 + i as i64)
+        };
+        b.push_row(vec![Value::text(s.clone()), pop]).unwrap();
+    }
+    cat.add_table(b.build()).unwrap();
+    cat
+}
+
+fn index() -> &'static DiscoveryIndex {
+    static IDX: OnceLock<DiscoveryIndex> = OnceLock::new();
+    IDX.get_or_init(|| {
+        build_index(
+            &catalog(),
+            IndexConfig {
+                threads: 1,
+                verify_exact: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    })
+}
+
+/// The canonical `\x03` artifact, built once for all properties.
+fn v3_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| index_to_bytes(index()).to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn any_single_byte_flip_fails_with_serde(
+        offset_seed in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let bytes = v3_bytes();
+        let offset = (offset_seed % bytes.len() as u64) as usize;
+        let mut bad = bytes.to_vec();
+        bad[offset] ^= 1u8 << bit;
+        match index_from_bytes(&bad) {
+            Err(VerError::Serde(_)) => {}
+            Ok(_) => prop_assert!(
+                false,
+                "flip at offset {offset} bit {bit} loaded successfully"
+            ),
+            Err(e) => prop_assert!(
+                false,
+                "flip at offset {offset} bit {bit}: non-Serde error {e:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn any_truncation_fails_with_serde(len_seed in any::<u64>()) {
+        let bytes = v3_bytes();
+        // Every proper prefix, including the empty one.
+        let keep = (len_seed % bytes.len() as u64) as usize;
+        match index_from_bytes(&bytes[..keep]) {
+            Err(VerError::Serde(_)) => {}
+            Ok(_) => prop_assert!(false, "truncation to {keep} bytes loaded"),
+            Err(e) => prop_assert!(false, "truncation to {keep}: non-Serde {e:?}"),
+        }
+    }
+
+    #[test]
+    fn any_two_byte_swap_fails_or_is_identity(
+        a_seed in any::<u64>(),
+        b_seed in any::<u64>(),
+    ) {
+        // Transpositions model a different physical failure than flips;
+        // swapping two unequal bytes must also be caught by the trailer.
+        let bytes = v3_bytes();
+        let a = (a_seed % bytes.len() as u64) as usize;
+        let b = (b_seed % bytes.len() as u64) as usize;
+        let mut bad = bytes.to_vec();
+        bad.swap(a, b);
+        if bad == bytes {
+            // Swapped equal bytes: still the intact artifact.
+            prop_assert!(index_from_bytes(&bad).is_ok());
+        } else {
+            match index_from_bytes(&bad) {
+                Err(VerError::Serde(_)) => {}
+                Ok(_) => prop_assert!(false, "swap ({a},{b}) loaded"),
+                Err(e) => prop_assert!(false, "swap ({a},{b}): non-Serde {e:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn intact_v3_round_trips_to_same_contents() {
+    let loaded = index_from_bytes(v3_bytes()).unwrap();
+    assert!(loaded.same_contents(index()));
+}
+
+#[test]
+fn legacy_v2_artifact_still_loads_to_same_contents() {
+    // Read-compat: a `\x02` artifact (as written by pre-PR builds) loads
+    // through the same entry point and matches the v3 load exactly.
+    let v2 = index_to_bytes_v2(index());
+    assert_ne!(&v2[..8], &v3_bytes()[..8], "formats must differ in magic");
+    let from_v2 = index_from_bytes(&v2).unwrap();
+    let from_v3 = index_from_bytes(v3_bytes()).unwrap();
+    assert!(from_v2.same_contents(index()));
+    assert!(from_v2.same_contents(&from_v3));
+    // And re-saving the v2 load produces the canonical v3 bytes.
+    assert_eq!(index_to_bytes(&from_v2).as_ref(), v3_bytes());
+}
+
+#[test]
+fn empty_and_garbage_inputs_are_serde_errors() {
+    for bad in [
+        &[][..],
+        b"VERIDX",
+        b"VERIDX\x01\x00",
+        b"VERIDX\x04\x00",
+        b"not an artifact at all",
+        &[0u8; 64][..],
+    ] {
+        match index_from_bytes(bad) {
+            Err(VerError::Serde(_)) => {}
+            other => panic!("{bad:?}: expected Serde, got {other:?}"),
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! determinism suite pin the equivalence.
 
 use std::sync::Arc;
+use ver_common::budget::QueryBudget;
 use ver_common::error::{Result, VerError};
 use ver_common::fxhash::FxHashMap;
 use ver_common::ids::{ColumnRef, TableId};
@@ -197,6 +198,25 @@ impl<'a> MaterializePlanner<'a> {
         candidates: &[(PjPlan, f64)],
         pool: ThreadPool,
     ) -> (Vec<Result<View>>, MaterializeStats) {
+        self.plan_batch_budgeted(candidates, pool, &QueryBudget::none())
+    }
+
+    /// [`plan_batch`](Self::plan_batch) under a [`QueryBudget`]: the
+    /// cooperative deadline is checked at every DAG node execution (the
+    /// per-edge stage boundary) and every final projection. A node that
+    /// trips returns `Err(VerError::DeadlineExceeded)`, which propagates to
+    /// every candidate whose plan depends on it — candidates whose chains
+    /// completed earlier still come back `Ok`, which is what lets the
+    /// search path return partial results. A panic inside node execution
+    /// or projection is likewise confined to the affected candidates as
+    /// `Err(VerError::Internal)`. With an unlimited budget and no injected
+    /// faults this is byte-for-byte `plan_batch` (the checks are a no-op).
+    pub fn plan_batch_budgeted(
+        &self,
+        candidates: &[(PjPlan, f64)],
+        pool: ThreadPool,
+        budget: &QueryBudget,
+    ) -> (Vec<Result<View>>, MaterializeStats) {
         let mut stats = MaterializeStats {
             candidates: candidates.len(),
             ..Default::default()
@@ -297,20 +317,30 @@ impl<'a> MaterializePlanner<'a> {
             pool.par_map(&bases, |&t| JoinState::base(self.catalog, t));
         let mut states: Vec<Option<Result<JoinState>>> = (0..nodes.len()).map(|_| None).collect();
         for level in &levels {
-            let computed: Vec<(Result<JoinState>, bool)> = pool.par_map(level, |&id| {
-                let node = &nodes[id];
-                let parent = match node.parent {
-                    DagParent::Base(b) => &base_states[b],
-                    DagParent::Node(n) => states[n].as_ref().expect("parent level completed"),
-                };
-                match parent {
-                    Err(e) => (Err(e.clone()), false),
-                    Ok(state) => (
-                        state.step_hashed(self.catalog, node.step, &hashes),
-                        state.is_empty(),
-                    ),
-                }
-            });
+            // `try_par_map` so an injected (or genuine) panic in one node
+            // degrades to that node's `Err(VerError::Internal)` instead of
+            // unwinding the query; the cooperative deadline and the
+            // `dag.step` fault point sit at the same per-edge boundary.
+            let computed: Vec<(Result<JoinState>, bool)> = pool
+                .try_par_map(level, |&id| {
+                    ver_common::fault::hit(ver_common::fault::points::DAG_STEP)?;
+                    budget.check("dag.step")?;
+                    let node = &nodes[id];
+                    let parent = match node.parent {
+                        DagParent::Base(b) => &base_states[b],
+                        DagParent::Node(n) => states[n].as_ref().expect("parent level completed"),
+                    };
+                    Ok(match parent {
+                        Err(e) => (Err(e.clone()), false),
+                        Ok(state) => (
+                            state.step_hashed(self.catalog, node.step, &hashes),
+                            state.is_empty(),
+                        ),
+                    })
+                })
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|e| (Err(e), false)))
+                .collect();
             for (&id, (state, pruned)) in level.iter().zip(computed) {
                 states[id] = Some(state);
                 stats.empty_pruned += usize::from(pruned);
@@ -345,7 +375,8 @@ impl<'a> MaterializePlanner<'a> {
         // Project every candidate off its leaf state (order-preserving
         // fan-out; value gathering is the only per-candidate work left).
         let idx: Vec<usize> = (0..candidates.len()).collect();
-        let views = pool.par_map(&idx, |&i| {
+        let views = pool.try_par_map(&idx, |&i| {
+            budget.check("dag.project")?;
             let (plan, score) = &candidates[i];
             let state = match &leaves[i] {
                 Leaf::Invalid(e) => return Err(e.clone()),

@@ -22,7 +22,8 @@ use std::sync::Arc;
 
 use crate::materialize::{MaterializePlanner, MaterializeStats};
 use crate::rank::{graph_canon, join_score, rank_order};
-use ver_common::error::Result;
+use ver_common::budget::QueryBudget;
+use ver_common::error::{Result, VerError};
 use ver_common::fxhash::FxHashSet;
 use ver_common::ids::{ColumnRef, TableId, ViewId};
 use ver_common::pool::ThreadPool;
@@ -101,6 +102,12 @@ pub struct SearchOutput {
     /// Stage wall times: `jgs` (enumeration + ranking) and `materialize`
     /// (plan execution) — the JGS/M split of Fig. 4b.
     pub timer: ver_common::timer::PhaseTimer,
+    /// `true` when a [`QueryBudget`] trimmed the output (deadline tripped
+    /// mid-stage, a candidate/view cap bit, or a worker panicked and its
+    /// candidate was skipped). `views` then holds the best-ranked views
+    /// that *did* complete, still in rank order. Always `false` for an
+    /// unlimited budget on a healthy run.
+    pub partial: bool,
 }
 
 /// Everything join-graph search reads, bundled as one borrowing context:
@@ -140,16 +147,19 @@ pub struct SearchContext<'a> {
     index: &'a DiscoveryIndex,
     caches: Option<&'a crate::cache::SearchCaches>,
     pool: Option<ThreadPool>,
+    budget: QueryBudget,
 }
 
 impl<'a> SearchContext<'a> {
-    /// Context over an immutable catalog + index, no caches, per-call pool.
+    /// Context over an immutable catalog + index, no caches, per-call pool,
+    /// unlimited budget.
     pub fn new(catalog: &'a TableCatalog, index: &'a DiscoveryIndex) -> Self {
         SearchContext {
             catalog,
             index,
             caches: None,
             pool: None,
+            budget: QueryBudget::none(),
         }
     }
 
@@ -162,6 +172,18 @@ impl<'a> SearchContext<'a> {
     /// Use a pre-resolved worker pool instead of `config.threads`.
     pub fn with_pool(mut self, pool: ThreadPool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attach a per-query [`QueryBudget`]: a wall-clock deadline checked
+    /// cooperatively at every stage boundary plus optional candidate/view
+    /// caps. On exhaustion the search degrades instead of failing — it
+    /// keeps whatever ranked views completed and sets
+    /// [`SearchOutput::partial`]. The default (unlimited) budget never
+    /// reads the clock, keeping budget-free runs bit-identical to
+    /// pre-budget builds.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -191,25 +213,52 @@ impl<'a> SearchContext<'a> {
             views: 0,
         };
 
-        let candidates = collect_candidates(self.catalog, &enumeration)?;
+        let mut partial = false;
+        let mut candidates = collect_candidates(self.catalog, &enumeration)?;
+        // Budget: candidate cap. Generation order is canonical, so the
+        // truncation is deterministic for a fixed cap.
+        let cand_cap = self.budget.cap_candidates(candidates.len());
+        if cand_cap < candidates.len() {
+            candidates.truncate(cand_cap);
+            partial = true;
+        }
 
         // Score in parallel (order-preserving), then rank by the
         // content-based total order: score desc, canonical edges asc,
         // projection asc. The projection tail makes the order total even
         // across candidates sharing a graph, so ranked output never depends
-        // on generation order.
-        let scores = pool.par_map(&candidates, |c| match self.caches {
-            Some(cs) => cs.score_or_compute(&c.canon, || join_score(self.index, &c.graph)),
-            None => join_score(self.index, &c.graph),
+        // on generation order. A candidate whose scoring trips the deadline
+        // or panics is dropped (degrading to a partial result); any other
+        // error is a hard failure.
+        let scores = pool.try_par_map(&candidates, |c| {
+            ver_common::fault::hit(ver_common::fault::points::SEARCH_SCORE)?;
+            self.budget.check("search.score")?;
+            Ok(match self.caches {
+                Some(cs) => cs.score_or_compute(&c.canon, || join_score(self.index, &c.graph)),
+                None => join_score(self.index, &c.graph),
+            })
         });
-        let mut scored: Vec<(f64, Candidate)> = scores.into_iter().zip(candidates).collect();
+        let mut scored: Vec<(f64, Candidate)> = Vec::with_capacity(candidates.len());
+        for (score, candidate) in scores.into_iter().zip(candidates) {
+            match score {
+                Ok(s) => scored.push((s, candidate)),
+                Err(VerError::DeadlineExceeded(_)) | Err(VerError::Internal(_)) => partial = true,
+                Err(e) => return Err(e),
+            }
+        }
         scored.sort_by(|a, b| {
             rank_order(a.0, &a.1.canon, b.0, &b.1.canon)
                 .then_with(|| a.1.projection.cmp(&b.1.projection))
         });
         // Bounded top-k pruning: everything below the cut is dropped before
-        // any planning or execution happens.
-        scored.truncate(config.k);
+        // any planning or execution happens. The budget's view cap tightens
+        // the cut deterministically.
+        let k = config.k.min(scored.len());
+        let keep = self.budget.cap_views(k);
+        if keep < k {
+            partial = true;
+        }
+        scored.truncate(keep);
         timer.add("jgs", jgs_start.elapsed());
 
         // Materialise the top-k; per-candidate failures propagate as the
@@ -289,7 +338,7 @@ impl<'a> SearchContext<'a> {
                     (plan, scored[i].0)
                 })
                 .collect();
-            let (views, batch_stats) = planner.plan_batch(&batch, pool);
+            let (views, batch_stats) = planner.plan_batch_budgeted(&batch, pool, &self.budget);
             dag = batch_stats;
             for (&i, view) in miss.iter().zip(views) {
                 if let (Some(cs), Ok(view), Ok(plan)) = (self.caches, &view, &plans[i]) {
@@ -306,9 +355,12 @@ impl<'a> SearchContext<'a> {
                 .collect()
         } else {
             // Independent reference path: one full executor run per
-            // candidate, exactly the pre-DAG behaviour.
+            // candidate, exactly the pre-DAG behaviour (plus the same
+            // per-candidate deadline boundary and panic isolation as the
+            // DAG arm, so both degrade identically under pressure).
             let idx: Vec<usize> = (0..scored.len()).collect();
-            pool.par_map(&idx, |&i| {
+            pool.try_par_map(&idx, |&i| {
+                self.budget.check("materialize.view")?;
                 let plan = match &plans[i] {
                     Err(e) => return Err(e.clone()),
                     Ok(plan) => plan,
@@ -325,7 +377,19 @@ impl<'a> SearchContext<'a> {
 
         let mut views = Vec::with_capacity(materialized.len());
         for result in materialized {
-            let mut view = result?;
+            // Graceful degradation: a candidate that ran out of deadline or
+            // whose worker panicked is skipped (the ranked views that did
+            // complete are still returned, flagged partial); any other
+            // error — e.g. a genuine I/O failure — is a hard failure for
+            // the whole query.
+            let mut view = match result {
+                Ok(view) => view,
+                Err(VerError::DeadlineExceeded(_)) | Err(VerError::Internal(_)) => {
+                    partial = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if config.drop_empty_views && view.row_count() == 0 {
                 continue;
             }
@@ -339,6 +403,7 @@ impl<'a> SearchContext<'a> {
             stats,
             dag,
             timer,
+            partial,
         })
     }
 }
@@ -709,6 +774,80 @@ mod tests {
                     assert!(a.same_contents(b), "threads={threads}: {} differs", a.id);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn view_cap_budget_trims_output_and_flags_partial() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        let cfg = SearchConfig::default();
+        let all = SearchContext::new(&cat, &idx).search(&sel, &cfg).unwrap();
+        assert!(!all.partial, "unlimited budget must not flag partial");
+        assert!(all.views.len() > 1);
+
+        let capped = SearchContext::new(&cat, &idx)
+            .with_budget(QueryBudget::none().with_max_views(1))
+            .search(&sel, &cfg)
+            .unwrap();
+        assert!(capped.partial, "a cap that bit must flag partial");
+        assert_eq!(capped.views.len(), 1);
+        // The kept view is the top-ranked one from the uncapped run.
+        assert!(capped.views[0].same_contents(&all.views[0]));
+
+        // A cap wider than the output changes nothing and is not partial.
+        let loose = SearchContext::new(&cat, &idx)
+            .with_budget(QueryBudget::none().with_max_views(1000))
+            .search(&sel, &cfg)
+            .unwrap();
+        assert!(!loose.partial);
+        assert_eq!(loose.views.len(), all.views.len());
+    }
+
+    #[test]
+    fn candidate_cap_budget_flags_partial() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        let out = SearchContext::new(&cat, &idx)
+            .with_budget(QueryBudget::none().with_max_candidates(1))
+            .search(&sel, &SearchConfig::default())
+            .unwrap();
+        assert!(out.partial);
+        assert!(out.views.len() <= 1);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_empty_partial_output() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        for dag_materialize in [true, false] {
+            let out = SearchContext::new(&cat, &idx)
+                .with_budget(QueryBudget::none().with_timeout(std::time::Duration::ZERO))
+                .search(
+                    &sel,
+                    &SearchConfig {
+                        dag_materialize,
+                        ..Default::default()
+                    },
+                )
+                .expect("deadline exhaustion degrades, it does not error");
+            assert!(out.partial, "dag={dag_materialize}");
+            assert!(out.views.is_empty(), "dag={dag_materialize}");
         }
     }
 

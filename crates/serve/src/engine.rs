@@ -3,9 +3,11 @@
 use crate::session::{Session, SessionId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use ver_common::budget::QueryBudget;
 use ver_common::cache::{CacheStats, LruCache};
 use ver_common::error::{Result, VerError};
 use ver_common::fxhash::FxHashMap;
+use ver_common::sync::lock_unpoisoned;
 use ver_core::{presentation_query, QueryResult, Ver, VerConfig};
 use ver_index::persist::{load_index, save_index};
 use ver_index::DiscoveryIndex;
@@ -31,6 +33,13 @@ pub struct ServeConfig {
     /// zero hits. Candidate views on open-data-style corpora are small
     /// (tens of rows), so the default trades a few MB for hot candidates.
     pub view_cache_capacity: usize,
+    /// Admission gate: maximum queries allowed to execute the pipeline
+    /// concurrently (`0` = unbounded). The gate **fails fast** — the
+    /// `max_in_flight + 1`-th concurrent miss is rejected with
+    /// [`VerError::Overloaded`] instead of queued, so callers keep control
+    /// of retry policy and one slow query cannot grow an unbounded backlog.
+    /// Result-cache hits bypass the gate (they do no pipeline work).
+    pub max_in_flight: usize,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +48,7 @@ impl Default for ServeConfig {
             pipeline: VerConfig::default(),
             result_cache_capacity: 64,
             view_cache_capacity: 8192,
+            max_in_flight: 0,
         }
     }
 }
@@ -58,6 +68,13 @@ impl ServeConfig {
     /// The configured per-query thread budget.
     pub fn query_threads(&self) -> usize {
         self.pipeline.search.threads
+    }
+
+    /// Bound concurrent pipeline executions (`0` = unbounded); see
+    /// [`ServeConfig::max_in_flight`].
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
     }
 }
 
@@ -80,6 +97,14 @@ pub struct ServeStats {
     pub sessions_active: usize,
     /// Interaction-loop runs served.
     pub interactions: u64,
+    /// Queries rejected by the admission gate ([`VerError::Overloaded`]).
+    pub rejected: u64,
+    /// Queries that completed degraded (`partial: true` — deadline tripped
+    /// or a worker panicked mid-query). Partial results are returned to
+    /// their caller but never cached.
+    pub partial_results: u64,
+    /// Queries executing the pipeline right now (cache hits excluded).
+    pub in_flight: usize,
 }
 
 /// A long-lived, concurrently shareable serving engine.
@@ -99,6 +124,21 @@ pub struct ServeEngine {
     queries: AtomicU64,
     sessions_opened: AtomicU64,
     interactions: AtomicU64,
+    in_flight: AtomicU64,
+    rejected: AtomicU64,
+    partial_results: AtomicU64,
+}
+
+/// RAII admission permit: one slot of [`ServeConfig::max_in_flight`],
+/// released on drop — including when the query errors or (behind the
+/// pool's isolation) a worker panicked, so failed queries can never leak
+/// the gate shut.
+struct InFlightPermit<'a>(&'a AtomicU64);
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl ServeEngine {
@@ -141,9 +181,27 @@ impl ServeEngine {
             queries: AtomicU64::new(0),
             sessions_opened: AtomicU64::new(0),
             interactions: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            partial_results: AtomicU64::new(0),
             ver,
             config,
         }
+    }
+
+    /// Claim an admission slot, failing fast with [`VerError::Overloaded`]
+    /// when [`ServeConfig::max_in_flight`] slots are already taken.
+    fn admit(&self) -> Result<InFlightPermit<'_>> {
+        let limit = self.config.max_in_flight;
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if limit != 0 && prev as usize >= limit {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(VerError::Overloaded(format!(
+                "{limit} queries already in flight"
+            )));
+        }
+        Ok(InFlightPermit(&self.in_flight))
     }
 
     /// Persist this engine's index so future processes can
@@ -180,15 +238,63 @@ impl ServeEngine {
     /// result-cache miss reuses materialized views and memoized scores
     /// from earlier queries. The returned result is shared — sessions and
     /// concurrent callers alias one materialization.
+    ///
+    /// Unbudgeted: shorthand for [`ServeEngine::query_with_budget`] with an
+    /// unlimited [`QueryBudget`]. Still subject to the admission gate.
     pub fn query(&self, spec: &ViewSpec) -> Result<Arc<QueryResult>> {
+        self.query_with_budget(spec, &QueryBudget::none())
+    }
+
+    /// [`ServeEngine::query`] under a per-query [`QueryBudget`].
+    ///
+    /// The failure model, in order:
+    ///
+    /// 1. **Cache hits are free**: a result-LRU hit is returned before the
+    ///    admission gate or budget are consulted — it does no work.
+    /// 2. **Admission**: a miss claims an in-flight slot or fails fast
+    ///    with [`VerError::Overloaded`].
+    /// 3. **Degradation**: the budget is threaded through every pipeline
+    ///    stage. Deadline exhaustion and isolated worker panics degrade to
+    ///    the best-ranked views completed so far with
+    ///    [`QueryResult::partial`] set — partial results are returned but
+    ///    **never cached**, so a later retry with headroom can produce
+    ///    (and cache) the complete answer.
+    /// 4. **Fallback**: if the pipeline fails outright with
+    ///    [`VerError::DeadlineExceeded`], the result LRU is consulted once
+    ///    more (a concurrent complete run may have landed meanwhile)
+    ///    before the error is surfaced.
+    /// 5. Any other error (I/O, invalid data) propagates typed and
+    ///    untranslated.
+    pub fn query_with_budget(
+        &self,
+        spec: &ViewSpec,
+        budget: &QueryBudget,
+    ) -> Result<Arc<QueryResult>> {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let key = spec_key(spec);
         if let Some(hit) = self.results.get(&key) {
             return Ok(hit);
         }
-        let result = Arc::new(self.ver.run_cached(spec, Some(&self.caches))?);
-        self.results.insert(key, Arc::clone(&result));
-        Ok(result)
+        let _permit = self.admit()?;
+        ver_common::fault::hit(ver_common::fault::points::SERVE_QUERY)?;
+        match self.ver.run_budgeted(spec, Some(&self.caches), budget) {
+            Ok(result) => {
+                let result = Arc::new(result);
+                if result.partial {
+                    // Never cache a degraded result: the next query with
+                    // headroom must be able to compute the full answer.
+                    self.partial_results.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.results.insert(key, Arc::clone(&result));
+                }
+                Ok(result)
+            }
+            Err(e @ VerError::DeadlineExceeded(_)) => match self.results.get(&key) {
+                Some(hit) => Ok(hit),
+                None => Err(e),
+            },
+            Err(e) => Err(e),
+        }
     }
 
     /// Open an interactive QBE session: run (or reuse) the query and
@@ -201,10 +307,7 @@ impl ServeEngine {
             presentation: self.config.pipeline.presentation.clone(),
         };
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
-        self.sessions
-            .lock()
-            .expect("session registry poisoned")
-            .insert(id, session);
+        lock_unpoisoned(&self.sessions).insert(id, session);
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
@@ -213,10 +316,7 @@ impl ServeEngine {
     /// loop runs outside the registry lock, so any number of sessions can
     /// interact concurrently.
     pub fn interact(&self, id: SessionId, user: &mut dyn SimulatedUser) -> Result<SessionOutcome> {
-        let session = self
-            .sessions
-            .lock()
-            .expect("session registry poisoned")
+        let session = lock_unpoisoned(&self.sessions)
             .get(&id)
             .cloned()
             .ok_or_else(|| VerError::NotFound(format!("session {id}")))?;
@@ -226,9 +326,7 @@ impl ServeEngine {
 
     /// Number of candidate views session `id` starts from.
     pub fn session_candidates(&self, id: SessionId) -> Result<usize> {
-        self.sessions
-            .lock()
-            .expect("session registry poisoned")
+        lock_unpoisoned(&self.sessions)
             .get(&id)
             .map(Session::candidates)
             .ok_or_else(|| VerError::NotFound(format!("session {id}")))
@@ -236,19 +334,12 @@ impl ServeEngine {
 
     /// Close a session; returns `false` when it was already gone.
     pub fn close_session(&self, id: SessionId) -> bool {
-        self.sessions
-            .lock()
-            .expect("session registry poisoned")
-            .remove(&id)
-            .is_some()
+        lock_unpoisoned(&self.sessions).remove(&id).is_some()
     }
 
     /// Currently open sessions.
     pub fn active_sessions(&self) -> usize {
-        self.sessions
-            .lock()
-            .expect("session registry poisoned")
-            .len()
+        lock_unpoisoned(&self.sessions).len()
     }
 
     /// Serving statistics snapshot.
@@ -262,6 +353,9 @@ impl ServeEngine {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_active: self.active_sessions(),
             interactions: self.interactions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            partial_results: self.partial_results.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed) as usize,
         }
     }
 }
@@ -514,6 +608,66 @@ mod tests {
         let one = ViewSpec::Keyword(vec!["a\u{1f}b".into()]);
         let two = ViewSpec::Keyword(vec!["a".into(), "b".into()]);
         assert_ne!(spec_key(&one), spec_key(&two));
+    }
+
+    #[test]
+    fn admission_gate_fails_fast_when_full() {
+        let engine = ServeEngine::build(catalog(), config().with_max_in_flight(1)).unwrap();
+        // Claim the only slot by hand, exactly as an executing miss would.
+        let permit = engine.admit().unwrap();
+        match engine.query(&spec()) {
+            Err(VerError::Overloaded(m)) => assert!(m.contains("1 queries"), "msg: {m}"),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(engine.stats().rejected, 1);
+        assert_eq!(engine.stats().in_flight, 1);
+        // Releasing the slot re-opens the gate.
+        drop(permit);
+        let full = engine.query(&spec()).unwrap();
+        assert!(!full.views.is_empty());
+        assert_eq!(engine.stats().in_flight, 0);
+        // Cache hits bypass the gate entirely.
+        let _block = engine.admit().unwrap();
+        let hit = engine.query(&spec()).unwrap();
+        assert!(Arc::ptr_eq(&full, &hit), "hit must bypass the full gate");
+    }
+
+    #[test]
+    fn expired_budget_degrades_to_uncached_partial_result() {
+        let engine = ServeEngine::build(catalog(), config()).unwrap();
+        let exhausted = QueryBudget::none().with_timeout(std::time::Duration::ZERO);
+        let partial = engine.query_with_budget(&spec(), &exhausted).unwrap();
+        assert!(partial.partial);
+        assert!(partial.views.is_empty());
+        assert_eq!(engine.stats().partial_results, 1);
+
+        // The partial result was NOT cached: the next unbudgeted query
+        // recomputes and returns the complete answer...
+        let full = engine.query(&spec()).unwrap();
+        assert!(!full.partial);
+        assert!(!full.views.is_empty());
+        assert_eq!(engine.stats().result_cache.hits, 0);
+
+        // ...and once the complete answer is cached, even an exhausted
+        // budget is served from the LRU (a hit does no budgeted work).
+        let served = engine.query_with_budget(&spec(), &exhausted).unwrap();
+        assert!(Arc::ptr_eq(&full, &served));
+        assert_eq!(engine.stats().partial_results, 1, "no new partials");
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_output() {
+        let engine = ServeEngine::build(catalog(), config()).unwrap();
+        let base = engine.query(&spec()).unwrap();
+        let engine2 = ServeEngine::build(catalog(), config()).unwrap();
+        let budget = QueryBudget::none().with_timeout(std::time::Duration::from_secs(3600));
+        let budgeted = engine2.query_with_budget(&spec(), &budget).unwrap();
+        assert!(!budgeted.partial);
+        assert_eq!(budgeted.ranked, base.ranked);
+        assert_eq!(budgeted.views.len(), base.views.len());
+        for (a, b) in budgeted.views.iter().zip(&base.views) {
+            assert!(a.same_contents(b));
+        }
     }
 
     #[test]

@@ -84,8 +84,14 @@ fn utf8_len(first_byte: u8) -> usize {
 /// Parse CSV text into a [`Table`] named `name`.
 ///
 /// With `has_header = false` the columns are anonymous (`Ai = φ`).
-/// Ragged rows are tolerated: short rows are null-padded, long rows error.
+/// Ragged rows are tolerated: short rows are null-padded, long rows error
+/// with [`VerError::InvalidData`] naming the table and record — malformed
+/// input must never panic the loader (see the malformed-input battery in
+/// the tests). A leading UTF-8 BOM is stripped; an unterminated quoted
+/// field is tolerated and runs to end of input (the noisy-data reading of
+/// RFC 4180).
 pub fn parse_csv(name: &str, text: &str, has_header: bool) -> Result<Table> {
+    let text = text.strip_prefix('\u{feff}').unwrap_or(text);
     let mut pos = 0usize;
     let mut header: Option<Vec<String>> = None;
     if has_header {
@@ -129,8 +135,10 @@ pub fn parse_csv(name: &str, text: &str, has_header: bool) -> Result<Table> {
     };
 
     let mut builder = TableBuilder::with_schema(TableSchema::new(name, metas));
+    let mut record = if has_header { 1usize } else { 0 };
     while let Some((fields, next)) = parse_record(text, pos) {
         pos = next;
+        record += 1;
         // Skip completely blank records (trailing newline artefacts).
         if fields.len() == 1 && fields[0].is_empty() {
             continue;
@@ -138,16 +146,27 @@ pub fn parse_csv(name: &str, text: &str, has_header: bool) -> Result<Table> {
         let row: Vec<Value> = fields.iter().map(|f| Value::parse(f)).collect();
         builder
             .push_row(row)
-            .map_err(|e| VerError::InvalidData(format!("csv '{name}': {e}")))?;
+            .map_err(|e| VerError::InvalidData(format!("csv '{name}' record {record}: {e}")))?;
     }
     Ok(builder.build())
 }
 
 /// Read a CSV [`Table`] from any reader.
+///
+/// Bytes that are not valid UTF-8 are [`VerError::InvalidData`] naming the
+/// table and the offending byte offset (not an opaque I/O error, and never
+/// a panic) — garbage files are an expected input class for a loader
+/// pointed at an open-data corpus.
 pub fn read_csv<R: Read>(name: &str, reader: R, has_header: bool) -> Result<Table> {
-    let mut buf = String::new();
-    BufReader::new(reader).read_to_string(&mut buf)?;
-    parse_csv(name, &buf, has_header)
+    let mut buf = Vec::new();
+    BufReader::new(reader).read_to_end(&mut buf)?;
+    let text = String::from_utf8(buf).map_err(|e| {
+        VerError::InvalidData(format!(
+            "csv '{name}': invalid UTF-8 at byte {}",
+            e.utf8_error().valid_up_to()
+        ))
+    })?;
+    parse_csv(name, &text, has_header)
 }
 
 /// Quote a field if it contains a separator, quote or newline.
@@ -284,5 +303,100 @@ mod tests {
         let t = parse_csv("t", "", false).unwrap();
         assert_eq!(t.row_count(), 0);
         assert_eq!(t.column_count(), 0);
+    }
+
+    // ---- malformed-input battery: garbage must come back as typed
+    // `InvalidData` (or parse tolerantly), never panic the loader. ----
+
+    #[test]
+    fn long_row_is_invalid_data_with_record_number() {
+        let err = parse_csv("bad", "a,b\n1,2\n1,2,3\n", true).unwrap_err();
+        match err {
+            VerError::InvalidData(m) => {
+                assert!(m.contains("csv 'bad'"), "msg: {m}");
+                assert!(m.contains("record 3"), "msg: {m}");
+            }
+            other => panic!("expected InvalidData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_rows_are_null_padded_not_errors() {
+        let t = parse_csv("t", "a,b,c\n1\n1,2\n", true).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(0, 1), Some(&Value::Null));
+        assert_eq!(t.cell(0, 2), Some(&Value::Null));
+        assert_eq!(t.cell(1, 2), Some(&Value::Null));
+    }
+
+    #[test]
+    fn unterminated_quote_is_tolerated_to_eof() {
+        let t = parse_csv("t", "a,b\n\"never closed,2\n3,4\n", true).unwrap();
+        // The open quote swallows the rest of the input into one field of
+        // one record (noisy-data tolerance) — no panic, no error.
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.cell(0, 0), Some(&Value::text("never closed,2\n3,4")));
+    }
+
+    #[test]
+    fn stray_quotes_mid_field_are_literal() {
+        let t = parse_csv("t", "a\nab\"cd\"\n", true).unwrap();
+        assert_eq!(t.cell(0, 0), Some(&Value::text("ab\"cd\"")));
+    }
+
+    #[test]
+    fn invalid_utf8_is_invalid_data_with_offset() {
+        let bytes: &[u8] = b"a,b\n1,\xFF\xFE\n";
+        let err = read_csv("bin", bytes, true).unwrap_err();
+        match err {
+            VerError::InvalidData(m) => {
+                assert!(m.contains("csv 'bin'"), "msg: {m}");
+                assert!(m.contains("invalid UTF-8 at byte 6"), "msg: {m}");
+            }
+            other => panic!("expected InvalidData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_bom_is_stripped_from_header() {
+        let t = parse_csv("t", "\u{feff}a,b\n1,2\n", true).unwrap();
+        assert_eq!(t.schema.columns[0].name.as_deref(), Some("a"));
+        assert_eq!(t.cell(0, 0), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn control_characters_and_nuls_survive_as_text() {
+        let t = parse_csv("t", "a\n\u{1}\u{0}x\n", true).unwrap();
+        assert_eq!(t.cell(0, 0), Some(&Value::text("\u{1}\u{0}x")));
+    }
+
+    #[test]
+    fn quote_garbage_battery_never_panics() {
+        // Assorted pathological inputs: outcome may be Ok or InvalidData,
+        // but the loader must never panic on any of them.
+        let cases = [
+            "\"",
+            "\"\"",
+            "\"\"\"",
+            "a,\"b\n",
+            "\",\",\"\n\"",
+            ",,,\n,,,\n",
+            "a,b\n\"x\"y,2\n",
+            "\r\r\r\n",
+            "a\n\"\r\n\"\n",
+            "🦀,\"🦀\n🦀\"\n1,2\n",
+        ];
+        for (i, case) in cases.iter().enumerate() {
+            for has_header in [true, false] {
+                let _ = parse_csv("t", case, has_header)
+                    .map(|t| (t.row_count(), t.column_count()))
+                    .map_err(|e| {
+                        assert!(
+                            matches!(e, VerError::InvalidData(_)),
+                            "case {i}: non-InvalidData error {e:?}"
+                        )
+                    });
+            }
+        }
     }
 }

@@ -1,0 +1,271 @@
+//! Chaos suite: drives the serving stack through the `ver_common::fault`
+//! injection harness and checks the failure model end to end.
+//!
+//! The contract under test (see ARCHITECTURE.md, "Failure model & graceful
+//! degradation"):
+//!
+//! * a worker panic is isolated to its item — the query degrades to a
+//!   `partial: true` result or a typed error, the engine survives, and the
+//!   very next query answers completely;
+//! * injected I/O errors surface as typed `VerError::Io`, untranslated;
+//! * persistence faults never leave temp files behind and never let a
+//!   corrupt artifact load (`VerError::Serde` instead);
+//! * a slow stage under a deadline budget degrades rather than hangs;
+//! * with **no** faults armed, output through the compiled-in harness is
+//!   bit-identical to the golden snapshot (determinism invariant 10).
+//!
+//! Fault state is process-global, so every test here serialises on one
+//! mutex and resets the registry on entry and exit.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use ver_bench::golden::{
+    golden_catalog, golden_queries, render_query, snapshot_with, SNAPSHOT_PATH,
+};
+use ver_common::budget::QueryBudget;
+use ver_common::error::VerError;
+use ver_common::fault::{self, points, FaultKind};
+use ver_common::sync::lock_unpoisoned;
+use ver_index::persist::{load_index, save_index};
+use ver_index::{build_index, DiscoveryIndex, IndexConfig};
+use ver_qbe::ViewSpec;
+use ver_serve::{ServeConfig, ServeEngine};
+use ver_store::catalog::TableCatalog;
+
+/// Fault state is global to the test binary; chaos scenarios must not
+/// interleave. Poisoning is irrelevant — a panicking scenario still resets.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    lock_unpoisoned(&LOCK)
+}
+
+fn catalog() -> Arc<TableCatalog> {
+    static CAT: OnceLock<Arc<TableCatalog>> = OnceLock::new();
+    Arc::clone(CAT.get_or_init(|| Arc::new(golden_catalog())))
+}
+
+fn index() -> Arc<DiscoveryIndex> {
+    static IDX: OnceLock<Arc<DiscoveryIndex>> = OnceLock::new();
+    Arc::clone(IDX.get_or_init(|| {
+        Arc::new(build_index(&catalog(), IndexConfig::default()).expect("index build"))
+    }))
+}
+
+/// Fresh engine over the shared index: chaos scenarios must not share
+/// caches (a result-cache hit would bypass the very fault under test).
+fn engine() -> ServeEngine {
+    ServeEngine::warm_start(catalog(), index(), ServeConfig::default()).expect("warm start")
+}
+
+fn workload() -> Vec<(String, ViewSpec)> {
+    golden_queries(&catalog())
+}
+
+/// Canonical rendering of one query result, for byte-level comparisons.
+fn render(name: &str, result: &ver_core::QueryResult) -> String {
+    let mut out = String::new();
+    render_query(&mut out, name, result);
+    out
+}
+
+#[test]
+fn scoring_panic_degrades_to_partial_and_engine_recovers() {
+    let _g = guard();
+    fault::reset();
+    let engine = engine();
+    let (name, spec) = &workload()[0];
+
+    // Baseline on a clean engine (also proves the spec answers at all).
+    let clean = engine.query(spec).expect("clean query");
+    assert!(!clean.partial);
+    let expected = render(name, &clean);
+
+    // A second engine so the result LRU cannot mask the fault.
+    let engine = self::engine();
+    fault::arm_times(points::SEARCH_SCORE, FaultKind::Panic, 1);
+    let degraded = engine
+        .query(spec)
+        .expect("one worker panic must not fail the query");
+    assert!(
+        degraded.partial,
+        "a panicked candidate must flag the result partial"
+    );
+    assert_eq!(engine.stats().partial_results, 1);
+    fault::reset();
+
+    // Partial results are never cached: the retry recomputes, completely.
+    let retry = engine.query(spec).expect("retry");
+    assert!(!retry.partial, "fault cleared, retry must be complete");
+    assert_eq!(
+        render(name, &retry),
+        expected,
+        "post-recovery output must match the clean run byte-for-byte"
+    );
+    assert_eq!(
+        engine.stats().result_cache.hits,
+        0,
+        "partial was not cached"
+    );
+}
+
+#[test]
+fn dag_and_distill_panics_degrade_across_the_whole_workload() {
+    let _g = guard();
+    fault::reset();
+    let engine = engine();
+    let queries = workload();
+
+    // Every DAG join step and every distill unit panics. Queries with
+    // join candidates lose those views (partial); single-table answers
+    // still lose distillation (partial via the undistilled fallback).
+    fault::arm(points::DAG_STEP, FaultKind::Panic);
+    fault::arm(points::DISTILL_VIEW, FaultKind::Panic);
+    let mut partials = 0usize;
+    for (name, spec) in &queries {
+        let result = engine
+            .query(spec)
+            .unwrap_or_else(|e| panic!("{name}: panics must degrade, got {e:?}"));
+        if result.partial {
+            partials += 1;
+        }
+    }
+    assert!(
+        partials > 0,
+        "workload under blanket panics produced no partial results"
+    );
+    fault::reset();
+
+    // Engine survives: the same workload now reproduces the golden
+    // snapshot exactly (nothing partial was cached along the way).
+    let expected = std::fs::read_to_string(SNAPSHOT_PATH).expect("golden snapshot");
+    let rendered = snapshot_with(&queries, |spec| engine.query(spec));
+    assert_eq!(
+        rendered, expected,
+        "post-chaos workload diverged from the golden snapshot"
+    );
+}
+
+#[test]
+fn injected_io_error_is_typed_and_transient() {
+    let _g = guard();
+    fault::reset();
+    let engine = engine();
+    let (_, spec) = &workload()[0];
+
+    fault::arm_times(points::SERVE_QUERY, FaultKind::IoError, 1);
+    match engine.query(spec) {
+        Err(VerError::Io(m)) => assert!(m.contains(points::SERVE_QUERY), "{m}"),
+        other => panic!("expected typed Io error, got {other:?}"),
+    }
+    // One-shot fault consumed; the engine is healthy again.
+    let result = engine.query(spec).expect("engine must recover");
+    assert!(!result.partial);
+
+    // An I/O error inside scoring is NOT degradation material — it must
+    // propagate, typed and untranslated (only deadline/panic degrade).
+    fault::arm_times(points::SEARCH_SCORE, FaultKind::IoError, 1);
+    let engine = self::engine();
+    match engine.query(spec) {
+        Err(VerError::Io(m)) => assert!(m.contains(points::SEARCH_SCORE), "{m}"),
+        other => panic!("expected typed Io error from scoring, got {other:?}"),
+    }
+    fault::reset();
+}
+
+#[test]
+fn persistence_faults_never_leave_debris_or_load_garbage() {
+    let _g = guard();
+    fault::reset();
+    let dir = std::env::temp_dir().join(format!("ver_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("chaos_index.bin");
+    let idx = index();
+
+    // Injected save failure: no artifact, no temp-file debris.
+    fault::arm_times(points::PERSIST_SAVE, FaultKind::IoError, 1);
+    match save_index(&idx, &path) {
+        Err(VerError::Io(m)) => assert!(m.contains(points::PERSIST_SAVE), "{m}"),
+        other => panic!("expected injected save failure, got {other:?}"),
+    }
+    assert!(!path.exists(), "failed save must not create the artifact");
+    let debris: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read temp dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(
+        debris.is_empty(),
+        "temp-file debris after failed save: {debris:?}"
+    );
+
+    // Torn write: the bytes are corrupted on their way to disk. The save
+    // "succeeds" (the fault models silent media corruption, not an I/O
+    // error) but the checksummed format refuses to load the result.
+    fault::arm_times(points::PERSIST_BYTES, FaultKind::CorruptByte, 1);
+    save_index(&idx, &path).expect("corrupting save still writes");
+    match load_index(&path) {
+        Err(VerError::Serde(_)) => {}
+        other => panic!("corrupt artifact must fail with Serde, got {other:?}"),
+    }
+
+    // Injected load failure on a *good* artifact: typed, transient.
+    save_index(&idx, &path).expect("clean save");
+    fault::arm_times(points::PERSIST_LOAD, FaultKind::IoError, 1);
+    match load_index(&path) {
+        Err(VerError::Io(m)) => assert!(m.contains(points::PERSIST_LOAD), "{m}"),
+        other => panic!("expected injected load failure, got {other:?}"),
+    }
+    let loaded = load_index(&path).expect("fault consumed, load must succeed");
+    assert!(loaded.same_contents(&idx));
+
+    std::fs::remove_dir_all(&dir).ok();
+    fault::reset();
+}
+
+#[test]
+fn slow_stage_under_deadline_degrades_instead_of_hanging() {
+    let _g = guard();
+    fault::reset();
+    let engine = engine();
+    let (_, spec) = &workload()[0];
+
+    // Every candidate score stalls 25ms; the budget allows 5ms total.
+    // The first stall burns the deadline, after which every stage
+    // boundary trips `DeadlineExceeded` and is skipped — the query
+    // returns (degraded), it does not hang for candidates x 25ms.
+    fault::arm(points::SEARCH_SCORE, FaultKind::Slow(25));
+    let budget = QueryBudget::none().with_timeout(Duration::from_millis(5));
+    let result = engine
+        .query_with_budget(spec, &budget)
+        .expect("deadline exhaustion must degrade, not error");
+    assert!(result.partial, "deadline-starved query must be partial");
+    fault::reset();
+
+    // Unbudgeted retry on the same engine: complete, and only now cached.
+    let retry = engine.query(spec).expect("retry");
+    assert!(!retry.partial);
+    let stats = engine.stats();
+    assert_eq!(stats.partial_results, 1);
+    assert_eq!(stats.result_cache.hits, 0, "partial result was not cached");
+}
+
+#[test]
+fn fault_free_run_through_the_harness_matches_the_golden_snapshot() {
+    // Determinism invariant 10: with the harness compiled in but nothing
+    // armed, serving output is bit-identical to the pre-harness golden
+    // snapshot — a disarmed fault point costs one atomic load and must
+    // never perturb results.
+    let _g = guard();
+    fault::reset();
+    assert!(!fault::enabled());
+    let engine = engine();
+    let queries = workload();
+    let expected = std::fs::read_to_string(SNAPSHOT_PATH).expect("golden snapshot");
+    let rendered = snapshot_with(&queries, |spec| engine.query(spec));
+    assert_eq!(
+        rendered, expected,
+        "compiled-in (disarmed) fault harness changed query output"
+    );
+}
