@@ -50,9 +50,19 @@ struct ReplayPoint {
     first_pass_qps: f64,
     repeat_pass_ms: f64,
     repeat_pass_qps: f64,
-    result_hit_rate: f64,
-    view_hit_rate: f64,
-    score_hit_rate: f64,
+    result_hit_rate: String,
+    view_hit_rate: String,
+    score_hit_rate: String,
+}
+
+/// JSON value for a cache hit rate. A disabled cache observes zero
+/// lookups, so a numeric rate would be a lie — render `"disabled"`.
+fn hit_rate_json(stats: &ver_common::cache::CacheStats) -> String {
+    if stats.disabled {
+        "\"disabled\"".to_string()
+    } else {
+        format!("{:.4}", stats.hit_rate())
+    }
 }
 
 /// Replay the workload twice on a fresh warm-started engine pinned to
@@ -92,9 +102,9 @@ fn replay(
         first_pass_qps: specs.len() as f64 / (first_pass_ms / 1e3),
         repeat_pass_ms,
         repeat_pass_qps: specs.len() as f64 / (repeat_pass_ms / 1e3),
-        result_hit_rate: stats.result_cache.hit_rate(),
-        view_hit_rate: stats.view_cache.hit_rate(),
-        score_hit_rate: stats.score_memo.hit_rate(),
+        result_hit_rate: hit_rate_json(&stats.result_cache),
+        view_hit_rate: hit_rate_json(&stats.view_cache),
+        score_hit_rate: hit_rate_json(&stats.score_memo),
     }
 }
 
@@ -186,7 +196,7 @@ fn main() {
     });
     let concurrent_ms = t.elapsed().as_secs_f64() * 1e3;
     let concurrent_qps = (clients * specs.len()) as f64 / (concurrent_ms / 1e3);
-    let concurrent_hit_rate = engine.stats().result_cache.hit_rate();
+    let concurrent_hit_rate = hit_rate_json(&engine.stats().result_cache);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -213,7 +223,7 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    \"{}\": {{\"first_pass_ms\": {:.3}, \"first_pass_qps\": {:.3}, \"repeat_pass_ms\": {:.3}, \"repeat_pass_qps\": {:.3}, \"result_hit_rate\": {:.4}, \"view_hit_rate\": {:.4}, \"score_hit_rate\": {:.4}}}{}",
+            "    \"{}\": {{\"first_pass_ms\": {:.3}, \"first_pass_qps\": {:.3}, \"repeat_pass_ms\": {:.3}, \"repeat_pass_qps\": {:.3}, \"result_hit_rate\": {}, \"view_hit_rate\": {}, \"score_hit_rate\": {}}}{}",
             p.threads_label,
             p.first_pass_ms,
             p.first_pass_qps,
@@ -228,7 +238,7 @@ fn main() {
     json.push_str("  },\n");
     let _ = writeln!(
         json,
-        "  \"concurrent\": {{\"clients\": {clients}, \"total_queries\": {}, \"wall_ms\": {concurrent_ms:.3}, \"qps\": {concurrent_qps:.3}, \"result_hit_rate\": {concurrent_hit_rate:.4}}}",
+        "  \"concurrent\": {{\"clients\": {clients}, \"total_queries\": {}, \"wall_ms\": {concurrent_ms:.3}, \"qps\": {concurrent_qps:.3}, \"result_hit_rate\": {concurrent_hit_rate}}}",
         clients * specs.len()
     );
     json.push_str("}\n");

@@ -52,8 +52,13 @@ impl QueryBudget {
     }
 
     /// Set a wall-clock deadline `timeout` from now.
+    ///
+    /// A timeout too large for the monotonic clock to represent (e.g.
+    /// `Duration::MAX` as "effectively unlimited") degrades to **no
+    /// deadline** instead of panicking on `Instant` overflow — an absurdly
+    /// distant deadline and no deadline are observationally identical.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.deadline = Some(Instant::now() + timeout);
+        self.deadline = Instant::now().checked_add(timeout);
         self
     }
 
@@ -156,6 +161,20 @@ mod tests {
         assert!(!b.expired());
         assert!(b.check("search.score").is_ok());
         assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn huge_timeout_degrades_to_no_deadline_instead_of_panicking() {
+        // Regression: `Instant::now() + Duration::MAX` panics on overflow;
+        // callers use huge timeouts to mean "effectively unlimited".
+        let b = QueryBudget::none().with_timeout(Duration::MAX);
+        assert_eq!(b.deadline(), None, "unrepresentable deadline degrades");
+        assert!(!b.expired());
+        assert!(b.check("search.score").is_ok());
+
+        // A representable but distant timeout still sets a real deadline.
+        let b = QueryBudget::none().with_timeout(Duration::from_secs(3600));
+        assert!(b.deadline().is_some());
     }
 
     #[test]

@@ -54,6 +54,7 @@ impl CacheCounters {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disabled: false,
         }
     }
 }
@@ -65,6 +66,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// `true` when the cache is configured off (`capacity == 0`). A
+    /// disabled cache observes **zero** lookups — stats consumers must not
+    /// read its 0% hit rate as a cold cache.
+    pub disabled: bool,
 }
 
 impl CacheStats {
@@ -133,15 +138,21 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.len() == 0
     }
 
-    /// Hit/miss snapshot.
+    /// Hit/miss snapshot. A disabled cache (`capacity == 0`) reports zero
+    /// lookups and `disabled: true` — it never counted phantom misses.
     pub fn stats(&self) -> CacheStats {
-        self.counters.stats()
+        CacheStats {
+            disabled: self.capacity == 0,
+            ..self.counters.stats()
+        }
     }
 
     /// Look up `key`, refreshing its recency on hit.
     pub fn get(&self, key: &K) -> Option<V> {
         if self.capacity == 0 {
-            self.counters.miss();
+            // A disabled cache is not a cold cache: counting these as
+            // misses would surface phantom 0% hit rates in serving stats
+            // for a cache that does not exist.
             return None;
         }
         let mut inner = lock_unpoisoned(&self.inner);
@@ -165,6 +176,12 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 
     /// Insert (or refresh) `key`, evicting the least-recently-used batch
     /// of entries when full. Does not count as a hit or a miss.
+    ///
+    /// Boundary invariant: `len() <= capacity` always holds afterwards.
+    /// Refreshing an existing key never grows the map (so skipping
+    /// eviction is safe even at capacity), and a *new* key at capacity
+    /// evicts at least one entry before inserting. Pinned under arbitrary
+    /// get/insert interleavings by `tests/cache_properties.rs`.
     pub fn insert(&self, key: K, value: V) {
         if self.capacity == 0 {
             return;
@@ -338,7 +355,14 @@ mod tests {
         cache.insert(1, 10);
         assert_eq!(cache.get(&1), None);
         assert!(cache.is_empty());
-        assert_eq!(cache.stats().hits, 0);
+        let s = cache.stats();
+        // Regression: a disabled cache used to count every `get` as a
+        // miss, reporting phantom 0% hit rates. It must observe nothing.
+        assert_eq!(s.lookups(), 0, "disabled cache must report zero lookups");
+        assert!(s.disabled, "disabled cache must say so in its stats");
+        assert_eq!(s.hit_rate(), 0.0);
+        // Enabled caches do not carry the flag.
+        assert!(!LruCache::<u32, u32>::new(1).stats().disabled);
     }
 
     #[test]
@@ -392,7 +416,11 @@ mod tests {
     fn stats_hit_rate_edge_cases() {
         let s = CacheStats::default();
         assert_eq!(s.hit_rate(), 0.0);
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            disabled: false,
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.lookups(), 4);
     }

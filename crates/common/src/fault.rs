@@ -51,6 +51,9 @@ pub mod points {
     pub const DISTILL_VIEW: &str = "distill.view";
     /// Entry of `ServeEngine::query`, after admission.
     pub const SERVE_QUERY: &str = "serve.query";
+    /// Entry of one scatter leg of the sharded search, before any
+    /// per-candidate isolation — arming `Panic` here kills a whole shard.
+    pub const SEARCH_SHARD: &str = "search.shard";
 }
 
 /// What an armed injection point does when hit.

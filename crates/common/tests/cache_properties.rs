@@ -1,0 +1,69 @@
+//! Property tests for the shared serving caches.
+//!
+//! The serving layer sizes its three caches from config, including
+//! `capacity == 0` (disabled) and tiny capacities where every insert sits
+//! on the eviction boundary. Two invariants are pinned here:
+//!
+//! * **bounded occupancy** — `len() <= capacity` after every operation,
+//!   under arbitrary get/insert interleavings. The subtle boundary:
+//!   refreshing an existing key while the map is at capacity skips
+//!   eviction (a refresh never grows the map), while a *new* key at
+//!   capacity must evict at least one entry first;
+//! * **disabled caches observe nothing** — a `capacity == 0` cache
+//!   reports zero lookups (no phantom misses) and flags itself
+//!   `disabled`, so stats consumers never mistake it for a cold cache.
+
+use proptest::prelude::*;
+use ver_common::cache::LruCache;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn len_never_exceeds_capacity_under_interleaved_ops(
+        capacity in 0usize..9,
+        ops in prop::collection::vec((any::<bool>(), 0u32..24), 0..200),
+    ) {
+        let cache: LruCache<u32, u32> = LruCache::new(capacity);
+        for (i, &(is_insert, key)) in ops.iter().enumerate() {
+            if is_insert {
+                cache.insert(key, i as u32);
+            } else {
+                let _ = cache.get(&key);
+            }
+            prop_assert!(
+                cache.len() <= capacity,
+                "len {} > capacity {} after op {} ({})",
+                cache.len(),
+                capacity,
+                i,
+                if is_insert { "insert" } else { "get" },
+            );
+        }
+        if capacity == 0 {
+            let s = cache.stats();
+            prop_assert!(s.disabled);
+            prop_assert_eq!(s.lookups(), 0, "disabled cache counted lookups");
+        }
+    }
+
+    #[test]
+    fn refresh_heavy_workloads_hold_the_boundary_and_stay_consistent(
+        capacity in 1usize..6,
+        keys in prop::collection::vec(0u32..4, 1..150),
+    ) {
+        // A key universe no larger than capacity+3 keeps the cache pinned
+        // at the boundary where refresh-vs-evict decisions happen on
+        // almost every insert.
+        let cache: LruCache<u32, u64> = LruCache::new(capacity);
+        for (i, &key) in keys.iter().enumerate() {
+            cache.insert(key, i as u64);
+            prop_assert!(cache.len() <= capacity);
+            // An entry just inserted (fresh or refreshed) is the newest;
+            // it must be readable and carry the refreshed value.
+            prop_assert_eq!(cache.get(&key), Some(i as u64));
+        }
+        prop_assert!(!cache.is_empty());
+        prop_assert!(!cache.stats().disabled);
+    }
+}

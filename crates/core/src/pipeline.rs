@@ -180,6 +180,111 @@ impl Ver {
             search_cx = search_cx.with_caches(caches);
         }
         let search_out = search_cx.search(&selection, &self.config.search)?;
+        self.finish_query(spec, budget, timer, selection, search_out)
+    }
+
+    /// [`Ver::run_budgeted`] with JOIN-GRAPH-SEARCH + MATERIALIZER
+    /// scattered over `shard_count` logical shards and gathered back
+    /// through the content-based rank order — determinism invariant 11:
+    /// the result is **bit-identical** to the single-engine
+    /// [`Ver::run_budgeted`] for every shard count (same views, same
+    /// [`ViewId`]s, same ranking), because candidate ownership partitions
+    /// the globally-ranked candidate list exactly and the gather merges
+    /// through the same total order the single path sorts by.
+    ///
+    /// Each scatter leg runs on `ver_common::pool` with the query's
+    /// [`QueryBudget`] threaded through by value (the deadline is an
+    /// absolute instant, so every shard races the same wall clock). A leg
+    /// that trips its deadline degrades *inside* the shard (its slice
+    /// comes back partial); a leg whose worker panics is dropped and the
+    /// merged result is flagged [`QueryResult::partial`] — never an error.
+    /// Distillation and ranking run centrally on the merged views, exactly
+    /// as in the single-engine path.
+    pub fn run_sharded(
+        &self,
+        spec: &ViewSpec,
+        caches: Option<&SearchCaches>,
+        budget: &QueryBudget,
+        shard_count: usize,
+    ) -> Result<QueryResult> {
+        self.run_sharded_with_legs(spec, caches, budget, shard_count)
+            .map(|(result, _)| result)
+    }
+
+    /// [`Ver::run_sharded`] that also reports what happened to each
+    /// scatter leg, so a serving layer can keep per-shard health counters.
+    pub fn run_sharded_with_legs(
+        &self,
+        spec: &ViewSpec,
+        caches: Option<&SearchCaches>,
+        budget: &QueryBudget,
+        shard_count: usize,
+    ) -> Result<(QueryResult, Vec<ShardLeg>)> {
+        assert!(shard_count >= 1, "shard_count must be at least 1");
+        let mut timer = PhaseTimer::new();
+
+        // COLUMN-SELECTION runs once; the scatter shares the result.
+        let selection = timer.time("cs", || {
+            select_for_spec(&self.index, spec, &self.config.selection)
+        });
+
+        // Scatter: one search leg per shard, fanned out on the pool. Legs
+        // are independent (shared caches are bit-identical to none), and
+        // `try_par_map` degrades a panicking leg to an error we can drop.
+        let pool = ver_common::pool::ThreadPool::new(self.config.search.threads);
+        let shard_ids: Vec<usize> = (0..shard_count).collect();
+        let legs = pool.try_par_map(&shard_ids, |&shard| {
+            let mut cx = SearchContext::new(&self.catalog, &self.index).with_budget(*budget);
+            if let Some(caches) = caches {
+                cx = cx.with_caches(caches);
+            }
+            cx.search_shard(&selection, &self.config.search, shard, shard_count)
+        });
+        let mut outputs = Vec::with_capacity(shard_count);
+        let mut reports = Vec::with_capacity(shard_count);
+        let mut complete = true;
+        for (shard, leg) in legs.into_iter().enumerate() {
+            match leg {
+                Ok(out) => {
+                    reports.push(ShardLeg {
+                        shard,
+                        ok: true,
+                        partial: out.partial,
+                        views: out.views.len(),
+                    });
+                    outputs.push(out);
+                }
+                // A shard whose worker panicked or that ran out the clock
+                // before degrading internally is dropped: the gather
+                // proceeds on the healthy shards, flagged partial.
+                Err(VerError::DeadlineExceeded(_)) | Err(VerError::Internal(_)) => {
+                    complete = false;
+                    reports.push(ShardLeg {
+                        shard,
+                        ok: false,
+                        partial: true,
+                        views: 0,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let search_out = ver_search::merge_shard_outputs(outputs, complete);
+        self.finish_query(spec, budget, timer, selection, search_out)
+            .map(|result| (result, reports))
+    }
+
+    /// Shared tail of the single-engine and sharded paths: VD-IO,
+    /// budgeted distillation with the undistilled fallback, and survivor
+    /// ranking over a search output.
+    fn finish_query(
+        &self,
+        spec: &ViewSpec,
+        budget: &QueryBudget,
+        mut timer: PhaseTimer,
+        selection: SelectionResult,
+        search_out: ver_search::SearchOutput,
+    ) -> Result<QueryResult> {
         timer.add("jgs", search_out.timer.get("jgs"));
         timer.add("materialize", search_out.timer.get("materialize"));
         let mut partial = search_out.partial;
@@ -244,6 +349,21 @@ impl Ver {
     pub fn mode(&self) -> Mode {
         self.config.mode
     }
+}
+
+/// Outcome of one scatter leg of [`Ver::run_sharded_with_legs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLeg {
+    /// Which shard the leg queried.
+    pub shard: usize,
+    /// `false` when the leg was dropped (worker panic or un-degraded
+    /// deadline) and contributed nothing to the merge.
+    pub ok: bool,
+    /// `true` when the leg's slice was trimmed by the budget (or the leg
+    /// was dropped entirely).
+    pub partial: bool,
+    /// Views the leg contributed to the merge.
+    pub views: usize,
 }
 
 /// The degraded stand-in for an abandoned distillation: an unlabelled
@@ -496,6 +616,44 @@ mod tests {
             }
         }
         assert!(caches.view_stats().hits > 0, "repeat pass must hit");
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_for_every_shard_count() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let single = ver.run(&spec).unwrap();
+        assert!(single.views.len() > 1, "need a multi-view query");
+        for count in [1usize, 2, 4] {
+            let caches = SearchCaches::new(32);
+            let sharded = ver
+                .run_sharded(&spec, Some(&caches), &QueryBudget::none(), count)
+                .unwrap();
+            assert!(!sharded.partial, "count={count}");
+            assert_eq!(sharded.ranked, single.ranked, "count={count}");
+            assert_eq!(sharded.search_stats, single.search_stats, "count={count}");
+            assert_eq!(
+                sharded.distill.survivors_c2, single.distill.survivors_c2,
+                "count={count}"
+            );
+            assert_eq!(sharded.views.len(), single.views.len());
+            for (a, b) in sharded.views.iter().zip(&single.views) {
+                assert_eq!(a.id, b.id, "count={count}");
+                assert!(a.same_contents(b), "count={count}: {} differs", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_under_expired_deadline_degrades_to_partial() {
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let budget = QueryBudget::none().with_timeout(std::time::Duration::ZERO);
+        let out = ver
+            .run_sharded(&spec, None, &budget, 2)
+            .expect("budget exhaustion degrades, never errors");
+        assert!(out.partial);
+        assert!(out.views.is_empty());
     }
 
     #[test]

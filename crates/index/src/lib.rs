@@ -31,6 +31,7 @@ pub mod joinpath;
 pub mod lsh;
 pub mod minhash;
 pub mod persist;
+pub mod shard;
 pub mod valueindex;
 
 pub use builder::{build_index, IndexConfig};
@@ -42,5 +43,9 @@ pub use minhash::{
     estimated_containment, estimated_containment_max, estimated_jaccard, exact_containment,
     exact_jaccard, hashed_containment, hashed_containment_max, hashed_containment_scalar,
     hashed_jaccard, MinHashSignature, MinHasher,
+};
+pub use shard::{
+    load_shard, load_sharded_index, merge_shards, partition_index, save_shard, save_sharded_index,
+    shard_from_bytes, shard_of_table, shard_to_bytes, IndexShard,
 };
 pub use valueindex::{Fuzziness, SearchTarget};

@@ -74,16 +74,13 @@ const MAGIC_FULL_V3: &[u8; 8] = b"VERIDX\x03\x00";
 /// Section names in on-disk order, used to name the damaged section in
 /// checksum-mismatch errors.
 const SECTIONS: [&str; 5] = ["config", "profiles", "signatures", "keyword", "hypergraph"];
-/// Trailer pseudo-section index for [`checksum`] (distinct from every real
-/// section so a section checksum can never masquerade as the trailer).
-const TRAILER_SECTION: u64 = SECTIONS.len() as u64;
 
 /// xxhash-style checksum, hand-rolled on the workspace fxhash primitive:
 /// seed with the section index, fold the payload as little-endian 64-bit
 /// words (zero-padded tail), and close over the length so zero-extension
 /// cannot collide. Not cryptographic — it detects the accidents that
 /// matter here: bit rot, truncation, torn writes, and swapped sections.
-fn checksum(section: u64, payload: &[u8]) -> u64 {
+pub(crate) fn checksum(section: u64, payload: &[u8]) -> u64 {
     use ver_common::fxhash::fx_step;
     let mut h = fx_step(0xc3a5_c85c_97cb_3127, section);
     let mut words = payload.chunks_exact(8);
@@ -105,12 +102,12 @@ fn checksum(section: u64, payload: &[u8]) -> u64 {
 /// A cursor over input bytes whose reads are all length-checked: every
 /// decoder path returns `VerError::Serde` on truncated input rather than
 /// panicking inside the `bytes` crate.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     data: &'a [u8],
 }
 
 impl<'a> Cursor<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
         Cursor { data }
     }
 
@@ -131,17 +128,17 @@ impl<'a> Cursor<'a> {
         Ok(self.data.get_u16_le())
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32> {
         self.need(4, what)?;
         Ok(self.data.get_u32_le())
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64> {
         self.need(8, what)?;
         Ok(self.data.get_u64_le())
     }
 
-    fn f32(&mut self, what: &str) -> Result<f32> {
+    pub(crate) fn f32(&mut self, what: &str) -> Result<f32> {
         self.need(4, what)?;
         Ok(self.data.get_f32_le())
     }
@@ -153,7 +150,7 @@ impl<'a> Cursor<'a> {
 
     /// A `u32` length prefix, validated so that `len * item_bytes` items can
     /// actually follow (blocks huge bogus allocations from corrupt input).
-    fn len(&mut self, item_bytes: usize, what: &str) -> Result<usize> {
+    pub(crate) fn len(&mut self, item_bytes: usize, what: &str) -> Result<usize> {
         let n = self.u32(what)? as usize;
         self.need(n.saturating_mul(item_bytes), what)?;
         Ok(n)
@@ -195,7 +192,7 @@ impl<'a> Cursor<'a> {
         Ok(head)
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.data.remaining() == 0
     }
 }
@@ -312,7 +309,7 @@ pub fn load_hypergraph(path: &std::path::Path) -> Result<JoinHypergraph> {
 /// `threads` is passed explicitly: the v3 writer canonicalises it to `0`
 /// (auto) because the build-time worker count is not index content, while
 /// the v2 writer preserves the historical byte layout exactly.
-fn put_config(buf: &mut BytesMut, c: &IndexConfig, threads: u32) {
+pub(crate) fn put_config(buf: &mut BytesMut, c: &IndexConfig, threads: u32) {
     buf.put_u32_le(c.minhash_k as u32);
     buf.put_f64_le(c.containment_threshold);
     buf.put_u8(u8::from(c.verify_exact));
@@ -322,38 +319,47 @@ fn put_config(buf: &mut BytesMut, c: &IndexConfig, threads: u32) {
     buf.put_u64_le(c.value_index_cap as u64);
 }
 
+/// One column profile (shared by the full-index and shard formats).
+pub(crate) fn put_profile(buf: &mut BytesMut, p: &ColumnProfile) {
+    buf.put_u32_le(p.id.0);
+    buf.put_u32_le(p.cref.table.0);
+    buf.put_u16_le(p.cref.ordinal);
+    buf.put_u8(dtype_code(p.dtype));
+    buf.put_u64_le(p.rows as u64);
+    buf.put_u64_le(p.nulls as u64);
+    buf.put_u64_le(p.distinct as u64);
+    buf.put_u32_le(p.sample.len() as u32);
+    for s in &p.sample {
+        put_string(buf, s);
+    }
+    put_u64_slice(buf, &p.hashes);
+}
+
 /// Column-profile section.
 fn put_profiles(buf: &mut BytesMut, index: &DiscoveryIndex) {
     buf.put_u32_le(index.profiles().len() as u32);
     for p in index.profiles() {
-        buf.put_u32_le(p.id.0);
-        buf.put_u32_le(p.cref.table.0);
-        buf.put_u16_le(p.cref.ordinal);
-        buf.put_u8(dtype_code(p.dtype));
-        buf.put_u64_le(p.rows as u64);
-        buf.put_u64_le(p.nulls as u64);
-        buf.put_u64_le(p.distinct as u64);
-        buf.put_u32_le(p.sample.len() as u32);
-        for s in &p.sample {
-            put_string(buf, s);
-        }
-        put_u64_slice(buf, &p.hashes);
+        put_profile(buf, p);
     }
+}
+
+/// One MinHash signature (shared by the full-index and shard formats).
+pub(crate) fn put_signature(buf: &mut BytesMut, sig: &MinHashSignature) {
+    buf.put_u64_le(sig.cardinality as u64);
+    put_u64_slice(buf, &sig.sig);
 }
 
 /// MinHash-signature section.
 fn put_signatures(buf: &mut BytesMut, index: &DiscoveryIndex) {
     buf.put_u32_le(index.profiles().len() as u32);
     for i in 0..index.profiles().len() {
-        let sig = index.signature(ColumnId(i as u32));
-        buf.put_u64_le(sig.cardinality as u64);
-        put_u64_slice(buf, &sig.sig);
+        put_signature(buf, index.signature(ColumnId(i as u32)));
     }
 }
 
 /// Keyword-index section, key-sorted for canonical bytes.
-fn put_keyword(buf: &mut BytesMut, index: &DiscoveryIndex) {
-    let (values, attributes, table_names, table_columns) = index.keyword_index().persist_parts();
+pub(crate) fn put_keyword(buf: &mut BytesMut, keyword: &KeywordIndex) {
+    let (values, attributes, table_names, table_columns) = keyword.persist_parts();
     buf.put_u32_le(values.len() as u32);
     for (value, cols) in values {
         put_string(buf, value);
@@ -389,20 +395,69 @@ pub fn index_to_bytes(index: &DiscoveryIndex) -> Bytes {
     put_config(&mut sections[0], index.config(), 0);
     put_profiles(&mut sections[1], index);
     put_signatures(&mut sections[2], index);
-    put_keyword(&mut sections[3], index);
+    put_keyword(&mut sections[3], index.keyword_index());
     put_hypergraph(&mut sections[4], index.hypergraph());
+    frame_sections(MAGIC_FULL_V3, &sections)
+}
 
+/// Frame payload sections in the checksummed layout shared by the
+/// `VERIDX\x03` full-index and `VERSHD\x01` shard formats: magic, then each
+/// section as `len u64 · payload · checksum u64`, then a whole-file trailer
+/// checksum (trailer pseudo-section index = number of sections, so a
+/// section checksum can never masquerade as the trailer).
+pub(crate) fn frame_sections(magic: &[u8; 8], sections: &[BytesMut]) -> Bytes {
     let total: usize = sections.iter().map(|s| s.len() + 16).sum();
-    let mut buf = BytesMut::with_capacity(MAGIC_FULL_V3.len() + total + 8);
-    buf.put_slice(MAGIC_FULL_V3);
+    let mut buf = BytesMut::with_capacity(magic.len() + total + 8);
+    buf.put_slice(magic);
     for (i, payload) in sections.iter().enumerate() {
         buf.put_u64_le(payload.len() as u64);
         buf.put_slice(payload);
         buf.put_u64_le(checksum(i as u64, payload));
     }
-    let trailer = checksum(TRAILER_SECTION, &buf);
+    let trailer = checksum(sections.len() as u64, &buf);
     buf.put_u64_le(trailer);
     buf.freeze()
+}
+
+/// Decode a [`frame_sections`] artifact: verify the whole-file trailer over
+/// the raw bytes *before any parsing*, then check and slice out each named
+/// section. Returns one payload slice per name, in order.
+pub(crate) fn read_framed_sections<'a>(
+    data: &'a [u8],
+    magic: &[u8; 8],
+    names: &[&str],
+) -> Result<Vec<&'a [u8]>> {
+    let body_len = data.len().saturating_sub(8);
+    if body_len < magic.len() {
+        return Err(VerError::Serde(
+            "truncated artifact (missing trailer)".into(),
+        ));
+    }
+    let (body, trailer) = data.split_at(body_len);
+    let expected = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if checksum(names.len() as u64, body) != expected {
+        return Err(VerError::Serde(
+            "trailer checksum mismatch (corrupt or truncated artifact)".into(),
+        ));
+    }
+    if &body[..magic.len()] != magic {
+        return Err(VerError::Serde("bad magic header".into()));
+    }
+    let mut cur = Cursor::new(&body[magic.len()..]);
+    let mut payloads = Vec::with_capacity(names.len());
+    for (i, name) in names.iter().enumerate() {
+        let len = cur.u64(&format!("{name} section length"))? as usize;
+        let payload = cur.bytes(len, &format!("{name} section"))?;
+        let sum = cur.u64(&format!("{name} section checksum"))?;
+        if checksum(i as u64, payload) != sum {
+            return Err(VerError::Serde(format!("{name} section checksum mismatch")));
+        }
+        payloads.push(payload);
+    }
+    if !cur.is_empty() {
+        return Err(VerError::Serde("trailing bytes after sections".into()));
+    }
+    Ok(payloads)
 }
 
 /// Serialise a complete [`DiscoveryIndex`] in the legacy monolithic
@@ -414,7 +469,7 @@ pub fn index_to_bytes_v2(index: &DiscoveryIndex) -> Bytes {
     put_config(&mut buf, index.config(), index.config().threads as u32);
     put_profiles(&mut buf, index);
     put_signatures(&mut buf, index);
-    put_keyword(&mut buf, index);
+    put_keyword(&mut buf, index.keyword_index());
     put_hypergraph(&mut buf, index.hypergraph());
     buf.freeze()
 }
@@ -446,34 +501,7 @@ pub fn index_from_bytes(data: &[u8]) -> Result<DiscoveryIndex> {
 /// trailer itself — fails here with a typed error; the per-section
 /// checksums then attribute damage to a named section.
 fn index_from_bytes_v3(data: &[u8]) -> Result<DiscoveryIndex> {
-    let body_len = data.len().saturating_sub(8);
-    if body_len < MAGIC_FULL_V3.len() {
-        return Err(VerError::Serde(
-            "truncated artifact (missing trailer)".into(),
-        ));
-    }
-    let (body, trailer) = data.split_at(body_len);
-    let expected = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
-    if checksum(TRAILER_SECTION, body) != expected {
-        return Err(VerError::Serde(
-            "trailer checksum mismatch (corrupt or truncated artifact)".into(),
-        ));
-    }
-
-    let mut cur = Cursor::new(&body[MAGIC_FULL_V3.len()..]);
-    let mut payloads: [&[u8]; 5] = [&[]; 5];
-    for (i, name) in SECTIONS.iter().enumerate() {
-        let len = cur.u64(&format!("{name} section length"))? as usize;
-        let payload = cur.bytes(len, &format!("{name} section"))?;
-        let sum = cur.u64(&format!("{name} section checksum"))?;
-        if checksum(i as u64, payload) != sum {
-            return Err(VerError::Serde(format!("{name} section checksum mismatch")));
-        }
-        payloads[i] = payload;
-    }
-    if !cur.is_empty() {
-        return Err(VerError::Serde("trailing bytes after sections".into()));
-    }
+    let payloads = read_framed_sections(data, MAGIC_FULL_V3, &SECTIONS)?;
 
     let section = |i: usize| -> Cursor<'_> { Cursor::new(payloads[i]) };
     let done = |cur: &Cursor<'_>, name: &str| -> Result<()> {
@@ -536,7 +564,7 @@ fn assemble_checked(
     ))
 }
 
-fn read_config(cur: &mut Cursor<'_>) -> Result<IndexConfig> {
+pub(crate) fn read_config(cur: &mut Cursor<'_>) -> Result<IndexConfig> {
     let config = IndexConfig {
         minhash_k: cur.u32("config")? as usize,
         containment_threshold: cur.f64("config")?,
@@ -562,38 +590,60 @@ fn read_profiles(cur: &mut Cursor<'_>) -> Result<Vec<ColumnProfile>> {
     let nprofiles = cur.len(34, "profile table")?;
     let mut profiles = Vec::with_capacity(nprofiles);
     for expected in 0..nprofiles {
-        let id = ColumnId(cur.u32("profile id")?);
-        if id.idx() != expected {
+        let p = read_profile(cur)?;
+        if p.id.idx() != expected {
             return Err(VerError::Serde(format!(
-                "profile id {id:?} out of sequence (expected {expected})"
+                "profile id {:?} out of sequence (expected {expected})",
+                p.id
             )));
         }
-        let cref = ColumnRef {
-            table: TableId(cur.u32("profile cref")?),
-            ordinal: cur.u16("profile cref")?,
-        };
-        let dtype = dtype_of(cur.u8("profile dtype")?)?;
-        let rows = cur.u64("profile rows")? as usize;
-        let nulls = cur.u64("profile nulls")? as usize;
-        let distinct = cur.u64("profile distinct")? as usize;
-        let nsample = cur.len(4, "profile sample")?;
-        let mut sample = Vec::with_capacity(nsample);
-        for _ in 0..nsample {
-            sample.push(cur.string("profile sample value")?);
-        }
-        let hashes = cur.u64_vec("profile hashes")?;
-        profiles.push(ColumnProfile {
-            id,
-            cref,
-            dtype,
-            rows,
-            nulls,
-            distinct,
-            sample,
-            hashes,
-        });
+        profiles.push(p);
     }
     Ok(profiles)
+}
+
+/// One column profile (shared by the full-index and shard decoders; id
+/// sequencing is the caller's concern — the full format requires the dense
+/// sequence `0..n`, a shard a strictly increasing subsequence).
+pub(crate) fn read_profile(cur: &mut Cursor<'_>) -> Result<ColumnProfile> {
+    let id = ColumnId(cur.u32("profile id")?);
+    let cref = ColumnRef {
+        table: TableId(cur.u32("profile cref")?),
+        ordinal: cur.u16("profile cref")?,
+    };
+    let dtype = dtype_of(cur.u8("profile dtype")?)?;
+    let rows = cur.u64("profile rows")? as usize;
+    let nulls = cur.u64("profile nulls")? as usize;
+    let distinct = cur.u64("profile distinct")? as usize;
+    let nsample = cur.len(4, "profile sample")?;
+    let mut sample = Vec::with_capacity(nsample);
+    for _ in 0..nsample {
+        sample.push(cur.string("profile sample value")?);
+    }
+    let hashes = cur.u64_vec("profile hashes")?;
+    Ok(ColumnProfile {
+        id,
+        cref,
+        dtype,
+        rows,
+        nulls,
+        distinct,
+        sample,
+        hashes,
+    })
+}
+
+/// One MinHash signature (shared by the full-index and shard decoders).
+pub(crate) fn read_signature(cur: &mut Cursor<'_>, minhash_k: usize) -> Result<MinHashSignature> {
+    let cardinality = cur.u64("signature cardinality")? as usize;
+    let sig = cur.u64_vec("signature")?;
+    if sig.len() != minhash_k {
+        return Err(VerError::Serde(format!(
+            "signature length {} != minhash_k {minhash_k}",
+            sig.len(),
+        )));
+    }
+    Ok(MinHashSignature { sig, cardinality })
 }
 
 fn read_signatures(
@@ -609,20 +659,12 @@ fn read_signatures(
     }
     let mut signatures = Vec::with_capacity(nsigs);
     for _ in 0..nsigs {
-        let cardinality = cur.u64("signature cardinality")? as usize;
-        let sig = cur.u64_vec("signature")?;
-        if sig.len() != minhash_k {
-            return Err(VerError::Serde(format!(
-                "signature length {} != minhash_k {minhash_k}",
-                sig.len(),
-            )));
-        }
-        signatures.push(MinHashSignature { sig, cardinality });
+        signatures.push(read_signature(cur, minhash_k)?);
     }
     Ok(signatures)
 }
 
-fn read_keyword(cur: &mut Cursor<'_>, nprofiles: usize) -> Result<KeywordIndex> {
+pub(crate) fn read_keyword(cur: &mut Cursor<'_>, nprofiles: usize) -> Result<KeywordIndex> {
     // Keyword postings index into the profile/signature tables at query
     // time (`DiscoveryIndex::profile`/`signature` are plain `Vec` lookups),
     // so every ColumnId must be validated here — an out-of-range posting in
@@ -681,7 +723,7 @@ fn read_keyword(cur: &mut Cursor<'_>, nprofiles: usize) -> Result<KeywordIndex> 
 /// A crash at any point leaves either the complete old file or the
 /// complete new one, never a torn hybrid (rename within one directory is
 /// atomic on POSIX filesystems).
-fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<()> {
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<()> {
     use std::io::Write;
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let mut name = path
@@ -956,7 +998,7 @@ mod tests {
         let mut bad = bytes.clone();
         bad[profiles_payload_start + 10] ^= 0xFF;
         let body_len = bad.len() - 8;
-        let trailer = checksum(TRAILER_SECTION, &bad[..body_len]);
+        let trailer = checksum(SECTIONS.len() as u64, &bad[..body_len]);
         bad[body_len..].copy_from_slice(&trailer.to_le_bytes());
         match index_from_bytes(&bad) {
             Err(VerError::Serde(m)) => {

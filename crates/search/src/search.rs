@@ -195,6 +195,89 @@ impl<'a> SearchContext<'a> {
         selection: &SelectionResult,
         config: &SearchConfig,
     ) -> Result<SearchOutput> {
+        let (ranked, mut stats, dag, timer, partial) =
+            self.search_filtered(selection, config, None)?;
+        let mut views = Vec::with_capacity(ranked.len());
+        for (i, sv) in ranked.into_iter().enumerate() {
+            let mut view = sv.view;
+            view.id = ViewId(i as u32);
+            views.push(view);
+        }
+        stats.views = views.len();
+        Ok(SearchOutput {
+            views,
+            stats,
+            dag,
+            timer,
+            partial,
+        })
+    }
+
+    /// Run one shard's slice of the scatter/gather search (determinism
+    /// invariant 11).
+    ///
+    /// Every shard performs the **identical** global computation up to the
+    /// top-k cut — enumeration, candidate collection, scoring of *all*
+    /// candidates (a shared [`SearchCaches`] score memo makes the duplicate
+    /// scoring cheap), the content-based global sort, and the `k` /
+    /// view-cap truncation — and then materialises only the candidates it
+    /// *owns*: a candidate belongs to
+    /// `shard_of_table(min TableId of its projection, shard_count)`, the
+    /// same table-anchored hash that partitions the index. Because
+    /// ownership partitions the globally-cut candidate list exactly,
+    /// re-merging every shard's output through the same rank comparator
+    /// ([`merge_shard_outputs`]) reproduces the single-engine
+    /// [`SearchContext::search`] result bit-for-bit, for every shard
+    /// count.
+    ///
+    /// [`SearchCaches`]: crate::cache::SearchCaches
+    pub fn search_shard(
+        &self,
+        selection: &SelectionResult,
+        config: &SearchConfig,
+        shard: usize,
+        shard_count: usize,
+    ) -> Result<ShardSearchOutput> {
+        assert!(
+            shard < shard_count,
+            "shard {shard} out of range for {shard_count} shards"
+        );
+        // Whole-leg fault point: sits BEFORE the per-candidate isolation,
+        // so an armed panic here kills this entire shard — the caller's
+        // scatter loop must drop the leg and degrade to a partial merge.
+        ver_common::fault::hit(ver_common::fault::points::SEARCH_SHARD)?;
+        let (views, mut stats, dag, timer, partial) =
+            self.search_filtered(selection, config, Some((shard, shard_count)))?;
+        stats.views = views.len();
+        Ok(ShardSearchOutput {
+            shard,
+            shard_count,
+            views,
+            stats,
+            dag,
+            timer,
+            partial,
+        })
+    }
+
+    /// Shared body of [`search`](Self::search) and
+    /// [`search_shard`](Self::search_shard): the full generate → score →
+    /// rank pipeline, with materialization optionally restricted to the
+    /// candidates owned by one shard. Returns ranked views still carrying
+    /// their rank keys (no [`ViewId`]s assigned — the caller finalises
+    /// ids so the sharded merge can renumber globally).
+    fn search_filtered(
+        &self,
+        selection: &SelectionResult,
+        config: &SearchConfig,
+        owner: Option<(usize, usize)>,
+    ) -> Result<(
+        Vec<ShardView>,
+        SearchStats,
+        MaterializeStats,
+        ver_common::timer::PhaseTimer,
+        bool,
+    )> {
         let mut timer = ver_common::timer::PhaseTimer::new();
         let pool = self.pool.unwrap_or_else(|| ThreadPool::new(config.threads));
         let jgs_start = std::time::Instant::now();
@@ -205,7 +288,7 @@ impl<'a> SearchContext<'a> {
             config.max_combinations,
         );
 
-        let mut stats = SearchStats {
+        let stats = SearchStats {
             combinations: enumeration.total_combinations,
             skipped_by_cache: enumeration.skipped_by_cache,
             joinable_groups: enumeration.joinable_group_count(),
@@ -259,6 +342,13 @@ impl<'a> SearchContext<'a> {
             partial = true;
         }
         scored.truncate(keep);
+        // Scatter/gather shard filter: every shard computed the identical
+        // globally-cut candidate list above; each materialises only the
+        // candidates it owns. Ownership partitions the list exactly, so
+        // the per-shard outputs merge back into the unsharded ranking.
+        if let Some((shard, count)) = owner {
+            scored.retain(|(_, c)| candidate_shard(c, count) == shard);
+        }
         timer.add("jgs", jgs_start.elapsed());
 
         // Materialise the top-k; per-candidate failures propagate as the
@@ -375,14 +465,15 @@ impl<'a> SearchContext<'a> {
             })
         };
 
+        drop(plans);
         let mut views = Vec::with_capacity(materialized.len());
-        for result in materialized {
+        for (result, (score, candidate)) in materialized.into_iter().zip(scored) {
             // Graceful degradation: a candidate that ran out of deadline or
             // whose worker panicked is skipped (the ranked views that did
             // complete are still returned, flagged partial); any other
             // error — e.g. a genuine I/O failure — is a hard failure for
             // the whole query.
-            let mut view = match result {
+            let view = match result {
                 Ok(view) => view,
                 Err(VerError::DeadlineExceeded(_)) | Err(VerError::Internal(_)) => {
                     partial = true;
@@ -393,18 +484,116 @@ impl<'a> SearchContext<'a> {
             if config.drop_empty_views && view.row_count() == 0 {
                 continue;
             }
-            view.id = ViewId(views.len() as u32);
-            views.push(view);
+            views.push(ShardView {
+                score,
+                canon: candidate.canon,
+                projection: candidate.projection,
+                view,
+            });
         }
         timer.add("materialize", mat_start.elapsed());
-        stats.views = views.len();
-        Ok(SearchOutput {
-            views,
-            stats,
-            dag,
-            timer,
-            partial,
-        })
+        Ok((views, stats, dag, timer, partial))
+    }
+}
+
+/// Owning shard of a search candidate: the [`ver_index::shard_of_table`]
+/// hash of the smallest `TableId` in its projection. Anchoring candidate
+/// ownership to *table* sharding keeps query-time scatter aligned with
+/// build-time index partitioning — the shard that owns a candidate's lead
+/// table owns its index slices too. Projection-less candidates (which the
+/// planner rejects anyway) fall to shard 0 so the error surfaces on
+/// exactly one shard.
+fn candidate_shard(candidate: &Candidate, shard_count: usize) -> usize {
+    match candidate.projection.iter().map(|p| p.table).min() {
+        Some(table) => ver_index::shard_of_table(table, shard_count),
+        None => 0,
+    }
+}
+
+/// One ranked, materialised view of a shard's output, still carrying the
+/// rank key ([`rank_order`]'s `(score, canon)` plus the projection
+/// tie-break) that [`merge_shard_outputs`] merges through. The view's
+/// [`ViewId`] is not final until the merge renumbers globally.
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    /// Join score of the candidate (rank key, primary, descending).
+    pub score: f64,
+    /// Canonical edge form of the join graph (rank key, secondary).
+    pub canon: Vec<(u32, u32)>,
+    /// Projection columns (rank key, final tie-break).
+    pub projection: Arc<[ColumnRef]>,
+    /// The materialised view.
+    pub view: View,
+}
+
+/// Output of [`SearchContext::search_shard`]: this shard's owned slice of
+/// the global ranking, plus the same stats/budget surface as
+/// [`SearchOutput`].
+#[derive(Debug)]
+pub struct ShardSearchOutput {
+    /// Which shard produced this output.
+    pub shard: usize,
+    /// Total shards in the scatter.
+    pub shard_count: usize,
+    /// Owned views in global rank order (a subsequence of the unsharded
+    /// ranking).
+    pub views: Vec<ShardView>,
+    /// Search-space statistics. The enumeration counters are global (every
+    /// shard enumerates identically); `views` counts only owned views.
+    pub stats: SearchStats,
+    /// This shard's sub-join DAG counters.
+    pub dag: MaterializeStats,
+    /// This shard's stage wall times.
+    pub timer: ver_common::timer::PhaseTimer,
+    /// `true` when this shard's slice was trimmed by the budget.
+    pub partial: bool,
+}
+
+/// Gather step of the sharded search: merge per-shard outputs back into
+/// one [`SearchOutput`] through the content-based total order, then assign
+/// [`ViewId`]s sequentially.
+///
+/// Each shard's list is already globally rank-ordered and ownership
+/// partitions the candidate space, so the merge is a pure k-way merge with
+/// no dedup — implemented as a sort by the same comparator, which is exact
+/// because rank keys are unique across shards. With every shard present
+/// and healthy the result is **bit-identical** to the single-engine
+/// [`SearchContext::search`] run (invariant 11). A missing shard (caller
+/// dropped a panicked or deadline-tripped scatter leg) degrades to a
+/// partial result: pass `complete = false` and the merged output is
+/// flagged [`SearchOutput::partial`], never an error. Enumeration stats
+/// come from the first output (identical on every shard); DAG counters
+/// and timers accumulate across shards.
+pub fn merge_shard_outputs(outputs: Vec<ShardSearchOutput>, complete: bool) -> SearchOutput {
+    let mut stats = outputs.first().map(|o| o.stats).unwrap_or_default();
+    let mut dag = MaterializeStats::default();
+    let mut timer = ver_common::timer::PhaseTimer::new();
+    let mut partial = !complete;
+    let mut merged: Vec<ShardView> =
+        Vec::with_capacity(outputs.iter().map(|o| o.views.len()).sum());
+    for out in outputs {
+        partial |= out.partial;
+        dag.accumulate(out.dag);
+        timer.merge(&out.timer);
+        merged.extend(out.views);
+    }
+    merged.sort_by(|a, b| {
+        rank_order(a.score, &a.canon, b.score, &b.canon)
+            .then_with(|| a.projection.cmp(&b.projection))
+    });
+    let mut views = Vec::with_capacity(merged.len());
+    for (i, sv) in merged.into_iter().enumerate() {
+        let mut view = sv.view;
+        view.id = ViewId(i as u32);
+        views.push(view);
+    }
+    stats.views = views.len();
+    SearchOutput {
+        views,
+        stats,
+        dag,
+        timer,
+        partial,
     }
 }
 
@@ -870,6 +1059,107 @@ mod tests {
         for (a, b) in pooled.views.iter().zip(&base.views) {
             assert!(a.same_contents(b));
         }
+    }
+
+    #[test]
+    fn sharded_scatter_gather_is_bit_identical_to_single_search() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        let cfg = SearchConfig::default();
+        let single = SearchContext::new(&cat, &idx).search(&sel, &cfg).unwrap();
+        assert!(single.views.len() > 1, "need a multi-view query");
+
+        for count in [1usize, 2, 3, 4] {
+            let caches = crate::cache::SearchCaches::new(64);
+            let outputs: Vec<ShardSearchOutput> = (0..count)
+                .map(|shard| {
+                    SearchContext::new(&cat, &idx)
+                        .with_caches(&caches)
+                        .search_shard(&sel, &cfg, shard, count)
+                        .unwrap()
+                })
+                .collect();
+            // Ownership partitions the output exactly.
+            let total: usize = outputs.iter().map(|o| o.views.len()).sum();
+            assert_eq!(total, single.views.len(), "count={count}");
+            let merged = merge_shard_outputs(outputs, true);
+            assert!(!merged.partial, "count={count}");
+            assert_eq!(merged.stats, single.stats, "count={count}");
+            assert_eq!(merged.views.len(), single.views.len());
+            for (a, b) in merged.views.iter().zip(&single.views) {
+                assert_eq!(a.id, b.id, "count={count}");
+                assert!(a.same_contents(b), "count={count}: {} differs", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_merge_ignores_shard_order_and_flags_incomplete_sets() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        let cfg = SearchConfig::default();
+        let single = SearchContext::new(&cat, &idx).search(&sel, &cfg).unwrap();
+        let cx = SearchContext::new(&cat, &idx);
+        let mut outputs: Vec<ShardSearchOutput> = (0..3)
+            .map(|s| cx.search_shard(&sel, &cfg, s, 3).unwrap())
+            .collect();
+        outputs.reverse();
+        let merged = merge_shard_outputs(outputs, true);
+        assert!(!merged.partial);
+        for (a, b) in merged.views.iter().zip(&single.views) {
+            assert!(a.same_contents(b), "shard order leaked into the merge");
+        }
+
+        // A dropped scatter leg degrades: still ranked, flagged partial.
+        let partial_set: Vec<ShardSearchOutput> = (0..2)
+            .map(|s| cx.search_shard(&sel, &cfg, s, 3).unwrap())
+            .collect();
+        let merged = merge_shard_outputs(partial_set, false);
+        assert!(merged.partial, "missing shard must flag partial");
+        assert!(merged.views.len() <= single.views.len());
+        let scores: Vec<f64> = merged
+            .views
+            .iter()
+            .map(|v| v.provenance.join_score)
+            .collect();
+        assert!(
+            scores.windows(2).all(|w| w[0] >= w[1]),
+            "still rank-ordered"
+        );
+        // Merging nothing (every shard failed) is empty + partial.
+        let empty = merge_shard_outputs(Vec::new(), false);
+        assert!(empty.partial);
+        assert!(empty.views.is_empty());
+    }
+
+    #[test]
+    fn shard_budgets_degrade_the_scatter_not_error() {
+        let (cat, idx) = setup();
+        let q = ExampleQuery::new(vec![
+            QueryColumn::of_strs(&["st1", "st2"]),
+            QueryColumn::of_strs(&["1001", "2002"]),
+        ])
+        .unwrap();
+        let sel = select(&idx, &q);
+        let cfg = SearchConfig::default();
+        let out = SearchContext::new(&cat, &idx)
+            .with_budget(QueryBudget::none().with_timeout(std::time::Duration::ZERO))
+            .search_shard(&sel, &cfg, 0, 2)
+            .expect("deadline exhaustion degrades per shard");
+        assert!(out.partial);
+        assert!(out.views.is_empty());
+        let merged = merge_shard_outputs(vec![out], false);
+        assert!(merged.partial);
     }
 
     #[test]

@@ -370,7 +370,7 @@ impl ServeEngine {
 /// variable-length part is **length-prefixed** (`{len}:{bytes}`), so user
 /// strings containing any would-be separator cannot make two different
 /// specs collide on one key.
-fn spec_key(spec: &ViewSpec) -> String {
+pub(crate) fn spec_key(spec: &ViewSpec) -> String {
     use std::fmt::Write as _;
     let mut key = String::new();
     let part = |key: &mut String, s: &str| {

@@ -69,6 +69,8 @@
 
 pub mod engine;
 pub mod session;
+pub mod sharded;
 
 pub use engine::{ServeConfig, ServeEngine, ServeStats};
 pub use session::SessionId;
+pub use sharded::{default_shards, ShardStats, ShardedEngine};

@@ -1,0 +1,460 @@
+//! Sharded serving: one logical catalog scattered over N shard handles.
+//!
+//! [`ShardedEngine`] presents the exact [`ServeEngine`](crate::ServeEngine) query surface —
+//! [`query`](ShardedEngine::query) /
+//! [`query_with_budget`](ShardedEngine::query_with_budget), the same
+//! fail-fast admission gate, the same result-LRU and partial-result
+//! semantics — but executes every result-cache miss as a scatter/gather
+//! over `shard_count` logical shards on `ver_common::pool`
+//! ([`Ver::run_sharded_with_legs`]). One [`SearchCaches`] bundle is shared
+//! by every scatter leg: the score memo makes each shard's (identical)
+//! global scoring pass cheap, and cache hits stay bit-identical to misses.
+//!
+//! **Determinism invariant 11.** For every shard count the merged answer
+//! is bit-identical to the single-engine [`ServeEngine`](crate::ServeEngine) run — same views,
+//! same ids, same ranking (`tests/parallel_determinism.rs` pins this
+//! across shard × thread counts against the golden snapshot).
+//!
+//! **Failure model.** A scatter leg that trips the query deadline degrades
+//! *inside* its shard; a leg whose worker panics is dropped at the gather.
+//! Either way the merged result is flagged partial and returned — a shard
+//! failure is never an error (`tests/chaos.rs`) — and partial results
+//! are never cached, exactly as on the single-engine path. Per-shard
+//! health is visible in [`ShardedEngine::shard_stats`].
+//!
+//! The shard count comes from the constructor, or from the `VER_SHARDS`
+//! environment knob when `0` (auto) is passed — same contract as
+//! `VER_THREADS`: malformed values warn once and fall back to `1`.
+
+use crate::engine::{spec_key, ServeConfig, ServeStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use ver_common::budget::QueryBudget;
+use ver_common::cache::LruCache;
+use ver_common::error::{Result, VerError};
+use ver_core::{QueryResult, Ver};
+use ver_index::persist::{load_index, save_index};
+use ver_index::DiscoveryIndex;
+use ver_qbe::ViewSpec;
+use ver_search::SearchCaches;
+use ver_store::catalog::TableCatalog;
+
+/// Parse a `VER_SHARDS`-style value: a positive shard count.
+fn parse_shards(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Default shard count: the `VER_SHARDS` environment variable, or `1`
+/// (unsharded) when unset. A malformed value warns on stderr once per
+/// process and falls back to `1` — a typo'd knob must not change results,
+/// and invariant 11 means the fallback computes identical output anyway.
+pub fn default_shards() -> usize {
+    static PARSED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *PARSED.get_or_init(|| match std::env::var("VER_SHARDS") {
+        Ok(raw) => parse_shards(&raw).unwrap_or_else(|| {
+            eprintln!("warning: ignoring malformed VER_SHARDS={raw:?} (want a positive integer)");
+            1
+        }),
+        Err(_) => 1,
+    })
+}
+
+/// Point-in-time health counters for one shard of a [`ShardedEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Scatter legs dispatched to this shard (one per result-cache miss).
+    pub legs: u64,
+    /// Legs dropped at the gather (worker panic / un-degraded deadline).
+    pub failed: u64,
+    /// Legs that came back degraded (budget trimmed their slice, or the
+    /// leg was dropped).
+    pub partial: u64,
+    /// Views this shard contributed to merged results.
+    pub views: u64,
+}
+
+/// Per-shard counter cells ([`ShardStats`] is the snapshot form).
+#[derive(Default)]
+struct ShardCounters {
+    legs: AtomicU64,
+    failed: AtomicU64,
+    partial: AtomicU64,
+    views: AtomicU64,
+}
+
+/// RAII admission permit — one in-flight slot, released on drop even when
+/// the query errors, so failed queries can never leak the gate shut.
+struct InFlightPermit<'a>(&'a AtomicU64);
+
+impl Drop for InFlightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A long-lived, concurrently shareable **sharded** serving engine.
+///
+/// Same contract as [`ServeEngine`](crate::ServeEngine): all entry points take `&self`, the
+/// engine sits behind an `Arc` with any number of client threads calling
+/// [`query`](Self::query) simultaneously, and every answer is
+/// bit-identical to the single-engine run (invariant 11).
+pub struct ShardedEngine {
+    ver: Ver,
+    config: ServeConfig,
+    shard_count: usize,
+    /// Whole-result cache keyed by the canonical query form.
+    results: LruCache<String, Arc<QueryResult>>,
+    /// The ONE cross-query cache bundle every scatter leg shares.
+    caches: SearchCaches,
+    shards: Vec<ShardCounters>,
+    queries: AtomicU64,
+    in_flight: AtomicU64,
+    rejected: AtomicU64,
+    partial_results: AtomicU64,
+}
+
+impl ShardedEngine {
+    /// Cold start: profile the catalog and build the discovery index in
+    /// process. `shard_count = 0` means auto ([`default_shards`], i.e. the
+    /// `VER_SHARDS` knob).
+    pub fn build(
+        catalog: TableCatalog,
+        config: ServeConfig,
+        shard_count: usize,
+    ) -> Result<ShardedEngine> {
+        let ver = Ver::build(catalog, config.pipeline.clone())?;
+        Ok(Self::assemble(ver, config, shard_count))
+    }
+
+    /// Warm start from an already-built index (e.g. merged from persisted
+    /// `VERSHD` shard artifacts via [`ver_index::shard::load_sharded_index`]).
+    pub fn warm_start(
+        catalog: Arc<TableCatalog>,
+        index: Arc<DiscoveryIndex>,
+        config: ServeConfig,
+        shard_count: usize,
+    ) -> Result<ShardedEngine> {
+        let ver = Ver::from_parts(catalog, index, config.pipeline.clone())?;
+        Ok(Self::assemble(ver, config, shard_count))
+    }
+
+    /// Warm start from a persisted full-index file.
+    pub fn open(
+        catalog: Arc<TableCatalog>,
+        index_path: &std::path::Path,
+        config: ServeConfig,
+        shard_count: usize,
+    ) -> Result<ShardedEngine> {
+        let index = load_index(index_path)?;
+        Self::warm_start(catalog, Arc::new(index), config, shard_count)
+    }
+
+    fn assemble(ver: Ver, config: ServeConfig, shard_count: usize) -> ShardedEngine {
+        let shard_count = if shard_count == 0 {
+            default_shards()
+        } else {
+            shard_count
+        };
+        ShardedEngine {
+            results: LruCache::new(config.result_cache_capacity),
+            caches: SearchCaches::new(config.view_cache_capacity),
+            shards: (0..shard_count).map(|_| ShardCounters::default()).collect(),
+            queries: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            partial_results: AtomicU64::new(0),
+            ver,
+            config,
+            shard_count,
+        }
+    }
+
+    /// Claim an admission slot, failing fast with [`VerError::Overloaded`]
+    /// when [`ServeConfig::max_in_flight`] slots are already taken. The
+    /// gate counts *queries*, not scatter legs: one admitted query fans
+    /// out to all shards.
+    fn admit(&self) -> Result<InFlightPermit<'_>> {
+        let limit = self.config.max_in_flight;
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if limit != 0 && prev as usize >= limit {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(VerError::Overloaded(format!(
+                "{limit} queries already in flight"
+            )));
+        }
+        Ok(InFlightPermit(&self.in_flight))
+    }
+
+    /// Number of logical shards queries scatter over.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The wrapped pipeline facade.
+    pub fn ver(&self) -> &Ver {
+        &self.ver
+    }
+
+    /// Shared handle to the catalog.
+    pub fn catalog_shared(&self) -> Arc<TableCatalog> {
+        self.ver.catalog_shared()
+    }
+
+    /// Shared handle to the (logical, merged) index.
+    pub fn index_shared(&self) -> Arc<DiscoveryIndex> {
+        self.ver.index_shared()
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Persist this engine's logical index as `shard_count` per-shard
+    /// `VERSHD` artifacts under `dir` (invariant: loading and merging them
+    /// reconstructs the index exactly).
+    pub fn save_shards(&self, dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>> {
+        ver_index::shard::save_sharded_index(self.ver.index(), self.shard_count, dir)
+    }
+
+    /// Persist the logical index as one full-index artifact.
+    pub fn save_index(&self, path: &std::path::Path) -> Result<()> {
+        save_index(self.ver.index(), path)
+    }
+
+    /// Answer a view specification — [`ServeEngine`](crate::ServeEngine)'s contract, executed
+    /// as a scatter/gather. Unbudgeted shorthand for
+    /// [`query_with_budget`](Self::query_with_budget).
+    pub fn query(&self, spec: &ViewSpec) -> Result<Arc<QueryResult>> {
+        self.query_with_budget(spec, &QueryBudget::none())
+    }
+
+    /// [`query`](Self::query) under a per-query [`QueryBudget`]. Failure
+    /// model, in order, identical to [`ServeEngine::query_with_budget`](crate::ServeEngine::query_with_budget):
+    /// cache hits are free (no gate, no budget), misses claim an
+    /// admission slot or fail fast with [`VerError::Overloaded`], budget
+    /// exhaustion and shard failures degrade to a partial (never-cached)
+    /// result, a hard [`VerError::DeadlineExceeded`] consults the LRU once
+    /// more before surfacing, and any other error propagates typed. The
+    /// budget's deadline is an absolute instant threaded to every scatter
+    /// leg by value, so all shards race the same wall clock.
+    pub fn query_with_budget(
+        &self,
+        spec: &ViewSpec,
+        budget: &QueryBudget,
+    ) -> Result<Arc<QueryResult>> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let key = spec_key(spec);
+        if let Some(hit) = self.results.get(&key) {
+            return Ok(hit);
+        }
+        let _permit = self.admit()?;
+        ver_common::fault::hit(ver_common::fault::points::SERVE_QUERY)?;
+        match self
+            .ver
+            .run_sharded_with_legs(spec, Some(&self.caches), budget, self.shard_count)
+        {
+            Ok((result, legs)) => {
+                for leg in legs {
+                    let cell = &self.shards[leg.shard];
+                    cell.legs.fetch_add(1, Ordering::Relaxed);
+                    cell.failed.fetch_add(u64::from(!leg.ok), Ordering::Relaxed);
+                    cell.partial
+                        .fetch_add(u64::from(leg.partial), Ordering::Relaxed);
+                    cell.views.fetch_add(leg.views as u64, Ordering::Relaxed);
+                }
+                let result = Arc::new(result);
+                if result.partial {
+                    // Never cache a degraded result: the next query with
+                    // headroom must be able to compute the full answer.
+                    self.partial_results.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.results.insert(key, Arc::clone(&result));
+                }
+                Ok(result)
+            }
+            Err(e @ VerError::DeadlineExceeded(_)) => match self.results.get(&key) {
+                Some(hit) => Ok(hit),
+                None => Err(e),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Merged serving statistics — the same [`ServeStats`] shape a
+    /// [`ServeEngine`](crate::ServeEngine) reports (session counters are zero: sessions live
+    /// on the single-engine surface).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            result_cache: self.results.stats(),
+            view_cache: self.caches.view_stats(),
+            score_memo: self.caches.score_stats(),
+            cached_views: self.caches.cached_views(),
+            sessions_opened: 0,
+            sessions_active: 0,
+            interactions: 0,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            partial_results: self.partial_results.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed) as usize,
+        }
+    }
+
+    /// Per-shard health counters, indexed by shard id.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|c| ShardStats {
+                legs: c.legs.load(Ordering::Relaxed),
+                failed: c.failed.load(Ordering::Relaxed),
+                partial: c.partial.load(Ordering::Relaxed),
+                views: c.views.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeEngine;
+    use ver_common::value::Value;
+    use ver_core::VerConfig;
+    use ver_qbe::ExampleQuery;
+    use ver_store::table::TableBuilder;
+
+    fn catalog() -> TableCatalog {
+        let mut cat = TableCatalog::new();
+        let states: Vec<String> = (0..40).map(|i| format!("st{i}")).collect();
+        let mut b = TableBuilder::new("airports", &["iata", "state"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(format!("AP{i}")), Value::text(s.clone())])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        let mut b = TableBuilder::new("state_pop", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(1000 + i as i64)])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        let mut b = TableBuilder::new("state_pop_old", &["state", "pop"]);
+        for (i, s) in states.iter().enumerate() {
+            b.push_row(vec![Value::text(s.clone()), Value::Int(900 + i as i64)])
+                .unwrap();
+        }
+        cat.add_table(b.build()).unwrap();
+        cat
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            pipeline: VerConfig::fast(),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn spec() -> ViewSpec {
+        ViewSpec::Qbe(ExampleQuery::from_rows(&[vec!["st1", "1001"], vec!["st2", "1002"]]).unwrap())
+    }
+
+    #[test]
+    fn sharded_engine_matches_single_engine_for_every_shard_count() {
+        let single = ServeEngine::build(catalog(), config()).unwrap();
+        let base = single.query(&spec()).unwrap();
+        for count in [1usize, 2, 4] {
+            let sharded = ShardedEngine::build(catalog(), config(), count).unwrap();
+            assert_eq!(sharded.shard_count(), count);
+            let out = sharded.query(&spec()).unwrap();
+            assert!(!out.partial, "count={count}");
+            assert_eq!(out.ranked, base.ranked, "count={count}");
+            assert_eq!(out.views.len(), base.views.len());
+            for (a, b) in out.views.iter().zip(&base.views) {
+                assert_eq!(a.id, b.id, "count={count}");
+                assert!(a.same_contents(b), "count={count}: {} differs", a.id);
+            }
+            // Every shard ran exactly one leg, none failed, and the legs'
+            // contributions partition the merged output.
+            let per_shard = sharded.shard_stats();
+            assert_eq!(per_shard.len(), count);
+            assert!(per_shard.iter().all(|s| s.legs == 1 && s.failed == 0));
+            let contributed: u64 = per_shard.iter().map(|s| s.views).sum();
+            assert_eq!(contributed as usize, base.views.len(), "count={count}");
+        }
+    }
+
+    #[test]
+    fn result_cache_and_admission_behave_like_the_single_engine() {
+        let engine = ShardedEngine::build(catalog(), config(), 2).unwrap();
+        let a = engine.query(&spec()).unwrap();
+        let b = engine.query(&spec()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second query must alias the first");
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.result_cache.hits, 1);
+        // The cache hit dispatched no new scatter legs.
+        assert!(engine.shard_stats().iter().all(|s| s.legs == 1));
+
+        // Admission: claim the only slot, the next miss is rejected.
+        let gated = ShardedEngine::build(catalog(), config().with_max_in_flight(1), 2).unwrap();
+        let permit = gated.admit().unwrap();
+        assert!(matches!(gated.query(&spec()), Err(VerError::Overloaded(_))));
+        assert_eq!(gated.stats().rejected, 1);
+        drop(permit);
+        assert!(!gated.query(&spec()).unwrap().views.is_empty());
+        assert_eq!(gated.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn expired_budget_degrades_partial_and_uncached_across_shards() {
+        let engine = ShardedEngine::build(catalog(), config(), 2).unwrap();
+        let exhausted = QueryBudget::none().with_timeout(std::time::Duration::ZERO);
+        let partial = engine.query_with_budget(&spec(), &exhausted).unwrap();
+        assert!(partial.partial);
+        assert!(partial.views.is_empty());
+        assert_eq!(engine.stats().partial_results, 1);
+        assert!(engine.shard_stats().iter().all(|s| s.partial == 1));
+        // Not cached: the next unbudgeted query computes the full answer.
+        let full = engine.query(&spec()).unwrap();
+        assert!(!full.partial);
+        assert!(!full.views.is_empty());
+        assert_eq!(engine.stats().result_cache.hits, 0);
+    }
+
+    #[test]
+    fn warm_start_from_shard_artifacts_answers_identically() {
+        let dir = std::env::temp_dir().join(format!("ver_sharded_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cold = ShardedEngine::build(catalog(), config(), 3).unwrap();
+        let paths = cold.save_shards(&dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        let merged = ver_index::shard::load_sharded_index(&dir, 3).unwrap();
+        assert!(merged.same_contents(cold.index_shared().as_ref()));
+        let warm = ShardedEngine::warm_start(cold.catalog_shared(), Arc::new(merged), config(), 3)
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let a = cold.query(&spec()).unwrap();
+        let b = warm.query(&spec()).unwrap();
+        assert_eq!(a.ranked, b.ranked);
+        for (va, vb) in a.views.iter().zip(&b.views) {
+            assert!(va.same_contents(vb));
+        }
+    }
+
+    #[test]
+    fn shard_knob_parses_like_the_thread_knob() {
+        assert_eq!(parse_shards("4"), Some(4));
+        assert_eq!(parse_shards(" 2 "), Some(2));
+        assert_eq!(parse_shards("1"), Some(1));
+        assert_eq!(parse_shards("0"), None, "zero shards is malformed");
+        assert_eq!(parse_shards("-1"), None);
+        assert_eq!(parse_shards("two"), None);
+        assert_eq!(parse_shards(""), None);
+        // The process default is in range regardless of the environment.
+        assert!(default_shards() >= 1);
+    }
+}

@@ -252,6 +252,82 @@ fn slow_stage_under_deadline_degrades_instead_of_hanging() {
 }
 
 #[test]
+fn shard_panic_degrades_the_gather_to_partial_never_an_error() {
+    let _g = guard();
+    fault::reset();
+    let (name, spec) = &workload()[0];
+
+    // Baseline: the sharded engine answers this spec completely, and
+    // bit-identically to the single-engine run (invariant 11).
+    let single = engine().query(spec).expect("single-engine baseline");
+    let sharded =
+        ver_serve::ShardedEngine::warm_start(catalog(), index(), ServeConfig::default(), 2)
+            .expect("sharded warm start");
+    let clean = sharded.query(spec).expect("clean sharded query");
+    assert!(!clean.partial);
+    let expected = render(name, &clean);
+    assert_eq!(expected, render(name, &single), "sharded != single engine");
+
+    // One whole scatter leg panics (the fault point sits before the
+    // per-candidate isolation). The gather drops that shard and returns
+    // the healthy shards' views, flagged partial — never an error.
+    let sharded =
+        ver_serve::ShardedEngine::warm_start(catalog(), index(), ServeConfig::default(), 2)
+            .expect("sharded warm start");
+    fault::arm_times(points::SEARCH_SHARD, FaultKind::Panic, 1);
+    let degraded = sharded
+        .query(spec)
+        .expect("a panicked shard must not fail the query");
+    assert!(
+        degraded.partial,
+        "dropped shard must flag the merge partial"
+    );
+    assert!(
+        degraded.views.len() <= clean.views.len(),
+        "a dropped shard cannot add views"
+    );
+    assert_eq!(sharded.stats().partial_results, 1);
+    let failed_legs: u64 = sharded.shard_stats().iter().map(|s| s.failed).sum();
+    assert_eq!(failed_legs, 1, "exactly one leg was dropped");
+    fault::reset();
+
+    // Partial results are never cached: the retry recomputes completely
+    // and matches the clean run byte-for-byte.
+    let retry = sharded.query(spec).expect("retry");
+    assert!(!retry.partial, "fault cleared, retry must be complete");
+    assert_eq!(render(name, &retry), expected);
+    assert_eq!(sharded.stats().result_cache.hits, 0, "partial not cached");
+}
+
+#[test]
+fn shard_deadline_trips_degrade_the_gather_to_partial() {
+    let _g = guard();
+    fault::reset();
+    let (_, spec) = &workload()[0];
+    let sharded =
+        ver_serve::ShardedEngine::warm_start(catalog(), index(), ServeConfig::default(), 2)
+            .expect("sharded warm start");
+
+    // Every candidate score stalls 25ms against a 5ms budget. Both legs
+    // race the same absolute deadline, trip it, and degrade inside their
+    // shards; the merge is partial, the query never hangs or errors.
+    fault::arm(points::SEARCH_SCORE, FaultKind::Slow(25));
+    let budget = QueryBudget::none().with_timeout(Duration::from_millis(5));
+    let result = sharded
+        .query_with_budget(spec, &budget)
+        .expect("deadline exhaustion must degrade, not error");
+    assert!(result.partial, "deadline-starved scatter must be partial");
+    fault::reset();
+
+    // Unbudgeted retry: complete, and only now cached.
+    let retry = sharded.query(spec).expect("retry");
+    assert!(!retry.partial);
+    let stats = sharded.stats();
+    assert_eq!(stats.partial_results, 1);
+    assert_eq!(stats.result_cache.hits, 0, "partial result was not cached");
+}
+
+#[test]
 fn fault_free_run_through_the_harness_matches_the_golden_snapshot() {
     // Determinism invariant 10: with the harness compiled in but nothing
     // armed, serving output is bit-identical to the pre-harness golden

@@ -163,6 +163,67 @@ fn online_path_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn sharded_scatter_is_identical_across_shard_and_thread_counts() {
+    // Invariant 11: scattering a query over N logical shards and merging
+    // through the content-based rank order reproduces the single-engine
+    // result bit-for-bit — for every shard count, at every thread count,
+    // and through the shard-index partition/merge roundtrip.
+    let cat = corpus();
+    let gts = wdc_ground_truths(&cat).expect("wdc ground truths");
+    let build = |threads: usize| {
+        Ver::build(cat.clone(), VerConfig::default().with_threads(threads)).expect("build")
+    };
+    let seq = build(1);
+    let auto = build(0);
+
+    // The index partition itself roundtrips on this corpus too.
+    for count in [2usize, 4] {
+        let shards = ver_index::partition_index(seq.index(), count);
+        let merged = ver_index::merge_shards(&shards).expect("merge");
+        assert!(
+            merged.same_contents(seq.index()),
+            "index partition/merge diverged at {count} shards"
+        );
+    }
+
+    let budget = ver_common::budget::QueryBudget::none();
+    let mut compared = 0;
+    for (qi, gt) in gts.iter().enumerate().take(4) {
+        let Ok(query) = generate_noisy_query(&cat, gt, NoiseLevel::Zero, 3, 7 + qi as u64) else {
+            continue;
+        };
+        let spec = ViewSpec::Qbe(query);
+        let single = seq.run(&spec).expect("single-engine run");
+        for count in [1usize, 2, 4] {
+            let sharded = seq
+                .run_sharded(&spec, None, &budget, count)
+                .expect("sharded run");
+            assert!(!sharded.partial, "{}: shards={count} partial", gt.name);
+            assert_same_result(
+                &sharded,
+                &single,
+                &format!("{} shards={count} vs single", gt.name),
+            );
+            let sharded_auto = auto
+                .run_sharded(&spec, None, &budget, count)
+                .expect("sharded run, auto threads");
+            assert_same_result(
+                &sharded_auto,
+                &single,
+                &format!("{} shards={count} threads=auto vs single", gt.name),
+            );
+        }
+        if !single.views.is_empty() {
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 2,
+        "shard determinism check needs non-trivial queries, got {compared}"
+    );
+}
+
+#[test]
 fn dag_materialization_is_identical_to_independent_execution() {
     // Invariant 9: the shared sub-join DAG executor (the default) and the
     // independent per-candidate executor produce bit-identical results —
