@@ -1,0 +1,280 @@
+//! `exp_load_bench` — the network-serving perf datapoint (`BENCH_9.json`).
+//!
+//! Closed-loop load over a live `verd` server: N client threads, each
+//! with its own TCP connection, each issuing M requests back-to-back and
+//! recording per-request wall latency. Three traffic shapes:
+//!
+//! * **hot_cache** — a pre-warmed workload replayed; every query is a
+//!   server-side result-LRU hit, so this measures the wire itself
+//!   (framing + codec + socket) plus result encoding;
+//! * **mixed** — 50% warm hits, 50% never-seen-before keyword specs that
+//!   run the full pipeline server-side (result-cache misses);
+//! * **paginated** — the warm workload fetched at a small page size, so
+//!   every query costs one head + several `FetchPage` round trips and
+//!   exercises the server-side cursor table.
+//!
+//! Reported per scenario: QPS and p50/p95/p99 latency. The run also
+//! asserts invariant 12 in-line: a paginated reassembly must equal the
+//! single-shot fetch of the same query, and the load run must finish
+//! with zero protocol errors and zero dropped connections.
+//!
+//! ```text
+//! cargo run --release --bin exp_load_bench                 # full corpus → BENCH_9.json
+//! cargo run --release --bin exp_load_bench -- --smoke      # reduced corpus (CI)
+//! cargo run --release --bin exp_load_bench -- --out p.json # custom output path
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use ver_bench::hardware_json;
+use ver_core::VerConfig;
+use ver_datagen::wdc::{generate_wdc, WdcConfig};
+use ver_datagen::workload::{generate_workload, wdc_ground_truths};
+use ver_index::{build_index, IndexConfig};
+use ver_qbe::ViewSpec;
+use ver_serve::net::{Backend, Client, NetConfig, Server, ServerHandle};
+use ver_serve::{ServeConfig, ServeEngine};
+
+/// Latency percentile over a sorted sample, in milliseconds.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    requests: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Run one closed-loop scenario: `clients` threads, each issuing every
+/// request `make(client_idx, i)` yields, measuring per-request latency.
+fn run_scenario(
+    name: &'static str,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    per_client: usize,
+    page_size: u32,
+    make: impl Fn(usize, usize) -> ViewSpec + Sync,
+) -> ScenarioResult {
+    let wall = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let make = &make;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let spec = make(c, i);
+                        let t = Instant::now();
+                        let result = client.query(&spec, page_size, 0).expect("wire query");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        std::hint::black_box(&result);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies.len();
+    ScenarioResult {
+        name,
+        requests,
+        wall_ms,
+        qps: requests as f64 / (wall_ms / 1e3),
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+    }
+}
+
+fn spawn_server(engine: ServeEngine) -> ServerHandle {
+    let config = NetConfig {
+        addr: "127.0.0.1:0".parse().expect("addr"),
+        max_conns: 0, // the bench saturates; admission is the engine's job
+        ..NetConfig::default()
+    };
+    Server::bind(Backend::Single(Arc::new(engine)), config)
+        .expect("bind")
+        .spawn()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
+    let hw = ver_common::pool::resolve_threads(0);
+    let (n_tables, per_gt) = if smoke { (40, 1) } else { (120, 2) };
+    let clients = 4usize;
+    let per_client = if smoke { 20 } else { 120 };
+    let page_size = 16u32;
+
+    eprintln!("exp_load_bench: hardware_threads={hw} smoke={smoke} clients={clients} per_client={per_client}");
+
+    // Corpus + workload, same generators as the in-process serving bench.
+    let catalog = Arc::new(
+        generate_wdc(&WdcConfig {
+            n_tables,
+            ..Default::default()
+        })
+        .expect("wdc generation"),
+    );
+    let gts = wdc_ground_truths(&catalog).expect("ground truths");
+    let workload =
+        generate_workload(&catalog, &gts, per_gt, 3, 0x10AD).expect("workload generation");
+    let specs: Vec<ViewSpec> = workload
+        .iter()
+        .map(|w| ViewSpec::Qbe(w.query.clone()))
+        .collect();
+    let index = Arc::new(build_index(&catalog, IndexConfig::default()).expect("index build"));
+
+    let engine = ServeEngine::warm_start(
+        Arc::clone(&catalog),
+        Arc::clone(&index),
+        ServeConfig {
+            pipeline: VerConfig::default(),
+            view_cache_capacity: 16_384,
+            // The hot workload must fit the result LRU, or "hot_cache"
+            // silently measures pipeline re-runs.
+            result_cache_capacity: specs.len().max(64),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("warm start");
+    let handle = spawn_server(engine);
+    let addr = handle.addr();
+
+    // Pre-warm every workload spec through the wire, and pin invariant
+    // 12 while we're here: paginated reassembly ≡ single-shot fetch.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        for spec in &specs {
+            let whole = client.query(spec, 0, 0).expect("pre-warm query");
+            let paged = client.query(spec, page_size, 0).expect("paginated query");
+            assert_eq!(
+                paged, whole,
+                "paginated reassembly diverged from the single-shot result"
+            );
+        }
+    }
+
+    // Scenario 1: pure result-cache hits.
+    let hot = run_scenario("hot_cache", addr, clients, per_client, 0, |c, i| {
+        specs[(i + c * specs.len() / clients) % specs.len()].clone()
+    });
+    eprintln!(
+        "  hot_cache: {} req, {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
+        hot.requests, hot.qps, hot.p50_ms, hot.p99_ms
+    );
+
+    // Scenario 2: 50% hits, 50% fresh keyword specs (pipeline misses —
+    // every term is new, so the result LRU can never have seen it).
+    let mixed = run_scenario("mixed", addr, clients, per_client, 0, |c, i| {
+        if i % 2 == 0 {
+            specs[(i + c * specs.len() / clients) % specs.len()].clone()
+        } else {
+            ViewSpec::Keyword(vec![format!("nonexistent_term_{c}_{i}")])
+        }
+    });
+    eprintln!(
+        "  mixed: {} req, {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
+        mixed.requests, mixed.qps, mixed.p50_ms, mixed.p99_ms
+    );
+
+    // Scenario 3: warm workload, paginated delivery.
+    let paginated = run_scenario("paginated", addr, clients, per_client, page_size, |c, i| {
+        specs[(i + c * specs.len() / clients) % specs.len()].clone()
+    });
+    eprintln!(
+        "  paginated: {} req, {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
+        paginated.requests, paginated.qps, paginated.p50_ms, paginated.p99_ms
+    );
+
+    // Health of the run: the load must not have tripped the failure paths.
+    let (serve_stats, net_stats) = {
+        let mut client = Client::connect(addr).expect("connect");
+        let stats = client.stats().expect("stats");
+        client.shutdown().expect("shutdown");
+        (stats.serve, stats.net)
+    };
+    assert_eq!(
+        net_stats.protocol_errors, 0,
+        "clean load run: {net_stats:?}"
+    );
+    assert_eq!(net_stats.dropped_conns, 0, "clean load run: {net_stats:?}");
+    assert_eq!(net_stats.handler_panics, 0, "clean load run: {net_stats:?}");
+    assert!(
+        net_stats.pages_served > 0,
+        "the paginated scenario must serve follow-up pages"
+    );
+
+    let scenarios = [hot, mixed, paginated];
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"exp_load_bench\",");
+    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"hardware\": {},", hardware_json());
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"name\": \"WDC\", \"tables\": {}, \"columns\": {}, \"rows\": {}}},",
+        catalog.table_count(),
+        catalog.column_count(),
+        catalog.total_rows()
+    );
+    let _ = writeln!(json, "  \"workload_queries\": {},", specs.len());
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"requests_per_client\": {per_client},");
+    let _ = writeln!(json, "  \"page_size\": {page_size},");
+    json.push_str("  \"scenarios\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"requests\": {}, \"wall_ms\": {:.3}, \"qps\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}",
+            s.name,
+            s.requests,
+            s.wall_ms,
+            s.qps,
+            s.p50_ms,
+            s.p95_ms,
+            s.p99_ms,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"server\": {{\"queries\": {}, \"result_cache_hits\": {}, \"frames_in\": {}, \"frames_out\": {}, \"pages_served\": {}, \"accepted_conns\": {}}}",
+        serve_stats.queries,
+        serve_stats.result_cache.hits,
+        net_stats.frames_in,
+        net_stats.frames_out,
+        net_stats.pages_served,
+        net_stats.accepted
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

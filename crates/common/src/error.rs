@@ -39,6 +39,11 @@ pub enum VerError {
     /// `ver_common::pool` and confined to the item it was processing. The
     /// process, the engine, and its caches all remain usable.
     Internal(String),
+    /// A malformed wire frame or payload on the network serving path: bad
+    /// preamble, oversized or truncated frame, checksum mismatch, unknown
+    /// tag. Always fatal to the *connection*, never to the server — the
+    /// peer cannot be trusted to stay in sync after a framing error.
+    Protocol(String),
 }
 
 impl fmt::Display for VerError {
@@ -55,6 +60,52 @@ impl fmt::Display for VerError {
             VerError::Overloaded(m) => write!(f, "overloaded: {m}"),
             VerError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             VerError::Internal(m) => write!(f, "internal error: {m}"),
+            VerError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl VerError {
+    /// Stable numeric status code for the network serving protocol
+    /// (`ver_serve::net`). `0` is reserved for "ok" and never produced
+    /// here. The mapping is part of the wire format — reassigning a code
+    /// is a protocol break, so new variants must take fresh numbers.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            VerError::NotFound(_) => 1,
+            VerError::InvalidData(_) => 2,
+            VerError::InvalidQuery(_) => 3,
+            VerError::IndexError(_) => 4,
+            VerError::JoinError(_) => 5,
+            VerError::Config(_) => 6,
+            VerError::Io(_) => 7,
+            VerError::Serde(_) => 8,
+            VerError::Overloaded(_) => 9,
+            VerError::DeadlineExceeded(_) => 10,
+            VerError::Internal(_) => 11,
+            VerError::Protocol(_) => 12,
+        }
+    }
+
+    /// Reconstruct an error from its wire status code and message — the
+    /// inverse of [`VerError::wire_code`]. An unknown code (a newer server
+    /// talking to an older client) degrades to [`VerError::Internal`] with
+    /// the code preserved in the message rather than failing to decode.
+    pub fn from_wire(code: u16, message: String) -> VerError {
+        match code {
+            1 => VerError::NotFound(message),
+            2 => VerError::InvalidData(message),
+            3 => VerError::InvalidQuery(message),
+            4 => VerError::IndexError(message),
+            5 => VerError::JoinError(message),
+            6 => VerError::Config(message),
+            7 => VerError::Io(message),
+            8 => VerError::Serde(message),
+            9 => VerError::Overloaded(message),
+            10 => VerError::DeadlineExceeded(message),
+            11 => VerError::Internal(message),
+            12 => VerError::Protocol(message),
+            other => VerError::Internal(format!("unknown wire status {other}: {message}")),
         }
     }
 }
@@ -91,5 +142,41 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(VerError::Config("x".into()), VerError::Config("x".into()));
         assert_ne!(VerError::Config("x".into()), VerError::Io("x".into()));
+    }
+
+    #[test]
+    fn wire_codes_round_trip_every_variant() {
+        let variants = [
+            VerError::NotFound("m".into()),
+            VerError::InvalidData("m".into()),
+            VerError::InvalidQuery("m".into()),
+            VerError::IndexError("m".into()),
+            VerError::JoinError("m".into()),
+            VerError::Config("m".into()),
+            VerError::Io("m".into()),
+            VerError::Serde("m".into()),
+            VerError::Overloaded("m".into()),
+            VerError::DeadlineExceeded("m".into()),
+            VerError::Internal("m".into()),
+            VerError::Protocol("m".into()),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in variants {
+            let code = e.wire_code();
+            assert_ne!(code, 0, "0 is reserved for ok");
+            assert!(seen.insert(code), "duplicate wire code {code}");
+            assert_eq!(VerError::from_wire(code, "m".into()), e);
+        }
+    }
+
+    #[test]
+    fn unknown_wire_code_degrades_to_internal() {
+        match VerError::from_wire(9999, "later".into()) {
+            VerError::Internal(m) => {
+                assert!(m.contains("9999"));
+                assert!(m.contains("later"));
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
     }
 }

@@ -54,6 +54,14 @@ pub mod points {
     /// Entry of one scatter leg of the sharded search, before any
     /// per-candidate isolation — arming `Panic` here kills a whole shard.
     pub const SEARCH_SHARD: &str = "search.shard";
+    /// A freshly accepted network connection, hit in its handler thread
+    /// before the first read — an injected fault drops that connection
+    /// only, the accept loop keeps serving.
+    pub const NET_ACCEPT: &str = "net.accept";
+    /// Before reading one request frame off a network connection.
+    pub const NET_READ: &str = "net.read";
+    /// Before writing one response frame to a network connection.
+    pub const NET_WRITE: &str = "net.write";
 }
 
 /// What an armed injection point does when hit.

@@ -1,0 +1,268 @@
+//! `verd` — the Ver view-discovery daemon.
+//!
+//! Loads a CSV directory into a catalog, builds (or warm-starts from) a
+//! discovery index, and serves the `verd` binary protocol on a TCP
+//! socket until a `Shutdown` request arrives.
+//!
+//! ```text
+//! verd --data DIR [--index FILE] [--save-index] [--addr HOST:PORT]
+//!      [--max-conns N] [--shards N] [--page-size N] [--fast]
+//! ```
+//!
+//! * `--data DIR` — directory of `.csv` files (header row expected),
+//!   loaded in sorted filename order so table ids are deterministic
+//!   across runs
+//! * `--index FILE` — warm-start from this persisted index if it
+//!   exists; otherwise cold-build
+//! * `--save-index` — after a cold build, persist the index to the
+//!   `--index` path for the next start
+//! * `--addr HOST:PORT` — bind address (default: `VER_ADDR` knob, then
+//!   127.0.0.1:7117; use port 0 for ephemeral)
+//! * `--max-conns N` — connection cap, 0 = uncapped (default:
+//!   `VER_MAX_CONNS` knob, then 64)
+//! * `--shards N` — index shards: 1 = single engine, 0 = auto (the
+//!   `VER_SHARDS` knob), >1 = scatter/gather
+//! * `--page-size N` — server-side default page size for queries that
+//!   don't request one (0 = whole result inline)
+//! * `--fast` — fast pipeline profile (smaller sketches)
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ver_core::VerConfig;
+use ver_serve::net::{config, Backend, NetConfig, Server};
+use ver_serve::{ServeConfig, ServeEngine, ShardedEngine};
+use ver_store::catalog::TableCatalog;
+
+struct Args {
+    data: Option<String>,
+    index: Option<String>,
+    save_index: bool,
+    addr: Option<String>,
+    max_conns: Option<usize>,
+    shards: usize,
+    page_size: u32,
+    fast: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: verd --data DIR [--index FILE] [--save-index] [--addr HOST:PORT] \
+         [--max-conns N] [--shards N] [--page-size N] [--fast]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        data: None,
+        index: None,
+        save_index: false,
+        addr: None,
+        max_conns: None,
+        shards: 1,
+        page_size: 0,
+        fast: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("verd: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--data" => args.data = Some(value("--data")),
+            "--index" => args.index = Some(value("--index")),
+            "--save-index" => args.save_index = true,
+            "--addr" => args.addr = Some(value("--addr")),
+            "--max-conns" => {
+                let raw = value("--max-conns");
+                args.max_conns = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("verd: bad --max-conns {raw:?}");
+                    usage()
+                }))
+            }
+            "--shards" => {
+                let raw = value("--shards");
+                args.shards = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("verd: bad --shards {raw:?}");
+                    usage()
+                })
+            }
+            "--page-size" => {
+                let raw = value("--page-size");
+                args.page_size = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("verd: bad --page-size {raw:?}");
+                    usage()
+                })
+            }
+            "--fast" => args.fast = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("verd: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// Load every `*.csv` under `dir` (sorted by filename, so `TableId`
+/// assignment — and therefore every query result — is deterministic
+/// across starts).
+fn load_catalog(dir: &str) -> ver_common::error::Result<TableCatalog> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(ver_common::error::VerError::InvalidData(format!(
+            "no .csv files under {dir}"
+        )));
+    }
+    let mut catalog = TableCatalog::new();
+    for path in paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("table")
+            .to_string();
+        let file = std::fs::File::open(&path)?;
+        let table = ver_store::csv::read_csv(&name, std::io::BufReader::new(file), true)?;
+        catalog.add_table(table)?;
+    }
+    Ok(catalog)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some(data) = args.data.as_deref() else {
+        eprintln!("verd: --data is required");
+        usage();
+    };
+
+    let catalog = match load_catalog(data) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("verd: loading {data}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "verd: catalog loaded: {} tables, {} columns",
+        catalog.table_count(),
+        catalog.column_count()
+    );
+
+    let serve_config = ServeConfig {
+        pipeline: if args.fast {
+            VerConfig::fast()
+        } else {
+            VerConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+
+    let index_path = args.index.as_deref().map(std::path::Path::new);
+    let warm = index_path.is_some_and(|p| p.exists());
+
+    let backend = if args.shards == 1 {
+        let engine = if warm {
+            ServeEngine::open(Arc::new(catalog), index_path.unwrap(), serve_config)
+        } else {
+            ServeEngine::build(catalog, serve_config)
+        };
+        match engine {
+            Ok(engine) => {
+                if !warm && args.save_index {
+                    if let Some(p) = index_path {
+                        match engine.save_index(p) {
+                            Ok(()) => eprintln!("verd: index saved to {}", p.display()),
+                            Err(e) => eprintln!("verd: saving index: {e} (serving anyway)"),
+                        }
+                    }
+                }
+                Backend::Single(Arc::new(engine))
+            }
+            Err(e) => {
+                eprintln!("verd: building engine: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let engine = if warm {
+            ShardedEngine::open(
+                Arc::new(catalog),
+                index_path.unwrap(),
+                serve_config,
+                args.shards,
+            )
+        } else {
+            ShardedEngine::build(catalog, serve_config, args.shards)
+        };
+        match engine {
+            Ok(engine) => {
+                if !warm && args.save_index {
+                    if let Some(p) = index_path {
+                        match engine.save_index(p) {
+                            Ok(()) => eprintln!("verd: index saved to {}", p.display()),
+                            Err(e) => eprintln!("verd: saving index: {e} (serving anyway)"),
+                        }
+                    }
+                }
+                eprintln!("verd: sharded backend: {} shards", engine.shard_count());
+                Backend::Sharded(Arc::new(engine))
+            }
+            Err(e) => {
+                eprintln!("verd: building sharded engine: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    eprintln!(
+        "verd: engine ready ({})",
+        if warm { "warm start" } else { "cold build" }
+    );
+
+    let mut net = NetConfig::default();
+    if let Some(raw) = args.addr.as_deref() {
+        match config::parse_addr(raw) {
+            Some(a) => net.addr = a,
+            None => {
+                eprintln!("verd: bad --addr {raw:?}");
+                usage();
+            }
+        }
+    }
+    if let Some(n) = args.max_conns {
+        net.max_conns = n;
+    }
+    net.default_page_size = args.page_size;
+
+    let server = match Server::bind(backend, net) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("verd: bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // stdout, and flushed: harnesses parse this line for the ephemeral port.
+    println!("verd listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    match server.run() {
+        Ok(()) => {
+            eprintln!("verd: shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("verd: serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

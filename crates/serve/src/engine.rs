@@ -79,7 +79,7 @@ impl ServeConfig {
 }
 
 /// Point-in-time serving statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Queries admitted (cache hits included).
     pub queries: u64,

@@ -68,6 +68,7 @@
 //! anything on the query path.
 
 pub mod engine;
+pub mod net;
 pub mod session;
 pub mod sharded;
 

@@ -1,0 +1,164 @@
+//! A blocking client for the `verd` protocol — the `DiscoveryView`
+//! counterpart to the server: it can take a whole result in one frame or
+//! fetch it incrementally over a server-side cursor, and either way
+//! reassembles the exact full [`WireResult`].
+//!
+//! One `Client` wraps one connection and is intentionally *not* `Sync`:
+//! the protocol is strictly request→response per connection, so
+//! concurrent callers should each open their own (connections are cheap;
+//! the server is thread-per-connection).
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ver_common::error::{Result, VerError};
+use ver_qbe::ViewSpec;
+
+use super::frame::{read_frame, write_frame, ReadOutcome};
+use super::wire::{HealthReply, Page, QueryHead, Request, Response, StatsReply, WireResult};
+
+/// Blocking `verd` client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with 30-second read/write timeouts.
+    pub fn connect(addr: SocketAddr) -> Result<Client> {
+        Client::connect_with_timeouts(addr, Duration::from_secs(30), Duration::from_secs(30))
+    }
+
+    /// Connect with explicit socket timeouts (zero = no timeout).
+    pub fn connect_with_timeouts(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        if !read_timeout.is_zero() {
+            stream.set_read_timeout(Some(read_timeout))?;
+        }
+        if !write_timeout.is_zero() {
+            stream.set_write_timeout(Some(write_timeout))?;
+        }
+        Ok(Client { stream })
+    }
+
+    /// One request→response exchange. A server-sent `Error` frame comes
+    /// back as the typed [`VerError`] it encodes.
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            ReadOutcome::Eof => Err(VerError::Protocol(
+                "server closed the connection mid-exchange".into(),
+            )),
+            ReadOutcome::Frame(payload) => match Response::decode(&payload)? {
+                Response::Error { code, message } => Err(VerError::from_wire(code, message)),
+                resp => Ok(resp),
+            },
+        }
+    }
+
+    /// Run a query and return the response head as-is: first page of
+    /// views plus the cursor (if the server paginated). Most callers
+    /// want [`Client::query`] instead.
+    pub fn query_head(
+        &mut self,
+        spec: &ViewSpec,
+        page_size: u32,
+        timeout_ms: u64,
+    ) -> Result<QueryHead> {
+        match self.call(&Request::Query {
+            spec: spec.clone(),
+            page_size,
+            timeout_ms,
+        })? {
+            Response::Query(head) => Ok(head),
+            other => Err(unexpected("Query", &other)),
+        }
+    }
+
+    /// Fetch one follow-up page from a cursor.
+    pub fn fetch_page(&mut self, cursor: u64, page: u32) -> Result<Page> {
+        match self.call(&Request::FetchPage { cursor, page })? {
+            Response::Page(p) => Ok(p),
+            other => Err(unexpected("Page", &other)),
+        }
+    }
+
+    /// Run a query and reassemble the complete result, fetching every
+    /// follow-up page if the server paginated. `page_size == 0` defers
+    /// to the server's default; `timeout_ms == 0` means no deadline.
+    pub fn query(
+        &mut self,
+        spec: &ViewSpec,
+        page_size: u32,
+        timeout_ms: u64,
+    ) -> Result<WireResult> {
+        let head = self.query_head(spec, page_size, timeout_ms)?;
+        let total = head.total_views as usize;
+        let mut result = WireResult {
+            partial: head.partial,
+            stats: head.stats,
+            survivors_c2: head.survivors_c2,
+            ranked: head.ranked,
+            views: head.views,
+        };
+        if head.cursor != 0 {
+            let mut page = 1u32;
+            while result.views.len() < total {
+                let p = self.fetch_page(head.cursor, page)?;
+                let done = p.last;
+                result.views.extend(p.views);
+                page += 1;
+                if done {
+                    break;
+                }
+            }
+        }
+        if result.views.len() != total {
+            return Err(VerError::Protocol(format!(
+                "paginated reassembly produced {} views, head promised {total}",
+                result.views.len()
+            )));
+        }
+        Ok(result)
+    }
+
+    /// Engine + network counters.
+    pub fn stats(&mut self) -> Result<StatsReply> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Liveness / deployment-shape probe.
+    pub fn health(&mut self) -> Result<HealthReply> {
+        match self.call(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            other => Err(unexpected("Health", &other)),
+        }
+    }
+
+    /// Ask the server to shut down; returns once the ack arrives.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> VerError {
+    let got = match got {
+        Response::Query(_) => "Query",
+        Response::Page(_) => "Page",
+        Response::Stats(_) => "Stats",
+        Response::Health(_) => "Health",
+        Response::ShutdownAck => "ShutdownAck",
+        Response::Error { .. } => "Error",
+    };
+    VerError::Protocol(format!("expected {wanted} response, got {got}"))
+}

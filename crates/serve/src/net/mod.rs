@@ -1,0 +1,39 @@
+//! Network front end for the serving layer: the `verd` protocol.
+//!
+//! Std-only by design (ROADMAP: no tokio, vendored deps only) — a
+//! [`TcpListener`](std::net::TcpListener) accept loop with one OS thread
+//! per connection, length-prefixed checksummed binary frames, and a
+//! blocking [`Client`]. The module tree:
+//!
+//! * [`frame`] — `VERNET\x01` framing: magic, u32 LE length, payload,
+//!   u64 LE checksum (the `ver-index::persist` conventions, on a socket).
+//! * [`wire`] — request/response codecs: `Query`, `FetchPage`, `Stats`,
+//!   `Health`, `Shutdown`; materialized views travel whole so clients
+//!   can verify invariant 12 (over-the-wire ≡ in-process) byte-for-byte.
+//! * [`config`] — [`NetConfig`] plus the `VER_ADDR` / `VER_MAX_CONNS`
+//!   knobs (warn-once-and-fall-back, like every other knob).
+//! * [`server`] — the accept loop, connection cap, timeouts, pagination
+//!   cursors, and [`NetStats`] counters behind the `verd` binary.
+//! * [`client`] — the blocking [`Client`] used by tests, benches, and
+//!   the load harness.
+//!
+//! Error surface on the wire: every [`VerError`](ver_common::error::VerError)
+//! maps to a stable status code ([`VerError::wire_code`](ver_common::error::VerError::wire_code)) in an `Error`
+//! frame; the client rebuilds the typed error. Malformed *frames* are
+//! [`VerError::Protocol`](ver_common::error::VerError::Protocol) and cost the sender its connection; malformed
+//! *payloads* inside a valid frame get a typed error reply and the
+//! connection survives.
+
+pub mod client;
+pub mod config;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use config::{default_addr, default_max_conns, NetConfig, DEFAULT_ADDR, DEFAULT_MAX_CONNS};
+pub use server::{Backend, Server, ServerHandle};
+pub use wire::{
+    HealthReply, NetStats, Page, QueryHead, Request, Response, StatsReply, WireResult,
+    WireSearchStats, WireView, PROTOCOL_VERSION,
+};

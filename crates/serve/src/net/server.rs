@@ -1,0 +1,523 @@
+//! The `verd` server core: a thread-per-connection accept loop over the
+//! framed protocol of [`super::frame`] / [`super::wire`].
+//!
+//! Deliberately std-only — `TcpListener` + OS threads, no async runtime
+//! (the ROADMAP's vendored-deps constraint). Each connection gets one
+//! thread that reads frames in a loop; the heavy lifting inside a query
+//! still fans out over `ver_common::pool` exactly as in-process callers
+//! do, so thread-per-connection costs one mostly-blocked thread per
+//! client, not one core.
+//!
+//! **Blast-radius contract** (mirrors the engine's): any single
+//! connection's failure — peer death mid-frame, protocol garbage, a
+//! tripped read/write timeout, even a panicking handler — ends *that
+//! connection only*. The accept loop, every other connection, and the
+//! engine keep going, and `NetStats` counts what happened. The
+//! socket-level chaos tests in `tests/chaos.rs` pin this through the
+//! `net.accept` / `net.read` / `net.write` fault points.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ver_common::budget::QueryBudget;
+use ver_common::error::{Result, VerError};
+use ver_common::fault::{self, points};
+use ver_common::fxhash::FxHashMap;
+use ver_core::QueryResult;
+use ver_qbe::ViewSpec;
+
+use super::config::NetConfig;
+use super::frame::{read_frame, write_frame, ReadOutcome};
+use super::wire::{
+    HealthReply, NetStats, Page, QueryHead, Request, Response, StatsReply, WireResult, WireView,
+    PROTOCOL_VERSION,
+};
+use crate::{ServeEngine, ServeStats, ShardedEngine};
+
+/// The engine a server fronts: a single [`ServeEngine`] or a
+/// [`ShardedEngine`] — same wire surface either way (scatter/gather is
+/// invisible to clients, as invariant 11 requires).
+#[derive(Clone)]
+pub enum Backend {
+    Single(Arc<ServeEngine>),
+    Sharded(Arc<ShardedEngine>),
+}
+
+impl Backend {
+    fn query_with_budget(&self, spec: &ViewSpec, budget: &QueryBudget) -> Result<Arc<QueryResult>> {
+        match self {
+            Backend::Single(e) => e.query_with_budget(spec, budget),
+            Backend::Sharded(e) => e.query_with_budget(spec, budget),
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        match self {
+            Backend::Single(e) => e.stats(),
+            Backend::Sharded(e) => e.stats(),
+        }
+    }
+
+    fn health(&self) -> (u64, u64, u32) {
+        let (catalog, shards) = match self {
+            Backend::Single(e) => (e.catalog_shared(), 1),
+            Backend::Sharded(e) => (e.catalog_shared(), e.shard_count() as u32),
+        };
+        (
+            catalog.table_count() as u64,
+            catalog.column_count() as u64,
+            shards,
+        )
+    }
+}
+
+/// Lifetime counters, lock-free on the hot path.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    rejected_conns: AtomicU64,
+    dropped_conns: AtomicU64,
+    protocol_errors: AtomicU64,
+    handler_panics: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_err: AtomicU64,
+    pages_served: AtomicU64,
+    cursors_evicted: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self, cursors_open: u64) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            rejected_conns: self.rejected_conns.load(Ordering::Relaxed),
+            dropped_conns: self.dropped_conns.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_err: self.queries_err.load(Ordering::Relaxed),
+            pages_served: self.pages_served.load(Ordering::Relaxed),
+            cursors_open,
+            cursors_evicted: self.cursors_evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One paginated result parked server-side between `FetchPage`s. The
+/// views are shared (`Arc`), so a cursor costs a map entry, not a copy
+/// of the result.
+struct CursorState {
+    views: Arc<Vec<WireView>>,
+    page_size: u32,
+}
+
+/// Open cursors, FIFO-evicted at `max_cursors` (a cursor leak from
+/// clients that never finish paging must not grow without bound).
+#[derive(Default)]
+struct CursorTable {
+    map: FxHashMap<u64, CursorState>,
+    order: std::collections::VecDeque<u64>,
+}
+
+struct Shared {
+    backend: Backend,
+    config: NetConfig,
+    counters: Counters,
+    cursors: Mutex<CursorTable>,
+    next_cursor: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+    /// Actual bound address (resolves `:0` ephemeral binds).
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn net_stats(&self) -> NetStats {
+        let open = self.cursors.lock().map(|t| t.map.len()).unwrap_or(0);
+        self.counters.snapshot(open as u64)
+    }
+
+    /// Set the shutdown flag and nudge the accept loop awake with a
+    /// throwaway connection (std has no selectable listener).
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server. [`Server::run`] serves on the
+/// calling thread; [`Server::spawn`] serves on a background thread and
+/// returns a [`ServerHandle`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `config.addr` (use port 0 for an ephemeral port — the real
+    /// address is available from [`Server::local_addr`]).
+    pub fn bind(backend: Backend, config: NetConfig) -> Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                backend,
+                config,
+                counters: Counters::default(),
+                cursors: Mutex::new(CursorTable::default()),
+                next_cursor: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+                addr,
+            }),
+        })
+    }
+
+    /// The address actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serve until a `Shutdown` request (or [`ServerHandle::stop`])
+    /// lands. Connection threads are detached; in-flight requests on
+    /// other connections finish writing, but no new connection is
+    /// accepted once the flag is up.
+    pub fn run(self) -> Result<()> {
+        let shared = self.shared;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+                Err(_) => continue,
+            };
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection itself
+            }
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            let cap = shared.config.max_conns;
+            if cap > 0 && shared.counters.active.load(Ordering::Relaxed) >= cap as u64 {
+                shared
+                    .counters
+                    .rejected_conns
+                    .fetch_add(1, Ordering::Relaxed);
+                reject_overloaded(stream, &shared.config);
+                continue;
+            }
+            shared.counters.active.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                // A panicking handler (or injected `net.*` panic) costs
+                // this connection, nothing else.
+                let result = catch_unwind(AssertUnwindSafe(|| serve_conn(&stream, &shared)));
+                if result.is_err() {
+                    shared
+                        .counters
+                        .handler_panics
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .dropped_conns
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+        Ok(())
+    }
+
+    /// Serve on a background thread; the handle stops (and joins) the
+    /// accept loop on demand and exposes live counters for tests.
+    pub fn spawn(self) -> ServerHandle {
+        let shared = Arc::clone(&self.shared);
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle {
+            shared,
+            join: Some(join),
+        }
+    }
+}
+
+/// Control handle for a spawned [`Server`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    join: Option<std::thread::JoinHandle<Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live network counters (the same snapshot `Stats` returns on the
+    /// wire).
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.net_stats()
+    }
+
+    /// Stop accepting and join the accept loop. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Tell an over-cap peer why it is being turned away — best-effort, with
+/// a short write timeout so a full socket cannot stall the accept loop.
+fn reject_overloaded(mut stream: TcpStream, config: &NetConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout.min(Duration::from_secs(1))));
+    let resp = Response::Error {
+        code: VerError::Overloaded(String::new()).wire_code(),
+        message: format!("connection cap ({}) reached", config.max_conns),
+    };
+    let _ = write_frame(&mut &stream, &resp.encode());
+    let _ = stream.flush();
+}
+
+/// Serve one connection until the peer closes, errors out, or asks for
+/// shutdown.
+fn serve_conn(stream: &TcpStream, shared: &Shared) {
+    let c = &shared.counters;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(nonzero(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(nonzero(shared.config.write_timeout));
+    if fault::hit(points::NET_ACCEPT).is_err() {
+        c.dropped_conns.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    loop {
+        if fault::hit(points::NET_READ).is_err() {
+            c.dropped_conns.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let payload = match read_frame(&mut &*stream) {
+            Ok(ReadOutcome::Eof) => return, // clean close between frames
+            Ok(ReadOutcome::Frame(p)) => {
+                c.frames_in.fetch_add(1, Ordering::Relaxed);
+                p
+            }
+            Err(VerError::Protocol(_)) => {
+                // Bad preamble / oversized length / checksum mismatch /
+                // death mid-frame: the stream can no longer be trusted
+                // to be frame-aligned. Best-effort error frame, then cut.
+                c.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                c.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: VerError::Protocol(String::new()).wire_code(),
+                    message: "malformed frame".into(),
+                };
+                let _ = write_frame(&mut &*stream, &resp.encode());
+                return;
+            }
+            Err(_) => {
+                // Socket error or read timeout.
+                c.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle_request(shared, req),
+            Err(e) => {
+                // The frame checksum passed, so framing is still aligned
+                // — report the typed error and keep the connection.
+                c.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&e)
+            }
+        };
+        let shutdown_after = matches!(response, Response::ShutdownAck);
+        if fault::hit(points::NET_WRITE).is_err() {
+            c.dropped_conns.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match write_frame(&mut &*stream, &response.encode()) {
+            Ok(()) => {
+                c.frames_out.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Write failure or tripped write timeout (slow-loris
+                // peer): this connection is done.
+                c.dropped_conns.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if shutdown_after {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+fn nonzero(d: Duration) -> Option<Duration> {
+    if d.is_zero() {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// Map a `VerError` onto a typed wire status frame. The message carries
+/// the error's rendered form minus the variant prefix the client will
+/// re-attach via `from_wire` → `Display`.
+fn error_response(e: &VerError) -> Response {
+    let rendered = e.to_string();
+    let message = match rendered.split_once(": ") {
+        Some((_prefix, m)) => m.to_string(),
+        None => rendered,
+    };
+    Response::Error {
+        code: e.wire_code(),
+        message,
+    }
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    let c = &shared.counters;
+    match req {
+        Request::Query {
+            spec,
+            page_size,
+            timeout_ms,
+        } => {
+            let budget = if timeout_ms == 0 {
+                QueryBudget::none()
+            } else {
+                QueryBudget::none().with_timeout(Duration::from_millis(timeout_ms))
+            };
+            match shared.backend.query_with_budget(&spec, &budget) {
+                Ok(result) => {
+                    c.queries_ok.fetch_add(1, Ordering::Relaxed);
+                    Response::Query(paginate(shared, &result, page_size))
+                }
+                Err(e) => {
+                    c.queries_err.fetch_add(1, Ordering::Relaxed);
+                    error_response(&e)
+                }
+            }
+        }
+        Request::FetchPage { cursor, page } => fetch_page(shared, cursor, page),
+        Request::Stats => Response::Stats(StatsReply {
+            serve: shared.backend.stats(),
+            net: shared.net_stats(),
+        }),
+        Request::Health => {
+            let (tables, columns, shards) = shared.backend.health();
+            Response::Health(HealthReply {
+                protocol_version: PROTOCOL_VERSION,
+                tables,
+                columns,
+                shards,
+                uptime_ms: shared.started.elapsed().as_millis() as u64,
+            })
+        }
+        Request::Shutdown => Response::ShutdownAck,
+    }
+}
+
+/// Split a result into a head (+ optional server-side cursor for the
+/// remaining pages).
+fn paginate(shared: &Shared, result: &QueryResult, requested_page_size: u32) -> QueryHead {
+    let wire = WireResult::from_query_result(result);
+    let page_size = if requested_page_size == 0 {
+        shared.config.default_page_size
+    } else {
+        requested_page_size
+    };
+    let total = wire.views.len() as u32;
+    let (cursor, views, effective) = if page_size == 0 || total <= page_size {
+        (0, wire.views, 0)
+    } else {
+        let all = Arc::new(wire.views);
+        let first: Vec<WireView> = all[..page_size as usize].to_vec();
+        let id = shared.next_cursor.fetch_add(1, Ordering::Relaxed);
+        let mut table = shared.cursors.lock().expect("cursor lock");
+        table.map.insert(
+            id,
+            CursorState {
+                views: all,
+                page_size,
+            },
+        );
+        table.order.push_back(id);
+        while table.map.len() > shared.config.max_cursors.max(1) {
+            if let Some(old) = table.order.pop_front() {
+                if table.map.remove(&old).is_some() {
+                    shared
+                        .counters
+                        .cursors_evicted
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        (id, first, page_size)
+    };
+    QueryHead {
+        partial: wire.partial,
+        stats: wire.stats,
+        survivors_c2: wire.survivors_c2,
+        ranked: wire.ranked,
+        total_views: total,
+        page_size: effective,
+        cursor,
+        views,
+    }
+}
+
+fn fetch_page(shared: &Shared, cursor: u64, page: u32) -> Response {
+    let mut table = shared.cursors.lock().expect("cursor lock");
+    let state = match table.map.get(&cursor) {
+        Some(s) => s,
+        None => {
+            return error_response(&VerError::NotFound(format!(
+                "cursor {cursor} (expired, drained, or never issued)"
+            )))
+        }
+    };
+    let page_size = state.page_size as usize;
+    let total = state.views.len();
+    let start = (page as usize).saturating_mul(page_size);
+    if start >= total {
+        return error_response(&VerError::InvalidQuery(format!(
+            "page {page} out of range for cursor {cursor} ({total} views, page size {page_size})"
+        )));
+    }
+    let end = (start + page_size).min(total);
+    let views = state.views[start..end].to_vec();
+    let last = end == total;
+    if last {
+        table.map.remove(&cursor);
+        table.order.retain(|c| *c != cursor);
+    }
+    drop(table);
+    shared.counters.pages_served.fetch_add(1, Ordering::Relaxed);
+    Response::Page(Page {
+        cursor,
+        page,
+        last,
+        views,
+    })
+}

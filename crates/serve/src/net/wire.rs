@@ -1,0 +1,1069 @@
+//! Request/response codecs for the `verd` protocol.
+//!
+//! Everything here is hand-rolled little-endian binary on plain byte
+//! buffers, following the `ver-index::persist` conventions: explicit
+//! length prefixes, tagged unions, a bounds-checked [`Reader`] that turns
+//! every malformed payload into a typed error instead of a panic, and no
+//! reliance on untrusted counts for allocation sizing. Payloads produced
+//! here travel inside the checksummed frames of [`super::frame`].
+//!
+//! The response side ships *materialized view data* — schemas and rows —
+//! not just metadata, so a client can reassemble a byte-identical replica
+//! of the in-process [`QueryResult`] rendering
+//! (invariant 12: over-the-wire result ≡ in-process result).
+//! `f64` scores travel as raw IEEE-754 bits to keep that equivalence
+//! bit-exact.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use ver_common::error::{Result, VerError};
+use ver_common::value::Value;
+use ver_core::QueryResult;
+use ver_qbe::{ExampleQuery, QueryColumn, ViewSpec};
+
+use crate::ServeStats;
+
+/// Wire-format version carried in `Health` replies; bump on any breaking
+/// codec change (the frame preamble version covers framing only).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// bounds-checked reader + write helpers
+// ---------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over an untrusted payload.
+///
+/// Mirrors the `ver-index::persist` cursor, but types failures as
+/// [`VerError::Protocol`]: a short read here means a peer sent garbage,
+/// not that a file on disk rotted.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.buf.len() - self.pos < n {
+            return Err(VerError::Protocol(format!(
+                "payload truncated reading {what} at offset {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        self.need(n, what)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn u16(&mut self, what: &str) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A `u32` collection count, sanity-capped against the bytes that
+    /// remain: every element occupies at least `min_elem_bytes`, so a
+    /// count that could not possibly fit is rejected *before* any loop
+    /// or allocation.
+    pub fn count(&mut self, min_elem_bytes: usize, what: &str) -> Result<usize> {
+        let n = self.u32(what)? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+            return Err(VerError::Protocol(format!(
+                "count {n} for {what} exceeds remaining payload"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn string(&mut self, what: &str) -> Result<String> {
+        let len = self.count(1, what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| VerError::Protocol(format!("invalid utf-8 in {what}")))
+    }
+
+    pub fn opt_string(&mut self, what: &str) -> Result<Option<String>> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string(what)?)),
+            t => Err(VerError::Protocol(format!("bad option tag {t} for {what}"))),
+        }
+    }
+
+    pub fn bool(&mut self, what: &str) -> Result<bool> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(VerError::Protocol(format!("bad bool tag {t} for {what}"))),
+        }
+    }
+
+    pub fn value(&mut self, what: &str) -> Result<Value> {
+        match self.u8(what)? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.u64(what)? as i64)),
+            2 => Ok(Value::Float(f64::from_bits(self.u64(what)?))),
+            3 => Ok(Value::Text(Arc::from(self.string(what)?.as_str()))),
+            t => Err(VerError::Protocol(format!("bad value tag {t} for {what}"))),
+        }
+    }
+
+    /// Decoding must consume the payload exactly — trailing bytes mean
+    /// the peer and we disagree about the format.
+    pub fn finish(self, what: &str) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(VerError::Protocol(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_string(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_string(out, s);
+        }
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(2);
+            put_u64(out, f.to_bits());
+        }
+        Value::Text(t) => {
+            out.push(3);
+            put_string(out, t);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ViewSpec codec
+// ---------------------------------------------------------------------
+
+fn put_spec(out: &mut Vec<u8>, spec: &ViewSpec) {
+    match spec {
+        ViewSpec::Qbe(q) => {
+            out.push(0);
+            put_u32(out, q.columns.len() as u32);
+            for col in &q.columns {
+                put_opt_string(out, col.name_hint.as_deref());
+                put_u32(out, col.examples.len() as u32);
+                for v in &col.examples {
+                    put_value(out, v);
+                }
+            }
+        }
+        ViewSpec::Keyword(terms) => {
+            out.push(1);
+            put_u32(out, terms.len() as u32);
+            for t in terms {
+                put_string(out, t);
+            }
+        }
+        ViewSpec::Attribute(terms) => {
+            out.push(2);
+            put_u32(out, terms.len() as u32);
+            for t in terms {
+                put_string(out, t);
+            }
+        }
+    }
+}
+
+fn read_spec(r: &mut Reader<'_>) -> Result<ViewSpec> {
+    match r.u8("spec tag")? {
+        0 => {
+            let ncols = r.count(1, "qbe columns")?;
+            let mut columns = Vec::new();
+            for _ in 0..ncols {
+                let name_hint = r.opt_string("qbe name hint")?;
+                let nex = r.count(1, "qbe examples")?;
+                let mut examples = Vec::new();
+                for _ in 0..nex {
+                    examples.push(r.value("qbe example")?);
+                }
+                let mut col = QueryColumn::of_values(examples);
+                if let Some(h) = name_hint {
+                    col = col.named(h);
+                }
+                columns.push(col);
+            }
+            // Re-validate: a hostile peer can encode a spec the public
+            // constructor would reject (zero columns, all-empty column).
+            let q = ExampleQuery::new(columns)
+                .map_err(|e| VerError::Protocol(format!("invalid qbe spec on wire: {e}")))?;
+            Ok(ViewSpec::Qbe(q))
+        }
+        1 => {
+            let n = r.count(1, "keyword terms")?;
+            let mut terms = Vec::new();
+            for _ in 0..n {
+                terms.push(r.string("keyword term")?);
+            }
+            Ok(ViewSpec::Keyword(terms))
+        }
+        2 => {
+            let n = r.count(1, "attribute terms")?;
+            let mut terms = Vec::new();
+            for _ in 0..n {
+                terms.push(r.string("attribute term")?);
+            }
+            Ok(ViewSpec::Attribute(terms))
+        }
+        t => Err(VerError::Protocol(format!("bad spec tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// requests
+// ---------------------------------------------------------------------
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a discovery query. `page_size == 0` asks for the whole result
+    /// inline; otherwise the head carries the first page and a cursor for
+    /// [`Request::FetchPage`]. `timeout_ms == 0` means no deadline.
+    Query {
+        spec: ViewSpec,
+        page_size: u32,
+        timeout_ms: u64,
+    },
+    /// Fetch page `page` (0-based; page 0 is the one already delivered
+    /// inline) from a server-side cursor opened by a paginated `Query`.
+    FetchPage { cursor: u64, page: u32 },
+    /// Snapshot engine + network counters.
+    Stats,
+    /// Liveness / deployment-shape probe.
+    Health,
+    /// Ask the server to stop accepting connections and exit its accept
+    /// loop. Acked before the listener closes.
+    Shutdown,
+}
+
+const REQ_QUERY: u8 = 1;
+const REQ_FETCH_PAGE: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_HEALTH: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Query {
+                spec,
+                page_size,
+                timeout_ms,
+            } => {
+                out.push(REQ_QUERY);
+                put_spec(&mut out, spec);
+                put_u32(&mut out, *page_size);
+                put_u64(&mut out, *timeout_ms);
+            }
+            Request::FetchPage { cursor, page } => {
+                out.push(REQ_FETCH_PAGE);
+                put_u64(&mut out, *cursor);
+                put_u32(&mut out, *page);
+            }
+            Request::Stats => out.push(REQ_STATS),
+            Request::Health => out.push(REQ_HEALTH),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8("request tag")? {
+            REQ_QUERY => {
+                let spec = read_spec(&mut r)?;
+                let page_size = r.u32("page size")?;
+                let timeout_ms = r.u64("timeout")?;
+                Request::Query {
+                    spec,
+                    page_size,
+                    timeout_ms,
+                }
+            }
+            REQ_FETCH_PAGE => Request::FetchPage {
+                cursor: r.u64("cursor")?,
+                page: r.u32("page")?,
+            },
+            REQ_STATS => Request::Stats,
+            REQ_HEALTH => Request::Health,
+            REQ_SHUTDOWN => Request::Shutdown,
+            t => return Err(VerError::Protocol(format!("bad request tag {t}"))),
+        };
+        r.finish("request")?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// response payload types
+// ---------------------------------------------------------------------
+
+/// One materialized view, shipped whole: identity, provenance summary,
+/// schema, and row data. Carrying the data (not just metadata) is what
+/// lets the client verify invariant 12 byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireView {
+    /// `ViewId` ordinal.
+    pub id: u32,
+    /// `provenance.join_score` as IEEE-754 bits (bit-exact transport).
+    pub score_bits: u64,
+    /// Join hops (`provenance.hops()`).
+    pub hops: u32,
+    /// Source `TableId` ordinals, base table first.
+    pub source_tables: Vec<u32>,
+    /// Column headers; `None` models a missing header.
+    pub columns: Vec<Option<String>>,
+    /// Materialized, deduplicated rows (each `columns.len()` wide).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl WireView {
+    pub fn join_score(&self) -> f64 {
+        f64::from_bits(self.score_bits)
+    }
+
+    pub fn from_view(v: &ver_core::engine::View) -> WireView {
+        WireView {
+            id: v.id.0,
+            score_bits: v.provenance.join_score.to_bits(),
+            hops: v.provenance.hops() as u32,
+            source_tables: v.provenance.source_tables.iter().map(|t| t.0).collect(),
+            columns: v
+                .table
+                .schema
+                .columns
+                .iter()
+                .map(|c| c.name.as_deref().map(str::to_string))
+                .collect(),
+            rows: v.table.iter_rows().collect(),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.id);
+        put_u64(out, self.score_bits);
+        put_u32(out, self.hops);
+        put_u32(out, self.source_tables.len() as u32);
+        for t in &self.source_tables {
+            put_u32(out, *t);
+        }
+        put_u32(out, self.columns.len() as u32);
+        for c in &self.columns {
+            put_opt_string(out, c.as_deref());
+        }
+        put_u32(out, self.rows.len() as u32);
+        for row in &self.rows {
+            for v in row {
+                put_value(out, v);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireView> {
+        let id = r.u32("view id")?;
+        let score_bits = r.u64("view score")?;
+        let hops = r.u32("view hops")?;
+        let ntables = r.count(4, "view tables")?;
+        let mut source_tables = Vec::new();
+        for _ in 0..ntables {
+            source_tables.push(r.u32("view table id")?);
+        }
+        let ncols = r.count(1, "view columns")?;
+        let mut columns = Vec::new();
+        for _ in 0..ncols {
+            columns.push(r.opt_string("view column name")?);
+        }
+        let nrows = r.count(ncols.max(1), "view rows")?;
+        let mut rows = Vec::new();
+        for _ in 0..nrows {
+            let mut row = Vec::new();
+            for _ in 0..ncols {
+                row.push(r.value("view cell")?);
+            }
+            rows.push(row);
+        }
+        Ok(WireView {
+            id,
+            score_bits,
+            hops,
+            source_tables,
+            columns,
+            rows,
+        })
+    }
+}
+
+/// `ver_search::SearchStats` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireSearchStats {
+    pub combinations: u64,
+    pub skipped_by_cache: u64,
+    pub joinable_groups: u64,
+    pub join_graphs: u64,
+    pub views: u64,
+}
+
+impl WireSearchStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.combinations);
+        put_u64(out, self.skipped_by_cache);
+        put_u64(out, self.joinable_groups);
+        put_u64(out, self.join_graphs);
+        put_u64(out, self.views);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireSearchStats> {
+        Ok(WireSearchStats {
+            combinations: r.u64("stats combinations")?,
+            skipped_by_cache: r.u64("stats skipped")?,
+            joinable_groups: r.u64("stats groups")?,
+            join_graphs: r.u64("stats graphs")?,
+            views: r.u64("stats views")?,
+        })
+    }
+}
+
+/// The head of a query response: result-level facts plus the first page
+/// of views. `cursor == 0` means the result is complete as delivered;
+/// otherwise the remaining pages are fetched with [`Request::FetchPage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryHead {
+    pub partial: bool,
+    pub stats: WireSearchStats,
+    /// C2 survivor `ViewId` ordinals (distillation output).
+    pub survivors_c2: Vec<u32>,
+    /// Ranked `(ViewId ordinal, overlap score)` pairs.
+    pub ranked: Vec<(u32, u64)>,
+    /// Total views in the result across all pages.
+    pub total_views: u32,
+    /// Effective page size the server applied (0 = everything inline).
+    pub page_size: u32,
+    /// Cursor id for `FetchPage`; 0 when no pages remain.
+    pub cursor: u64,
+    /// Page 0 of the views, id order.
+    pub views: Vec<WireView>,
+}
+
+/// One follow-up page from a server-side cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    pub cursor: u64,
+    pub page: u32,
+    /// `true` on the final page; the server frees the cursor after
+    /// serving it.
+    pub last: bool,
+    pub views: Vec<WireView>,
+}
+
+/// Network-layer counters, snapshot over the server's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted (including ones later rejected by the cap).
+    pub accepted: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Connections turned away by the `max_conns` cap.
+    pub rejected_conns: u64,
+    /// Connections dropped by peer death, timeouts, or handler panics.
+    pub dropped_conns: u64,
+    /// Malformed frames / payloads received.
+    pub protocol_errors: u64,
+    /// Request handlers that panicked (each cost its connection only).
+    pub handler_panics: u64,
+    /// Frames successfully read.
+    pub frames_in: u64,
+    /// Frames successfully written.
+    pub frames_out: u64,
+    /// Queries answered with a result.
+    pub queries_ok: u64,
+    /// Queries answered with an error status.
+    pub queries_err: u64,
+    /// Follow-up pages served from cursors.
+    pub pages_served: u64,
+    /// Cursors currently open.
+    pub cursors_open: u64,
+    /// Cursors evicted before being drained (FIFO cap).
+    pub cursors_evicted: u64,
+}
+
+impl NetStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.accepted,
+            self.active,
+            self.rejected_conns,
+            self.dropped_conns,
+            self.protocol_errors,
+            self.handler_panics,
+            self.frames_in,
+            self.frames_out,
+            self.queries_ok,
+            self.queries_err,
+            self.pages_served,
+            self.cursors_open,
+            self.cursors_evicted,
+        ] {
+            put_u64(out, v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<NetStats> {
+        Ok(NetStats {
+            accepted: r.u64("net accepted")?,
+            active: r.u64("net active")?,
+            rejected_conns: r.u64("net rejected")?,
+            dropped_conns: r.u64("net dropped")?,
+            protocol_errors: r.u64("net protocol errors")?,
+            handler_panics: r.u64("net panics")?,
+            frames_in: r.u64("net frames in")?,
+            frames_out: r.u64("net frames out")?,
+            queries_ok: r.u64("net queries ok")?,
+            queries_err: r.u64("net queries err")?,
+            pages_served: r.u64("net pages")?,
+            cursors_open: r.u64("net cursors open")?,
+            cursors_evicted: r.u64("net cursors evicted")?,
+        })
+    }
+}
+
+fn put_cache_stats(out: &mut Vec<u8>, c: &ver_common::cache::CacheStats) {
+    put_u64(out, c.hits);
+    put_u64(out, c.misses);
+    out.push(c.disabled as u8);
+}
+
+fn read_cache_stats(r: &mut Reader<'_>, what: &str) -> Result<ver_common::cache::CacheStats> {
+    Ok(ver_common::cache::CacheStats {
+        hits: r.u64(what)?,
+        misses: r.u64(what)?,
+        disabled: r.bool(what)?,
+    })
+}
+
+/// Engine + network counters together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsReply {
+    pub serve: ServeStats,
+    pub net: NetStats,
+}
+
+impl StatsReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let s = &self.serve;
+        put_u64(out, s.queries);
+        put_cache_stats(out, &s.result_cache);
+        put_cache_stats(out, &s.view_cache);
+        put_cache_stats(out, &s.score_memo);
+        put_u64(out, s.cached_views as u64);
+        put_u64(out, s.sessions_opened);
+        put_u64(out, s.sessions_active as u64);
+        put_u64(out, s.interactions);
+        put_u64(out, s.rejected);
+        put_u64(out, s.partial_results);
+        put_u64(out, s.in_flight as u64);
+        self.net.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<StatsReply> {
+        let serve = ServeStats {
+            queries: r.u64("serve queries")?,
+            result_cache: read_cache_stats(r, "result cache")?,
+            view_cache: read_cache_stats(r, "view cache")?,
+            score_memo: read_cache_stats(r, "score memo")?,
+            cached_views: r.u64("cached views")? as usize,
+            sessions_opened: r.u64("sessions opened")?,
+            sessions_active: r.u64("sessions active")? as usize,
+            interactions: r.u64("interactions")?,
+            rejected: r.u64("rejected")?,
+            partial_results: r.u64("partial results")?,
+            in_flight: r.u64("in flight")? as usize,
+        };
+        let net = NetStats::decode(r)?;
+        Ok(StatsReply { serve, net })
+    }
+}
+
+/// Liveness + deployment shape (the `ViewDiscoveryService` health
+/// endpoint, over binary frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReply {
+    pub protocol_version: u32,
+    /// Tables in the served catalog.
+    pub tables: u64,
+    /// Columns in the served catalog.
+    pub columns: u64,
+    /// Index shards behind this server (1 = single engine).
+    pub shards: u32,
+    pub uptime_ms: u64,
+}
+
+impl HealthReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.protocol_version);
+        put_u64(out, self.tables);
+        put_u64(out, self.columns);
+        put_u32(out, self.shards);
+        put_u64(out, self.uptime_ms);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<HealthReply> {
+        Ok(HealthReply {
+            protocol_version: r.u32("protocol version")?,
+            tables: r.u64("health tables")?,
+            columns: r.u64("health columns")?,
+            shards: r.u32("health shards")?,
+            uptime_ms: r.u64("health uptime")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// responses
+// ---------------------------------------------------------------------
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Query(QueryHead),
+    Page(Page),
+    Stats(StatsReply),
+    Health(HealthReply),
+    ShutdownAck,
+    /// Typed failure: `code` is [`VerError::wire_code`], `message` the
+    /// error's inner message. The client rebuilds the `VerError` with
+    /// [`VerError::from_wire`].
+    Error {
+        code: u16,
+        message: String,
+    },
+}
+
+const RESP_QUERY: u8 = 1;
+const RESP_PAGE: u8 = 2;
+const RESP_STATS: u8 = 3;
+const RESP_HEALTH: u8 = 4;
+const RESP_SHUTDOWN_ACK: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+fn put_views(out: &mut Vec<u8>, views: &[WireView]) {
+    put_u32(out, views.len() as u32);
+    for v in views {
+        v.encode(out);
+    }
+}
+
+fn read_views(r: &mut Reader<'_>) -> Result<Vec<WireView>> {
+    let n = r.count(20, "views")?;
+    let mut views = Vec::new();
+    for _ in 0..n {
+        views.push(WireView::decode(r)?);
+    }
+    Ok(views)
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Query(head) => {
+                out.push(RESP_QUERY);
+                out.push(head.partial as u8);
+                head.stats.encode(&mut out);
+                put_u32(&mut out, head.survivors_c2.len() as u32);
+                for v in &head.survivors_c2 {
+                    put_u32(&mut out, *v);
+                }
+                put_u32(&mut out, head.ranked.len() as u32);
+                for (v, s) in &head.ranked {
+                    put_u32(&mut out, *v);
+                    put_u64(&mut out, *s);
+                }
+                put_u32(&mut out, head.total_views);
+                put_u32(&mut out, head.page_size);
+                put_u64(&mut out, head.cursor);
+                put_views(&mut out, &head.views);
+            }
+            Response::Page(p) => {
+                out.push(RESP_PAGE);
+                put_u64(&mut out, p.cursor);
+                put_u32(&mut out, p.page);
+                out.push(p.last as u8);
+                put_views(&mut out, &p.views);
+            }
+            Response::Stats(s) => {
+                out.push(RESP_STATS);
+                s.encode(&mut out);
+            }
+            Response::Health(h) => {
+                out.push(RESP_HEALTH);
+                h.encode(&mut out);
+            }
+            Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
+            Response::Error { code, message } => {
+                out.push(RESP_ERROR);
+                put_u16(&mut out, *code);
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8("response tag")? {
+            RESP_QUERY => {
+                let partial = r.bool("partial flag")?;
+                let stats = WireSearchStats::decode(&mut r)?;
+                let nsurv = r.count(4, "survivors")?;
+                let mut survivors_c2 = Vec::new();
+                for _ in 0..nsurv {
+                    survivors_c2.push(r.u32("survivor id")?);
+                }
+                let nranked = r.count(12, "ranked")?;
+                let mut ranked = Vec::new();
+                for _ in 0..nranked {
+                    let v = r.u32("ranked id")?;
+                    let s = r.u64("ranked score")?;
+                    ranked.push((v, s));
+                }
+                let total_views = r.u32("total views")?;
+                let page_size = r.u32("page size")?;
+                let cursor = r.u64("cursor")?;
+                let views = read_views(&mut r)?;
+                Response::Query(QueryHead {
+                    partial,
+                    stats,
+                    survivors_c2,
+                    ranked,
+                    total_views,
+                    page_size,
+                    cursor,
+                    views,
+                })
+            }
+            RESP_PAGE => {
+                let cursor = r.u64("cursor")?;
+                let page = r.u32("page")?;
+                let last = r.bool("last flag")?;
+                let views = read_views(&mut r)?;
+                Response::Page(Page {
+                    cursor,
+                    page,
+                    last,
+                    views,
+                })
+            }
+            RESP_STATS => Response::Stats(StatsReply::decode(&mut r)?),
+            RESP_HEALTH => Response::Health(HealthReply::decode(&mut r)?),
+            RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            RESP_ERROR => {
+                let code = r.u16("error code")?;
+                let message = r.string("error message")?;
+                Response::Error { code, message }
+            }
+            t => return Err(VerError::Protocol(format!("bad response tag {t}"))),
+        };
+        r.finish("response")?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// assembled results
+// ---------------------------------------------------------------------
+
+/// A fully reassembled query result on the client side: the head's
+/// result-level facts plus every page of views. `PartialEq` makes
+/// "paginated fetch ≡ single-shot fetch" a one-line assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResult {
+    pub partial: bool,
+    pub stats: WireSearchStats,
+    pub survivors_c2: Vec<u32>,
+    pub ranked: Vec<(u32, u64)>,
+    pub views: Vec<WireView>,
+}
+
+impl WireResult {
+    /// Server-side conversion from the in-process result. The golden
+    /// test pins `render` of this against `render` of a client-fetched
+    /// copy *and* against the in-process snapshot file.
+    pub fn from_query_result(result: &QueryResult) -> WireResult {
+        let s = &result.search_stats;
+        WireResult {
+            partial: result.partial,
+            stats: WireSearchStats {
+                combinations: s.combinations as u64,
+                skipped_by_cache: s.skipped_by_cache as u64,
+                joinable_groups: s.joinable_groups as u64,
+                join_graphs: s.join_graphs as u64,
+                views: s.views as u64,
+            },
+            survivors_c2: result.distill.survivors_c2.iter().map(|v| v.0).collect(),
+            ranked: result
+                .ranked
+                .iter()
+                .map(|(v, s)| (v.0, *s as u64))
+                .collect(),
+            views: result.views.iter().map(WireView::from_view).collect(),
+        }
+    }
+
+    /// Render in the exact format of `ver_bench::golden::render_query`,
+    /// byte-for-byte — the network half of invariant 12.
+    pub fn render(&self, out: &mut String, name: &str) {
+        let s = &self.stats;
+        let _ = writeln!(out, "# query {name}");
+        let _ = writeln!(
+            out,
+            "stats combinations={} groups={} graphs={} views={}",
+            s.combinations, s.joinable_groups, s.join_graphs, s.views
+        );
+        for v in &self.views {
+            let tables: Vec<String> = v.source_tables.iter().map(|t| format!("T{t}")).collect();
+            let _ = writeln!(
+                out,
+                "view V{} score={:.6} rows={} cols={} hops={} tables={}",
+                v.id,
+                v.join_score(),
+                v.rows.len(),
+                v.columns.len(),
+                v.hops,
+                tables.join(",")
+            );
+        }
+        let survivors: Vec<String> = self.survivors_c2.iter().map(|v| format!("V{v}")).collect();
+        let _ = writeln!(out, "survivors_c2 {}", survivors.join(" "));
+        let ranked: Vec<String> = self
+            .ranked
+            .iter()
+            .map(|(v, score)| format!("V{v}:{score}"))
+            .collect();
+        let _ = writeln!(out, "ranked {}", ranked.join(" "));
+        let _ = writeln!(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ver_qbe::QueryColumn;
+
+    fn sample_specs() -> Vec<ViewSpec> {
+        vec![
+            ViewSpec::Qbe(
+                ExampleQuery::new(vec![
+                    QueryColumn::of_strs(&["ATL", "JFK"]).named("code"),
+                    QueryColumn::of_values(vec![Value::Int(42), Value::Null, Value::Float(2.5)]),
+                ])
+                .unwrap(),
+            ),
+            ViewSpec::Keyword(vec!["population".into(), "city".into()]),
+            ViewSpec::Attribute(vec!["state".into()]),
+        ]
+    }
+
+    fn sample_view() -> WireView {
+        WireView {
+            id: 7,
+            score_bits: 1.25f64.to_bits(),
+            hops: 1,
+            source_tables: vec![0, 3],
+            columns: vec![Some("a".into()), None],
+            rows: vec![
+                vec![Value::text("x"), Value::Int(-1)],
+                vec![Value::Null, Value::Float(0.5)],
+            ],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let mut reqs = vec![
+            Request::FetchPage { cursor: 9, page: 2 },
+            Request::Stats,
+            Request::Health,
+            Request::Shutdown,
+        ];
+        for spec in sample_specs() {
+            reqs.push(Request::Query {
+                spec,
+                page_size: 16,
+                timeout_ms: 250,
+            });
+        }
+        for req in reqs {
+            let enc = req.encode();
+            assert_eq!(Request::decode(&enc).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Query(QueryHead {
+                partial: true,
+                stats: WireSearchStats {
+                    combinations: 21,
+                    skipped_by_cache: 2,
+                    joinable_groups: 21,
+                    join_graphs: 402,
+                    views: 402,
+                },
+                survivors_c2: vec![0, 2, 5],
+                ranked: vec![(2, 10), (0, 4)],
+                total_views: 3,
+                page_size: 2,
+                cursor: 17,
+                views: vec![sample_view()],
+            }),
+            Response::Page(Page {
+                cursor: 17,
+                page: 1,
+                last: true,
+                views: vec![sample_view(), sample_view()],
+            }),
+            Response::Stats(StatsReply {
+                serve: ServeStats::default(),
+                net: NetStats {
+                    accepted: 4,
+                    dropped_conns: 1,
+                    ..NetStats::default()
+                },
+            }),
+            Response::Health(HealthReply {
+                protocol_version: PROTOCOL_VERSION,
+                tables: 60,
+                columns: 240,
+                shards: 2,
+                uptime_ms: 1234,
+            }),
+            Response::ShutdownAck,
+            Response::Error {
+                code: VerError::Overloaded("busy".into()).wire_code(),
+                message: "busy".into(),
+            },
+        ];
+        for resp in resps {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&enc).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = Request::Stats.encode();
+        enc.push(0);
+        assert!(matches!(Request::decode(&enc), Err(VerError::Protocol(_))));
+        let mut enc = Response::ShutdownAck.encode();
+        enc.push(0);
+        assert!(matches!(Response::decode(&enc), Err(VerError::Protocol(_))));
+    }
+
+    #[test]
+    fn hostile_counts_fail_before_allocation() {
+        // A Query head whose view count claims 4 billion entries must be
+        // rejected by the count/remaining-bytes check, not OOM.
+        let mut enc = Response::Page(Page {
+            cursor: 1,
+            page: 1,
+            last: true,
+            views: vec![],
+        })
+        .encode();
+        let n = enc.len();
+        enc[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Response::decode(&enc), Err(VerError::Protocol(_))));
+    }
+
+    #[test]
+    fn invalid_qbe_spec_on_wire_is_a_protocol_error() {
+        // Hand-encode a Qbe spec with zero columns — the public
+        // constructor forbids it, so decode must too.
+        let payload = vec![REQ_QUERY, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(VerError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn float_scores_travel_bit_exactly() {
+        let v = WireView {
+            score_bits: f64::NEG_INFINITY.to_bits(),
+            ..sample_view()
+        };
+        let resp = Response::Page(Page {
+            cursor: 0,
+            page: 0,
+            last: true,
+            views: vec![v.clone()],
+        });
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Page(p) => assert_eq!(p.views[0].score_bits, v.score_bits),
+            other => panic!("expected Page, got {other:?}"),
+        }
+    }
+}

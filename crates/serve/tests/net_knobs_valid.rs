@@ -1,0 +1,20 @@
+//! Regression: well-formed `VER_ADDR` / `VER_MAX_CONNS` values are
+//! honored by the process-wide knob resolution (the malformed-value
+//! fallback half lives in `net_knobs_malformed.rs` — each case needs its
+//! own process because the knobs resolve once per process).
+
+use ver_serve::net::{default_addr, default_max_conns, NetConfig};
+
+#[test]
+fn valid_net_knobs_are_honored() {
+    std::env::set_var("VER_ADDR", "127.0.0.1:0");
+    std::env::set_var("VER_MAX_CONNS", "3");
+
+    let expected: std::net::SocketAddr = "127.0.0.1:0".parse().unwrap();
+    assert_eq!(default_addr(), expected);
+    assert_eq!(default_max_conns(), 3);
+
+    let config = NetConfig::default();
+    assert_eq!(config.addr, expected);
+    assert_eq!(config.max_conns, 3);
+}

@@ -327,6 +327,204 @@ fn shard_deadline_trips_degrade_the_gather_to_partial() {
     assert_eq!(stats.result_cache.hits, 0, "partial result was not cached");
 }
 
+// ---------------------------------------------------------------------------
+// Socket-level chaos: the `verd` network front end. The blast radius of
+// any single connection's failure — peer death mid-frame, a slow-loris
+// reader, an injected fault at `net.accept` / `net.read` / `net.write`,
+// a panicking handler — is that connection alone: the accept loop and
+// every other client keep going, and `NetStats` counts the casualty.
+// ---------------------------------------------------------------------------
+
+use std::io::Write as _;
+use ver_serve::net::{frame, Backend, Client, NetConfig, NetStats, Request, Server, ServerHandle};
+
+/// Spawn a server over a fresh engine on an ephemeral port.
+fn spawn_net(mut config: NetConfig) -> ServerHandle {
+    config.addr = "127.0.0.1:0".parse().expect("addr");
+    Server::bind(Backend::Single(Arc::new(engine())), config)
+        .expect("bind")
+        .spawn()
+}
+
+/// Poll live counters until `pred` holds — the server accounts for a
+/// dying connection asynchronously, after its thread unwinds.
+fn wait_for(handle: &ServerHandle, what: &str, pred: impl Fn(&NetStats) -> bool) -> NetStats {
+    for _ in 0..500 {
+        let stats = handle.net_stats();
+        if pred(&stats) {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}: {:?}", handle.net_stats());
+}
+
+#[test]
+fn peer_death_mid_frame_drops_only_that_connection() {
+    let _g = guard();
+    fault::reset();
+    let handle = spawn_net(NetConfig::default());
+
+    // A frame header promising 64 payload bytes, then death after 3:
+    // the server sees EOF mid-frame, which is a protocol error (the
+    // stream can never be frame-aligned again), not a crash.
+    {
+        let mut dying = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        let mut partial = Vec::new();
+        partial.extend_from_slice(frame::MAGIC);
+        partial.extend_from_slice(&64u32.to_le_bytes());
+        partial.extend_from_slice(&[1, 2, 3]);
+        dying.write_all(&partial).expect("partial frame");
+        let _ = dying.flush();
+    }
+
+    let stats = wait_for(&handle, "mid-frame death accounted", |s| {
+        s.protocol_errors >= 1
+    });
+    assert_eq!(stats.protocol_errors, 1, "{stats:?}");
+    assert_eq!(stats.dropped_conns, 1, "{stats:?}");
+    assert_eq!(stats.handler_panics, 0, "{stats:?}");
+
+    // Blast radius check: the next client gets clean golden bytes.
+    let (name, spec) = &workload()[0];
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let result = client.query(spec, 0, 0).expect("query after peer death");
+    let mut rendered = String::new();
+    result.render(&mut rendered, name);
+    let expected = std::fs::read_to_string(SNAPSHOT_PATH).expect("golden snapshot");
+    assert!(
+        expected.contains(&rendered),
+        "post-death result diverged from the golden snapshot:\n{rendered}"
+    );
+}
+
+#[test]
+fn slow_loris_reader_trips_the_write_timeout_not_the_server() {
+    let _g = guard();
+    fault::reset();
+    let handle = spawn_net(NetConfig {
+        write_timeout: Duration::from_millis(200),
+        ..NetConfig::default()
+    });
+    let (_, spec) = &workload()[0];
+    let request = Request::Query {
+        spec: spec.clone(),
+        page_size: 0,
+        timeout_ms: 0,
+    }
+    .encode();
+
+    let loris = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    loris
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .expect("timeout");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    // One measured exchange to learn the response size, then queue
+    // enough unread responses to overrun both socket buffers many times
+    // over — and never read again. The server's blocked write must trip
+    // its 200ms write timeout, not stall the process.
+    frame::write_frame(&mut &loris, &request).expect("request");
+    let resp_len = match frame::read_frame(&mut &loris).expect("response") {
+        frame::ReadOutcome::Frame(p) => p.len() + frame::MAGIC.len() + 12,
+        eof => panic!("expected a response frame, got {eof:?}"),
+    };
+    let needed = ((8 << 20) / resp_len + 64).min(50_000);
+    for _ in 0..needed {
+        if frame::write_frame(&mut &loris, &request).is_err() {
+            break; // buffers already full of our own requests — enough
+        }
+    }
+
+    let stats = wait_for(&handle, "write timeout tripped", |s| s.dropped_conns >= 1);
+    assert_eq!(stats.dropped_conns, 1, "{stats:?}");
+    assert_eq!(stats.handler_panics, 0, "{stats:?}");
+    assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+
+    // The accept loop never blocked behind the stalled writer.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.health().expect("server must still serve");
+    drop(loris);
+}
+
+#[test]
+fn injected_handler_panic_costs_one_connection_and_is_counted() {
+    let _g = guard();
+    fault::reset();
+    let handle = spawn_net(NetConfig::default());
+    let (name, spec) = &workload()[0];
+
+    // The query handler panics mid-request; the connection thread's
+    // catch_unwind eats it. The doomed client sees its exchange die —
+    // never a hang, never a torn frame.
+    fault::arm_times(points::SERVE_QUERY, FaultKind::Panic, 1);
+    let mut doomed = Client::connect(handle.addr()).expect("connect");
+    assert!(
+        doomed.query(spec, 0, 0).is_err(),
+        "a panicked handler must kill the exchange"
+    );
+    drop(doomed);
+    fault::reset();
+
+    let stats = wait_for(&handle, "handler panic accounted", |s| {
+        s.handler_panics >= 1
+    });
+    assert_eq!(stats.handler_panics, 1, "{stats:?}");
+    assert_eq!(stats.dropped_conns, 1, "{stats:?}");
+
+    // The next connection gets a complete, golden-identical answer, and
+    // the casualty is visible in the wire-level stats.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let result = client.query(spec, 0, 0).expect("query after handler panic");
+    let mut rendered = String::new();
+    result.render(&mut rendered, name);
+    let expected = std::fs::read_to_string(SNAPSHOT_PATH).expect("golden snapshot");
+    assert!(
+        expected.contains(&rendered),
+        "post-panic result diverged from the golden snapshot:\n{rendered}"
+    );
+    let wire_stats = client.stats().expect("stats");
+    assert_eq!(wire_stats.net.handler_panics, 1);
+}
+
+#[test]
+fn injected_net_faults_each_cost_exactly_one_connection() {
+    let _g = guard();
+    fault::reset();
+    let handle = spawn_net(NetConfig::default());
+
+    // net.accept: the connection dies at birth, before any frame moves.
+    fault::arm_times(points::NET_ACCEPT, FaultKind::IoError, 1);
+    let mut c1 = Client::connect(handle.addr()).expect("connect");
+    assert!(c1.health().is_err());
+    let stats = wait_for(&handle, "accept fault accounted", |s| s.dropped_conns >= 1);
+    assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+    fault::reset();
+
+    // net.read: dies before reading the next frame.
+    fault::arm_times(points::NET_READ, FaultKind::IoError, 1);
+    let mut c2 = Client::connect(handle.addr()).expect("connect");
+    assert!(c2.health().is_err());
+    let stats = wait_for(&handle, "read fault accounted", |s| s.dropped_conns >= 2);
+    assert_eq!(stats.handler_panics, 0, "{stats:?}");
+    fault::reset();
+
+    // net.write: the request is read and handled; dies before the reply.
+    fault::arm_times(points::NET_WRITE, FaultKind::IoError, 1);
+    let mut c3 = Client::connect(handle.addr()).expect("connect");
+    assert!(c3.health().is_err());
+    let stats = wait_for(&handle, "write fault accounted", |s| s.dropped_conns >= 3);
+    assert_eq!(stats.dropped_conns, 3, "{stats:?}");
+    assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+    fault::reset();
+
+    // Three dead connections later, the server itself never flinched.
+    let mut c4 = Client::connect(handle.addr()).expect("connect");
+    c4.health().expect("server must still serve");
+}
+
 #[test]
 fn fault_free_run_through_the_harness_matches_the_golden_snapshot() {
     // Determinism invariant 10: with the harness compiled in but nothing
