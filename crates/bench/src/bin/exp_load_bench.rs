@@ -18,8 +18,17 @@
 //! single-shot fetch of the same query, and the load run must finish
 //! with zero protocol errors and zero dropped connections.
 //!
+//! With `--route`, the server under load is instead a **router** fanning
+//! every query out to two shard-leg servers over loopback TCP
+//! (`BENCH_10.json`): one hot-cache scenario, one full-scatter scenario
+//! with both legs healthy, then the same scatter with one leg stopped —
+//! measuring what a dead leg costs in QPS/p99 once retries, backoff, and
+//! the circuit breaker absorb it (every answer degrades to partial;
+//! none may error).
+//!
 //! ```text
 //! cargo run --release --bin exp_load_bench                 # full corpus → BENCH_9.json
+//! cargo run --release --bin exp_load_bench -- --route      # router + legs → BENCH_10.json
 //! cargo run --release --bin exp_load_bench -- --smoke      # reduced corpus (CI)
 //! cargo run --release --bin exp_load_bench -- --out p.json # custom output path
 //! ```
@@ -33,8 +42,8 @@ use ver_datagen::wdc::{generate_wdc, WdcConfig};
 use ver_datagen::workload::{generate_workload, wdc_ground_truths};
 use ver_index::{build_index, IndexConfig};
 use ver_qbe::ViewSpec;
-use ver_serve::net::{Backend, Client, NetConfig, Server, ServerHandle};
-use ver_serve::{ServeConfig, ServeEngine};
+use ver_serve::net::{Backend, Client, NetConfig, RetryPolicy, Server, ServerHandle};
+use ver_serve::{RouterEngine, ServeConfig, ServeEngine};
 
 /// Latency percentile over a sorted sample, in milliseconds.
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -103,32 +112,41 @@ fn run_scenario(
     }
 }
 
-fn spawn_server(engine: ServeEngine) -> ServerHandle {
+fn spawn_backend(backend: Backend) -> ServerHandle {
     let config = NetConfig {
         addr: "127.0.0.1:0".parse().expect("addr"),
         max_conns: 0, // the bench saturates; admission is the engine's job
         ..NetConfig::default()
     };
-    Server::bind(Backend::Single(Arc::new(engine)), config)
-        .expect("bind")
-        .spawn()
+    Server::bind(backend, config).expect("bind").spawn()
+}
+
+fn spawn_server(engine: ServeEngine) -> ServerHandle {
+    spawn_backend(Backend::Single(Arc::new(engine)))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let route = args.iter().any(|a| a == "--route");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_9.json".to_string());
+        .unwrap_or_else(|| {
+            if route {
+                "BENCH_10.json".to_string()
+            } else {
+                "BENCH_9.json".to_string()
+            }
+        });
     let hw = ver_common::pool::resolve_threads(0);
     let (n_tables, per_gt) = if smoke { (40, 1) } else { (120, 2) };
     let clients = 4usize;
     let per_client = if smoke { 20 } else { 120 };
     let page_size = 16u32;
 
-    eprintln!("exp_load_bench: hardware_threads={hw} smoke={smoke} clients={clients} per_client={per_client}");
+    eprintln!("exp_load_bench: hardware_threads={hw} smoke={smoke} route={route} clients={clients} per_client={per_client}");
 
     // Corpus + workload, same generators as the in-process serving bench.
     let catalog = Arc::new(
@@ -147,19 +165,31 @@ fn main() {
         .collect();
     let index = Arc::new(build_index(&catalog, IndexConfig::default()).expect("index build"));
 
-    let engine = ServeEngine::warm_start(
-        Arc::clone(&catalog),
-        Arc::clone(&index),
-        ServeConfig {
-            pipeline: VerConfig::default(),
-            view_cache_capacity: 16_384,
-            // The hot workload must fit the result LRU, or "hot_cache"
-            // silently measures pipeline re-runs.
-            result_cache_capacity: specs.len().max(64),
-            ..ServeConfig::default()
-        },
-    )
-    .expect("warm start");
+    let serve_config = ServeConfig {
+        pipeline: VerConfig::default(),
+        view_cache_capacity: 16_384,
+        // The hot workload must fit the result LRU, or "hot_cache"
+        // silently measures pipeline re-runs.
+        result_cache_capacity: specs.len().max(64),
+        ..ServeConfig::default()
+    };
+
+    if route {
+        return route_bench(RouteBench {
+            catalog,
+            index,
+            specs,
+            serve_config,
+            clients,
+            per_client,
+            smoke,
+            out_path,
+            hw,
+        });
+    }
+
+    let engine = ServeEngine::warm_start(Arc::clone(&catalog), Arc::clone(&index), serve_config)
+        .expect("warm start");
     let handle = spawn_server(engine);
     let addr = handle.addr();
 
@@ -277,4 +307,217 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench report");
     println!("{json}");
     eprintln!("wrote {out_path}");
+}
+
+struct RouteBench {
+    catalog: Arc<ver_store::catalog::TableCatalog>,
+    index: Arc<ver_index::DiscoveryIndex>,
+    specs: Vec<ViewSpec>,
+    serve_config: ServeConfig,
+    clients: usize,
+    per_client: usize,
+    smoke: bool,
+    out_path: String,
+    hw: usize,
+}
+
+/// The `--route` datapoint: a router server fanning out to two shard-leg
+/// servers over loopback, measured healthy and with one leg stopped.
+fn route_bench(b: RouteBench) {
+    const LEGS: usize = 2;
+
+    // Two shard-leg servers, each a plain single engine answering
+    // `ShardQuery`, plus the router over their addresses.
+    let mut leg_handles: Vec<ServerHandle> = (0..LEGS)
+        .map(|_| {
+            let leg = ServeEngine::warm_start(
+                Arc::clone(&b.catalog),
+                Arc::clone(&b.index),
+                b.serve_config.clone(),
+            )
+            .expect("leg warm start");
+            spawn_server(leg)
+        })
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> = leg_handles.iter().map(|h| h.addr()).collect();
+    let spawn_router = || {
+        let router = RouterEngine::warm_start(
+            Arc::clone(&b.catalog),
+            Arc::clone(&b.index),
+            b.serve_config.clone(),
+            &addrs,
+            RetryPolicy::default(),
+        )
+        .expect("router warm start");
+        spawn_backend(Backend::Router(Arc::new(router)))
+    };
+    let mut handle = spawn_router();
+    let addr = handle.addr();
+
+    // Pre-warm the workload through the router so hot_cache measures the
+    // wire + result LRU, exactly like the single-server bench.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        for spec in &b.specs {
+            let result = client.query(spec, 0, 0).expect("pre-warm routed query");
+            assert!(!result.partial, "healthy fan-out must answer completely");
+        }
+    }
+
+    let specs = &b.specs;
+    let (clients, per_client) = (b.clients, b.per_client);
+
+    // Scenario 1: result-cache hits through the router front end.
+    let hot = run_scenario("routed_hot_cache", addr, clients, per_client, 0, |c, i| {
+        specs[(i + c * specs.len() / clients) % specs.len()].clone()
+    });
+    eprintln!(
+        "  routed_hot_cache: {} req, {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
+        hot.requests, hot.qps, hot.p50_ms, hot.p99_ms
+    );
+
+    // Scenario 2: never-seen keyword specs — every request scatters to
+    // both legs and merges centrally.
+    let scatter = run_scenario("routed_scatter", addr, clients, per_client, 0, |c, i| {
+        ViewSpec::Keyword(vec![format!("fresh_term_{c}_{i}")])
+    });
+    eprintln!(
+        "  routed_scatter: {} req, {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
+        scatter.requests, scatter.qps, scatter.p50_ms, scatter.p99_ms
+    );
+
+    // Healthy-phase health check before the controlled failure.
+    let (healthy_serve, healthy_net) = {
+        let mut client = Client::connect(addr).expect("connect");
+        let stats = client.stats().expect("stats");
+        client.shutdown().expect("shutdown");
+        (stats.serve, stats.net)
+    };
+    assert_eq!(healthy_net.protocol_errors, 0, "clean run: {healthy_net:?}");
+    assert_eq!(healthy_net.handler_panics, 0, "clean run: {healthy_net:?}");
+    assert_eq!(
+        healthy_serve.partial_results, 0,
+        "no degradation while both legs are up: {healthy_serve:?}"
+    );
+    handle.stop();
+
+    // Scenario 3: stop one leg for good, then the same scatter load
+    // through a fresh router (fresh leg connections — a stopped accept
+    // loop cannot refuse the pooled connections the first router already
+    // holds). Every request must still be answered — degraded to partial
+    // by the retry/backoff/breaker envelope, never an error. The first
+    // few queries pay the full retry budget against the refused port;
+    // once the breaker opens the dead leg costs one fast rejection (plus
+    // a probe per cooldown).
+    leg_handles[1].stop();
+    let mut handle = spawn_router();
+    let addr = handle.addr();
+    let one_dead = run_scenario(
+        "routed_scatter_one_dead",
+        addr,
+        clients,
+        per_client,
+        0,
+        |c, i| ViewSpec::Keyword(vec![format!("dead_term_{c}_{i}")]),
+    );
+    eprintln!(
+        "  routed_scatter_one_dead: {} req, {:.1} qps, p50 {:.2} ms, p99 {:.2} ms",
+        one_dead.requests, one_dead.qps, one_dead.p50_ms, one_dead.p99_ms
+    );
+
+    let (serve_stats, net_stats, router_legs) = {
+        let mut client = Client::connect(addr).expect("connect");
+        let stats = client.stats().expect("stats");
+        client.shutdown().expect("shutdown");
+        (stats.serve, stats.net, stats.router)
+    };
+    handle.stop();
+    // The router's own front end must have stayed clean through the leg
+    // death; the casualties live in the per-leg stats.
+    assert_eq!(net_stats.protocol_errors, 0, "clean run: {net_stats:?}");
+    assert_eq!(net_stats.dropped_conns, 0, "clean run: {net_stats:?}");
+    assert_eq!(net_stats.handler_panics, 0, "clean run: {net_stats:?}");
+    assert!(
+        serve_stats.partial_results as usize >= clients * per_client,
+        "every dead-leg answer must be partial: {serve_stats:?}"
+    );
+    assert!(
+        router_legs[1].failovers > 0,
+        "the stopped leg must show failovers: {router_legs:?}"
+    );
+
+    let scenarios = [hot, scatter, one_dead];
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"exp_load_bench\",");
+    let _ = writeln!(json, "  \"pr\": 10,");
+    let _ = writeln!(json, "  \"mode\": \"router\",");
+    let _ = writeln!(json, "  \"legs\": {LEGS},");
+    let _ = writeln!(json, "  \"hardware\": {},", hardware_json());
+    let _ = writeln!(json, "  \"hardware_threads\": {},", b.hw);
+    let _ = writeln!(json, "  \"smoke\": {},", b.smoke);
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\"name\": \"WDC\", \"tables\": {}, \"columns\": {}, \"rows\": {}}},",
+        b.catalog.table_count(),
+        b.catalog.column_count(),
+        b.catalog.total_rows()
+    );
+    let _ = writeln!(json, "  \"workload_queries\": {},", specs.len());
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"requests_per_client\": {per_client},");
+    json.push_str("  \"scenarios\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"requests\": {}, \"wall_ms\": {:.3}, \"qps\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}",
+            s.name,
+            s.requests,
+            s.wall_ms,
+            s.qps,
+            s.p50_ms,
+            s.p95_ms,
+            s.p99_ms,
+            if i + 1 == scenarios.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"router_legs\": [\n");
+    for (i, leg) in router_legs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"addr\": \"{}\", \"attempts\": {}, \"retries\": {}, \"failures\": {}, \"failovers\": {}, \"breaker\": {}}}{}",
+            leg.addr,
+            leg.attempts,
+            leg.retries,
+            leg.failures,
+            leg.failovers,
+            leg.breaker,
+            if i + 1 == router_legs.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"router_healthy\": {{\"queries\": {}, \"result_cache_hits\": {}, \"partial_results\": {}, \"frames_in\": {}, \"frames_out\": {}}},",
+        healthy_serve.queries,
+        healthy_serve.result_cache.hits,
+        healthy_serve.partial_results,
+        healthy_net.frames_in,
+        healthy_net.frames_out
+    );
+    let _ = writeln!(
+        json,
+        "  \"router_one_dead\": {{\"queries\": {}, \"result_cache_hits\": {}, \"partial_results\": {}, \"frames_in\": {}, \"frames_out\": {}}}",
+        serve_stats.queries,
+        serve_stats.result_cache.hits,
+        serve_stats.partial_results,
+        net_stats.frames_in,
+        net_stats.frames_out
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&b.out_path, &json).expect("write bench report");
+    println!("{json}");
+    eprintln!("wrote {}", b.out_path);
 }

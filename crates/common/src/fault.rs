@@ -62,6 +62,10 @@ pub mod points {
     pub const NET_READ: &str = "net.read";
     /// Before writing one response frame to a network connection.
     pub const NET_WRITE: &str = "net.write";
+    /// Before each remote shard-leg attempt in the scatter router —
+    /// an injected fault here exercises the retry/backoff/breaker
+    /// envelope without needing a real network failure.
+    pub const REMOTE_LEG: &str = "remote.leg";
 }
 
 /// What an armed injection point does when hit.

@@ -24,6 +24,9 @@
 //!   cooperatively at stage boundaries ([`budget::QueryBudget`]).
 //! * [`fault`] — the named-injection-point chaos harness (`VER_FAULT`);
 //!   one relaxed atomic load when disarmed.
+//! * [`mod@env`] — warn-once `VER_*` environment-knob resolution
+//!   ([`env::EnvKnob`]); malformed knobs warn once and fall back, never
+//!   abort.
 //! * [`sync`] — [`sync::lock_unpoisoned`], the workspace-wide policy that
 //!   a panicked lock holder must never brick a cache or registry.
 //! * [`stats`] — tiny summary-statistics helpers used by the experiment
@@ -36,6 +39,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod env;
 pub mod error;
 pub mod fault;
 pub mod fxhash;

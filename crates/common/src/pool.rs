@@ -40,21 +40,19 @@ use std::sync::Mutex;
 /// exported a typo'd knob, and the determinism guarantee means the
 /// fallback still computes identical output (only the schedule differs).
 pub fn default_threads() -> usize {
-    // Parsed (and, on a malformed value, warned about) once per process:
-    // this runs on every config construction, and a typo'd knob should
-    // not spam one warning per query.
-    static PARSED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *PARSED.get_or_init(|| match std::env::var("VER_THREADS") {
-        Ok(v) if v.trim().is_empty() => 0,
-        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
-            eprintln!(
-                "ver: warning: VER_THREADS must be a thread count (0 = auto), \
-                 got {v:?}; falling back to auto"
-            );
-            0
-        }),
-        Err(_) => 0,
-    })
+    static KNOB: crate::env::EnvKnob<usize> =
+        crate::env::EnvKnob::new("VER_THREADS", "want a thread count, 0 = auto");
+    KNOB.get(
+        // An exported-but-empty variable means auto, same as unset.
+        |v| {
+            if v.trim().is_empty() {
+                Some(0)
+            } else {
+                v.trim().parse().ok()
+            }
+        },
+        0,
+    )
 }
 
 /// Resolve a configured thread count: `0` means "auto" (one worker per

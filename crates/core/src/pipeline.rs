@@ -274,6 +274,60 @@ impl Ver {
             .map(|result| (result, reports))
     }
 
+    /// One scatter leg of the sharded search, runnable **in a separate
+    /// process** from the gather: COLUMN-SELECTION (deterministic, so
+    /// every leg computes the identical selection the gather will) plus
+    /// this shard's JOIN-GRAPH-SEARCH + MATERIALIZER slice.
+    ///
+    /// [`Ver::run_sharded_with_legs`] shares one selection across its
+    /// in-process legs as an optimisation; this entry point recomputes it
+    /// per call so a remote shard server needs nothing but the spec and
+    /// its shard identity on the wire. Selection is a pure function of
+    /// (index, spec, config), so the two paths are bit-identical.
+    pub fn run_shard_leg(
+        &self,
+        spec: &ViewSpec,
+        caches: Option<&SearchCaches>,
+        budget: &QueryBudget,
+        shard: usize,
+        shard_count: usize,
+    ) -> Result<ver_search::ShardSearchOutput> {
+        assert!(
+            shard < shard_count,
+            "shard {shard} out of range for {shard_count} shards"
+        );
+        let selection = select_for_spec(&self.index, spec, &self.config.selection);
+        let mut cx = SearchContext::new(&self.catalog, &self.index).with_budget(*budget);
+        if let Some(caches) = caches {
+            cx = cx.with_caches(caches);
+        }
+        cx.search_shard(&selection, &self.config.search, shard, shard_count)
+    }
+
+    /// Gather step over leg outputs produced by [`Ver::run_shard_leg`] —
+    /// locally or in remote shard processes: merge the legs through the
+    /// content-based rank order, then finish the query centrally (VD-IO,
+    /// budgeted distillation, survivor ranking), exactly as the
+    /// single-engine path would. Pass `complete = false` when any leg was
+    /// dropped; the merged result is then flagged
+    /// [`QueryResult::partial`] — a missing leg is never an error. With
+    /// every leg present the result is bit-identical to
+    /// [`Ver::run_budgeted`] (invariants 11 and 13 build on this).
+    pub fn gather_shard_outputs(
+        &self,
+        spec: &ViewSpec,
+        budget: &QueryBudget,
+        outputs: Vec<ver_search::ShardSearchOutput>,
+        complete: bool,
+    ) -> Result<QueryResult> {
+        let mut timer = PhaseTimer::new();
+        let selection = timer.time("cs", || {
+            select_for_spec(&self.index, spec, &self.config.selection)
+        });
+        let search_out = ver_search::merge_shard_outputs(outputs, complete);
+        self.finish_query(spec, budget, timer, selection, search_out)
+    }
+
     /// Shared tail of the single-engine and sharded paths: VD-IO,
     /// budgeted distillation with the undistilled fallback, and survivor
     /// ranking over a search output.
@@ -642,6 +696,46 @@ mod tests {
                 assert!(a.same_contents(b), "count={count}: {} differs", a.id);
             }
         }
+    }
+
+    #[test]
+    fn shard_leg_plus_gather_reproduces_the_single_run() {
+        // The process-separable decomposition: independent `run_shard_leg`
+        // calls (each recomputing selection) gathered by
+        // `gather_shard_outputs` must be bit-identical to `run`.
+        let ver = Ver::build(catalog(), VerConfig::fast()).unwrap();
+        let spec = qbe(&[vec!["st1", "1001"], vec!["st2", "1002"]]);
+        let single = ver.run(&spec).unwrap();
+        for count in [1usize, 2, 4] {
+            let outputs: Vec<_> = (0..count)
+                .map(|s| {
+                    ver.run_shard_leg(&spec, None, &QueryBudget::none(), s, count)
+                        .unwrap()
+                })
+                .collect();
+            let gathered = ver
+                .gather_shard_outputs(&spec, &QueryBudget::none(), outputs, true)
+                .unwrap();
+            assert!(!gathered.partial, "count={count}");
+            assert_eq!(gathered.ranked, single.ranked, "count={count}");
+            assert_eq!(gathered.search_stats, single.search_stats);
+            assert_eq!(gathered.views.len(), single.views.len());
+            for (a, b) in gathered.views.iter().zip(&single.views) {
+                assert_eq!(a.id, b.id, "count={count}");
+                assert!(a.same_contents(b), "count={count}: {} differs", a.id);
+            }
+        }
+
+        // A dropped leg (complete = false) degrades the gather to a
+        // partial result — never an error.
+        let survivor = ver
+            .run_shard_leg(&spec, None, &QueryBudget::none(), 0, 2)
+            .unwrap();
+        let partial = ver
+            .gather_shard_outputs(&spec, &QueryBudget::none(), vec![survivor], false)
+            .unwrap();
+        assert!(partial.partial, "missing leg must flag the merge partial");
+        assert!(partial.views.len() <= single.views.len());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! verd --data DIR [--index FILE] [--save-index] [--addr HOST:PORT]
-//!      [--max-conns N] [--shards N] [--page-size N] [--fast]
+//!      [--max-conns N] [--shards N] [--route ADDR,ADDR,...] [--shard-leg]
+//!      [--page-size N] [--fast]
 //! ```
 //!
 //! * `--data DIR` — directory of `.csv` files (header row expected),
@@ -21,17 +22,26 @@
 //! * `--max-conns N` — connection cap, 0 = uncapped (default:
 //!   `VER_MAX_CONNS` knob, then 64)
 //! * `--shards N` — index shards: 1 = single engine, 0 = auto (the
-//!   `VER_SHARDS` knob), >1 = scatter/gather
+//!   `VER_SHARDS` knob), >1 = in-process scatter/gather
+//! * `--route ADDR,ADDR,...` — router mode: fan each query out over
+//!   these remote shard-leg `verd` processes (one address per shard, in
+//!   shard order) and merge centrally; `--data`/`--index` still describe
+//!   the full catalog, which the router needs for column selection and
+//!   the merge tail. Mutually exclusive with `--shards`
+//! * `--shard-leg` — marker for a process serving as a remote shard leg
+//!   under a router (a plain single-engine `verd`; legs answer
+//!   `ShardQuery` requests). Implies `--shards 1`
 //! * `--page-size N` — server-side default page size for queries that
 //!   don't request one (0 = whole result inline)
 //! * `--fast` — fast pipeline profile (smaller sketches)
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use ver_core::VerConfig;
-use ver_serve::net::{config, Backend, NetConfig, Server};
-use ver_serve::{ServeConfig, ServeEngine, ShardedEngine};
+use ver_core::{Ver, VerConfig};
+use ver_serve::net::{config, Backend, NetConfig, RetryPolicy, Server};
+use ver_serve::{RouterEngine, ServeConfig, ServeEngine, ShardedEngine};
 use ver_store::catalog::TableCatalog;
 
 struct Args {
@@ -41,6 +51,8 @@ struct Args {
     addr: Option<String>,
     max_conns: Option<usize>,
     shards: usize,
+    route: Option<String>,
+    shard_leg: bool,
     page_size: u32,
     fast: bool,
 }
@@ -48,7 +60,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: verd --data DIR [--index FILE] [--save-index] [--addr HOST:PORT] \
-         [--max-conns N] [--shards N] [--page-size N] [--fast]"
+         [--max-conns N] [--shards N] [--route ADDR,ADDR,...] [--shard-leg] \
+         [--page-size N] [--fast]"
     );
     std::process::exit(2);
 }
@@ -61,6 +74,8 @@ fn parse_args() -> Args {
         addr: None,
         max_conns: None,
         shards: 1,
+        route: None,
+        shard_leg: false,
         page_size: 0,
         fast: false,
     };
@@ -91,6 +106,8 @@ fn parse_args() -> Args {
                     usage()
                 })
             }
+            "--route" => args.route = Some(value("--route")),
+            "--shard-leg" => args.shard_leg = true,
             "--page-size" => {
                 let raw = value("--page-size");
                 args.page_size = raw.parse().unwrap_or_else(|_| {
@@ -138,12 +155,45 @@ fn load_catalog(dir: &str) -> ver_common::error::Result<TableCatalog> {
     Ok(catalog)
 }
 
+/// Parse `--route`'s comma-separated shard-leg addresses. One address per
+/// shard, in shard order; order decides which slice of the column space
+/// each leg is asked to cover.
+fn parse_route(raw: &str) -> Vec<SocketAddr> {
+    let mut addrs = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match config::parse_addr(part) {
+            Some(a) => addrs.push(a),
+            None => {
+                eprintln!("verd: bad --route address {part:?}");
+                usage();
+            }
+        }
+    }
+    if addrs.is_empty() {
+        eprintln!("verd: --route needs at least one HOST:PORT address");
+        usage();
+    }
+    addrs
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let Some(data) = args.data.as_deref() else {
         eprintln!("verd: --data is required");
         usage();
     };
+    if args.route.is_some() && args.shards != 1 {
+        eprintln!("verd: --route and --shards are mutually exclusive");
+        usage();
+    }
+    if args.shard_leg && (args.route.is_some() || args.shards != 1) {
+        eprintln!("verd: --shard-leg is a plain single-engine verd (no --route / --shards)");
+        usage();
+    }
 
     let catalog = match load_catalog(data) {
         Ok(c) => c,
@@ -170,7 +220,52 @@ fn main() -> ExitCode {
     let index_path = args.index.as_deref().map(std::path::Path::new);
     let warm = index_path.is_some_and(|p| p.exists());
 
-    let backend = if args.shards == 1 {
+    let backend = if let Some(route) = args.route.as_deref() {
+        let addrs = parse_route(route);
+        // The router keeps the full catalog + index: it runs column
+        // selection itself and merges the legs' shard outputs centrally,
+        // so a healthy-leg router answers bit-identically to one process.
+        let ver = if warm {
+            ver_index::persist::load_index(index_path.unwrap()).and_then(|ix| {
+                Ver::from_parts(
+                    Arc::new(catalog),
+                    Arc::new(ix),
+                    serve_config.pipeline.clone(),
+                )
+            })
+        } else {
+            Ver::build(catalog, serve_config.pipeline.clone())
+        };
+        match ver {
+            Ok(ver) => {
+                if !warm && args.save_index {
+                    if let Some(p) = index_path {
+                        match ver_index::persist::save_index(ver.index(), p) {
+                            Ok(()) => eprintln!("verd: index saved to {}", p.display()),
+                            Err(e) => eprintln!("verd: saving index: {e} (serving anyway)"),
+                        }
+                    }
+                }
+                match RouterEngine::new(ver, serve_config, &addrs, RetryPolicy::default()) {
+                    Ok(router) => {
+                        eprintln!("verd: router backend: {} remote legs", router.shard_count());
+                        for leg in router.leg_stats() {
+                            eprintln!("verd:   leg {}", leg.addr);
+                        }
+                        Backend::Router(Arc::new(router))
+                    }
+                    Err(e) => {
+                        eprintln!("verd: building router: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("verd: building router pipeline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if args.shards == 1 {
         let engine = if warm {
             ServeEngine::open(Arc::new(catalog), index_path.unwrap(), serve_config)
         } else {
@@ -185,6 +280,9 @@ fn main() -> ExitCode {
                             Err(e) => eprintln!("verd: saving index: {e} (serving anyway)"),
                         }
                     }
+                }
+                if args.shard_leg {
+                    eprintln!("verd: serving as a shard leg (answers ShardQuery)");
                 }
                 Backend::Single(Arc::new(engine))
             }

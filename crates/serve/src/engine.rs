@@ -297,6 +297,28 @@ impl ServeEngine {
         }
     }
 
+    /// Run **one scatter leg** of a sharded query on this engine — the
+    /// shard-serving side of `verd`'s remote scatter (`ShardQuery` on the
+    /// wire). Counts as a query for admission and stats, but bypasses the
+    /// result LRU: leg outputs are merged (and cached) at the router, and
+    /// caching a raw slice here could never be consulted coherently.
+    /// Selection is recomputed per leg — a pure function of the index,
+    /// spec, and config, so the slice is bit-identical to the one an
+    /// in-process scatter would produce (invariant 13).
+    pub fn shard_query(
+        &self,
+        spec: &ViewSpec,
+        shard: usize,
+        shard_count: usize,
+        budget: &QueryBudget,
+    ) -> Result<ver_search::ShardSearchOutput> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let _permit = self.admit()?;
+        ver_common::fault::hit(ver_common::fault::points::SERVE_QUERY)?;
+        self.ver
+            .run_shard_leg(spec, Some(&self.caches), budget, shard, shard_count)
+    }
+
     /// Open an interactive QBE session: run (or reuse) the query and
     /// register a session over its distilled candidates.
     pub fn open_session(&self, spec: &ViewSpec) -> Result<SessionId> {

@@ -69,9 +69,11 @@
 
 pub mod engine;
 pub mod net;
+pub mod remote;
 pub mod session;
 pub mod sharded;
 
 pub use engine::{ServeConfig, ServeEngine, ServeStats};
+pub use remote::{RemoteLeg, RouterEngine, RouterLegStats};
 pub use session::SessionId;
-pub use sharded::{default_shards, ShardStats, ShardedEngine};
+pub use sharded::{default_shards, LocalLeg, ShardBackend, ShardStats, ShardedEngine};

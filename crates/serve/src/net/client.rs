@@ -15,11 +15,22 @@ use ver_common::error::{Result, VerError};
 use ver_qbe::ViewSpec;
 
 use super::frame::{read_frame, write_frame, ReadOutcome};
-use super::wire::{HealthReply, Page, QueryHead, Request, Response, StatsReply, WireResult};
+use super::wire::{
+    HealthReply, Page, QueryHead, Request, Response, StatsReply, WireResult, WireShardOutput,
+};
 
 /// Blocking `verd` client over one TCP connection.
+///
+/// **Poisoning.** After any I/O or protocol failure mid-exchange the
+/// stream may sit anywhere inside a frame — nothing read after that
+/// point can be trusted to be frame-aligned. The first such failure
+/// poisons the client: every later call fails fast with a typed
+/// [`VerError::Protocol`] telling the caller to reconnect, instead of
+/// decoding garbage. Typed `Error` *frames* from the server are clean,
+/// completed exchanges and do not poison.
 pub struct Client {
     stream: TcpStream,
+    poisoned: bool,
 }
 
 impl Client {
@@ -42,21 +53,45 @@ impl Client {
         if !write_timeout.is_zero() {
             stream.set_write_timeout(Some(write_timeout))?;
         }
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            poisoned: false,
+        })
+    }
+
+    /// `true` once an exchange has failed on this connection; every
+    /// further call returns a typed error until the caller reconnects.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// One request→response exchange. A server-sent `Error` frame comes
-    /// back as the typed [`VerError`] it encodes.
+    /// back as the typed [`VerError`] it encodes (and does *not* poison
+    /// the connection — the exchange completed cleanly).
     fn call(&mut self, req: &Request) -> Result<Response> {
-        write_frame(&mut self.stream, &req.encode())?;
-        match read_frame(&mut self.stream)? {
-            ReadOutcome::Eof => Err(VerError::Protocol(
-                "server closed the connection mid-exchange".into(),
-            )),
-            ReadOutcome::Frame(payload) => match Response::decode(&payload)? {
-                Response::Error { code, message } => Err(VerError::from_wire(code, message)),
-                resp => Ok(resp),
-            },
+        if self.poisoned {
+            return Err(VerError::Protocol(
+                "connection poisoned by an earlier failed exchange; reconnect".into(),
+            ));
+        }
+        let exchanged = (|| {
+            write_frame(&mut self.stream, &req.encode())?;
+            match read_frame(&mut self.stream)? {
+                ReadOutcome::Eof => Err(VerError::Protocol(
+                    "server closed the connection mid-exchange".into(),
+                )),
+                ReadOutcome::Frame(payload) => Response::decode(&payload),
+            }
+        })();
+        match exchanged {
+            Ok(Response::Error { code, message }) => Err(VerError::from_wire(code, message)),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                // The stream may be mid-frame; nothing after this point
+                // is trustworthy on this connection.
+                self.poisoned = true;
+                Err(e)
+            }
         }
     }
 
@@ -110,6 +145,16 @@ impl Client {
             while result.views.len() < total {
                 let p = self.fetch_page(head.cursor, page)?;
                 let done = p.last;
+                // A non-final page that adds no views makes no progress
+                // toward `total` — looping again would replay it forever.
+                // That's a server-side contract violation, not a state
+                // this client can recover from.
+                if p.views.is_empty() && !done {
+                    self.poisoned = true;
+                    return Err(VerError::Protocol(format!(
+                        "zero-progress pagination: page {page} was empty but not final"
+                    )));
+                }
                 result.views.extend(p.views);
                 page += 1;
                 if done {
@@ -124,6 +169,27 @@ impl Client {
             )));
         }
         Ok(result)
+    }
+
+    /// Run **one scatter leg** of a sharded query on a shard server and
+    /// return the raw leg output for a router-side merge. `budget_ms` is
+    /// the remaining query budget (`0` = no deadline).
+    pub fn shard_query(
+        &mut self,
+        spec: &ViewSpec,
+        shard: u32,
+        shard_count: u32,
+        budget_ms: u64,
+    ) -> Result<WireShardOutput> {
+        match self.call(&Request::ShardQuery {
+            spec: spec.clone(),
+            shard,
+            shard_count,
+            budget_ms,
+        })? {
+            Response::ShardOutput(o) => Ok(o),
+            other => Err(unexpected("ShardOutput", &other)),
+        }
     }
 
     /// Engine + network counters.
@@ -158,6 +224,7 @@ fn unexpected(wanted: &str, got: &Response) -> VerError {
         Response::Stats(_) => "Stats",
         Response::Health(_) => "Health",
         Response::ShutdownAck => "ShutdownAck",
+        Response::ShardOutput(_) => "ShardOutput",
         Response::Error { .. } => "Error",
     };
     VerError::Protocol(format!("expected {wanted} response, got {got}"))

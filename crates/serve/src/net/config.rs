@@ -7,8 +7,8 @@
 //! per invariant 11, can never change results either way).
 
 use std::net::SocketAddr;
-use std::sync::OnceLock;
 use std::time::Duration;
+use ver_common::env::EnvKnob;
 
 /// Bind address used when neither `--addr` nor `VER_ADDR` says otherwise.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7117";
@@ -32,35 +32,20 @@ pub fn parse_max_conns(raw: &str) -> Option<usize> {
 /// Default bind address: the `VER_ADDR` environment variable, or
 /// [`DEFAULT_ADDR`] when unset. Malformed values warn once and fall back.
 pub fn default_addr() -> SocketAddr {
-    static PARSED: OnceLock<SocketAddr> = OnceLock::new();
-    *PARSED.get_or_init(|| {
-        let fallback: SocketAddr = DEFAULT_ADDR.parse().expect("default addr parses");
-        match std::env::var("VER_ADDR") {
-            Ok(raw) => parse_addr(&raw).unwrap_or_else(|| {
-                eprintln!(
-                    "warning: ignoring malformed VER_ADDR={raw:?} (want host:port, e.g. {DEFAULT_ADDR})"
-                );
-                fallback
-            }),
-            Err(_) => fallback,
-        }
-    })
+    static KNOB: EnvKnob<SocketAddr> =
+        EnvKnob::new("VER_ADDR", "want host:port, e.g. 127.0.0.1:7117");
+    KNOB.get(
+        parse_addr,
+        DEFAULT_ADDR.parse().expect("default addr parses"),
+    )
 }
 
 /// Default connection cap: the `VER_MAX_CONNS` environment variable, or
 /// [`DEFAULT_MAX_CONNS`] when unset. Malformed values warn once and fall
 /// back; an explicit `0` disables the cap.
 pub fn default_max_conns() -> usize {
-    static PARSED: OnceLock<usize> = OnceLock::new();
-    *PARSED.get_or_init(|| match std::env::var("VER_MAX_CONNS") {
-        Ok(raw) => parse_max_conns(&raw).unwrap_or_else(|| {
-            eprintln!(
-                "warning: ignoring malformed VER_MAX_CONNS={raw:?} (want a non-negative integer)"
-            );
-            DEFAULT_MAX_CONNS
-        }),
-        Err(_) => DEFAULT_MAX_CONNS,
-    })
+    static KNOB: EnvKnob<usize> = EnvKnob::new("VER_MAX_CONNS", "want a non-negative integer");
+    KNOB.get(parse_max_conns, DEFAULT_MAX_CONNS)
 }
 
 /// Tunables for one [`Server`](super::server::Server).

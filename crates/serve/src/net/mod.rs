@@ -16,6 +16,10 @@
 //!   cursors, and [`NetStats`] counters behind the `verd` binary.
 //! * [`client`] — the blocking [`Client`] used by tests, benches, and
 //!   the load harness.
+//! * [`resilient`] — the [`ResilientClient`] remote-leg envelope:
+//!   per-attempt timeouts, reconnect-on-error, jittered exponential
+//!   backoff with a retry budget, and a per-leg circuit breaker
+//!   (`VER_RETRIES` / `VER_BACKOFF_MS` / `VER_BREAKER`).
 //!
 //! Error surface on the wire: every [`VerError`](ver_common::error::VerError)
 //! maps to a stable status code ([`VerError::wire_code`](ver_common::error::VerError::wire_code)) in an `Error`
@@ -27,13 +31,15 @@
 pub mod client;
 pub mod config;
 pub mod frame;
+pub mod resilient;
 pub mod server;
 pub mod wire;
 
 pub use client::Client;
 pub use config::{default_addr, default_max_conns, NetConfig, DEFAULT_ADDR, DEFAULT_MAX_CONNS};
+pub use resilient::{backoff_delay, Breaker, BreakerState, ResilientClient, RetryPolicy};
 pub use server::{Backend, Server, ServerHandle};
 pub use wire::{
     HealthReply, NetStats, Page, QueryHead, Request, Response, StatsReply, WireResult,
-    WireSearchStats, WireView, PROTOCOL_VERSION,
+    WireRouterLeg, WireSearchStats, WireShardOutput, WireShardView, WireView, PROTOCOL_VERSION,
 };

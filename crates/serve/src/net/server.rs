@@ -33,18 +33,21 @@ use ver_qbe::ViewSpec;
 use super::config::NetConfig;
 use super::frame::{read_frame, write_frame, ReadOutcome};
 use super::wire::{
-    HealthReply, NetStats, Page, QueryHead, Request, Response, StatsReply, WireResult, WireView,
-    PROTOCOL_VERSION,
+    HealthReply, NetStats, Page, QueryHead, Request, Response, StatsReply, WireResult,
+    WireRouterLeg, WireShardOutput, WireView, PROTOCOL_VERSION,
 };
+use crate::remote::RouterEngine;
 use crate::{ServeEngine, ServeStats, ShardedEngine};
 
-/// The engine a server fronts: a single [`ServeEngine`] or a
-/// [`ShardedEngine`] — same wire surface either way (scatter/gather is
-/// invisible to clients, as invariant 11 requires).
+/// The engine a server fronts: a single [`ServeEngine`], an in-process
+/// [`ShardedEngine`], or a [`RouterEngine`] scattering to remote shard
+/// `verd`s — same wire surface every way (scatter/gather is invisible to
+/// clients, as invariants 11 and 13 require).
 #[derive(Clone)]
 pub enum Backend {
     Single(Arc<ServeEngine>),
     Sharded(Arc<ShardedEngine>),
+    Router(Arc<RouterEngine>),
 }
 
 impl Backend {
@@ -52,6 +55,27 @@ impl Backend {
         match self {
             Backend::Single(e) => e.query_with_budget(spec, budget),
             Backend::Sharded(e) => e.query_with_budget(spec, budget),
+            Backend::Router(e) => e.query_with_budget(spec, budget),
+        }
+    }
+
+    /// Serve one scatter leg (`ShardQuery`). Only a single engine serves
+    /// legs: a sharded or routing backend answering a leg request would
+    /// nest scatters, which the deployment shape rules out — the router
+    /// fans out to *shard-serving* `verd`s, never to another router.
+    fn shard_query(
+        &self,
+        spec: &ViewSpec,
+        shard: usize,
+        shard_count: usize,
+        budget: &QueryBudget,
+    ) -> Result<ver_search::ShardSearchOutput> {
+        match self {
+            Backend::Single(e) => e.shard_query(spec, shard, shard_count, budget),
+            Backend::Sharded(_) | Backend::Router(_) => Err(VerError::InvalidQuery(
+                "this verd is not a shard leg (sharded/router backends do not serve ShardQuery)"
+                    .into(),
+            )),
         }
     }
 
@@ -59,6 +83,26 @@ impl Backend {
         match self {
             Backend::Single(e) => e.stats(),
             Backend::Sharded(e) => e.stats(),
+            Backend::Router(e) => e.stats(),
+        }
+    }
+
+    /// Per-leg router health — empty for non-router backends.
+    fn router_stats(&self) -> Vec<WireRouterLeg> {
+        match self {
+            Backend::Single(_) | Backend::Sharded(_) => Vec::new(),
+            Backend::Router(e) => e
+                .leg_stats()
+                .into_iter()
+                .map(|l| WireRouterLeg {
+                    addr: l.addr,
+                    attempts: l.attempts,
+                    retries: l.retries,
+                    failures: l.failures,
+                    failovers: l.failovers,
+                    breaker: l.breaker.wire_tag(),
+                })
+                .collect(),
         }
     }
 
@@ -66,6 +110,7 @@ impl Backend {
         let (catalog, shards) = match self {
             Backend::Single(e) => (e.catalog_shared(), 1),
             Backend::Sharded(e) => (e.catalog_shared(), e.shard_count() as u32),
+            Backend::Router(e) => (e.ver().catalog_shared(), e.shard_count() as u32),
         };
         (
             catalog.table_count() as u64,
@@ -419,10 +464,38 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
                 }
             }
         }
+        Request::ShardQuery {
+            spec,
+            shard,
+            shard_count,
+            budget_ms,
+        } => {
+            // The wire carries the budget *remaining at the router*; the
+            // leg rebuilds a local deadline from it (0 = no deadline).
+            let budget = if budget_ms == 0 {
+                QueryBudget::none()
+            } else {
+                QueryBudget::none().with_timeout(Duration::from_millis(budget_ms))
+            };
+            match shared
+                .backend
+                .shard_query(&spec, shard as usize, shard_count as usize, &budget)
+            {
+                Ok(out) => {
+                    c.queries_ok.fetch_add(1, Ordering::Relaxed);
+                    Response::ShardOutput(WireShardOutput::from_output(&out))
+                }
+                Err(e) => {
+                    c.queries_err.fetch_add(1, Ordering::Relaxed);
+                    error_response(&e)
+                }
+            }
+        }
         Request::FetchPage { cursor, page } => fetch_page(shared, cursor, page),
         Request::Stats => Response::Stats(StatsReply {
             serve: shared.backend.stats(),
             net: shared.net_stats(),
+            router: shared.backend.router_stats(),
         }),
         Request::Health => {
             let (tables, columns, shards) = shared.backend.health();

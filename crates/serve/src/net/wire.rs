@@ -26,7 +26,10 @@ use crate::ServeStats;
 
 /// Wire-format version carried in `Health` replies; bump on any breaking
 /// codec change (the frame preamble version covers framing only).
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: `ShardQuery` / `ShardOutput` messages for remote scatter legs, and
+/// per-leg router stats appended to `Stats` replies.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // bounds-checked reader + write helpers
@@ -295,6 +298,18 @@ pub enum Request {
     /// Ask the server to stop accepting connections and exit its accept
     /// loop. Acked before the listener closes.
     Shutdown,
+    /// Run **one scatter leg** of a sharded query: this server's owned
+    /// slice of the candidate space, returned raw (rank keys + full view
+    /// data) for the router to merge. `budget_ms` is the budget
+    /// *remaining* at the router when the request was sent (`0` = no
+    /// deadline) — retries deduct elapsed time, so a retried leg races a
+    /// shrinking clock.
+    ShardQuery {
+        spec: ViewSpec,
+        shard: u32,
+        shard_count: u32,
+        budget_ms: u64,
+    },
 }
 
 const REQ_QUERY: u8 = 1;
@@ -302,6 +317,7 @@ const REQ_FETCH_PAGE: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_HEALTH: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
+const REQ_SHARD_QUERY: u8 = 6;
 
 impl Request {
     pub fn encode(&self) -> Vec<u8> {
@@ -325,6 +341,18 @@ impl Request {
             Request::Stats => out.push(REQ_STATS),
             Request::Health => out.push(REQ_HEALTH),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::ShardQuery {
+                spec,
+                shard,
+                shard_count,
+                budget_ms,
+            } => {
+                out.push(REQ_SHARD_QUERY);
+                put_spec(&mut out, spec);
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *shard_count);
+                put_u64(&mut out, *budget_ms);
+            }
         }
         out
     }
@@ -349,6 +377,23 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_HEALTH => Request::Health,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_SHARD_QUERY => {
+                let spec = read_spec(&mut r)?;
+                let shard = r.u32("shard")?;
+                let shard_count = r.u32("shard count")?;
+                let budget_ms = r.u64("budget")?;
+                if shard_count == 0 || shard >= shard_count {
+                    return Err(VerError::Protocol(format!(
+                        "shard {shard} out of range for {shard_count} shards"
+                    )));
+                }
+                Request::ShardQuery {
+                    spec,
+                    shard,
+                    shard_count,
+                    budget_ms,
+                }
+            }
             t => return Err(VerError::Protocol(format!("bad request tag {t}"))),
         };
         r.finish("request")?;
@@ -485,6 +530,349 @@ impl WireSearchStats {
     }
 }
 
+fn dtype_tag(d: ver_common::value::DataType) -> u8 {
+    match d {
+        ver_common::value::DataType::Int => 0,
+        ver_common::value::DataType::Float => 1,
+        ver_common::value::DataType::Text => 2,
+        ver_common::value::DataType::Unknown => 3,
+    }
+}
+
+fn dtype_from_tag(t: u8, what: &str) -> Result<ver_common::value::DataType> {
+    Ok(match t {
+        0 => ver_common::value::DataType::Int,
+        1 => ver_common::value::DataType::Float,
+        2 => ver_common::value::DataType::Text,
+        3 => ver_common::value::DataType::Unknown,
+        _ => return Err(VerError::Protocol(format!("bad dtype tag {t} for {what}"))),
+    })
+}
+
+/// One view of a shard leg's output, shipped with its **rank keys**
+/// (score, canonical edge form, projection) and *full-fidelity* view data
+/// — schema metadata, provenance, rows — so the router can reconstruct
+/// the exact `ShardView` the in-process scatter would have produced and
+/// merge legs bit-identically (invariant 13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShardView {
+    /// Rank key, primary: candidate join score as IEEE-754 bits.
+    pub score_bits: u64,
+    /// Rank key, secondary: canonical edge form of the join graph.
+    pub canon: Vec<(u32, u32)>,
+    /// Rank key, tie-break: projection columns as `(table, ordinal)`.
+    pub projection: Vec<(u32, u16)>,
+    /// `ViewId` ordinal (not final until the router's merge renumbers).
+    pub view_id: u32,
+    /// Materialized table: catalog id, name, per-column metadata, rows.
+    pub table_id: u32,
+    pub table_name: String,
+    /// `(header, dtype tag)` per column; `None` models a missing header.
+    pub columns: Vec<(Option<String>, u8)>,
+    pub rows: Vec<Vec<Value>>,
+    /// Provenance: join edges, source tables, projection, join score bits.
+    pub join_edges: Vec<((u32, u16), (u32, u16))>,
+    pub source_tables: Vec<u32>,
+    pub prov_projection: Vec<(u32, u16)>,
+    pub join_score_bits: u64,
+}
+
+impl WireShardView {
+    pub fn from_shard_view(v: &ver_search::ShardView) -> WireShardView {
+        let cref = |c: &ver_common::ids::ColumnRef| (c.table.0, c.ordinal);
+        WireShardView {
+            score_bits: v.score.to_bits(),
+            canon: v.canon.clone(),
+            projection: v.projection.iter().map(cref).collect(),
+            view_id: v.view.id.0,
+            table_id: v.view.table.id.0,
+            table_name: v.view.table.name().to_string(),
+            columns: v
+                .view
+                .table
+                .schema
+                .columns
+                .iter()
+                .map(|c| (c.name.as_deref().map(str::to_string), dtype_tag(c.dtype)))
+                .collect(),
+            rows: v.view.table.iter_rows().collect(),
+            join_edges: v
+                .view
+                .provenance
+                .join_edges
+                .iter()
+                .map(|(a, b)| (cref(a), cref(b)))
+                .collect(),
+            source_tables: v
+                .view
+                .provenance
+                .source_tables
+                .iter()
+                .map(|t| t.0)
+                .collect(),
+            prov_projection: v.view.provenance.projection.iter().map(cref).collect(),
+            join_score_bits: v.view.provenance.join_score.to_bits(),
+        }
+    }
+
+    /// Rebuild the in-process `ShardView` this was encoded from. A
+    /// payload that decoded cleanly can still describe an impossible
+    /// table (hostile peer); those surface as [`VerError::Protocol`].
+    pub fn into_shard_view(self) -> Result<ver_search::ShardView> {
+        use ver_common::ids::{ColumnRef, TableId, ViewId};
+        let cref = |(t, o): (u32, u16)| ColumnRef {
+            table: TableId(t),
+            ordinal: o,
+        };
+        let metas: Vec<ver_store::schema::ColumnMeta> = self
+            .columns
+            .iter()
+            .map(|(name, tag)| {
+                Ok(ver_store::schema::ColumnMeta {
+                    name: name.as_deref().map(Arc::from),
+                    dtype: dtype_from_tag(*tag, "shard view column")?,
+                })
+            })
+            .collect::<Result<_>>()?;
+        // Transpose the row-major wire form back into columns.
+        let ncols = metas.len();
+        let mut cols: Vec<Vec<Value>> = (0..ncols).map(|_| Vec::new()).collect();
+        for row in self.rows {
+            debug_assert_eq!(row.len(), ncols, "decoder reads exactly ncols per row");
+            for (c, v) in row.into_iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        let schema = ver_store::schema::TableSchema::new(self.table_name, metas);
+        let columns = cols
+            .into_iter()
+            .map(ver_store::column::Column::from_values)
+            .collect();
+        let mut table = ver_store::table::Table::new(schema, columns)
+            .map_err(|e| VerError::Protocol(format!("shard view table on wire: {e}")))?;
+        table.id = TableId(self.table_id);
+        let provenance = ver_core::engine::Provenance {
+            join_edges: self
+                .join_edges
+                .into_iter()
+                .map(|(a, b)| (cref(a), cref(b)))
+                .collect(),
+            source_tables: self.source_tables.into_iter().map(TableId).collect(),
+            projection: self.prov_projection.into_iter().map(cref).collect(),
+            join_score: f64::from_bits(self.join_score_bits),
+        };
+        Ok(ver_search::ShardView {
+            score: f64::from_bits(self.score_bits),
+            canon: self.canon,
+            projection: self.projection.into_iter().map(cref).collect(),
+            view: ver_core::engine::View::new(ViewId(self.view_id), table, provenance),
+        })
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.score_bits);
+        put_u32(out, self.canon.len() as u32);
+        for (a, b) in &self.canon {
+            put_u32(out, *a);
+            put_u32(out, *b);
+        }
+        put_u32(out, self.projection.len() as u32);
+        for (t, o) in &self.projection {
+            put_u32(out, *t);
+            put_u16(out, *o);
+        }
+        put_u32(out, self.view_id);
+        put_u32(out, self.table_id);
+        put_string(out, &self.table_name);
+        put_u32(out, self.columns.len() as u32);
+        for (name, tag) in &self.columns {
+            put_opt_string(out, name.as_deref());
+            out.push(*tag);
+        }
+        put_u32(out, self.rows.len() as u32);
+        for row in &self.rows {
+            for v in row {
+                put_value(out, v);
+            }
+        }
+        put_u32(out, self.join_edges.len() as u32);
+        for ((at, ao), (bt, bo)) in &self.join_edges {
+            put_u32(out, *at);
+            put_u16(out, *ao);
+            put_u32(out, *bt);
+            put_u16(out, *bo);
+        }
+        put_u32(out, self.source_tables.len() as u32);
+        for t in &self.source_tables {
+            put_u32(out, *t);
+        }
+        put_u32(out, self.prov_projection.len() as u32);
+        for (t, o) in &self.prov_projection {
+            put_u32(out, *t);
+            put_u16(out, *o);
+        }
+        put_u64(out, self.join_score_bits);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireShardView> {
+        let score_bits = r.u64("shard view score")?;
+        let ncanon = r.count(8, "shard view canon")?;
+        let mut canon = Vec::new();
+        for _ in 0..ncanon {
+            canon.push((r.u32("canon edge")?, r.u32("canon edge")?));
+        }
+        let nproj = r.count(6, "shard view projection")?;
+        let mut projection = Vec::new();
+        for _ in 0..nproj {
+            projection.push((r.u32("projection table")?, r.u16("projection ordinal")?));
+        }
+        let view_id = r.u32("shard view id")?;
+        let table_id = r.u32("shard view table id")?;
+        let table_name = r.string("shard view table name")?;
+        let ncols = r.count(2, "shard view columns")?;
+        let mut columns = Vec::new();
+        for _ in 0..ncols {
+            let name = r.opt_string("shard view column name")?;
+            let tag = r.u8("shard view column dtype")?;
+            dtype_from_tag(tag, "shard view column")?;
+            columns.push((name, tag));
+        }
+        let nrows = r.count(ncols.max(1), "shard view rows")?;
+        let mut rows = Vec::new();
+        for _ in 0..nrows {
+            let mut row = Vec::new();
+            for _ in 0..ncols {
+                row.push(r.value("shard view cell")?);
+            }
+            rows.push(row);
+        }
+        let nedges = r.count(12, "shard view join edges")?;
+        let mut join_edges = Vec::new();
+        for _ in 0..nedges {
+            let a = (r.u32("edge table")?, r.u16("edge ordinal")?);
+            let b = (r.u32("edge table")?, r.u16("edge ordinal")?);
+            join_edges.push((a, b));
+        }
+        let ntables = r.count(4, "shard view source tables")?;
+        let mut source_tables = Vec::new();
+        for _ in 0..ntables {
+            source_tables.push(r.u32("source table")?);
+        }
+        let npproj = r.count(6, "shard view prov projection")?;
+        let mut prov_projection = Vec::new();
+        for _ in 0..npproj {
+            prov_projection.push((r.u32("prov table")?, r.u16("prov ordinal")?));
+        }
+        let join_score_bits = r.u64("shard view join score")?;
+        Ok(WireShardView {
+            score_bits,
+            canon,
+            projection,
+            view_id,
+            table_id,
+            table_name,
+            columns,
+            rows,
+            join_edges,
+            source_tables,
+            prov_projection,
+            join_score_bits,
+        })
+    }
+}
+
+/// One whole shard leg's output on the wire: this shard's owned slice of
+/// the global ranking. The leg's DAG counters and stage timers stay
+/// server-side — they never influence merged *results* (only local
+/// diagnostics), so shipping them would buy nothing but bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShardOutput {
+    pub shard: u32,
+    pub shard_count: u32,
+    /// `true` when the leg's slice was trimmed by the budget.
+    pub partial: bool,
+    pub stats: WireSearchStats,
+    pub views: Vec<WireShardView>,
+}
+
+impl WireShardOutput {
+    pub fn from_output(out: &ver_search::ShardSearchOutput) -> WireShardOutput {
+        let s = &out.stats;
+        WireShardOutput {
+            shard: out.shard as u32,
+            shard_count: out.shard_count as u32,
+            partial: out.partial,
+            stats: WireSearchStats {
+                combinations: s.combinations as u64,
+                skipped_by_cache: s.skipped_by_cache as u64,
+                joinable_groups: s.joinable_groups as u64,
+                join_graphs: s.join_graphs as u64,
+                views: s.views as u64,
+            },
+            views: out
+                .views
+                .iter()
+                .map(WireShardView::from_shard_view)
+                .collect(),
+        }
+    }
+
+    /// Rebuild the in-process leg output (timers and DAG counters reset —
+    /// they are per-process diagnostics, not merge inputs).
+    pub fn into_output(self) -> Result<ver_search::ShardSearchOutput> {
+        let views: Vec<ver_search::ShardView> = self
+            .views
+            .into_iter()
+            .map(WireShardView::into_shard_view)
+            .collect::<Result<_>>()?;
+        Ok(ver_search::ShardSearchOutput {
+            shard: self.shard as usize,
+            shard_count: self.shard_count as usize,
+            views,
+            stats: ver_search::SearchStats {
+                combinations: self.stats.combinations as usize,
+                skipped_by_cache: self.stats.skipped_by_cache as usize,
+                joinable_groups: self.stats.joinable_groups as usize,
+                join_graphs: self.stats.join_graphs as usize,
+                views: self.stats.views as usize,
+            },
+            dag: ver_search::MaterializeStats::default(),
+            timer: ver_common::timer::PhaseTimer::new(),
+            partial: self.partial,
+        })
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.shard);
+        put_u32(out, self.shard_count);
+        out.push(self.partial as u8);
+        self.stats.encode(out);
+        put_u32(out, self.views.len() as u32);
+        for v in &self.views {
+            v.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireShardOutput> {
+        let shard = r.u32("shard")?;
+        let shard_count = r.u32("shard count")?;
+        let partial = r.bool("shard partial")?;
+        let stats = WireSearchStats::decode(r)?;
+        let nviews = r.count(40, "shard views")?;
+        let mut views = Vec::new();
+        for _ in 0..nviews {
+            views.push(WireShardView::decode(r)?);
+        }
+        Ok(WireShardOutput {
+            shard,
+            shard_count,
+            partial,
+            stats,
+            views,
+        })
+    }
+}
+
 /// The head of a query response: result-level facts plus the first page
 /// of views. `cursor == 0` means the result is complete as delivered;
 /// otherwise the remaining pages are fetched with [`Request::FetchPage`].
@@ -602,11 +990,59 @@ fn read_cache_stats(r: &mut Reader<'_>, what: &str) -> Result<ver_common::cache:
     })
 }
 
-/// Engine + network counters together.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Health of one remote scatter leg, as the router's `Stats` reply
+/// reports it. Single and sharded backends reply with an empty leg list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireRouterLeg {
+    /// The leg's shard-server address, as configured on the router.
+    pub addr: String,
+    /// Wire attempts made to this leg (first tries and retries alike).
+    pub attempts: u64,
+    /// Attempts beyond the first for some query (failure → backoff → retry).
+    pub retries: u64,
+    /// Attempts that failed (the breaker counts these consecutively).
+    pub failures: u64,
+    /// Queries that gave up on this leg and degraded the merge to partial.
+    pub failovers: u64,
+    /// Circuit-breaker state: 0 = closed, 1 = open, 2 = half-open.
+    pub breaker: u8,
+}
+
+impl WireRouterLeg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_string(out, &self.addr);
+        put_u64(out, self.attempts);
+        put_u64(out, self.retries);
+        put_u64(out, self.failures);
+        put_u64(out, self.failovers);
+        out.push(self.breaker);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireRouterLeg> {
+        Ok(WireRouterLeg {
+            addr: r.string("router leg addr")?,
+            attempts: r.u64("router leg attempts")?,
+            retries: r.u64("router leg retries")?,
+            failures: r.u64("router leg failures")?,
+            failovers: r.u64("router leg failovers")?,
+            breaker: {
+                let b = r.u8("router leg breaker")?;
+                if b > 2 {
+                    return Err(VerError::Protocol(format!("bad breaker state {b}")));
+                }
+                b
+            },
+        })
+    }
+}
+
+/// Engine + network counters together, plus per-leg router health when
+/// the server is a router over remote shard legs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsReply {
     pub serve: ServeStats,
     pub net: NetStats,
+    pub router: Vec<WireRouterLeg>,
 }
 
 impl StatsReply {
@@ -624,6 +1060,10 @@ impl StatsReply {
         put_u64(out, s.partial_results);
         put_u64(out, s.in_flight as u64);
         self.net.encode(out);
+        put_u32(out, self.router.len() as u32);
+        for leg in &self.router {
+            leg.encode(out);
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<StatsReply> {
@@ -641,7 +1081,12 @@ impl StatsReply {
             in_flight: r.u64("in flight")? as usize,
         };
         let net = NetStats::decode(r)?;
-        Ok(StatsReply { serve, net })
+        let nlegs = r.count(37, "router legs")?;
+        let mut router = Vec::new();
+        for _ in 0..nlegs {
+            router.push(WireRouterLeg::decode(r)?);
+        }
+        Ok(StatsReply { serve, net, router })
     }
 }
 
@@ -691,6 +1136,8 @@ pub enum Response {
     Stats(StatsReply),
     Health(HealthReply),
     ShutdownAck,
+    /// One shard leg's raw output (reply to [`Request::ShardQuery`]).
+    ShardOutput(WireShardOutput),
     /// Typed failure: `code` is [`VerError::wire_code`], `message` the
     /// error's inner message. The client rebuilds the `VerError` with
     /// [`VerError::from_wire`].
@@ -706,6 +1153,7 @@ const RESP_STATS: u8 = 3;
 const RESP_HEALTH: u8 = 4;
 const RESP_SHUTDOWN_ACK: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_SHARD_OUTPUT: u8 = 7;
 
 fn put_views(out: &mut Vec<u8>, views: &[WireView]) {
     put_u32(out, views.len() as u32);
@@ -761,6 +1209,10 @@ impl Response {
                 h.encode(&mut out);
             }
             Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
+            Response::ShardOutput(o) => {
+                out.push(RESP_SHARD_OUTPUT);
+                o.encode(&mut out);
+            }
             Response::Error { code, message } => {
                 out.push(RESP_ERROR);
                 put_u16(&mut out, *code);
@@ -818,6 +1270,7 @@ impl Response {
             RESP_STATS => Response::Stats(StatsReply::decode(&mut r)?),
             RESP_HEALTH => Response::Health(HealthReply::decode(&mut r)?),
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            RESP_SHARD_OUTPUT => Response::ShardOutput(WireShardOutput::decode(&mut r)?),
             RESP_ERROR => {
                 let code = r.u16("error code")?;
                 let message = r.string("error message")?;
@@ -939,6 +1392,26 @@ mod tests {
         }
     }
 
+    fn sample_shard_view() -> WireShardView {
+        WireShardView {
+            score_bits: 0.75f64.to_bits(),
+            canon: vec![(1, 9), (2, 4)],
+            projection: vec![(0, 1), (3, 0)],
+            view_id: 5,
+            table_id: 3,
+            table_name: "joined".into(),
+            columns: vec![(Some("a".into()), 2), (None, 0)],
+            rows: vec![
+                vec![Value::text("x"), Value::Int(-1)],
+                vec![Value::Null, Value::Int(7)],
+            ],
+            join_edges: vec![((0, 1), (3, 0))],
+            source_tables: vec![0, 3],
+            prov_projection: vec![(0, 0), (3, 1)],
+            join_score_bits: 0.75f64.to_bits(),
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         let mut reqs = vec![
@@ -949,15 +1422,69 @@ mod tests {
         ];
         for spec in sample_specs() {
             reqs.push(Request::Query {
-                spec,
+                spec: spec.clone(),
                 page_size: 16,
                 timeout_ms: 250,
+            });
+            reqs.push(Request::ShardQuery {
+                spec,
+                shard: 1,
+                shard_count: 4,
+                budget_ms: 1500,
             });
         }
         for req in reqs {
             let enc = req.encode();
             assert_eq!(Request::decode(&enc).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn shard_query_with_out_of_range_shard_is_a_protocol_error() {
+        for (shard, shard_count) in [(2u32, 2u32), (0, 0), (7, 3)] {
+            let enc = Request::ShardQuery {
+                spec: sample_specs().remove(1),
+                shard,
+                shard_count,
+                budget_ms: 0,
+            }
+            .encode();
+            assert!(
+                matches!(Request::decode(&enc), Err(VerError::Protocol(_))),
+                "shard {shard}/{shard_count} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_view_reconstruction_is_lossless() {
+        // wire → in-process → wire must be the identity: the router's
+        // merge works on reconstructed `ShardView`s, so any loss here
+        // would silently break invariant 13.
+        let wire = sample_shard_view();
+        let sv = wire.clone().into_shard_view().unwrap();
+        assert_eq!(sv.view.table.row_count(), 2);
+        assert_eq!(sv.view.table.schema.columns[0].name.as_deref(), Some("a"));
+        assert_eq!(sv.view.provenance.join_edges.len(), 1);
+        let back = WireShardView::from_shard_view(&sv);
+        assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn shard_view_with_bad_dtype_tag_is_a_protocol_error() {
+        let mut wire = sample_shard_view();
+        wire.columns[0].1 = 9;
+        let resp = Response::ShardOutput(WireShardOutput {
+            shard: 0,
+            shard_count: 1,
+            partial: false,
+            stats: WireSearchStats::default(),
+            views: vec![wire],
+        });
+        assert!(matches!(
+            Response::decode(&resp.encode()),
+            Err(VerError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -992,6 +1519,30 @@ mod tests {
                     dropped_conns: 1,
                     ..NetStats::default()
                 },
+                router: vec![
+                    WireRouterLeg {
+                        addr: "127.0.0.1:7201".into(),
+                        attempts: 12,
+                        retries: 3,
+                        failures: 3,
+                        failovers: 1,
+                        breaker: 1,
+                    },
+                    WireRouterLeg::default(),
+                ],
+            }),
+            Response::ShardOutput(WireShardOutput {
+                shard: 1,
+                shard_count: 2,
+                partial: true,
+                stats: WireSearchStats {
+                    combinations: 5,
+                    skipped_by_cache: 0,
+                    joinable_groups: 5,
+                    join_graphs: 9,
+                    views: 1,
+                },
+                views: vec![sample_shard_view()],
             }),
             Response::Health(HealthReply {
                 protocol_version: PROTOCOL_VERSION,

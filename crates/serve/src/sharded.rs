@@ -5,10 +5,13 @@
 //! [`query_with_budget`](ShardedEngine::query_with_budget), the same
 //! fail-fast admission gate, the same result-LRU and partial-result
 //! semantics — but executes every result-cache miss as a scatter/gather
-//! over `shard_count` logical shards on `ver_common::pool`
-//! ([`Ver::run_sharded_with_legs`]). One [`SearchCaches`] bundle is shared
-//! by every scatter leg: the score memo makes each shard's (identical)
-//! global scoring pass cheap, and cache hits stay bit-identical to misses.
+//! over `shard_count` logical shards on `ver_common::pool`. Where a leg
+//! *runs* is behind the [`ShardBackend`] trait: the engine built here
+//! scatters over in-process [`LocalLeg`]s ([`Ver::run_shard_leg`]), and
+//! the router in [`crate::remote`] scatters the same way over remote
+//! `verd` processes. One [`SearchCaches`] bundle is shared by every local
+//! leg: the score memo makes each shard's (identical) global scoring pass
+//! cheap, and cache hits stay bit-identical to misses.
 //!
 //! **Determinism invariant 11.** For every shard count the merged answer
 //! is bit-identical to the single-engine [`ServeEngine`](crate::ServeEngine) run — same views,
@@ -32,11 +35,11 @@ use std::sync::Arc;
 use ver_common::budget::QueryBudget;
 use ver_common::cache::LruCache;
 use ver_common::error::{Result, VerError};
-use ver_core::{QueryResult, Ver};
+use ver_core::{QueryResult, ShardLeg, Ver};
 use ver_index::persist::{load_index, save_index};
 use ver_index::DiscoveryIndex;
 use ver_qbe::ViewSpec;
-use ver_search::SearchCaches;
+use ver_search::{SearchCaches, ShardSearchOutput};
 use ver_store::catalog::TableCatalog;
 
 /// Parse a `VER_SHARDS`-style value: a positive shard count.
@@ -52,14 +55,120 @@ fn parse_shards(raw: &str) -> Option<usize> {
 /// process and falls back to `1` — a typo'd knob must not change results,
 /// and invariant 11 means the fallback computes identical output anyway.
 pub fn default_shards() -> usize {
-    static PARSED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *PARSED.get_or_init(|| match std::env::var("VER_SHARDS") {
-        Ok(raw) => parse_shards(&raw).unwrap_or_else(|| {
-            eprintln!("warning: ignoring malformed VER_SHARDS={raw:?} (want a positive integer)");
-            1
-        }),
-        Err(_) => 1,
-    })
+    static KNOB: ver_common::env::EnvKnob<usize> =
+        ver_common::env::EnvKnob::new("VER_SHARDS", "want a positive integer");
+    KNOB.get(parse_shards, 1)
+}
+
+/// One scatter leg's executor: where shard `shard` of `shard_count`
+/// actually runs. The in-process [`LocalLeg`] answers on this process's
+/// own catalog/index; `ver_serve::remote::RemoteLeg` speaks the `verd`
+/// protocol to a shard-serving peer. The merge contract (invariants 11
+/// and 13) holds for any mix, because every backend computes the same
+/// pure function of (index, spec, shard identity, budget).
+pub trait ShardBackend: Send + Sync {
+    /// Human-readable identity for stats and logs (an address, "local").
+    fn describe(&self) -> String;
+
+    /// Run one scatter leg: shard `shard` of `shard_count` under `budget`.
+    fn leg_query(
+        &self,
+        spec: &ViewSpec,
+        shard: usize,
+        shard_count: usize,
+        budget: &QueryBudget,
+    ) -> Result<ShardSearchOutput>;
+
+    /// Whether `e` **degrades** this leg (dropped at the gather, merged
+    /// result flagged partial) rather than failing the whole query. The
+    /// in-process default mirrors [`Ver::run_sharded_with_legs`]: worker
+    /// panics and un-degraded deadlines are droppable, anything else is a
+    /// real error. Remote backends widen this to transport failures.
+    fn degradable(&self, e: &VerError) -> bool {
+        matches!(e, VerError::DeadlineExceeded(_) | VerError::Internal(_))
+    }
+}
+
+/// The in-process [`ShardBackend`]: runs a leg on this process's own
+/// catalog and index via [`Ver::run_shard_leg`], sharing one
+/// [`SearchCaches`] bundle across every leg (cache hits are bit-identical
+/// to misses, so sharing never changes results).
+pub struct LocalLeg {
+    ver: Ver,
+    caches: Arc<SearchCaches>,
+}
+
+impl LocalLeg {
+    pub fn new(ver: Ver, caches: Arc<SearchCaches>) -> LocalLeg {
+        LocalLeg { ver, caches }
+    }
+}
+
+impl ShardBackend for LocalLeg {
+    fn describe(&self) -> String {
+        "local".into()
+    }
+
+    fn leg_query(
+        &self,
+        spec: &ViewSpec,
+        shard: usize,
+        shard_count: usize,
+        budget: &QueryBudget,
+    ) -> Result<ShardSearchOutput> {
+        self.ver
+            .run_shard_leg(spec, Some(self.caches.as_ref()), budget, shard, shard_count)
+    }
+}
+
+/// Scatter `spec` over one backend per shard on `ver_common::pool`,
+/// classifying each leg exactly as [`Ver::run_sharded_with_legs`] does:
+/// a leg whose error its backend calls [`ShardBackend::degradable`] is
+/// dropped (reported `ok: false`, gather proceeds flagged partial); any
+/// other error fails the query. Worker panics arrive here as
+/// [`VerError::Internal`] via `try_par_map` and are droppable by default.
+/// Returns the surviving outputs, a per-leg report, and whether every leg
+/// survived.
+pub(crate) fn scatter_over_backends(
+    backends: &[Arc<dyn ShardBackend>],
+    spec: &ViewSpec,
+    budget: &QueryBudget,
+    threads: usize,
+) -> Result<(Vec<ShardSearchOutput>, Vec<ShardLeg>, bool)> {
+    let shard_count = backends.len();
+    assert!(shard_count >= 1, "scatter needs at least one backend");
+    let pool = ver_common::pool::ThreadPool::new(threads);
+    let shard_ids: Vec<usize> = (0..shard_count).collect();
+    let legs = pool.try_par_map(&shard_ids, |&shard| {
+        backends[shard].leg_query(spec, shard, shard_count, budget)
+    });
+    let mut outputs = Vec::with_capacity(shard_count);
+    let mut reports = Vec::with_capacity(shard_count);
+    let mut complete = true;
+    for (shard, leg) in legs.into_iter().enumerate() {
+        match leg {
+            Ok(out) => {
+                reports.push(ShardLeg {
+                    shard,
+                    ok: true,
+                    partial: out.partial,
+                    views: out.views.len(),
+                });
+                outputs.push(out);
+            }
+            Err(e) if backends[shard].degradable(&e) => {
+                complete = false;
+                reports.push(ShardLeg {
+                    shard,
+                    ok: false,
+                    partial: true,
+                    views: 0,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((outputs, reports, complete))
 }
 
 /// Point-in-time health counters for one shard of a [`ShardedEngine`].
@@ -87,7 +196,8 @@ struct ShardCounters {
 
 /// RAII admission permit — one in-flight slot, released on drop even when
 /// the query errors, so failed queries can never leak the gate shut.
-struct InFlightPermit<'a>(&'a AtomicU64);
+/// Shared with the remote router, which runs the same admission gate.
+pub(crate) struct InFlightPermit<'a>(pub(crate) &'a AtomicU64);
 
 impl Drop for InFlightPermit<'_> {
     fn drop(&mut self) {
@@ -105,10 +215,14 @@ pub struct ShardedEngine {
     ver: Ver,
     config: ServeConfig,
     shard_count: usize,
+    /// One [`ShardBackend`] per shard (all [`LocalLeg`]s here; the remote
+    /// router in `ver_serve::remote` reuses the same scatter over
+    /// `RemoteLeg`s).
+    backends: Vec<Arc<dyn ShardBackend>>,
     /// Whole-result cache keyed by the canonical query form.
     results: LruCache<String, Arc<QueryResult>>,
     /// The ONE cross-query cache bundle every scatter leg shares.
-    caches: SearchCaches,
+    caches: Arc<SearchCaches>,
     shards: Vec<ShardCounters>,
     queries: AtomicU64,
     in_flight: AtomicU64,
@@ -126,7 +240,7 @@ impl ShardedEngine {
         shard_count: usize,
     ) -> Result<ShardedEngine> {
         let ver = Ver::build(catalog, config.pipeline.clone())?;
-        Ok(Self::assemble(ver, config, shard_count))
+        Self::assemble(ver, config, shard_count)
     }
 
     /// Warm start from an already-built index (e.g. merged from persisted
@@ -138,7 +252,7 @@ impl ShardedEngine {
         shard_count: usize,
     ) -> Result<ShardedEngine> {
         let ver = Ver::from_parts(catalog, index, config.pipeline.clone())?;
-        Ok(Self::assemble(ver, config, shard_count))
+        Self::assemble(ver, config, shard_count)
     }
 
     /// Warm start from a persisted full-index file.
@@ -152,15 +266,25 @@ impl ShardedEngine {
         Self::warm_start(catalog, Arc::new(index), config, shard_count)
     }
 
-    fn assemble(ver: Ver, config: ServeConfig, shard_count: usize) -> ShardedEngine {
+    fn assemble(ver: Ver, config: ServeConfig, shard_count: usize) -> Result<ShardedEngine> {
         let shard_count = if shard_count == 0 {
             default_shards()
         } else {
             shard_count
         };
-        ShardedEngine {
+        let caches = Arc::new(SearchCaches::new(config.view_cache_capacity));
+        // One local backend serves every shard index — `leg_query` takes
+        // the shard identity per call, so the instance is shared.
+        let leg_ver = Ver::from_parts(
+            ver.catalog_shared(),
+            ver.index_shared(),
+            config.pipeline.clone(),
+        )?;
+        let local: Arc<dyn ShardBackend> = Arc::new(LocalLeg::new(leg_ver, Arc::clone(&caches)));
+        Ok(ShardedEngine {
             results: LruCache::new(config.result_cache_capacity),
-            caches: SearchCaches::new(config.view_cache_capacity),
+            caches,
+            backends: (0..shard_count).map(|_| Arc::clone(&local)).collect(),
             shards: (0..shard_count).map(|_| ShardCounters::default()).collect(),
             queries: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -169,7 +293,7 @@ impl ShardedEngine {
             ver,
             config,
             shard_count,
-        }
+        })
     }
 
     /// Claim an admission slot, failing fast with [`VerError::Overloaded`]
@@ -254,10 +378,18 @@ impl ShardedEngine {
         }
         let _permit = self.admit()?;
         ver_common::fault::hit(ver_common::fault::points::SERVE_QUERY)?;
-        match self
-            .ver
-            .run_sharded_with_legs(spec, Some(&self.caches), budget, self.shard_count)
-        {
+        let scattered = scatter_over_backends(
+            &self.backends,
+            spec,
+            budget,
+            self.ver.config().search.threads,
+        )
+        .and_then(|(outputs, legs, complete)| {
+            self.ver
+                .gather_shard_outputs(spec, budget, outputs, complete)
+                .map(|result| (result, legs))
+        });
+        match scattered {
             Ok((result, legs)) => {
                 for leg in legs {
                     let cell = &self.shards[leg.shard];

@@ -16,10 +16,12 @@ use std::sync::OnceLock;
 use ver_common::error::VerError;
 use ver_common::value::Value;
 use ver_qbe::{ExampleQuery, QueryColumn, ViewSpec};
-use ver_serve::net::frame::{decode_frame, encode_frame, read_frame, ReadOutcome, MAGIC};
+use ver_serve::net::frame::{
+    decode_frame, encode_frame, read_frame, write_frame, ReadOutcome, MAGIC,
+};
 use ver_serve::net::{
-    HealthReply, NetStats, Page, QueryHead, Request, Response, StatsReply, WireResult,
-    WireSearchStats, WireView, PROTOCOL_VERSION,
+    Client, HealthReply, NetStats, Page, QueryHead, Request, Response, StatsReply, WireResult,
+    WireRouterLeg, WireSearchStats, WireShardOutput, WireShardView, WireView, PROTOCOL_VERSION,
 };
 use ver_serve::ServeStats;
 
@@ -66,10 +68,36 @@ fn request_corpus() -> Vec<Request> {
             cursor: 0xDEAD_BEEF,
             page: 3,
         },
+        Request::ShardQuery {
+            spec: ViewSpec::Keyword(vec!["city".into()]),
+            shard: 1,
+            shard_count: 4,
+            budget_ms: 750,
+        },
         Request::Stats,
         Request::Health,
         Request::Shutdown,
     ]
+}
+
+fn sample_shard_view(id: u32) -> WireShardView {
+    WireShardView {
+        score_bits: (0.5 + id as f64).to_bits(),
+        canon: vec![(0, id + 1), (id + 1, 2)],
+        projection: vec![(0, 0), (id + 1, 1)],
+        view_id: id,
+        table_id: 40 + id,
+        table_name: format!("view_{id}"),
+        columns: vec![(Some("state".into()), 2), (None, 0)],
+        rows: vec![
+            vec![Value::text(format!("state_{id}")), Value::Int(id as i64)],
+            vec![Value::Null, Value::Int(-1)],
+        ],
+        join_edges: vec![((0, 0), (id + 1, 1))],
+        source_tables: vec![0, id + 1],
+        prov_projection: vec![(0, 0)],
+        join_score_bits: (0.25 * id as f64).to_bits(),
+    }
 }
 
 /// One of every response type.
@@ -105,6 +133,37 @@ fn response_corpus() -> Vec<Response> {
                 protocol_errors: 1,
                 ..NetStats::default()
             },
+            router: vec![
+                WireRouterLeg {
+                    addr: "127.0.0.1:7201".into(),
+                    attempts: 31,
+                    retries: 4,
+                    failures: 5,
+                    failovers: 1,
+                    breaker: 0,
+                },
+                WireRouterLeg {
+                    addr: "[::1]:7202".into(),
+                    attempts: 9,
+                    retries: 9,
+                    failures: 9,
+                    failovers: 3,
+                    breaker: 2,
+                },
+            ],
+        }),
+        Response::ShardOutput(WireShardOutput {
+            shard: 3,
+            shard_count: 4,
+            partial: true,
+            stats: WireSearchStats {
+                combinations: 7,
+                skipped_by_cache: 1,
+                joinable_groups: 6,
+                join_graphs: 12,
+                views: 2,
+            },
+            views: vec![sample_shard_view(0), sample_shard_view(5)],
         }),
         Response::Health(HealthReply {
             protocol_version: PROTOCOL_VERSION,
@@ -291,6 +350,124 @@ proptest! {
                 prop_assert!(count > 0);
             }
         }
+    }
+}
+
+/// A one-connection scripted peer: binds an ephemeral port, accepts a
+/// single connection, and hands it to `script` on a background thread.
+/// Lets the tests below play a *misbehaving* server — something the real
+/// `Server` (correctly) refuses to be.
+fn scripted_server<F>(script: F) -> std::net::SocketAddr
+where
+    F: FnOnce(std::net::TcpStream) + Send + 'static,
+{
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            script(stream);
+        }
+    });
+    addr
+}
+
+/// Regression: a server that hands back an empty-but-not-final page used
+/// to spin `Client::query`'s reassembly loop forever (the loop condition
+/// `views.len() < total` never advanced). It must now surface as a typed
+/// protocol error and poison the connection — the stream's pagination
+/// state is unrecoverable.
+#[test]
+fn zero_progress_pagination_is_a_typed_error_not_an_infinite_loop() {
+    let addr = scripted_server(|mut s| {
+        // Query → a head promising 3 views, delivering 1, with a cursor.
+        read_frame(&mut s).unwrap();
+        let head = Response::Query(QueryHead {
+            partial: false,
+            stats: WireSearchStats {
+                combinations: 1,
+                skipped_by_cache: 0,
+                joinable_groups: 1,
+                join_graphs: 1,
+                views: 3,
+            },
+            survivors_c2: vec![0],
+            ranked: vec![(0, 1)],
+            total_views: 3,
+            page_size: 1,
+            cursor: 7,
+            views: vec![sample_view(0)],
+        });
+        write_frame(&mut s, &head.encode()).unwrap();
+        // FetchPage → an empty page that is *not* last: zero progress.
+        read_frame(&mut s).unwrap();
+        let page = Response::Page(Page {
+            cursor: 7,
+            page: 1,
+            last: false,
+            views: vec![],
+        });
+        write_frame(&mut s, &page.encode()).unwrap();
+        // Keep the socket open so the failure can't be blamed on EOF.
+        let _ = read_frame(&mut s);
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    match client.query(&ViewSpec::Keyword(vec!["x".into()]), 1, 0) {
+        Err(VerError::Protocol(m)) => assert!(m.contains("zero-progress"), "{m}"),
+        other => panic!("expected zero-progress Protocol error, got {other:?}"),
+    }
+    assert!(client.is_poisoned());
+    // Later calls fail fast, without touching the desynced stream.
+    match client.health() {
+        Err(VerError::Protocol(m)) => assert!(m.contains("poisoned"), "{m}"),
+        other => panic!("expected poisoned Protocol error, got {other:?}"),
+    }
+}
+
+/// A cleanly-delivered `Error` frame is a complete exchange: the stream is
+/// still frame-aligned, so the connection stays usable.
+#[test]
+fn a_clean_server_error_frame_does_not_poison_the_connection() {
+    let addr = scripted_server(|mut s| {
+        read_frame(&mut s).unwrap();
+        let err = Response::Error {
+            code: VerError::InvalidQuery(String::new()).wire_code(),
+            message: "empty spec".into(),
+        };
+        write_frame(&mut s, &err.encode()).unwrap();
+        read_frame(&mut s).unwrap();
+        let health = Response::Health(HealthReply {
+            protocol_version: PROTOCOL_VERSION,
+            tables: 1,
+            columns: 2,
+            shards: 1,
+            uptime_ms: 5,
+        });
+        write_frame(&mut s, &health.encode()).unwrap();
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    assert!(matches!(client.stats(), Err(VerError::InvalidQuery(_))));
+    assert!(!client.is_poisoned(), "typed server error must not poison");
+    assert_eq!(client.health().unwrap().tables, 1);
+}
+
+/// A server dying mid-exchange leaves the stream in an unknowable state:
+/// the first error poisons, and every later call on the same connection
+/// fails fast with a reconnect hint instead of reading garbage.
+#[test]
+fn a_mid_exchange_close_poisons_the_connection() {
+    let addr = scripted_server(|mut s| {
+        read_frame(&mut s).unwrap();
+        // Drop without replying.
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    assert!(matches!(client.health(), Err(VerError::Protocol(_))));
+    assert!(client.is_poisoned());
+    match client.stats() {
+        Err(VerError::Protocol(m)) => assert!(m.contains("poisoned"), "{m}"),
+        other => panic!("expected poisoned Protocol error, got {other:?}"),
     }
 }
 

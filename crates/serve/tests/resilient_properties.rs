@@ -1,0 +1,294 @@
+//! Property tests for the resilient-client building blocks: the jittered
+//! exponential backoff and the per-leg circuit breaker.
+//!
+//! Both are deliberately pure (the backoff takes an explicit seed, the
+//! breaker an explicit clock), so they can be driven exhaustively here
+//! without a network. Pinned invariants:
+//!
+//! * **backoff bounds** — every delay lands in `[exp/2, exp]` where
+//!   `exp = min(base · 2^attempt, cap)`; jitter never pushes a retry past
+//!   the cap and never collapses it below half the exponential schedule;
+//! * **backoff determinism** — the same `(policy, attempt, seed)` always
+//!   yields the same delay (invariant 7: no ambient randomness);
+//! * **breaker state machine** — a from-scratch reference model and the
+//!   production `Breaker` agree on state, admission, and failure streak
+//!   after every operation of an arbitrary success/failure/clock-advance
+//!   schedule. This checks the subtle transitions in one place: opening
+//!   at *exactly* `threshold` consecutive failures, a single probe per
+//!   cooldown, and a failed probe restarting the cooldown from the
+//!   failure time (not the original open).
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use ver_serve::net::{backoff_delay, Breaker, BreakerState, RetryPolicy};
+
+fn policy(base_ms: u64, cap_ms: u64) -> RetryPolicy {
+    RetryPolicy {
+        backoff: Duration::from_millis(base_ms),
+        backoff_cap: Duration::from_millis(cap_ms),
+        ..RetryPolicy::default()
+    }
+}
+
+/// The exponential schedule the jitter is applied to: `base · 2^attempt`,
+/// saturating, capped.
+fn exp_ms(base_ms: u64, cap_ms: u64, attempt: u32) -> u64 {
+    base_ms.saturating_mul(1u64 << attempt.min(32)).min(cap_ms)
+}
+
+// ---------------------------------------------------------------------------
+// Reference model for the breaker.
+// ---------------------------------------------------------------------------
+
+/// What the production breaker did in response to `admit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelAdmission {
+    Allow,
+    Probe,
+    Reject,
+}
+
+/// An independent re-implementation of the breaker contract, written from
+/// the documented rules rather than the production code, tracking time as
+/// plain milliseconds.
+struct ModelBreaker {
+    threshold: u32,
+    cooldown_ms: u64,
+    state: BreakerState,
+    streak: u32,
+    opened_at_ms: Option<u64>,
+}
+
+impl ModelBreaker {
+    fn new(threshold: u32, cooldown_ms: u64) -> ModelBreaker {
+        ModelBreaker {
+            threshold: threshold.max(1),
+            cooldown_ms,
+            state: BreakerState::Closed,
+            streak: 0,
+            opened_at_ms: None,
+        }
+    }
+
+    fn admit(&mut self, now_ms: u64) -> ModelAdmission {
+        match self.state {
+            BreakerState::Closed => ModelAdmission::Allow,
+            BreakerState::HalfOpen => ModelAdmission::Reject,
+            BreakerState::Open => {
+                if now_ms - self.opened_at_ms.expect("open has a timestamp") >= self.cooldown_ms {
+                    self.state = BreakerState::HalfOpen;
+                    ModelAdmission::Probe
+                } else {
+                    ModelAdmission::Reject
+                }
+            }
+        }
+    }
+
+    fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.streak = 0;
+        self.opened_at_ms = None;
+    }
+
+    fn record_failure(&mut self, now_ms: u64) {
+        self.streak = self.streak.saturating_add(1);
+        match self.state {
+            BreakerState::Closed => {
+                if self.streak >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at_ms = Some(now_ms);
+                }
+            }
+            BreakerState::HalfOpen | BreakerState::Open => {
+                self.state = BreakerState::Open;
+                self.opened_at_ms = Some(now_ms);
+            }
+        }
+    }
+}
+
+/// One step of a breaker schedule. Time only moves forward, mirroring the
+/// monotonic `Instant` clock the production breaker sees.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Advance the virtual clock by this many milliseconds.
+    Advance(u64),
+    /// `admit` at the current virtual time.
+    Admit,
+    /// A call outcome at the current virtual time.
+    Success,
+    Failure,
+}
+
+fn op_strategy(cooldown_ms: u64) -> impl Strategy<Value = Op> {
+    // Bias advances around the cooldown so schedules routinely cross the
+    // open → half-open boundary (and just miss it by 1ms).
+    let step = cooldown_ms.max(2);
+    prop_oneof![
+        (0..step + 4).prop_map(Op::Advance),
+        Just(Op::Admit),
+        Just(Op::Success),
+        Just(Op::Failure),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn backoff_stays_within_half_to_full_exponential(
+        base_ms in 1u64..400,
+        cap_ms in 1u64..3_000,
+        attempt in 0u32..12,
+        seed in any::<u64>(),
+    ) {
+        let p = policy(base_ms, cap_ms);
+        let exp = exp_ms(base_ms, cap_ms, attempt);
+        let delay = backoff_delay(&p, attempt, seed).as_millis() as u64;
+        prop_assert!(
+            delay >= exp / 2 && delay <= exp,
+            "delay {delay}ms outside [{}, {exp}]ms (base {base_ms}, cap {cap_ms}, attempt {attempt})",
+            exp / 2,
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_in_policy_attempt_and_seed(
+        base_ms in 1u64..400,
+        cap_ms in 1u64..3_000,
+        attempt in 0u32..12,
+        seed in any::<u64>(),
+    ) {
+        let p = policy(base_ms, cap_ms);
+        let first = backoff_delay(&p, attempt, seed);
+        for _ in 0..3 {
+            prop_assert_eq!(backoff_delay(&p, attempt, seed), first);
+        }
+    }
+
+    #[test]
+    fn backoff_never_exceeds_the_cap_even_at_saturating_attempts(
+        base_ms in 1u64..400,
+        cap_ms in 1u64..3_000,
+        attempt in 0u32..1_000,
+        seed in any::<u64>(),
+    ) {
+        let p = policy(base_ms, cap_ms);
+        prop_assert!(backoff_delay(&p, attempt, seed) <= p.backoff_cap.max(p.backoff));
+    }
+
+    #[test]
+    fn breaker_agrees_with_the_reference_model_on_arbitrary_schedules(
+        threshold in 1u32..6,
+        cooldown_ms in 1u64..40,
+        ops in prop::collection::vec(op_strategy(40), 0..120),
+    ) {
+        let start = Instant::now();
+        let mut real = Breaker::new(threshold, Duration::from_millis(cooldown_ms));
+        let mut model = ModelBreaker::new(threshold, cooldown_ms);
+        let mut now_ms = 0u64;
+
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Advance(ms) => now_ms += ms,
+                Op::Admit => {
+                    let now = start + Duration::from_millis(now_ms);
+                    let got = match real.admit(now) {
+                        ver_serve::net::resilient::Admission::Allow => ModelAdmission::Allow,
+                        ver_serve::net::resilient::Admission::Probe => ModelAdmission::Probe,
+                        ver_serve::net::resilient::Admission::Reject => ModelAdmission::Reject,
+                    };
+                    let want = model.admit(now_ms);
+                    prop_assert_eq!(got, want, "admission diverged at op {}", i);
+                }
+                Op::Success => {
+                    real.record_success();
+                    model.record_success();
+                }
+                Op::Failure => {
+                    let now = start + Duration::from_millis(now_ms);
+                    real.record_failure(now);
+                    model.record_failure(now_ms);
+                }
+            }
+            prop_assert_eq!(real.state(), model.state, "state diverged at op {}", i);
+            prop_assert_eq!(
+                real.consecutive_failures(),
+                model.streak,
+                "failure streak diverged at op {}",
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_opens_at_exactly_threshold_consecutive_failures(
+        threshold in 1u32..8,
+    ) {
+        let start = Instant::now();
+        let mut b = Breaker::new(threshold, Duration::from_millis(100));
+        for i in 0..threshold - 1 {
+            b.record_failure(start);
+            prop_assert_eq!(b.state(), BreakerState::Closed, "opened early at failure {}", i + 1);
+        }
+        b.record_failure(start);
+        prop_assert_eq!(b.state(), BreakerState::Open);
+
+        // Any success resets the streak: threshold-1 failures, a success,
+        // then threshold-1 more must stay closed.
+        let mut b = Breaker::new(threshold, Duration::from_millis(100));
+        for _ in 0..threshold - 1 {
+            b.record_failure(start);
+        }
+        b.record_success();
+        for _ in 0..threshold - 1 {
+            b.record_failure(start);
+        }
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+        prop_assert_eq!(b.consecutive_failures(), threshold - 1);
+    }
+
+    #[test]
+    fn open_breaker_admits_exactly_one_probe_per_cooldown(
+        threshold in 1u32..4,
+        cooldown_ms in 1u64..50,
+        extra_admits in 1usize..6,
+    ) {
+        use ver_serve::net::resilient::Admission;
+        let start = Instant::now();
+        let cooldown = Duration::from_millis(cooldown_ms);
+        let mut b = Breaker::new(threshold, cooldown);
+        for _ in 0..threshold {
+            b.record_failure(start);
+        }
+
+        // Inside the cooldown: reject, stay open.
+        prop_assert_eq!(b.admit(start), Admission::Reject);
+        prop_assert_eq!(b.state(), BreakerState::Open);
+
+        // Cooldown elapsed: first admit is the probe, every further admit
+        // before the probe reports back is rejected.
+        let after = start + cooldown;
+        prop_assert_eq!(b.admit(after), Admission::Probe);
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        for _ in 0..extra_admits {
+            prop_assert_eq!(b.admit(after + cooldown), Admission::Reject);
+        }
+
+        // A failed probe re-opens and restarts the cooldown from the
+        // failure time, not the original open.
+        let failed_at = after + Duration::from_millis(1);
+        b.record_failure(failed_at);
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        prop_assert_eq!(b.admit(failed_at + cooldown - Duration::from_millis(1)), Admission::Reject);
+        prop_assert_eq!(b.admit(failed_at + cooldown), Admission::Probe);
+
+        // A successful probe closes fully.
+        b.record_success();
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+        prop_assert_eq!(b.admit(failed_at + cooldown), Admission::Allow);
+        prop_assert_eq!(b.consecutive_failures(), 0);
+    }
+}

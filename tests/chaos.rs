@@ -525,6 +525,439 @@ fn injected_net_faults_each_cost_exactly_one_connection() {
     c4.health().expect("server must still serve");
 }
 
+// ---------------------------------------------------------------------------
+// Process-level chaos: remote shard legs as real `verd` child processes.
+// The router's failure domain is a whole OS process — `kill -9` included.
+// Invariant 13: with every leg healthy, a router fanning the scatter out
+// to remote `verd` processes answers byte-identically to the in-process
+// sharded engine and the single engine; with a leg dead, the merge
+// degrades to `partial: true` (never an error, never cached) and returns
+// to byte-identical answers the moment the leg is back.
+// ---------------------------------------------------------------------------
+
+use std::io::BufRead as _;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use ver_serve::net::RetryPolicy;
+use ver_serve::RouterEngine;
+
+/// The `verd` binary in the same target directory as this test
+/// executable. Root-package integration tests don't get
+/// `CARGO_BIN_EXE_verd` (the binary belongs to `ver-serve`), but a
+/// workspace `cargo test` or `cargo build` puts it right next to us.
+fn verd_path() -> PathBuf {
+    let exe = std::env::current_exe().expect("test exe path");
+    let target = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("target directory");
+    let verd = target.join(format!("verd{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        verd.exists(),
+        "verd binary not found at {} — build it first (`cargo build -p ver-serve --bin verd`; \
+         a workspace `cargo test` builds it as a side effect)",
+        verd.display()
+    );
+    verd
+}
+
+/// Everything the multi-process scenarios share: the golden corpus as a
+/// CSV directory + persisted index on disk (what `verd` consumes), and
+/// the same catalog/index reloaded in-process through the **same** code
+/// path `verd` uses. CSV filenames sort differently than the in-memory
+/// golden catalog's insertion order, so `TableId`s — and therefore
+/// rendered bytes — only match between parties that loaded from this
+/// directory; the reference snapshot comes from an in-process single
+/// engine over the reloaded corpus, not from the golden snapshot file.
+struct ProcFixture {
+    data_dir: PathBuf,
+    index_path: PathBuf,
+    catalog: Arc<TableCatalog>,
+    index: Arc<DiscoveryIndex>,
+    queries: Vec<(String, ViewSpec)>,
+    /// Full-workload snapshot from a single in-process engine.
+    expected: String,
+}
+
+/// Mirror of `verd`'s `--data` loader: every `*.csv`, sorted by
+/// filename, stem as table name.
+fn load_csv_dir(dir: &Path) -> TableCatalog {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read data dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    paths.sort();
+    let mut catalog = TableCatalog::new();
+    for path in paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("csv name")
+            .to_string();
+        let file = std::fs::File::open(&path).expect("open csv");
+        let table =
+            ver_store::csv::read_csv(&name, std::io::BufReader::new(file), true).expect("csv");
+        catalog.add_table(table).expect("add table");
+    }
+    catalog
+}
+
+fn proc_fixture() -> &'static ProcFixture {
+    static FIX: OnceLock<ProcFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("ver_chaos_proc_{}", std::process::id()));
+        let data_dir = dir.join("data");
+        std::fs::create_dir_all(&data_dir).expect("fixture dir");
+        for table in catalog().tables() {
+            let csv = ver_store::csv::to_csv_string(table);
+            std::fs::write(data_dir.join(format!("{}.csv", table.name())), csv).expect("write csv");
+        }
+        let reloaded = Arc::new(load_csv_dir(&data_dir));
+        let index = Arc::new(
+            build_index(&reloaded, IndexConfig::default()).expect("index over reloaded corpus"),
+        );
+        let index_path = dir.join("index.bin");
+        save_index(&index, &index_path).expect("persist index");
+
+        let queries = golden_queries(&reloaded);
+        let single = ServeEngine::warm_start(
+            Arc::clone(&reloaded),
+            Arc::clone(&index),
+            ServeConfig::default(),
+        )
+        .expect("reference engine");
+        let expected = snapshot_with(&queries, |spec| single.query(spec));
+        ProcFixture {
+            data_dir,
+            index_path,
+            catalog: reloaded,
+            index,
+            queries,
+            expected,
+        }
+    })
+}
+
+/// One live `verd` shard-leg process. Killed on drop so a panicking
+/// scenario never leaks children.
+struct LegProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for LegProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl LegProcess {
+    /// SIGKILL — no drain, no goodbye frame, sockets reset mid-stream.
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill -9 leg");
+        self.child.wait().expect("reap leg");
+    }
+}
+
+/// Spawn a `verd --shard-leg` over the fixture corpus. `addr` is an
+/// explicit bind address or `127.0.0.1:0`; the actual address is parsed
+/// from the `verd listening on …` banner. Returns `None` if the process
+/// exited before printing it (e.g. the port is still in TIME_WAIT after
+/// a kill — callers retry).
+fn try_spawn_leg(addr: &str, envs: &[(&str, &str)]) -> Option<LegProcess> {
+    let fix = proc_fixture();
+    let mut cmd = Command::new(verd_path());
+    cmd.arg("--data")
+        .arg(&fix.data_dir)
+        .arg("--index")
+        .arg(&fix.index_path)
+        .arg("--shard-leg")
+        .arg("--addr")
+        .arg(addr)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn verd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("read verd banner");
+    let Some(addr) = banner
+        .trim()
+        .strip_prefix("verd listening on ")
+        .and_then(|a| a.parse().ok())
+    else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return None;
+    };
+    Some(LegProcess { child, addr })
+}
+
+fn spawn_leg(addr: &str, envs: &[(&str, &str)]) -> LegProcess {
+    for _ in 0..50 {
+        if let Some(leg) = try_spawn_leg(addr, envs) {
+            return leg;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("verd leg would not come up on {addr}");
+}
+
+/// A router engine (in this process) over the given live legs.
+fn router_over(addrs: &[SocketAddr]) -> RouterEngine {
+    let fix = proc_fixture();
+    RouterEngine::warm_start(
+        Arc::clone(&fix.catalog),
+        Arc::clone(&fix.index),
+        ServeConfig::default(),
+        addrs,
+        RetryPolicy::default(),
+    )
+    .expect("router warm start")
+}
+
+#[test]
+fn router_over_live_verd_processes_matches_the_single_engine() {
+    let _g = guard();
+    fault::reset();
+    let fix = proc_fixture();
+
+    // Four real leg processes; shard counts 1, 2, 4 are routers over
+    // prefixes of the same fleet (a leg serves any (shard, shard_count)
+    // it is asked for — the slice is in the request, not the process).
+    let legs: Vec<LegProcess> = (0..4).map(|_| spawn_leg("127.0.0.1:0", &[])).collect();
+    let addrs: Vec<SocketAddr> = legs.iter().map(|l| l.addr).collect();
+
+    // Cross-check the reference: the in-process sharded engine over the
+    // same reloaded corpus agrees with the single engine (invariant 11).
+    let sharded = ver_serve::ShardedEngine::warm_start(
+        Arc::clone(&fix.catalog),
+        Arc::clone(&fix.index),
+        ServeConfig::default(),
+        2,
+    )
+    .expect("sharded warm start");
+    assert_eq!(
+        snapshot_with(&fix.queries, |spec| sharded.query(spec)),
+        fix.expected,
+        "in-process sharded engine diverged from the single engine"
+    );
+
+    for n in [1usize, 2, 4] {
+        let router = router_over(&addrs[..n]);
+        let snapshot = snapshot_with(&fix.queries, |spec| router.query(spec));
+        assert_eq!(
+            snapshot, fix.expected,
+            "router over {n} live verd processes diverged from the single engine"
+        );
+        for leg in router.leg_stats() {
+            assert_eq!(leg.failovers, 0, "healthy fleet had a failover: {leg:?}");
+            assert_eq!(leg.failures, 0, "{leg:?}");
+        }
+    }
+}
+
+#[test]
+fn killing_a_leg_process_degrades_to_partial_and_recovery_is_byte_identical() {
+    let _g = guard();
+    fault::reset();
+    let fix = proc_fixture();
+    let (name, spec) = &fix.queries[0];
+
+    // Leg 1 answers every ShardQuery 400ms late, so the kill below lands
+    // mid-query: the router is parked in read_frame on a live exchange
+    // when the process dies and the socket resets under it.
+    let leg0 = spawn_leg("127.0.0.1:0", &[]);
+    let mut leg1 = spawn_leg("127.0.0.1:0", &[("VER_FAULT", "serve.query=slow:400")]);
+    let addrs = [leg0.addr, leg1.addr];
+    let leg1_addr = leg1.addr;
+    let router = router_over(&addrs);
+
+    // Reference bytes for this query, from the in-process single engine.
+    let reference = {
+        let single = ServeEngine::warm_start(
+            Arc::clone(&fix.catalog),
+            Arc::clone(&fix.index),
+            ServeConfig::default(),
+        )
+        .expect("reference engine");
+        render(name, &single.query(spec).expect("reference query"))
+    };
+
+    // kill -9 the slow leg 100ms into the scatter.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        leg1.kill9();
+        leg1
+    });
+    let degraded = router
+        .query(spec)
+        .expect("a leg killed mid-query must degrade the merge, not error it");
+    let _leg1 = killer.join().expect("killer thread");
+    assert!(degraded.partial, "killed leg must flag the merge partial");
+    assert_eq!(router.stats().partial_results, 1);
+    assert_eq!(router.leg_stats()[1].failovers, 1);
+
+    // Restart the leg on the same address, fault-free. The partial was
+    // never cached, so the same spec recomputes — and the answer is
+    // byte-identical to the single engine again.
+    let _leg1 = spawn_leg(&leg1_addr.to_string(), &[]);
+    let recovered = router.query(spec).expect("query after leg restart");
+    assert!(!recovered.partial, "leg is back, result must be complete");
+    assert_eq!(
+        render(name, &recovered),
+        reference,
+        "post-recovery routed result diverged from the single engine"
+    );
+    assert_eq!(
+        router.stats().result_cache.hits,
+        0,
+        "the partial result must never have been cached"
+    );
+}
+
+#[test]
+fn a_transient_leg_connection_fault_is_retried_not_degraded() {
+    let _g = guard();
+    fault::reset();
+    let fix = proc_fixture();
+    let (name, spec) = &fix.queries[1];
+
+    // Leg 0's server kills the first connection at `net.read` — the
+    // router's first exchange dies mid-stream. One reconnect-and-retry
+    // later the query completes; the casualty is a counter, not a
+    // partial result.
+    let leg0 = spawn_leg("127.0.0.1:0", &[("VER_FAULT", "net.read=io*1")]);
+    let leg1 = spawn_leg("127.0.0.1:0", &[]);
+    let router = router_over(&[leg0.addr, leg1.addr]);
+
+    let reference = {
+        let single = ServeEngine::warm_start(
+            Arc::clone(&fix.catalog),
+            Arc::clone(&fix.index),
+            ServeConfig::default(),
+        )
+        .expect("reference engine");
+        render(name, &single.query(spec).expect("reference query"))
+    };
+
+    let result = router
+        .query(spec)
+        .expect("a transient connection fault must be absorbed by the retry envelope");
+    assert!(
+        !result.partial,
+        "one faulted read must not degrade the merge"
+    );
+    assert_eq!(render(name, &result), reference);
+    let legs = router.leg_stats();
+    assert!(
+        legs[0].retries >= 1,
+        "the faulted exchange was retried: {legs:?}"
+    );
+    assert_eq!(legs[0].failovers, 0, "{legs:?}");
+    assert_eq!(legs[1].failures, 0, "{legs:?}");
+}
+
+#[test]
+fn a_verd_router_process_serves_the_full_stack_end_to_end() {
+    let _g = guard();
+    fault::reset();
+    let fix = proc_fixture();
+
+    // The complete deployment: two leg processes, one router *process*
+    // (`verd --route`), one client — three processes deep, every hop a
+    // real socket. The bytes must still match the single engine.
+    let leg0 = spawn_leg("127.0.0.1:0", &[]);
+    let mut leg1 = spawn_leg("127.0.0.1:0", &[]);
+    let route = format!("{},{}", leg0.addr, leg1.addr);
+
+    let mut cmd = Command::new(verd_path());
+    cmd.arg("--data")
+        .arg(&fix.data_dir)
+        .arg("--index")
+        .arg(&fix.index_path)
+        .arg("--route")
+        .arg(&route)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn router verd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("router banner");
+    let addr: SocketAddr = banner
+        .trim()
+        .strip_prefix("verd listening on ")
+        .expect("router banner")
+        .parse()
+        .expect("router addr");
+    let mut router = LegProcess { child, addr };
+
+    let mut client = Client::connect(router.addr).expect("connect to router");
+    let health = client.health().expect("health");
+    assert_eq!(health.shards, 2, "router must report one shard per leg");
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# golden online-path snapshot (see golden_online.rs)");
+    let _ = writeln!(out);
+    for (name, spec) in &fix.queries {
+        let result = client.query(spec, 0, 0).expect("routed wire query");
+        assert!(!result.partial);
+        result.render(&mut out, name);
+    }
+    assert_eq!(
+        out, fix.expected,
+        "three-process routed bytes diverged from the single engine"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.router.len(), 2);
+    for leg in &stats.router {
+        assert!(leg.attempts > 0, "{leg:?}");
+        assert_eq!(leg.failures, 0, "{leg:?}");
+    }
+
+    // Kill a leg out from under the router process: the next answer
+    // through the wire degrades to partial, the router process survives.
+    leg1.kill9();
+    let (_, fresh_spec) = &fix.queries[2];
+    // The earlier complete result for this spec is cached on the router —
+    // a cache hit must *still* be complete. Ask, then verify the flag.
+    let cached = client.query(fresh_spec, 0, 0).expect("cached routed query");
+    assert!(
+        !cached.partial,
+        "cache hits stay complete after a leg death"
+    );
+
+    // An uncached spec must scatter, lose leg 1, and come back partial.
+    let novel = ViewSpec::Keyword(vec!["state".into()]);
+    let partial = client.query(&novel, 0, 0).expect("degraded routed query");
+    assert!(
+        partial.partial,
+        "dead leg must flag the wire result partial"
+    );
+    let stats = client.stats().expect("stats");
+    assert!(stats.router[1].failovers >= 1, "{:?}", stats.router);
+    assert_eq!(stats.serve.partial_results, 1);
+
+    // Clean shutdown of the router process over the wire.
+    client.shutdown().expect("router shutdown ack");
+    let status = router.child.wait().expect("router exit");
+    assert!(status.success(), "router exited {status:?}");
+}
+
 #[test]
 fn fault_free_run_through_the_harness_matches_the_golden_snapshot() {
     // Determinism invariant 10: with the harness compiled in but nothing

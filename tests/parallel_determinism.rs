@@ -224,6 +224,63 @@ fn sharded_scatter_is_identical_across_shard_and_thread_counts() {
 }
 
 #[test]
+fn shard_leg_outputs_survive_the_wire_codec_bit_identically() {
+    // Invariant 13, codec half: run each scatter leg in-process, push its
+    // raw `ShardSearchOutput` through the full VERNET response codec
+    // (encode → frame bytes → decode → rebuild), and merge the decoded
+    // copies. The result must be bit-identical to the single-engine run —
+    // the wire is allowed to drop per-process diagnostics (timers, DAG
+    // counters), never anything that feeds the merge.
+    use ver_serve::net::{Response, WireShardOutput};
+
+    let cat = corpus();
+    let gts = wdc_ground_truths(&cat).expect("wdc ground truths");
+    let ver = Ver::build(cat.clone(), VerConfig::default()).expect("build");
+    let budget = ver_common::budget::QueryBudget::none();
+
+    let mut compared = 0;
+    for (qi, gt) in gts.iter().enumerate().take(4) {
+        let Ok(query) = generate_noisy_query(&cat, gt, NoiseLevel::Zero, 3, 7 + qi as u64) else {
+            continue;
+        };
+        let spec = ViewSpec::Qbe(query);
+        let single = ver.run(&spec).expect("single-engine run");
+        for count in [1usize, 2, 4] {
+            let outputs: Vec<_> = (0..count)
+                .map(|shard| {
+                    let out = ver
+                        .run_shard_leg(&spec, None, &budget, shard, count)
+                        .expect("leg run");
+                    assert!(!out.partial, "{}: leg {shard}/{count} partial", gt.name);
+                    let bytes = Response::ShardOutput(WireShardOutput::from_output(&out)).encode();
+                    match Response::decode(&bytes).expect("decode leg output") {
+                        Response::ShardOutput(wire) => {
+                            wire.into_output().expect("rebuild leg output")
+                        }
+                        other => panic!("expected ShardOutput, got {other:?}"),
+                    }
+                })
+                .collect();
+            let merged = ver
+                .gather_shard_outputs(&spec, &budget, outputs, true)
+                .expect("gather");
+            assert_same_result(
+                &merged,
+                &single,
+                &format!("{} wire-roundtripped shards={count} vs single", gt.name),
+            );
+        }
+        if !single.views.is_empty() {
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 2,
+        "wire-codec determinism check needs non-trivial queries, got {compared}"
+    );
+}
+
+#[test]
 fn dag_materialization_is_identical_to_independent_execution() {
     // Invariant 9: the shared sub-join DAG executor (the default) and the
     // independent per-candidate executor produce bit-identical results —

@@ -16,8 +16,8 @@ use ver_bench::golden::{golden_catalog, golden_queries, SNAPSHOT_PATH};
 use ver_index::persist::save_index;
 use ver_index::{build_index, DiscoveryIndex, IndexConfig};
 use ver_qbe::ViewSpec;
-use ver_serve::net::{Backend, Client, NetConfig, Server, ServerHandle};
-use ver_serve::{ServeConfig, ServeEngine, ShardedEngine};
+use ver_serve::net::{Backend, Client, NetConfig, RetryPolicy, Server, ServerHandle};
+use ver_serve::{RouterEngine, ServeConfig, ServeEngine, ShardedEngine};
 use ver_store::catalog::TableCatalog;
 
 fn golden_expected() -> String {
@@ -204,6 +204,105 @@ fn sharded_backend_is_wire_identical() {
         "sharded over-the-wire result diverged from the golden snapshot"
     );
     assert_eq!(client.health().expect("health").shards, 2);
+}
+
+/// Spawn `n` shard-leg servers (each a plain single-engine `verd`
+/// backend answering `ShardQuery`) and a router engine fanning out to
+/// them over real sockets. Returns the leg handles (kept alive) and the
+/// router.
+fn spawn_router(n: usize) -> (Vec<ServerHandle>, RouterEngine) {
+    let legs: Vec<ServerHandle> = (0..n)
+        .map(|_| {
+            let engine = ServeEngine::warm_start(catalog(), index(), ServeConfig::default())
+                .expect("leg warm start");
+            spawn_with(Backend::Single(Arc::new(engine)), NetConfig::default())
+        })
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> = legs.iter().map(|h| h.addr()).collect();
+    let router = RouterEngine::warm_start(
+        catalog(),
+        index(),
+        ServeConfig::default(),
+        &addrs,
+        RetryPolicy::default(),
+    )
+    .expect("router warm start");
+    (legs, router)
+}
+
+#[test]
+fn router_over_remote_legs_is_wire_identical_at_every_shard_count() {
+    // Invariant 13: a router fanning the scatter out to *remote* shard
+    // legs over TCP answers byte-identically to the in-process sharded
+    // engine — and therefore to the single engine and the golden
+    // snapshot — at shard counts 1, 2, and 4.
+    let expected = golden_expected();
+    for n in [1usize, 2, 4] {
+        let (legs, router) = spawn_router(n);
+        let handle = spawn_with(Backend::Router(Arc::new(router)), NetConfig::default());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        let snap = wire_snapshot(&mut client, &queries(), 0);
+        assert_eq!(
+            snap, expected,
+            "router over {n} remote legs diverged from the golden snapshot"
+        );
+        assert_eq!(client.health().expect("health").shards as usize, n);
+
+        // Per-leg wire stats: every leg took at least one attempt, none
+        // failed, every breaker closed.
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.router.len(), n);
+        for leg in &stats.router {
+            assert!(leg.attempts > 0, "idle leg in a healthy fan-out: {leg:?}");
+            assert_eq!(leg.failures, 0, "{leg:?}");
+            assert_eq!(leg.failovers, 0, "{leg:?}");
+            assert_eq!(leg.breaker, 0, "{leg:?}");
+        }
+        drop(legs);
+    }
+}
+
+#[test]
+fn router_degrades_to_partial_when_a_leg_server_stops() {
+    let (mut legs, router) = spawn_router(2);
+    let queries = queries();
+    let (_, spec) = &queries[0];
+
+    // Healthy baseline over both remote legs.
+    let clean = router.query(spec).expect("clean routed query");
+    assert!(!clean.partial);
+
+    // Stop leg 1 for good: its address now refuses connections. A fresh
+    // router (cold result cache — a cache hit would mask the dead leg)
+    // must degrade to the surviving leg's views — partial, never an
+    // error — and the partial result must never enter the cache.
+    let addrs: Vec<std::net::SocketAddr> = legs.iter().map(|h| h.addr()).collect();
+    let mut dead = legs.pop().unwrap();
+    dead.stop();
+    let router = RouterEngine::warm_start(
+        catalog(),
+        index(),
+        ServeConfig::default(),
+        &addrs,
+        RetryPolicy::default(),
+    )
+    .expect("router warm start");
+    let degraded = router
+        .query(spec)
+        .expect("a dead leg must degrade the merge, not error it");
+    assert!(degraded.partial, "dead leg must flag the merge partial");
+    assert!(degraded.views.len() <= clean.views.len());
+    let again = router
+        .query(spec)
+        .expect("repeat query over the degraded fan-out");
+    assert!(again.partial);
+    let stats = router.stats();
+    assert_eq!(stats.partial_results, 2);
+    assert_eq!(stats.result_cache.hits, 0, "partials must never be cached");
+    let leg_stats = router.leg_stats();
+    assert_eq!(leg_stats[1].failovers, 2, "{leg_stats:?}");
+    assert!(leg_stats[1].failures > 0, "{leg_stats:?}");
 }
 
 #[test]
